@@ -1,0 +1,191 @@
+//! Parameter persistence: a plain-text checkpoint format for [`ParamStore`].
+//!
+//! Format (line-oriented, UTF-8):
+//!
+//! ```text
+//! rmpi-params v1
+//! <name> <rank> <dim...> <value value ...>
+//! ```
+//!
+//! Values are written with full `f32` round-trip precision via the Ryu-style
+//! shortest representation Rust's formatter provides, so save → load is
+//! bit-exact.
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Checkpoint header line.
+const MAGIC: &str = "rmpi-params v1";
+
+/// Errors from checkpoint parsing.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Header line missing or wrong version.
+    BadMagic(String),
+    /// A malformed record line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic(got) => write!(f, "bad checkpoint header {got:?}"),
+            CheckpointError::Parse { line, message } => write!(f, "checkpoint parse error at line {line}: {message}"),
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serialise every parameter (values only; gradients are transient).
+pub fn save_params<W: Write>(w: &mut W, store: &ParamStore) -> Result<(), CheckpointError> {
+    writeln!(w, "{MAGIC}")?;
+    for id in store.ids() {
+        let t = store.value(id);
+        write!(w, "{} {}", store.name(id), t.shape().len())?;
+        for d in t.shape() {
+            write!(w, " {d}")?;
+        }
+        for v in t.data() {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Parse a checkpoint into a fresh store (creation order = file order).
+pub fn load_params<R: BufRead>(r: R) -> Result<ParamStore, CheckpointError> {
+    let mut lines = r.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    if header != MAGIC {
+        return Err(CheckpointError::BadMagic(header));
+    }
+    let mut store = ParamStore::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = i + 2;
+        let mut parts = line.split_whitespace();
+        let err = |message: String| CheckpointError::Parse { line: lineno, message };
+        let name = parts.next().ok_or_else(|| err("missing name".into()))?;
+        let rank: usize = parts
+            .next()
+            .ok_or_else(|| err("missing rank".into()))?
+            .parse()
+            .map_err(|e| err(format!("bad rank: {e}")))?;
+        if !(1..=2).contains(&rank) {
+            return Err(err(format!("unsupported rank {rank}")));
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let d: usize = parts
+                .next()
+                .ok_or_else(|| err("missing dimension".into()))?
+                .parse()
+                .map_err(|e| err(format!("bad dimension: {e}")))?;
+            shape.push(d);
+        }
+        let expect: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(expect);
+        for p in parts {
+            data.push(p.parse::<f32>().map_err(|e| err(format!("bad value: {e}")))?);
+        }
+        if data.len() != expect {
+            return Err(err(format!("expected {expect} values, got {}", data.len())));
+        }
+        let tensor = match rank {
+            1 => Tensor::vector(data),
+            _ => Tensor::matrix(shape[0], shape[1], data),
+        };
+        store.create(name, tensor);
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        store.create("w", init::xavier_uniform(&[3, 4], &mut rng));
+        store.create("b", init::normal(&[7], 0.5, &mut rng));
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let loaded = load_params(Cursor::new(&buf)).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for id in store.ids() {
+            let lid = loaded.get(store.name(id)).expect("name preserved");
+            assert_eq!(loaded.value(lid), store.value(id), "param {} drifted", store.name(id));
+        }
+    }
+
+    #[test]
+    fn preserves_creation_order() {
+        let mut store = ParamStore::new();
+        store.create("z_last", Tensor::scalar(1.0));
+        store.create("a_first", Tensor::scalar(2.0));
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let loaded = load_params(Cursor::new(&buf)).unwrap();
+        let names: Vec<&str> = loaded.ids().map(|id| loaded.name(id)).collect();
+        assert_eq!(names, vec!["z_last", "a_first"]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = load_params(Cursor::new("wrong v9\n")).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic(_)));
+    }
+
+    #[test]
+    fn rejects_truncated_record() {
+        let input = format!("{MAGIC}\nw 2 3 4 1.0 2.0\n");
+        let err = load_params(Cursor::new(input)).unwrap_err();
+        match err {
+            CheckpointError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported_rank() {
+        let input = format!("{MAGIC}\nw 3 1 1 1 0.0\n");
+        assert!(load_params(Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn special_values_roundtrip() {
+        let mut store = ParamStore::new();
+        store.create("edge", Tensor::vector(vec![f32::MIN_POSITIVE, -0.0, 1e30, -1e-30]));
+        let mut buf = Vec::new();
+        save_params(&mut buf, &store).unwrap();
+        let loaded = load_params(Cursor::new(&buf)).unwrap();
+        let lid = loaded.get("edge").unwrap();
+        assert_eq!(loaded.value(lid).data(), store.value(store.get("edge").unwrap()).data());
+    }
+}

@@ -1,0 +1,54 @@
+//! From-scratch dense tensors and reverse-mode automatic differentiation.
+//!
+//! The RMPI models need a small, predictable subset of what PyTorch provides:
+//! dense `f32` tensors of rank 1–2, the ops used by relational message
+//! passing (matmul, elementwise arithmetic, ReLU/LeakyReLU/sigmoid/tanh,
+//! softmax, concat/stack/gather, reductions, dropout), reverse-mode gradients
+//! and the Adam optimiser. This crate implements exactly that:
+//!
+//! * [`Tensor`] — shape + row-major `Vec<f32>` storage with checked ops;
+//! * [`Tape`] — a gradient tape: forward calls record nodes, [`Tape::backward`]
+//!   walks them in reverse and routes gradients into a [`ParamStore`];
+//! * [`ParamStore`] — named trainable parameters with accumulated gradients;
+//! * [`optim`] — SGD and Adam;
+//! * [`init`] — Xavier/uniform/normal initialisers;
+//! * [`gradcheck`] — central-finite-difference gradient verification used
+//!   throughout the test suite.
+//!
+//! Every differentiable op's backward rule is validated against finite
+//! differences in its module tests, so models built on top can trust the
+//! gradients unconditionally.
+//!
+//! ```
+//! use rmpi_autograd::{optim::Sgd, ParamStore, Tape, Tensor};
+//!
+//! // minimise f(x) = (x - 3)^2 by gradient descent
+//! let mut store = ParamStore::new();
+//! let x = store.create("x", Tensor::scalar(0.0));
+//! let opt = Sgd::new(0.2);
+//! for _ in 0..50 {
+//!     store.zero_grad();
+//!     let mut tape = Tape::new();
+//!     let xv = tape.param(&store, x);
+//!     let c = tape.constant(Tensor::scalar(3.0));
+//!     let d = tape.sub(xv, c);
+//!     let sq = tape.mul(d, d);
+//!     let loss = tape.sum(sq);
+//!     tape.backward(loss, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(x).item() - 3.0).abs() < 1e-3);
+//! ```
+
+pub mod gradcheck;
+pub mod io;
+pub mod init;
+pub mod optim;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub use io::{load_params, save_params, CheckpointError};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

@@ -1,0 +1,187 @@
+//! First-order optimisers over a [`ParamStore`].
+
+use crate::params::ParamStore;
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional weight decay.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate, no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, weight_decay: 0.0 }
+    }
+
+    /// Apply one step using the store's accumulated gradients.
+    pub fn step(&self, store: &mut ParamStore) {
+        let (lr, wd) = (self.lr, self.weight_decay);
+        store.for_each_mut(|_, value, grad| {
+            for (v, g) in value.data_mut().iter_mut().zip(grad.data()) {
+                *v -= lr * (g + wd * *v);
+            }
+        });
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the paper's optimiser
+/// (lr 1e-3).
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// L2 weight decay coefficient (0 disables).
+    pub weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9 / 0.999) and eps 1e-8.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Adam with L2 weight decay added to the gradient (the classic, not
+    /// decoupled, variant — matching `torch.optim.Adam(weight_decay=..)`).
+    pub fn with_weight_decay(lr: f32, weight_decay: f32) -> Self {
+        Adam { weight_decay, ..Adam::new(lr) }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Apply one update using the store's accumulated gradients.
+    ///
+    /// Moment buffers are allocated lazily, keyed by parameter index; newly
+    /// created parameters (e.g. lazily-registered relation embeddings) get
+    /// fresh zero moments.
+    pub fn step(&mut self, store: &mut ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let (m, v) = (&mut self.m, &mut self.v);
+        store.for_each_mut(|i, value, grad| {
+            while m.len() <= i {
+                m.push(Tensor::zeros(value.shape()));
+                v.push(Tensor::zeros(value.shape()));
+            }
+            let mi = &mut m[i];
+            let vi = &mut v[i];
+            for k in 0..value.len() {
+                let g = grad.data()[k] + wd * value.data()[k];
+                let md = &mut mi.data_mut()[k];
+                *md = b1 * *md + (1.0 - b1) * g;
+                let vd = &mut vi.data_mut()[k];
+                *vd = b2 * *vd + (1.0 - b2) * g * g;
+                let mhat = *md / bc1;
+                let vhat = *vd / bc2;
+                value.data_mut()[k] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimise f(x) = (x - 3)^2 and check convergence.
+    fn quadratic_loss(store: &ParamStore) -> (Tape, crate::tape::Var) {
+        let mut tape = Tape::new();
+        let x = tape.param(store, store.get("x").unwrap());
+        let c = tape.constant(Tensor::scalar(3.0));
+        let d = tape.sub(x, c);
+        let sq = tape.mul(d, d);
+        let loss = tape.sum(sq);
+        (tape, loss)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.create("x", Tensor::scalar(0.0));
+        let opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            store.zero_grad();
+            let (tape, loss) = quadratic_loss(&store);
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let x = store.value(store.get("x").unwrap()).item();
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.create("x", Tensor::scalar(0.0));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            store.zero_grad();
+            let (tape, loss) = quadratic_loss(&store);
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        let x = store.value(store.get("x").unwrap()).item();
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_handles_lazily_added_params() {
+        let mut store = ParamStore::new();
+        store.create("a", Tensor::scalar(1.0));
+        let mut opt = Adam::new(0.05);
+        for step in 0..200 {
+            if step == 50 {
+                store.create("b", Tensor::scalar(-1.0));
+            }
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let a = tape.param(&store, store.get("a").unwrap());
+            let mut loss = {
+                let sq = tape.mul(a, a);
+                tape.sum(sq)
+            };
+            if let Some(bid) = store.get("b") {
+                let b = tape.param(&store, bid);
+                let sqb = tape.mul(b, b);
+                let sb = tape.sum(sqb);
+                loss = tape.add(loss, sb);
+            }
+            tape.backward(loss, &mut store);
+            opt.step(&mut store);
+        }
+        assert!(store.value(store.get("a").unwrap()).item().abs() < 0.05);
+        assert!(store.value(store.get("b").unwrap()).item().abs() < 0.15);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut store = ParamStore::new();
+        store.create("x", Tensor::scalar(5.0));
+        let opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        // zero gradient, decay only
+        store.zero_grad();
+        opt.step(&mut store);
+        let x = store.value(store.get("x").unwrap()).item();
+        assert!((x - 4.5).abs() < 1e-6);
+    }
+}

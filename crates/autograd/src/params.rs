@@ -1,0 +1,179 @@
+//! Named trainable parameters with accumulated gradients.
+
+use crate::tensor::Tensor;
+use std::collections::HashMap;
+
+/// Handle to one parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The parameter's dense index (stable for the store's lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A flat registry of named parameters, their values and their gradients.
+///
+/// Gradients *accumulate* across [`crate::Tape::backward`] calls until
+/// [`ParamStore::zero_grad`] — which is what makes mini-batching by gradient
+/// accumulation (one tape per sample) correct.
+#[derive(Clone, Debug, Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    by_name: HashMap<String, ParamId>,
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new parameter. Panics if the name is taken (parameter
+    /// creation is a model-construction-time activity; collisions are bugs).
+    pub fn create(&mut self, name: &str, value: Tensor) -> ParamId {
+        assert!(!self.by_name.contains_key(name), "parameter {name:?} already exists");
+        let id = ParamId(self.values.len());
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.grads.push(Tensor::zeros(value.shape()));
+        self.values.push(value);
+        id
+    }
+
+    /// Fetch an existing parameter id by name.
+    pub fn get(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Fetch an existing id or create the parameter from `init`.
+    pub fn get_or_create_with(&mut self, name: &str, init: impl FnOnce() -> Tensor) -> ParamId {
+        if let Some(id) = self.get(name) {
+            return id;
+        }
+        self.create(name, init())
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable value (used by optimisers and by schema-vector injection).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Add `delta` into the parameter's gradient accumulator.
+    pub fn accumulate_grad(&mut self, id: ParamId, delta: &Tensor) {
+        self.grads[id.0].axpy(1.0, delta);
+    }
+
+    /// Reset all gradients to zero.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grads {
+            g.zero_();
+        }
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterate ids in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Apply `f(value, grad)` to every parameter — the optimiser entry point.
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(usize, &mut Tensor, &Tensor)) {
+        for i in 0..self.values.len() {
+            f(i, &mut self.values[i], &self.grads[i]);
+        }
+    }
+
+    /// Global L2 norm of all gradients (for clipping / diagnostics).
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(|g| g.data().iter().map(|x| x * x).sum::<f32>()).sum::<f32>().sqrt()
+    }
+
+    /// Scale every gradient by `c` (gradient clipping).
+    pub fn scale_grads(&mut self, c: f32) {
+        for g in &mut self.grads {
+            *g = g.scale(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut s = ParamStore::new();
+        let w = s.create("w", Tensor::vector(vec![1.0, 2.0]));
+        assert_eq!(s.get("w"), Some(w));
+        assert_eq!(s.get("x"), None);
+        assert_eq!(s.value(w).data(), &[1.0, 2.0]);
+        assert_eq!(s.name(w), "w");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_weights(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.create("w", Tensor::scalar(0.0));
+        s.create("w", Tensor::scalar(1.0));
+    }
+
+    #[test]
+    fn get_or_create_runs_init_once() {
+        let mut s = ParamStore::new();
+        let a = s.get_or_create_with("e", || Tensor::scalar(5.0));
+        let b = s.get_or_create_with("e", || panic!("should not re-init"));
+        assert_eq!(a, b);
+        assert_eq!(s.value(a).item(), 5.0);
+    }
+
+    #[test]
+    fn grads_accumulate_and_reset() {
+        let mut s = ParamStore::new();
+        let w = s.create("w", Tensor::vector(vec![0.0, 0.0]));
+        s.accumulate_grad(w, &Tensor::vector(vec![1.0, 2.0]));
+        s.accumulate_grad(w, &Tensor::vector(vec![1.0, 2.0]));
+        assert_eq!(s.grad(w).data(), &[2.0, 4.0]);
+        assert!((s.grad_norm() - (4.0f32 + 16.0).sqrt()).abs() < 1e-6);
+        s.scale_grads(0.5);
+        assert_eq!(s.grad(w).data(), &[1.0, 2.0]);
+        s.zero_grad();
+        assert_eq!(s.grad(w).data(), &[0.0, 0.0]);
+    }
+}

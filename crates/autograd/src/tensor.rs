@@ -1,0 +1,341 @@
+//! Dense row-major `f32` tensors of rank 1 or 2.
+//!
+//! Shapes are validated eagerly with panics — in a training loop a shape
+//! mismatch is a programming error, never data-dependent, so failing fast is
+//! the right contract (matching ndarray/PyTorch semantics).
+
+use std::fmt;
+
+/// A dense tensor: `shape` (rank 1 or 2) and row-major `data`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Rank-1 tensor from raw data.
+    pub fn vector(data: Vec<f32>) -> Self {
+        let n = data.len();
+        Tensor { shape: vec![n], data }
+    }
+
+    /// Rank-2 tensor from raw row-major data; `data.len()` must equal `rows * cols`.
+    pub fn matrix(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length {} != {rows}x{cols}", data.len());
+        Tensor { shape: vec![rows, cols], data }
+    }
+
+    /// All-zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(matches!(shape.len(), 1 | 2), "only rank 1/2 supported, got {shape:?}");
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(matches!(shape.len(), 1 | 2), "only rank 1/2 supported, got {shape:?}");
+        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// A single-element rank-1 tensor (the representation used for scalars).
+    pub fn scalar(value: f32) -> Self {
+        Tensor::vector(vec![value])
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The single element of a one-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.len(), 1, "item() on tensor of shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Number of rows (rank-2) or elements (rank-1).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    pub fn cols(&self) -> usize {
+        assert_eq!(self.shape.len(), 2, "cols() on rank-{} tensor", self.shape.len());
+        self.shape[1]
+    }
+
+    /// Element `(i, j)` of a rank-2 tensor.
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Row `i` of a rank-2 tensor as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2);
+        let c = self.shape[1];
+        &self.data[i * c..(i + 1) * c]
+    }
+
+    /// Mutable row `i` of a rank-2 tensor.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert_eq!(self.shape.len(), 2);
+        let c = self.shape[1];
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Elementwise addition (shapes must match).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// In-place elementwise `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "sub shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "mul shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        Tensor { shape: self.shape.clone(), data }
+    }
+
+    /// Multiply every element by `c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|a| a * c).collect() }
+    }
+
+    /// Apply `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&a| f(a)).collect() }
+    }
+
+    /// Matrix product of two rank-2 tensors: `(m,k) x (k,n) -> (m,n)`.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Matrix-vector product: `(m,k) x [k] -> [m]`.
+    pub fn matvec(&self, x: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(x.shape.len(), 1);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        assert_eq!(k, x.shape[0], "matvec inner dims {k} vs {}", x.shape[0]);
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
+        }
+        Tensor::vector(out)
+    }
+
+    /// Vector-matrix product: `[k] x (k,n) -> [n]`.
+    pub fn vecmat(&self, m: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 1);
+        assert_eq!(m.shape.len(), 2);
+        let k = self.shape[0];
+        assert_eq!(k, m.shape[0], "vecmat inner dims {k} vs {}", m.shape[0]);
+        let n = m.shape[1];
+        let mut out = vec![0.0f32; n];
+        for p in 0..k {
+            let a = self.data[p];
+            if a == 0.0 {
+                continue;
+            }
+            let brow = &m.data[p * n..(p + 1) * n];
+            for (o, b) in out.iter_mut().zip(brow) {
+                *o += a * b;
+            }
+        }
+        Tensor::vector(out)
+    }
+
+    /// Dot product of two rank-1 tensors.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape.len(), 1);
+        assert_eq!(self.shape, other.shape, "dot shape mismatch");
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of all elements.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+
+    /// Set all elements to zero (reuse allocation).
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|a| *a = 0.0);
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.len() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}, ...; {}]", &self.data[..8.min(self.len())], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_accessors() {
+        let v = Tensor::vector(vec![1.0, 2.0, 3.0]);
+        assert_eq!(v.shape(), &[3]);
+        assert_eq!(v.len(), 3);
+        let m = Tensor::matrix(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.at(1, 0), 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(Tensor::scalar(7.0).item(), 7.0);
+        assert_eq!(Tensor::zeros(&[2, 3]).len(), 6);
+        assert_eq!(Tensor::full(&[2], 5.0).data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix data length")]
+    fn bad_matrix_size_panics() {
+        Tensor::matrix(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::vector(vec![1.0, 2.0]);
+        let b = Tensor::vector(vec![3.0, 5.0]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.map(|x| x + 1.0).data(), &[2.0, 3.0]);
+        let mut c = a.clone();
+        c.axpy(2.0, &b);
+        assert_eq!(c.data(), &[7.0, 12.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::matrix(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matvec_vecmat_dot() {
+        let a = Tensor::matrix(2, 3, vec![1., 0., 2., 0., 1., 1.]);
+        let x = Tensor::vector(vec![1., 2., 3.]);
+        assert_eq!(a.matvec(&x).data(), &[7., 5.]);
+        let y = Tensor::vector(vec![1., 1.]);
+        assert_eq!(y.vecmat(&a).data(), &[1., 1., 3.]);
+        assert_eq!(x.dot(&x), 14.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::vector(vec![3.0, 4.0]);
+        assert_eq!(a.sum(), 7.0);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        let mut b = a.clone();
+        b.zero_();
+        assert_eq!(b.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        Tensor::vector(vec![1.0]).add(&Tensor::vector(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::matrix(2, 3, vec![0.0; 6]);
+        let b = Tensor::matrix(2, 2, vec![0.0; 4]);
+        a.matmul(&b);
+    }
+}

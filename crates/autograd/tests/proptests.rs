@@ -1,0 +1,103 @@
+//! Property-based tests for tensors and the tape.
+
+use proptest::prelude::*;
+use rmpi_autograd::gradcheck::check_gradients_with;
+use rmpi_autograd::{Tape, Tensor};
+
+fn arb_vec(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-2.0f32..2.0, n..=n)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_vec(6), b in arb_vec(6)) {
+        let (ta, tb) = (Tensor::vector(a), Tensor::vector(b));
+        prop_assert_eq!(ta.add(&tb), tb.add(&ta));
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in arb_vec(12)) {
+        let m = Tensor::matrix(3, 4, data);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matvec_matches_matmul(mdata in arb_vec(12), xdata in arb_vec(4)) {
+        let m = Tensor::matrix(3, 4, mdata);
+        let x = Tensor::vector(xdata.clone());
+        let via_matvec = m.matvec(&x);
+        let xm = Tensor::matrix(4, 1, xdata);
+        let via_matmul = m.matmul(&xm);
+        for i in 0..3 {
+            prop_assert!((via_matvec.data()[i] - via_matmul.data()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_cauchy_schwarz(a in arb_vec(8), b in arb_vec(8)) {
+        let (ta, tb) = (Tensor::vector(a), Tensor::vector(b));
+        prop_assert!((ta.dot(&tb) - tb.dot(&ta)).abs() < 1e-4);
+        prop_assert!(ta.dot(&tb).abs() <= ta.norm() * tb.norm() + 1e-3);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(data in arb_vec(7)) {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::vector(data));
+        let s = tape.softmax(x);
+        let v = tape.value(s);
+        prop_assert!((v.sum() - 1.0).abs() < 1e-5);
+        prop_assert!(v.data().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(data in arb_vec(5), shift in -3.0f32..3.0) {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::vector(data.clone()));
+        let s1 = tape.softmax(x);
+        let shifted = tape.constant(Tensor::vector(data.iter().map(|v| v + shift).collect()));
+        let s2 = tape.softmax(shifted);
+        for (a, b) in tape.value(s1).data().iter().zip(tape.value(s2).data()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn relu_leakyrelu_agree_on_positives(data in arb_vec(6)) {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::vector(data.clone()));
+        let r = tape.relu(x);
+        let l = tape.leaky_relu(x, 0.2);
+        for ((orig, a), b) in data.iter().zip(tape.value(r).data()).zip(tape.value(l).data()) {
+            if *orig >= 0.0 {
+                prop_assert_eq!(a, b);
+            } else {
+                prop_assert_eq!(*a, 0.0);
+                prop_assert!((b - 0.2 * orig).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// Randomised gradient check through a composite expression — smooth ops
+    /// only, inputs kept away from kink points.
+    #[test]
+    fn gradcheck_random_smooth_network(
+        w in prop::collection::vec(0.1f32..0.9, 12),
+        x in prop::collection::vec(0.1f32..0.9, 4),
+    ) {
+        check_gradients_with(
+            &[("w", Tensor::matrix(3, 4, w)), ("x", Tensor::vector(x))],
+            |tape, store| {
+                let wv = tape.param(store, store.get("w").unwrap());
+                let xv = tape.param(store, store.get("x").unwrap());
+                let h = tape.matvec(wv, xv);
+                let t = tape.tanh(h);
+                let s = tape.softmax(t);
+                let sg = tape.sigmoid(s);
+                tape.mean(sg)
+            },
+            1e-2,
+            5e-2,
+        );
+    }
+}

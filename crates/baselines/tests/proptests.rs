@@ -1,0 +1,74 @@
+//! Property-based tests: every baseline produces finite, rng-independent
+//! evaluation scores on arbitrary graphs, and backward passes stay finite.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi_baselines::common::BaselineConfig;
+use rmpi_baselines::{CompileModel, GrailModel, MakerLiteModel, TactBaseModel, TactModel};
+use rmpi_core::ScoringModel;
+use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use std::collections::HashSet;
+
+const NUM_REL: usize = 5;
+
+fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, Triple)> {
+    (
+        prop::collection::vec((0u32..10, 0u32..4, 0u32..10), 1..30),
+        (0u32..10, 0u32..NUM_REL as u32, 0u32..10),
+    )
+        .prop_map(|(edges, (h, r, t))| {
+            let triples: Vec<Triple> = edges
+                .into_iter()
+                .filter(|(a, _, b)| a != b)
+                .map(|(a, rel, b)| Triple::new(a, rel, b))
+                .collect();
+            let triples = if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
+            (KnowledgeGraph::from_triples(triples), Triple::new(h, r, t))
+        })
+}
+
+fn cfg() -> BaselineConfig {
+    BaselineConfig { dim: 6, edge_dropout: 0.0, ..Default::default() }
+}
+
+fn check_model<M: ScoringModel>(model: &M, g: &KnowledgeGraph, target: Triple) -> Result<(), TestCaseError> {
+    let a = model.score(g, target, &mut StdRng::seed_from_u64(0));
+    let b = model.score(g, target, &mut StdRng::seed_from_u64(1234));
+    prop_assert!(a.is_finite(), "{}: non-finite score", model.name());
+    prop_assert_eq!(a, b, "{}: eval score must ignore the rng", model.name());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn grail_and_tact_finite((g, target) in arb_graph(), seed in 0u64..10) {
+        check_model(&GrailModel::new(cfg(), NUM_REL + 2, seed), &g, target)?;
+        check_model(&TactModel::new(cfg(), NUM_REL + 2, seed), &g, target)?;
+        check_model(&TactBaseModel::new(6, 2, NUM_REL + 2, seed), &g, target)?;
+    }
+
+    #[test]
+    fn compile_and_maker_finite((g, target) in arb_graph(), seed in 0u64..10) {
+        check_model(&CompileModel::new(cfg(), NUM_REL + 2, seed), &g, target)?;
+        let seen: HashSet<RelationId> = (0..3u32).map(RelationId).collect();
+        check_model(&MakerLiteModel::new(cfg(), NUM_REL + 2, seen, seed), &g, target)?;
+    }
+
+    #[test]
+    fn backward_is_finite_for_entity_baselines((g, target) in arb_graph(), seed in 0u64..6) {
+        use rmpi_autograd::Tape;
+        use rmpi_core::Mode;
+        let mut model = GrailModel::new(cfg(), NUM_REL + 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let s = model.score_on_tape(&mut tape, &g, target, Mode::Eval, &mut rng);
+        tape.backward(s, model.param_store_mut());
+        let store = model.param_store();
+        for id in store.ids() {
+            prop_assert!(store.grad(id).data().iter().all(|x| x.is_finite()));
+        }
+    }
+}

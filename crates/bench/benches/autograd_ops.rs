@@ -1,0 +1,56 @@
+//! Criterion bench: core autograd op throughput (forward + backward).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi_autograd::{init, ParamStore, Tape};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let a = store.create("a", init::xavier_uniform(&[64, 64], &mut rng));
+    let b = store.create("b", init::xavier_uniform(&[64, 64], &mut rng));
+    let x = store.create("x", init::xavier_uniform(&[64], &mut rng));
+
+    c.bench_function("matmul_64x64_fwd", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let av = tape.param(&store, a);
+            let bv = tape.param(&store, b);
+            let c = tape.matmul(av, bv);
+            tape.value(c).data()[0]
+        })
+    });
+
+    c.bench_function("mlp_chain_fwd_bwd", |bench| {
+        bench.iter(|| {
+            store.zero_grad();
+            let mut tape = Tape::new();
+            let av = tape.param(&store, a);
+            let bv = tape.param(&store, b);
+            let xv = tape.param(&store, x);
+            let h1 = tape.matvec(av, xv);
+            let r1 = tape.relu(h1);
+            let h2 = tape.matvec(bv, r1);
+            let s = tape.sigmoid(h2);
+            let loss = tape.sum(s);
+            tape.backward(loss, &mut store);
+            store.grad_norm()
+        })
+    });
+
+    c.bench_function("softmax_attention_block", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let k = tape.param(&store, a);
+            let q = tape.param(&store, x);
+            let scores = tape.matvec(k, q);
+            let att = tape.softmax(scores);
+            let pooled = tape.vecmat(att, k);
+            tape.value(pooled).data()[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: Vec-of-Vecs adjacency vs CSR arenas for the
+//! adjacency-scan workload subgraph extraction is bound by.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmpi_datasets::registry::Family;
+use rmpi_datasets::world::GraphGenConfig;
+use rmpi_kg::{CsrGraph, EntityId, KnowledgeGraph};
+
+fn bench_storage(c: &mut Criterion) {
+    let world = Family::Fb.world();
+    let groups: Vec<usize> = (0..world.groups().len()).collect();
+    let triples = world.generate_triples(
+        &groups,
+        &GraphGenConfig { num_entities: 2000, num_base_triples: 14_000, seed: 13, ..Default::default() },
+    );
+    let vecg = KnowledgeGraph::from_triples(triples.clone());
+    let csrg = CsrGraph::from_triples(triples);
+    let n = vecg.num_entities() as u32;
+
+    let mut group = c.benchmark_group("graph_storage");
+    group.bench_with_input(BenchmarkId::new("full_scan", "vec"), &vecg, |b, g| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for e in 0..n {
+                for edge in g.out_edges(EntityId(e)) {
+                    acc = acc.wrapping_add(edge.neighbor.index() + edge.relation.index());
+                }
+                for edge in g.in_edges(EntityId(e)) {
+                    acc = acc.wrapping_add(edge.neighbor.index());
+                }
+            }
+            acc
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("full_scan", "csr"), &csrg, |b, g| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for e in 0..n {
+                for edge in g.out_edges(EntityId(e)) {
+                    acc = acc.wrapping_add(edge.neighbor.index() + edge.relation.index());
+                }
+                for edge in g.in_edges(EntityId(e)) {
+                    acc = acc.wrapping_add(edge.neighbor.index());
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

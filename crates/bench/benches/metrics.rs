@@ -1,0 +1,20 @@
+//! Criterion bench: metric computation on large score pools.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmpi_eval::{average_precision, hits_at, mean_reciprocal_rank};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let scored: Vec<(f32, bool)> = (0..100_000).map(|_| (rng.gen::<f32>(), rng.gen_bool(0.5))).collect();
+    let ranks: Vec<usize> = (0..100_000).map(|_| rng.gen_range(1..100)).collect();
+
+    c.bench_function("average_precision_100k", |b| b.iter(|| average_precision(&scored)));
+    c.bench_function("mrr_hits_100k", |b| {
+        b.iter(|| mean_reciprocal_rank(&ranks) + hits_at(&ranks, 10))
+    });
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: entity-view → relation-view (line graph) transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmpi_datasets::registry::Family;
+use rmpi_datasets::world::GraphGenConfig;
+use rmpi_kg::KnowledgeGraph;
+use rmpi_subgraph::{enclosing_subgraph, RelViewGraph, Subgraph};
+
+fn samples(family: Family) -> Vec<Subgraph> {
+    let world = family.world();
+    let groups: Vec<usize> = (0..world.groups().len()).collect();
+    let triples = world.generate_triples(
+        &groups,
+        &GraphGenConfig { num_entities: 400, num_base_triples: 2000, seed: 5, ..Default::default() },
+    );
+    let g = KnowledgeGraph::from_triples(triples);
+    g.triples()
+        .iter()
+        .step_by(g.num_triples() / 32 + 1)
+        .map(|&t| enclosing_subgraph(&g, t, 2))
+        .filter(|sg| !sg.is_empty())
+        .collect()
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relview_transform");
+    for family in [Family::Wn, Family::Fb, Family::Nell] {
+        let sgs = samples(family);
+        group.bench_with_input(BenchmarkId::new("transform", family.tag()), &sgs, |b, sgs| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for sg in sgs {
+                    edges += RelViewGraph::from_subgraph(sg).num_edges();
+                }
+                edges
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

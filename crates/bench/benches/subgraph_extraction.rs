@@ -1,0 +1,45 @@
+//! Criterion bench: K-hop enclosing/disclosing subgraph extraction
+//! throughput on generated graphs of the three family profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rmpi_datasets::registry::Family;
+use rmpi_datasets::world::GraphGenConfig;
+use rmpi_kg::KnowledgeGraph;
+use rmpi_subgraph::{disclosing_subgraph, enclosing_subgraph};
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_extraction");
+    for family in [Family::Wn, Family::Fb, Family::Nell] {
+        let world = family.world();
+        let groups: Vec<usize> = (0..world.groups().len()).collect();
+        let triples = world.generate_triples(
+            &groups,
+            &GraphGenConfig { num_entities: 500, num_base_triples: 2500, seed: 3, ..Default::default() },
+        );
+        let g = KnowledgeGraph::from_triples(triples);
+        let targets: Vec<_> = g.triples().iter().step_by(g.num_triples() / 64 + 1).copied().collect();
+
+        group.bench_with_input(BenchmarkId::new("enclosing_2hop", family.tag()), &g, |b, g| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for &t in &targets {
+                    edges += enclosing_subgraph(g, t, 2).num_edges();
+                }
+                edges
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("disclosing_2hop", family.tag()), &g, |b, g| {
+            b.iter(|| {
+                let mut edges = 0usize;
+                for &t in &targets {
+                    edges += disclosing_subgraph(g, t, 2).num_edges();
+                }
+                edges
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench: TransE training throughput on a schema graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rmpi_datasets::registry::Family;
+use rmpi_schema::{TransEConfig, TransEModel};
+
+fn bench_transe(c: &mut Criterion) {
+    let schema = Family::Nell.world().schema_graph();
+    c.bench_function("transe_5_epochs_nell_schema", |b| {
+        b.iter(|| {
+            let cfg = TransEConfig { dim: 32, epochs: 5, seed: 1, ..Default::default() };
+            TransEModel::train(&schema, cfg).dim()
+        })
+    });
+}
+
+criterion_group!(benches, bench_transe);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation of this repo's extensions beyond the paper (§VI future work):
+//! gated fusion and entity-clue features, against the published variants.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin ablation_extensions [--full]
+//! ```
+
+use rmpi_bench::{method_factory, Harness, MethodSpec};
+use rmpi_core::config::{Fusion, RelationInit, RmpiConfig};
+use rmpi_core::RmpiModel;
+use rmpi_datasets::build_benchmark;
+use rmpi_eval::report::{fmt_metric, Table};
+use rmpi_eval::runner::ModelFactory;
+use rmpi_eval::{run_experiment, RunSummary};
+
+fn main() {
+    let h = Harness::from_args();
+    let datasets = h.filter_datasets(&["nell.v2", "wn.v1"]);
+
+    let mut table = Table::new(
+        "Extension ablation: fusion function and entity clues (RMPI-NE)",
+        &["dataset", "variant", "AUC-PR", "MRR", "Hits@10"],
+    );
+    for name in &datasets {
+        let b = build_benchmark(name, h.scale);
+        let num_rel = b.num_relations();
+        let variants: Vec<(String, ModelFactory)> = vec![
+            ("RMPI-NE(S)".into(), method_factory(MethodSpec::RMPI_NE, &b, &h)),
+            (
+                "RMPI-NE(G)".into(),
+                rmpi_variant(num_rel, RmpiConfig {
+                    dim: h.dim,
+                    ne: true,
+                    fusion: Fusion::Gated,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "RMPI-NE(S)+EC".into(),
+                rmpi_variant(num_rel, RmpiConfig {
+                    dim: h.dim,
+                    ne: true,
+                    entity_clues: true,
+                    ..Default::default()
+                }),
+            ),
+            (
+                "RMPI-NE(G)+EC".into(),
+                rmpi_variant(num_rel, RmpiConfig {
+                    dim: h.dim,
+                    ne: true,
+                    fusion: Fusion::Gated,
+                    entity_clues: true,
+                    ..Default::default()
+                }),
+            ),
+        ];
+        for (label, factory) in variants {
+            eprintln!("[ablation] {label} on {name}");
+            let out = run_experiment(&factory, &b, &["TE"], &h.train, &h.eval, &h.seeds);
+            let s: &RunSummary = &out["TE"];
+            table.add_row(vec![
+                name.to_string(),
+                label,
+                fmt_metric(s.mean.auc_pr),
+                fmt_metric(s.mean.mrr),
+                fmt_metric(s.mean.hits10),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+fn rmpi_variant(num_rel: usize, cfg: RmpiConfig) -> ModelFactory {
+    assert_eq!(cfg.init, RelationInit::Random);
+    Box::new(move |seed, _b| Box::new(RmpiModel::new(cfg, num_rel, seed)))
+}

@@ -1,0 +1,54 @@
+//! Table I — benchmark statistics, generated vs. paper-reported.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table1_stats [--full]
+//! ```
+
+use rmpi_bench::Harness;
+use rmpi_datasets::{build_benchmark, registry::paper_table1_stats, registry_names};
+use rmpi_eval::report::Table;
+use rmpi_kg::GraphStats;
+
+fn main() {
+    let h = Harness::from_args();
+    let names: Vec<&str> = registry_names().into_iter().filter(|n| !n.contains("ext")).collect();
+    let names = h.filter_datasets(&names);
+
+    let mut part_a = Table::new(
+        "Table Ia/Ib: benchmark statistics (generated | paper)",
+        &["dataset", "graph", "#R gen", "#R paper", "#E gen", "#E paper", "#T gen", "#T paper"],
+    );
+    for name in names {
+        let b = build_benchmark(name, h.scale);
+        let paper = paper_table1_stats(name);
+        let tr = GraphStats::of(&b.train.graph);
+        let row = |graph: &str, s: GraphStats, p: Option<(usize, usize, usize)>| {
+            vec![
+                name.to_owned(),
+                graph.to_owned(),
+                s.num_relations.to_string(),
+                p.map(|p| p.0.to_string()).unwrap_or_else(|| "-".into()),
+                s.num_entities.to_string(),
+                p.map(|p| p.1.to_string()).unwrap_or_else(|| "-".into()),
+                s.num_triples.to_string(),
+                p.map(|p| p.2.to_string()).unwrap_or_else(|| "-".into()),
+            ]
+        };
+        part_a.add_row(row("TR", tr, paper.map(|p| (p.0, p.1, p.2))));
+        for test in &b.tests {
+            let te = GraphStats::of(&test.graph);
+            let paper_te = if test.name == "TE" || test.name == "TE(semi)" {
+                paper.map(|p| (p.3, p.4, p.5))
+            } else {
+                None
+            };
+            part_a.add_row(row(&test.name, te, paper_te));
+        }
+    }
+    println!("{}", part_a.render());
+    println!(
+        "note: generated sizes are the synthetic stand-ins at {:?} scale; the paper columns\n\
+         are the original GraIL/RMPI benchmark sizes for trend comparison (see DESIGN.md).",
+        h.scale
+    );
+}

@@ -1,0 +1,16 @@
+//! Table II — fully inductive KGC, *testing with semi unseen relations*.
+//!
+//! Part (a): randomly initialised unseen relations; part (b): schema-enhanced
+//! initialisation (NELL-family datasets, which carry the ontology).
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table2_semi_unseen [--full]
+//! ```
+
+use rmpi_bench::drivers::run_fully_inductive_table;
+use rmpi_bench::Harness;
+
+fn main() {
+    let h = Harness::from_args();
+    run_fully_inductive_table(&h, "TE(semi)", "Table II");
+}

@@ -1,0 +1,13 @@
+//! Table III — fully inductive KGC, *testing with fully unseen relations*.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table3_fully_unseen [--full]
+//! ```
+
+use rmpi_bench::drivers::run_fully_inductive_table;
+use rmpi_bench::Harness;
+
+fn main() {
+    let h = Harness::from_args();
+    run_fully_inductive_table(&h, "TE(fully)", "Table III");
+}

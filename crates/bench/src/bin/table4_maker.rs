@@ -1,0 +1,18 @@
+//! Table IV — comparison with MaKEr on the Ext benchmarks, random init.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table4_maker [--full]
+//! ```
+
+use rmpi_bench::drivers::run_maker_table;
+use rmpi_bench::Harness;
+
+fn main() {
+    let h = Harness::from_args();
+    run_maker_table(
+        &h,
+        &["fb-ext", "nell-ext"],
+        false,
+        "Table IV: MaKEr comparison (Random Initialized)",
+    );
+}

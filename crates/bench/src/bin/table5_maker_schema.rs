@@ -1,0 +1,18 @@
+//! Table V — comparison with MaKEr on NELL-Ext, schema-enhanced RMPI.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table5_maker_schema [--full]
+//! ```
+
+use rmpi_bench::drivers::run_maker_table;
+use rmpi_bench::Harness;
+
+fn main() {
+    let h = Harness::from_args();
+    run_maker_table(
+        &h,
+        &["nell-ext"],
+        true,
+        "Table V: MaKEr comparison on NELL-Ext (Schema Enhanced)",
+    );
+}

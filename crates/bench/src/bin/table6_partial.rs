@@ -1,0 +1,63 @@
+//! Table VI — partially inductive KGC with only unseen entities:
+//! (a) entity prediction Hits@10, (b) triple classification AUC-PR,
+//! 8 methods × 12 benchmarks.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table6_partial [--full]
+//! cargo run --release -p rmpi-bench --bin table6_partial -- --datasets nell.v1,wn.v1
+//! ```
+
+use rmpi_bench::{run_cell, Harness, MethodSpec};
+use rmpi_datasets::build_benchmark;
+use rmpi_eval::report::{fmt_metric, Table};
+use rmpi_eval::RunSummary;
+use std::collections::HashMap;
+
+fn main() {
+    let h = Harness::from_args();
+    let all = [
+        "wn.v1", "wn.v2", "wn.v3", "wn.v4",
+        "fb.v1", "fb.v2", "fb.v3", "fb.v4",
+        "nell.v1", "nell.v2", "nell.v3", "nell.v4",
+    ];
+    let datasets = h.filter_datasets(&all);
+    let methods = h.filter_methods(&[
+        MethodSpec::Grail,
+        MethodSpec::TactBase { schema: false },
+        MethodSpec::Tact,
+        MethodSpec::Compile,
+        MethodSpec::RMPI_BASE,
+        MethodSpec::RMPI_NE,
+        MethodSpec::RMPI_TA,
+        MethodSpec::RMPI_NE_TA,
+    ]);
+
+    // results[method][dataset]
+    let mut results: HashMap<String, HashMap<String, RunSummary>> = HashMap::new();
+    for name in &datasets {
+        let b = build_benchmark(name, h.scale);
+        for &m in &methods {
+            eprintln!("[table6] {} on {name}", m.name());
+            let out = run_cell(m, &b, &["TE"], &h);
+            results.entry(m.name()).or_default().insert(name.to_string(), out["TE"].clone());
+        }
+    }
+
+    let mut headers: Vec<&str> = vec!["method"];
+    headers.extend(datasets.iter().copied());
+    let mut part_a = Table::new("Table VIa: entity prediction (Hits@10)", &headers);
+    let mut part_b = Table::new("Table VIb: triple classification (AUC-PR)", &headers);
+    for &m in &methods {
+        let row = |metric: &dyn Fn(&RunSummary) -> f64| -> Vec<String> {
+            let mut r = vec![m.name()];
+            for d in &datasets {
+                r.push(fmt_metric(metric(&results[&m.name()][*d])));
+            }
+            r
+        };
+        part_a.add_row(row(&|s: &RunSummary| s.mean.hits10));
+        part_b.add_row(row(&|s: &RunSummary| s.mean.auc_pr));
+    }
+    println!("{}", part_a.render());
+    println!("{}", part_b.render());
+}

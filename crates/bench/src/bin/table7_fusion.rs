@@ -1,0 +1,50 @@
+//! Table VII — SUM vs CONC fusion ablation for RMPI-NE:
+//! (a) partially inductive, (b) fully inductive semi-unseen random init,
+//! (c) fully inductive semi-unseen schema-enhanced.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table7_fusion [--full]
+//! ```
+
+use rmpi_bench::{run_cell, Harness, MethodSpec};
+use rmpi_datasets::build_benchmark;
+use rmpi_eval::report::{fmt_metric, Table};
+
+fn fusion_rows(h: &Harness, datasets: &[&str], test_set: &str, schema: bool, title: &str) {
+    let datasets = h.filter_datasets(datasets);
+    let mut table = Table::new(title, &["dataset", "function", "AUC-PR", "Hits@10"]);
+    for name in &datasets {
+        let b = build_benchmark(name, h.scale);
+        for (label, concat) in [("SUM", false), ("CONC", true)] {
+            let m = MethodSpec::Rmpi { ne: true, ta: false, concat, schema };
+            let out = run_cell(m, &b, &[test_set], h);
+            let s = &out[test_set].mean;
+            table.add_row(vec![
+                name.to_string(),
+                label.to_owned(),
+                fmt_metric(s.auc_pr),
+                fmt_metric(s.hits10),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let h = Harness::from_args();
+    fusion_rows(&h, &["nell.v2", "nell.v4", "fb.v1"], "TE", false, "Table VIIa: partially inductive");
+    fusion_rows(
+        &h,
+        &["nell.v2.v3", "nell.v4.v3", "fb.v1.v4"],
+        "TE(semi)",
+        false,
+        "Table VIIb: fully inductive (Random Initialized)",
+    );
+    fusion_rows(
+        &h,
+        &["nell.v2.v3", "nell.v4.v3"],
+        "TE(semi)",
+        true,
+        "Table VIIc: fully inductive (Schema Enhanced)",
+    );
+}

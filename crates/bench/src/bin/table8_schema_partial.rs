@@ -1,0 +1,45 @@
+//! Table VIII — partially inductive KGC with and without ontological
+//! schemas (NELL-995.v2 / v4).
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin table8_schema_partial [--full]
+//! ```
+
+use rmpi_bench::{run_cell, Harness, MethodSpec};
+use rmpi_datasets::build_benchmark;
+use rmpi_eval::report::{fmt_metric, Table};
+
+fn main() {
+    let h = Harness::from_args();
+    let datasets = h.filter_datasets(&["nell.v2", "nell.v4"]);
+
+    let mut table = Table::new(
+        "Table VIII: partially inductive with (w) / without (w/o) schemas",
+        &["schema", "dataset", "method", "AUC-PR", "MRR", "Hits@10"],
+    );
+    for (label, schema) in [("w/o", false), ("w", true)] {
+        let methods = [
+            MethodSpec::TactBase { schema },
+            MethodSpec::Rmpi { ne: false, ta: false, concat: false, schema },
+            MethodSpec::Rmpi { ne: true, ta: false, concat: false, schema },
+            MethodSpec::Rmpi { ne: true, ta: false, concat: true, schema },
+        ];
+        let methods = h.filter_methods(&methods);
+        for name in &datasets {
+            let b = build_benchmark(name, h.scale);
+            for &m in &methods {
+                let out = run_cell(m, &b, &["TE"], &h);
+                let s = &out["TE"].mean;
+                table.add_row(vec![
+                    label.to_owned(),
+                    name.to_string(),
+                    m.name(),
+                    fmt_metric(s.auc_pr),
+                    fmt_metric(s.mrr),
+                    fmt_metric(s.hits10),
+                ]);
+            }
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,103 @@
+//! Shared drivers for experiment binaries that differ only in parameters
+//! (Tables II and III share one driver; the MaKEr comparisons share another).
+
+use crate::{run_cell, Harness, MethodSpec};
+use rmpi_datasets::build_benchmark;
+use rmpi_eval::report::{fmt_metric, Table};
+
+/// Driver for Tables II/III: fully inductive evaluation on `test_set`
+/// (`"TE(semi)"` or `"TE(fully)"`), part (a) random init on all four
+/// datasets, part (b) schema-enhanced on the NELL family.
+pub fn run_fully_inductive_table(h: &Harness, test_set: &str, title: &str) {
+    let all = ["nell.v1.v3", "nell.v2.v3", "nell.v4.v3", "fb.v1.v4"];
+    let datasets = h.filter_datasets(&all);
+    let methods = h.filter_methods(&[
+        MethodSpec::TactBase { schema: false },
+        MethodSpec::RMPI_BASE,
+        MethodSpec::RMPI_NE,
+    ]);
+
+    let mut part_a = Table::new(
+        &format!("{title}a: {test_set}, Random Initialized"),
+        &["dataset", "method", "AUC-PR", "MRR", "Hits@10"],
+    );
+    for name in &datasets {
+        let b = build_benchmark(name, h.scale);
+        for &m in &methods {
+            let out = run_cell(m, &b, &[test_set], h);
+            let s = &out[test_set].mean;
+            part_a.add_row(vec![
+                name.to_string(),
+                m.name(),
+                fmt_metric(s.auc_pr),
+                fmt_metric(s.mrr),
+                fmt_metric(s.hits10),
+            ]);
+        }
+    }
+    println!("{}", part_a.render());
+
+    let schema_methods: Vec<MethodSpec> = methods
+        .iter()
+        .map(|m| match m {
+            MethodSpec::TactBase { .. } => MethodSpec::TactBase { schema: true },
+            MethodSpec::Rmpi { ne, ta, concat, .. } => {
+                MethodSpec::Rmpi { ne: *ne, ta: *ta, concat: *concat, schema: true }
+            }
+            other => *other,
+        })
+        .collect();
+    let mut part_b = Table::new(
+        &format!("{title}b: {test_set}, Schema Enhanced (NELL family)"),
+        &["dataset", "method", "AUC-PR", "MRR", "Hits@10"],
+    );
+    for name in datasets.iter().filter(|d| d.starts_with("nell")) {
+        let b = build_benchmark(name, h.scale);
+        for &m in &schema_methods {
+            let out = run_cell(m, &b, &[test_set], h);
+            let s = &out[test_set].mean;
+            part_b.add_row(vec![
+                name.to_string(),
+                m.name(),
+                fmt_metric(s.auc_pr),
+                fmt_metric(s.mrr),
+                fmt_metric(s.hits10),
+            ]);
+        }
+    }
+    println!("{}", part_b.render());
+}
+
+/// Driver for Tables IV/V: MaKEr-style Ext benchmarks with the `u_ent` /
+/// `u_rel` / `u_both` buckets. `schema` selects the Table V variant.
+pub fn run_maker_table(h: &Harness, datasets: &[&str], schema: bool, title: &str) {
+    let datasets = h.filter_datasets(datasets);
+    let methods = h.filter_methods(&[
+        MethodSpec::Maker,
+        MethodSpec::Rmpi { ne: false, ta: false, concat: false, schema },
+        MethodSpec::Rmpi { ne: true, ta: false, concat: false, schema },
+    ]);
+    let buckets = ["u_ent", "u_rel", "u_both"];
+
+    let mut table = Table::new(
+        title,
+        &[
+            "dataset", "method", "u_ent MRR", "u_ent H@10", "u_rel MRR", "u_rel H@10", "u_both MRR",
+            "u_both H@10",
+        ],
+    );
+    for name in &datasets {
+        let b = build_benchmark(name, h.scale);
+        for &m in &methods {
+            let out = run_cell(m, &b, &buckets, h);
+            let mut row = vec![name.to_string(), m.name()];
+            for bucket in &buckets {
+                let s = &out[*bucket].mean;
+                row.push(fmt_metric(s.mrr));
+                row.push(fmt_metric(s.hits10));
+            }
+            table.add_row(row);
+        }
+    }
+    println!("{}", table.render());
+}

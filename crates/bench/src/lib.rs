@@ -1,0 +1,339 @@
+//! Shared harness for the experiment binaries (one binary per paper table /
+//! figure) and the criterion micro-benchmarks.
+//!
+//! Every binary accepts:
+//!
+//! * `--quick` (default) — scaled-down graphs, 1 seed, reduced epochs:
+//!   finishes in minutes and reproduces the tables' *shape*;
+//! * `--full` — paper-scale graphs, 5 seeds, full training budget;
+//! * `--seeds N`, `--epochs N`, `--dim N`, `--max-targets N` — overrides;
+//! * `--methods a,b,c` / `--datasets x,y` — row/column filters.
+//!
+//! The [`MethodSpec`] enum names every method that appears in the paper's
+//! tables, and [`method_factory`] builds the per-seed model factory
+//! (precomputing schema TransE vectors or seen-relation sets where needed).
+
+pub mod drivers;
+
+use rmpi_core::config::{Fusion, RelationInit, RmpiConfig};
+use rmpi_core::{RmpiModel, TrainConfig};
+use rmpi_datasets::{Benchmark, Scale};
+use rmpi_eval::onto::schema_vectors;
+use rmpi_eval::runner::ModelFactory;
+use rmpi_eval::EvalConfig;
+
+/// All methods appearing in the paper's tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MethodSpec {
+    /// GraIL (entity-view baseline).
+    Grail,
+    /// Full TACT.
+    Tact,
+    /// TACT-base; `schema` selects ontology-enhanced initialisation.
+    TactBase {
+        /// Use schema TransE vectors for initial relation features.
+        schema: bool,
+    },
+    /// CoMPILE.
+    Compile,
+    /// MaKEr-lite.
+    Maker,
+    /// An RMPI variant (NE/TA/fusion/init chosen by the config flags).
+    Rmpi {
+        /// NE module on.
+        ne: bool,
+        /// TA attention on.
+        ta: bool,
+        /// Concat fusion (SUM otherwise).
+        concat: bool,
+        /// Schema-enhanced initialisation.
+        schema: bool,
+    },
+}
+
+impl MethodSpec {
+    /// RMPI-base, random init.
+    pub const RMPI_BASE: MethodSpec = MethodSpec::Rmpi { ne: false, ta: false, concat: false, schema: false };
+    /// RMPI-NE (SUM), random init.
+    pub const RMPI_NE: MethodSpec = MethodSpec::Rmpi { ne: true, ta: false, concat: false, schema: false };
+    /// RMPI-TA, random init.
+    pub const RMPI_TA: MethodSpec = MethodSpec::Rmpi { ne: false, ta: true, concat: false, schema: false };
+    /// RMPI-NE-TA (SUM), random init.
+    pub const RMPI_NE_TA: MethodSpec = MethodSpec::Rmpi { ne: true, ta: true, concat: false, schema: false };
+
+    /// Display name, matching the paper's rows.
+    pub fn name(&self) -> String {
+        match *self {
+            MethodSpec::Grail => "GraIL".into(),
+            MethodSpec::Tact => "TACT".into(),
+            MethodSpec::TactBase { schema } => {
+                if schema {
+                    "TACT-base+schema".into()
+                } else {
+                    "TACT-base".into()
+                }
+            }
+            MethodSpec::Compile => "CoMPILE".into(),
+            MethodSpec::Maker => "MaKEr".into(),
+            MethodSpec::Rmpi { ne, ta, concat, schema } => {
+                let mut s = String::from("RMPI");
+                match (ne, ta) {
+                    (false, false) => s.push_str("-base"),
+                    (true, false) => s.push_str("-NE"),
+                    (false, true) => s.push_str("-TA"),
+                    (true, true) => s.push_str("-NE-TA"),
+                }
+                if ne && concat {
+                    s.push_str("(C)");
+                }
+                if schema {
+                    s.push_str("+schema");
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Harness-wide configuration derived from CLI flags.
+#[derive(Clone, Debug)]
+pub struct Harness {
+    /// Graph generation scale.
+    pub scale: Scale,
+    /// Seeds to average over.
+    pub seeds: Vec<u64>,
+    /// Training hyper-parameters.
+    pub train: TrainConfig,
+    /// Evaluation protocol parameters.
+    pub eval: EvalConfig,
+    /// Model dimension.
+    pub dim: usize,
+    /// Schema TransE vector dimension.
+    pub schema_dim: usize,
+    /// Schema TransE epochs.
+    pub schema_epochs: usize,
+    /// Dataset filter (empty = all the binary's defaults).
+    pub datasets: Vec<String>,
+    /// Method filter (empty = all the binary's defaults).
+    pub methods: Vec<String>,
+}
+
+impl Harness {
+    /// Parse flags from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_list(&args)
+    }
+
+    /// Parse flags from an explicit list (tests).
+    pub fn from_arg_list(args: &[String]) -> Self {
+        let full = args.iter().any(|a| a == "--full");
+        let get = |flag: &str| -> Option<String> {
+            args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        };
+        let mut h = if full { Self::full() } else { Self::quick() };
+        if let Some(v) = get("--seeds") {
+            let n: u64 = v.parse().expect("--seeds N");
+            h.seeds = (0..n).collect();
+        }
+        if let Some(v) = get("--epochs") {
+            h.train.epochs = v.parse().expect("--epochs N");
+        }
+        if let Some(v) = get("--dim") {
+            h.dim = v.parse().expect("--dim N");
+        }
+        if let Some(v) = get("--max-targets") {
+            h.eval.max_targets = v.parse().expect("--max-targets N");
+        }
+        if let Some(v) = get("--max-samples") {
+            h.train.max_samples_per_epoch = v.parse().expect("--max-samples N");
+        }
+        if let Some(v) = get("--datasets") {
+            h.datasets = v.split(',').map(str::to_owned).collect();
+        }
+        if let Some(v) = get("--methods") {
+            h.methods = v.split(',').map(str::to_owned).collect();
+        }
+        h
+    }
+
+    /// The fast profile (default).
+    pub fn quick() -> Self {
+        Harness {
+            scale: Scale::Quick,
+            seeds: vec![0],
+            train: TrainConfig {
+                epochs: 8,
+                max_samples_per_epoch: 800,
+                max_valid_samples: 60,
+                patience: 3,
+                ..Default::default()
+            },
+            eval: EvalConfig { num_candidates: 24, max_targets: 80, seed: 11 },
+            dim: 16,
+            schema_dim: 32,
+            schema_epochs: 60,
+            datasets: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// The paper-scale profile (`--full`).
+    pub fn full() -> Self {
+        Harness {
+            scale: Scale::Full,
+            seeds: vec![0, 1, 2, 3, 4],
+            train: TrainConfig {
+                epochs: 10,
+                max_samples_per_epoch: 3000,
+                max_valid_samples: 300,
+                patience: 3,
+                ..Default::default()
+            },
+            eval: EvalConfig { num_candidates: 49, max_targets: 600, seed: 11 },
+            dim: 32,
+            schema_dim: 300,
+            schema_epochs: 200,
+            datasets: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Apply the dataset filter to a default list.
+    pub fn filter_datasets<'a>(&self, defaults: &[&'a str]) -> Vec<&'a str> {
+        if self.datasets.is_empty() {
+            defaults.to_vec()
+        } else {
+            defaults.iter().copied().filter(|d| self.datasets.iter().any(|f| f == d)).collect()
+        }
+    }
+
+    /// Apply the method filter to a default list.
+    pub fn filter_methods(&self, defaults: &[MethodSpec]) -> Vec<MethodSpec> {
+        if self.methods.is_empty() {
+            defaults.to_vec()
+        } else {
+            defaults
+                .iter()
+                .copied()
+                .filter(|m| self.methods.iter().any(|f| m.name().eq_ignore_ascii_case(f)))
+                .collect()
+        }
+    }
+}
+
+/// Build the per-seed model factory for `method` on `benchmark`,
+/// precomputing schema vectors / seen-relation sets as needed.
+pub fn method_factory(method: MethodSpec, benchmark: &Benchmark, h: &Harness) -> ModelFactory {
+    use rmpi_baselines::{CompileModel, GrailModel, MakerLiteModel, TactBaseModel, TactModel};
+    use rmpi_baselines::common::BaselineConfig;
+
+    let num_rel = benchmark.num_relations();
+    let dim = h.dim;
+    let bcfg = BaselineConfig { dim, ..Default::default() };
+    match method {
+        MethodSpec::Grail => Box::new(move |seed, _b| Box::new(GrailModel::new(bcfg, num_rel, seed))),
+        MethodSpec::Tact => Box::new(move |seed, _b| Box::new(TactModel::new(bcfg, num_rel, seed))),
+        MethodSpec::Compile => Box::new(move |seed, _b| Box::new(CompileModel::new(bcfg, num_rel, seed))),
+        MethodSpec::Maker => {
+            let seen = benchmark.seen_relations.clone();
+            Box::new(move |seed, _b| Box::new(MakerLiteModel::new(bcfg, num_rel, seen.clone(), seed)))
+        }
+        MethodSpec::TactBase { schema: false } => {
+            Box::new(move |seed, _b| Box::new(TactBaseModel::new(dim, 2, num_rel, seed)))
+        }
+        MethodSpec::TactBase { schema: true } => {
+            let onto = schema_vectors(benchmark, h.schema_dim, h.schema_epochs, 17);
+            Box::new(move |seed, _b| Box::new(TactBaseModel::with_schema_vectors(dim, 2, onto.clone(), seed)))
+        }
+        MethodSpec::Rmpi { ne, ta, concat, schema } => {
+            let fusion = if concat { Fusion::Concat } else { Fusion::Sum };
+            if schema {
+                let cfg = RmpiConfig { dim, ne, ta, fusion, init: RelationInit::Schema, ..Default::default() };
+                let onto = schema_vectors(benchmark, h.schema_dim, h.schema_epochs, 17);
+                Box::new(move |seed, _b| Box::new(RmpiModel::with_schema_vectors(cfg, onto.clone(), seed)))
+            } else {
+                let cfg = RmpiConfig { dim, ne, ta, fusion, ..Default::default() };
+                Box::new(move |seed, _b| Box::new(RmpiModel::new(cfg, num_rel, seed)))
+            }
+        }
+    }
+}
+
+/// Train + evaluate one `(method, benchmark)` cell over the harness seeds.
+pub fn run_cell(
+    method: MethodSpec,
+    benchmark: &Benchmark,
+    test_names: &[&str],
+    h: &Harness,
+) -> std::collections::HashMap<String, rmpi_eval::RunSummary> {
+    let factory = method_factory(method, benchmark, h);
+    rmpi_eval::run_experiment(&factory, benchmark, test_names, &h.train, &h.eval, &h.seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_defaults_to_quick() {
+        let h = Harness::from_arg_list(&[]);
+        assert_eq!(h.scale, Scale::Quick);
+        assert_eq!(h.seeds.len(), 1);
+    }
+
+    #[test]
+    fn full_flag_switches_profile() {
+        let h = Harness::from_arg_list(&["--full".into()]);
+        assert_eq!(h.scale, Scale::Full);
+        assert_eq!(h.seeds.len(), 5);
+        assert_eq!(h.dim, 32);
+        assert_eq!(h.eval.num_candidates, 49);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let h = Harness::from_arg_list(&["--seeds".into(), "3".into(), "--dim".into(), "24".into()]);
+        assert_eq!(h.seeds, vec![0, 1, 2]);
+        assert_eq!(h.dim, 24);
+    }
+
+    #[test]
+    fn filters_apply() {
+        let h = Harness::from_arg_list(&["--datasets".into(), "nell.v1".into(), "--methods".into(), "rmpi-base,GraIL".into()]);
+        assert_eq!(h.filter_datasets(&["nell.v1", "nell.v2"]), vec!["nell.v1"]);
+        let ms = h.filter_methods(&[MethodSpec::Grail, MethodSpec::Tact, MethodSpec::RMPI_BASE]);
+        assert_eq!(ms.len(), 2);
+    }
+
+    #[test]
+    fn method_names_match_paper_rows() {
+        assert_eq!(MethodSpec::RMPI_BASE.name(), "RMPI-base");
+        assert_eq!(MethodSpec::RMPI_NE.name(), "RMPI-NE");
+        assert_eq!(MethodSpec::RMPI_NE_TA.name(), "RMPI-NE-TA");
+        assert_eq!(
+            MethodSpec::Rmpi { ne: true, ta: false, concat: true, schema: true }.name(),
+            "RMPI-NE(C)+schema"
+        );
+        assert_eq!(MethodSpec::TactBase { schema: true }.name(), "TACT-base+schema");
+    }
+
+    #[test]
+    fn factories_construct_models() {
+        use rmpi_datasets::build_benchmark;
+        let b = build_benchmark("nell.v1", Scale::Quick);
+        let h = Harness::quick();
+        for m in [
+            MethodSpec::Grail,
+            MethodSpec::Tact,
+            MethodSpec::TactBase { schema: false },
+            MethodSpec::Compile,
+            MethodSpec::Maker,
+            MethodSpec::RMPI_NE_TA,
+        ] {
+            let f = method_factory(m, &b, &h);
+            let model = f(0, &b);
+            assert!(!model.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Initial relation features `h_r^0`: learnable embeddings or schema
+//! projections (Eq. 10).
+
+use crate::config::RmpiConfig;
+use rand::rngs::StdRng;
+use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use rmpi_kg::RelationId;
+use std::collections::HashMap;
+
+/// Produces initial embeddings for relation ids on a tape.
+#[derive(Clone, Debug)]
+pub enum RelationEncoder {
+    /// Rows of a learnable `(num_relations, dim)` table.
+    Random {
+        /// The embedding table parameter.
+        emb: ParamId,
+    },
+    /// `h^0 = W1 (W2 h^onto)` over fixed schema TransE vectors.
+    Schema {
+        /// Fixed `(num_relations, onto_dim)` semantic vectors.
+        onto: Tensor,
+        /// Outer projection `(dim, hidden)`.
+        w1: ParamId,
+        /// Inner projection `(hidden, onto_dim)`.
+        w2: ParamId,
+    },
+}
+
+impl RelationEncoder {
+    /// Create the random-table encoder, registering its parameter.
+    pub fn new_random(store: &mut ParamStore, num_relations: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let emb = store.create("rel_emb", init::xavier_uniform(&[num_relations.max(1), dim], rng));
+        RelationEncoder::Random { emb }
+    }
+
+    /// Create the schema-projection encoder (Eq. 10). `onto` must have one
+    /// row per relation in the id space.
+    pub fn new_schema(store: &mut ParamStore, onto: Tensor, cfg: &RmpiConfig, rng: &mut StdRng) -> Self {
+        let hidden = cfg.schema_hidden_dim();
+        let onto_dim = onto.cols();
+        let w2 = store.create("onto_w2", init::xavier_uniform(&[hidden, onto_dim], rng));
+        let w1 = store.create("onto_w1", init::xavier_uniform(&[cfg.dim, hidden], rng));
+        RelationEncoder::Schema { onto, w1, w2 }
+    }
+
+    /// Number of relations covered.
+    pub fn num_relations(&self, store: &ParamStore) -> usize {
+        match self {
+            RelationEncoder::Random { emb } => store.value(*emb).rows(),
+            RelationEncoder::Schema { onto, .. } => onto.rows(),
+        }
+    }
+
+    /// Record `h^0` vars for each distinct relation in `rels`.
+    pub fn encode(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        rels: &[RelationId],
+    ) -> HashMap<RelationId, Var> {
+        let mut distinct: Vec<RelationId> = rels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut out = HashMap::with_capacity(distinct.len());
+        match self {
+            RelationEncoder::Random { emb } => {
+                let table = tape.param(store, *emb);
+                for r in distinct {
+                    out.insert(r, tape.row(table, r.index()));
+                }
+            }
+            RelationEncoder::Schema { onto, w1, w2 } => {
+                let w1v = tape.param(store, *w1);
+                let w2v = tape.param(store, *w2);
+                for r in distinct {
+                    let sem = tape.constant(Tensor::vector(onto.row(r.index()).to_vec()));
+                    let hidden = tape.matvec(w2v, sem);
+                    out.insert(r, tape.matvec(w1v, hidden));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_encoder_returns_table_rows() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = RelationEncoder::new_random(&mut store, 5, 8, &mut rng);
+        assert_eq!(enc.num_relations(&store), 5);
+        let mut tape = Tape::new();
+        let m = enc.encode(&mut tape, &store, &[RelationId(2), RelationId(2), RelationId(0)]);
+        assert_eq!(m.len(), 2);
+        let emb = store.get("rel_emb").unwrap();
+        assert_eq!(tape.value(m[&RelationId(2)]).data(), store.value(emb).row(2));
+    }
+
+    #[test]
+    fn schema_encoder_projects_to_model_dim() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let onto = Tensor::matrix(3, 10, (0..30).map(|i| i as f32 * 0.1).collect());
+        let cfg = RmpiConfig { dim: 4, ..Default::default() };
+        let enc = RelationEncoder::new_schema(&mut store, onto, &cfg, &mut rng);
+        assert_eq!(enc.num_relations(&store), 3);
+        let mut tape = Tape::new();
+        let m = enc.encode(&mut tape, &store, &[RelationId(1)]);
+        assert_eq!(tape.value(m[&RelationId(1)]).shape(), &[4]);
+    }
+
+    #[test]
+    fn schema_projection_is_trainable() {
+        // gradient should reach w1/w2 through the projection
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let onto = Tensor::matrix(2, 6, vec![0.3; 12]);
+        let cfg = RmpiConfig { dim: 3, ..Default::default() };
+        let enc = RelationEncoder::new_schema(&mut store, onto, &cfg, &mut rng);
+        let mut tape = Tape::new();
+        let m = enc.encode(&mut tape, &store, &[RelationId(0)]);
+        let loss = tape.sum(m[&RelationId(0)]);
+        tape.backward(loss, &mut store);
+        let g1 = store.grad(store.get("onto_w1").unwrap()).norm();
+        let g2 = store.grad(store.get("onto_w2").unwrap()).norm();
+        assert!(g1 > 0.0 && g2 > 0.0, "projection grads: {g1}, {g2}");
+    }
+
+    #[test]
+    fn distinct_relations_have_distinct_embeddings() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = RelationEncoder::new_random(&mut store, 4, 16, &mut rng);
+        let mut tape = Tape::new();
+        let m = enc.encode(&mut tape, &store, &[RelationId(0), RelationId(1)]);
+        assert_ne!(tape.value(m[&RelationId(0)]).data(), tape.value(m[&RelationId(1)]).data());
+    }
+}

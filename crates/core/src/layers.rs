@@ -1,0 +1,333 @@
+//! Relational message passing layers (paper Eq. 6–9, Algorithm 1).
+
+use rand::rngs::StdRng;
+use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use rmpi_subgraph::relview::{RelViewGraph, NUM_EDGE_TYPES, TARGET_NODE};
+use rmpi_subgraph::PruningSchedule;
+
+/// Per-layer, per-edge-type transformation matrices `W_e^k`.
+#[derive(Clone, Debug)]
+pub struct MessagePassingWeights {
+    /// `w[k][e]` is the `(dim, dim)` matrix for edge type `e` at layer `k`.
+    pub w: Vec<Vec<ParamId>>,
+}
+
+impl MessagePassingWeights {
+    /// Register the `num_layers × 6` matrices under `prefix`.
+    pub fn new(
+        store: &mut ParamStore,
+        prefix: &str,
+        num_layers: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let w = (0..num_layers)
+            .map(|k| {
+                (0..NUM_EDGE_TYPES)
+                    .map(|e| store.create(&format!("{prefix}_l{k}_e{e}"), init::xavier_uniform(&[dim, dim], rng)))
+                    .collect()
+            })
+            .collect();
+        MessagePassingWeights { w }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.w.len()
+    }
+}
+
+/// Attention behaviour of the aggregation.
+#[derive(Clone, Copy, Debug)]
+pub struct AttentionConfig {
+    /// Target-aware attention on/off (RMPI-TA).
+    pub enabled: bool,
+    /// LeakyReLU negative slope for the attention logits.
+    pub leaky_slope: f32,
+}
+
+/// Run K layers of pruned relational message passing and return the target
+/// node's final representation `h_{r_t}^K`.
+///
+/// `h0` must provide an initial representation for every node in
+/// `schedule.relevant_nodes()` (node-indexed). Nodes outside the pruned set
+/// are never touched — that is the efficiency win of Algorithm 1.
+pub fn relational_message_passing(
+    tape: &mut Tape,
+    store: &ParamStore,
+    weights: &MessagePassingWeights,
+    attention: AttentionConfig,
+    rv: &RelViewGraph,
+    schedule: &PruningSchedule,
+    h0: &[Option<Var>],
+    dim: usize,
+) -> Var {
+    let k_layers = weights.num_layers();
+    assert_eq!(schedule.k, k_layers, "schedule depth must match layer count");
+    let mut h: Vec<Option<Var>> = h0.to_vec();
+    assert!(h[TARGET_NODE].is_some(), "target node needs an initial representation");
+
+    // materialise W_e^k vars lazily per layer
+    for layer in 1..=k_layers {
+        let wk: Vec<Var> = weights.w[layer - 1].iter().map(|&id| tape.param(store, id)).collect();
+        let active = schedule.active_nodes(layer);
+        let h_target_prev = h[TARGET_NODE].expect("target representation");
+        let mut updates: Vec<(usize, Var)> = Vec::with_capacity(active.len());
+        for &node in &active {
+            let incoming = rv.incoming(node);
+            if incoming.is_empty() {
+                continue; // nothing to aggregate; representation carries over
+            }
+            let h_prev = h[node].expect("active node must be initialised");
+            let is_final_target = layer == k_layers && node == TARGET_NODE;
+
+            // group incoming neighbours by edge type
+            let mut groups: [Vec<usize>; NUM_EDGE_TYPES] = Default::default();
+            for e in incoming {
+                if h[e.src].is_some() {
+                    groups[e.etype.index()].push(e.src);
+                }
+            }
+
+            let mut type_sums: Vec<Var> = Vec::new();
+            for (etype, members) in groups.iter().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                // transformed messages W_e h_j
+                let msgs: Vec<Var> =
+                    members.iter().map(|&j| tape.matvec(wk[etype], h[j].expect("initialised"))).collect();
+                let stacked = tape.stack(&msgs);
+                let weights_vec = if attention.enabled && !is_final_target {
+                    // Eq. 7: softmax over this edge-type group of
+                    // LeakyReLU(h_rt^{k-1} · h_rj^{k-1})
+                    let logits: Vec<Var> = members
+                        .iter()
+                        .map(|&j| tape.dot(h_target_prev, h[j].expect("initialised")))
+                        .collect();
+                    let cat = tape.concat(&logits);
+                    let act = tape.leaky_relu(cat, attention.leaky_slope);
+                    tape.softmax(act)
+                } else {
+                    // Eq. 6 without attention / Eq. 9 final equal aggregation
+                    tape.constant(Tensor::full(&[members.len()], 1.0))
+                };
+                type_sums.push(tape.vecmat(weights_vec, stacked));
+            }
+
+            let agg = match type_sums.len() {
+                0 => tape.constant(Tensor::zeros(&[dim])),
+                1 => type_sums[0],
+                _ => {
+                    let mut acc = type_sums[0];
+                    for &t in &type_sums[1..] {
+                        acc = tape.add(acc, t);
+                    }
+                    acc
+                }
+            };
+            // σ1 = ReLU in both Eq. 6 and Eq. 9
+            let activated = tape.relu(agg);
+            // residual combine (Eq. 8 / Eq. 9)
+            let combined = tape.add(activated, h_prev);
+            updates.push((node, combined));
+        }
+        for (node, var) in updates {
+            h[node] = Some(var);
+        }
+    }
+    h[TARGET_NODE].expect("target representation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rmpi_autograd::gradcheck::check_gradients;
+    use rmpi_kg::{KnowledgeGraph, Triple};
+    use rmpi_subgraph::enclosing_subgraph;
+
+    fn setup() -> (RelViewGraph, PruningSchedule) {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        let sched = PruningSchedule::new(&rv, 2);
+        (rv, sched)
+    }
+
+    fn run_once(ta: bool) -> Vec<f32> {
+        let (rv, sched) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let dim = 6;
+        let weights = MessagePassingWeights::new(&mut store, "mp", 2, dim, &mut rng);
+        let emb = store.create("emb", init::xavier_uniform(&[10, dim], &mut rng));
+        let mut tape = Tape::new();
+        let table = tape.param(&store, emb);
+        let h0: Vec<Option<Var>> =
+            rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+        let out = relational_message_passing(
+            &mut tape,
+            &store,
+            &weights,
+            AttentionConfig { enabled: ta, leaky_slope: 0.2 },
+            &rv,
+            &sched,
+            &h0,
+            dim,
+        );
+        tape.value(out).data().to_vec()
+    }
+
+    #[test]
+    fn produces_dim_sized_output() {
+        assert_eq!(run_once(false).len(), 6);
+        assert_eq!(run_once(true).len(), 6);
+    }
+
+    #[test]
+    fn attention_changes_the_output() {
+        assert_ne!(run_once(false), run_once(true));
+    }
+
+    #[test]
+    fn isolated_target_passes_through_initial_embedding() {
+        // relview with only the target node
+        let g = KnowledgeGraph::from_triples(vec![Triple::new(7u32, 0u32, 8u32)]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 1u32, 1u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        let sched = PruningSchedule::new(&rv, 2);
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let dim = 4;
+        let weights = MessagePassingWeights::new(&mut store, "mp", 2, dim, &mut rng);
+        let mut tape = Tape::new();
+        let h0v = tape.constant(Tensor::vector(vec![1.0, -2.0, 3.0, 0.5]));
+        let out = relational_message_passing(
+            &mut tape,
+            &store,
+            &weights,
+            AttentionConfig { enabled: false, leaky_slope: 0.2 },
+            &rv,
+            &sched,
+            &[Some(h0v)],
+            dim,
+        );
+        assert_eq!(tape.value(out).data(), &[1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_layer_weights() {
+        let (rv, sched) = setup();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let dim = 4;
+        let weights = MessagePassingWeights::new(&mut store, "mp", 2, dim, &mut rng);
+        let emb = store.create("emb", init::xavier_uniform(&[10, dim], &mut rng));
+        let mut tape = Tape::new();
+        let table = tape.param(&store, emb);
+        let h0: Vec<Option<Var>> =
+            rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+        let out = relational_message_passing(
+            &mut tape,
+            &store,
+            &weights,
+            AttentionConfig { enabled: true, leaky_slope: 0.2 },
+            &rv,
+            &sched,
+            &h0,
+            dim,
+        );
+        let loss = tape.sum(out);
+        tape.backward(loss, &mut store);
+        assert!(store.grad(emb).norm() > 0.0, "embedding grads must flow");
+        // the target's 1-hop neighbours exist, so at least one last-layer W_e
+        // must receive gradient
+        let last_layer_grad: f32 = weights.w[1].iter().map(|&id| store.grad(id).norm()).sum();
+        assert!(last_layer_grad > 0.0, "final-layer weights must receive gradient");
+    }
+
+    /// Algorithm 1's central correctness claim: pruning skips only updates
+    /// that cannot influence the target, so the target's final representation
+    /// must be bit-identical to unpruned (all-nodes-every-layer) passing.
+    #[test]
+    fn pruned_schedule_matches_full_schedule_on_target() {
+        for ta in [false, true] {
+            for k in 1..=3 {
+                let (rv, _) = setup();
+                let pruned = PruningSchedule::new(&rv, k);
+                let full = PruningSchedule { dist: vec![0; rv.num_nodes()], k };
+                let mut store = ParamStore::new();
+                let mut rng = StdRng::seed_from_u64(11);
+                let dim = 5;
+                let weights = MessagePassingWeights::new(&mut store, "mp", k, dim, &mut rng);
+                let emb = store.create("emb", init::xavier_uniform(&[10, dim], &mut rng));
+                let run = |sched: &PruningSchedule| -> Vec<f32> {
+                    let mut tape = Tape::new();
+                    let table = tape.param(&store, emb);
+                    let h0: Vec<Option<Var>> =
+                        rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+                    let out = relational_message_passing(
+                        &mut tape,
+                        &store,
+                        &weights,
+                        AttentionConfig { enabled: ta, leaky_slope: 0.2 },
+                        &rv,
+                        sched,
+                        &h0,
+                        dim,
+                    );
+                    tape.value(out).data().to_vec()
+                };
+                assert_eq!(run(&pruned), run(&full), "ta={ta} k={k}: pruning changed the target output");
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_through_message_passing() {
+        let (rv, sched) = setup();
+        let dim = 3;
+        let mut rng = StdRng::seed_from_u64(8);
+        // build named params: emb + 2 layers x 6 types
+        let mut params: Vec<(String, Tensor)> =
+            vec![("emb".to_owned(), init::xavier_uniform(&[10, dim], &mut rng))];
+        for k in 0..2 {
+            for e in 0..NUM_EDGE_TYPES {
+                params.push((format!("mp_l{k}_e{e}"), init::xavier_uniform(&[dim, dim], &mut rng)));
+            }
+        }
+        let named: Vec<(&str, Tensor)> = params.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        check_gradients(&named, |tape, store| {
+            let weights = MessagePassingWeights {
+                w: (0..2)
+                    .map(|k| {
+                        (0..NUM_EDGE_TYPES)
+                            .map(|e| store.get(&format!("mp_l{k}_e{e}")).unwrap())
+                            .collect()
+                    })
+                    .collect(),
+            };
+            let table = tape.param(store, store.get("emb").unwrap());
+            let h0: Vec<Option<Var>> =
+                rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+            let out = relational_message_passing(
+                tape,
+                store,
+                &weights,
+                AttentionConfig { enabled: true, leaky_slope: 0.2 },
+                &rv,
+                &sched,
+                &h0,
+                dim,
+            );
+            let t = tape.tanh(out);
+            tape.sum(t)
+        });
+    }
+}

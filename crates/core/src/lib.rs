@@ -1,0 +1,34 @@
+//! The RMPI model (paper §III) and a generic subgraph-model trainer.
+//!
+//! RMPI scores a candidate triple by reasoning over the *relation view* of
+//! its enclosing subgraph:
+//!
+//! 1. extract the K-hop enclosing subgraph, transform it to a relation-view
+//!    graph with the target triple as node 0 ([`sample`]);
+//! 2. initialise every relation node from either a learnable embedding table
+//!    or a projection of schema TransE vectors (Eq. 10, [`encode`]);
+//! 3. run K pruned relational message passing layers with per-edge-type
+//!    transforms and optional target-aware attention (Eq. 6–9, [`layers`]);
+//! 4. optionally aggregate the one-hop disclosing neighbourhood to rescue
+//!    empty subgraphs (Eq. 13–14, [`ne`]);
+//! 5. score through a linear readout with SUM or CONC fusion
+//!    (Eq. 11/15/16, inside [`model`]).
+//!
+//! Everything trainable is expressed through [`rmpi_autograd`], so one
+//! [`trainer::train_model`] loop (margin ranking loss Eq. 12 + Adam) serves
+//! RMPI and all baselines via the [`ScoringModel`] trait.
+
+pub mod config;
+pub mod encode;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod ne;
+pub mod sample;
+pub mod trainer;
+pub mod traits;
+
+pub use config::{Fusion, RelationInit, RmpiConfig};
+pub use model::RmpiModel;
+pub use trainer::{train_model, TrainConfig, TrainReport};
+pub use traits::{Mode, ScoringModel};

@@ -1,0 +1,65 @@
+//! Margin ranking loss (paper Eq. 12).
+
+use rmpi_autograd::{Tape, Var};
+
+/// `max(0, score(neg) - score(pos) + margin)` for one positive/negative pair.
+/// Both scores must be one-element variables.
+pub fn margin_ranking_loss(tape: &mut Tape, pos: Var, neg: Var, margin: f32) -> Var {
+    let diff = tape.sub(neg, pos);
+    let shifted = tape.add_scalar(diff, margin);
+    tape.relu(shifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmpi_autograd::{ParamStore, Tensor};
+
+    fn eval(pos: f32, neg: f32, margin: f32) -> f32 {
+        let mut tape = Tape::new();
+        let p = tape.constant(Tensor::scalar(pos));
+        let n = tape.constant(Tensor::scalar(neg));
+        let l = margin_ranking_loss(&mut tape, p, n, margin);
+        tape.value(l).item()
+    }
+
+    #[test]
+    fn zero_when_margin_satisfied() {
+        assert_eq!(eval(12.0, 1.0, 10.0), 0.0);
+        assert_eq!(eval(10.0, 0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn linear_when_violated() {
+        assert_eq!(eval(0.0, 0.0, 10.0), 10.0);
+        assert_eq!(eval(3.0, 5.0, 10.0), 12.0);
+    }
+
+    #[test]
+    fn gradient_pushes_scores_apart() {
+        let mut store = ParamStore::new();
+        let p = store.create("p", Tensor::scalar(0.0));
+        let n = store.create("n", Tensor::scalar(0.0));
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let nv = tape.param(&store, n);
+        let l = margin_ranking_loss(&mut tape, pv, nv, 5.0);
+        tape.backward(l, &mut store);
+        assert_eq!(store.grad(p).item(), -1.0, "positive score should increase");
+        assert_eq!(store.grad(n).item(), 1.0, "negative score should decrease");
+    }
+
+    #[test]
+    fn no_gradient_once_satisfied() {
+        let mut store = ParamStore::new();
+        let p = store.create("p", Tensor::scalar(20.0));
+        let n = store.create("n", Tensor::scalar(0.0));
+        let mut tape = Tape::new();
+        let pv = tape.param(&store, p);
+        let nv = tape.param(&store, n);
+        let l = margin_ranking_loss(&mut tape, pv, nv, 5.0);
+        tape.backward(l, &mut store);
+        assert_eq!(store.grad(p).item(), 0.0);
+        assert_eq!(store.grad(n).item(), 0.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! The assembled RMPI model.
+
+use crate::config::{Fusion, RelationInit, RmpiConfig};
+use crate::encode::RelationEncoder;
+use crate::layers::{relational_message_passing, AttentionConfig, MessagePassingWeights};
+use crate::ne::{disclosing_aggregate, NeWeights};
+use crate::sample::prepare_sample;
+use crate::traits::{Mode, ScoringModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
+use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+
+/// RMPI with all its variants (base / NE / TA / NE-TA, SUM / CONC fusion,
+/// random / schema initialisation) selected by [`RmpiConfig`].
+#[derive(Clone, Debug)]
+pub struct RmpiModel {
+    cfg: RmpiConfig,
+    store: ParamStore,
+    encoder: RelationEncoder,
+    mp: MessagePassingWeights,
+    ne_weights: Option<NeWeights>,
+    score_w: ParamId,
+    fuse_w3: Option<ParamId>,
+    fuse_gate: Option<ParamId>,
+    ent_w: Option<ParamId>,
+    num_relations: usize,
+}
+
+impl RmpiModel {
+    /// Build a randomly initialised model over `num_relations` relation ids.
+    ///
+    /// Panics if `cfg.init` is [`RelationInit::Schema`] — use
+    /// [`RmpiModel::with_schema_vectors`] for that path.
+    pub fn new(cfg: RmpiConfig, num_relations: usize, seed: u64) -> Self {
+        assert_eq!(cfg.init, RelationInit::Random, "schema init requires with_schema_vectors()");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let encoder = RelationEncoder::new_random(&mut store, num_relations, cfg.dim, &mut rng);
+        Self::finish(cfg, store, encoder, num_relations, &mut rng)
+    }
+
+    /// Build a schema-enhanced model: initial relation features are
+    /// projections (Eq. 10) of `onto` — a `(num_relations, onto_dim)` matrix
+    /// of schema TransE vectors covering seen *and* unseen relations.
+    pub fn with_schema_vectors(cfg: RmpiConfig, onto: Tensor, seed: u64) -> Self {
+        assert_eq!(cfg.init, RelationInit::Schema, "config must request schema init");
+        let num_relations = onto.rows();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let encoder = RelationEncoder::new_schema(&mut store, onto, &cfg, &mut rng);
+        Self::finish(cfg, store, encoder, num_relations, &mut rng)
+    }
+
+    fn finish(
+        cfg: RmpiConfig,
+        mut store: ParamStore,
+        encoder: RelationEncoder,
+        num_relations: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mp = MessagePassingWeights::new(&mut store, "mp", cfg.num_layers, cfg.dim, rng);
+        let ne_weights = if cfg.ne { Some(NeWeights::new(&mut store, cfg.dim, rng)) } else { None };
+        let fuse_w3 = if cfg.ne && cfg.fusion == Fusion::Concat {
+            Some(store.create("fuse_w3", init::xavier_uniform(&[cfg.dim, 2 * cfg.dim], rng)))
+        } else {
+            None
+        };
+        let fuse_gate = if cfg.ne && cfg.fusion == Fusion::Gated {
+            Some(store.create("fuse_gate", init::xavier_uniform(&[cfg.dim, 2 * cfg.dim], rng)))
+        } else {
+            None
+        };
+        let ent_w = if cfg.entity_clues {
+            let hist_dim = crate::sample::label_histogram_len(cfg.hop + 1);
+            Some(store.create("ent_w", init::xavier_uniform(&[cfg.dim, hist_dim], rng)))
+        } else {
+            None
+        };
+        let score_w = store.create("score_w", init::xavier_uniform(&[cfg.dim], rng));
+        RmpiModel { cfg, store, encoder, mp, ne_weights, score_w, fuse_w3, fuse_gate, ent_w, num_relations }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &RmpiConfig {
+        &self.cfg
+    }
+
+    /// Size of the relation id space the model covers.
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+}
+
+impl ScoringModel for RmpiModel {
+    fn param_store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn param_store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn score_on_tape(
+        &self,
+        tape: &mut Tape,
+        graph: &KnowledgeGraph,
+        target: Triple,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> Var {
+        assert!(
+            target.relation.index() < self.num_relations,
+            "relation {} outside the model's id space ({})",
+            target.relation,
+            self.num_relations
+        );
+        let sample = prepare_sample(graph, target, &self.cfg, mode, rng);
+
+        // every relation whose h^0 the pass needs
+        let mut rels: Vec<RelationId> = sample.relview.nodes.iter().map(|n| n.relation).collect();
+        rels.extend_from_slice(&sample.disclosing_rels);
+        rels.push(target.relation);
+        let h0_map = self.encoder.encode(tape, &self.store, &rels);
+
+        let h0: Vec<Option<Var>> =
+            sample.relview.nodes.iter().map(|n| Some(h0_map[&n.relation])).collect();
+        let h_rt = relational_message_passing(
+            tape,
+            &self.store,
+            &self.mp,
+            AttentionConfig { enabled: self.cfg.ta, leaky_slope: self.cfg.leaky_slope },
+            &sample.relview,
+            &sample.schedule,
+            &h0,
+            self.cfg.dim,
+        );
+
+        let w = tape.param(&self.store, self.score_w);
+        let mut fused = match self.ne_weights {
+            Some(ne) => {
+                let h_t0 = h0_map[&target.relation];
+                let neighbors: Vec<Var> = sample.disclosing_rels.iter().map(|r| h0_map[r]).collect();
+                let h_d = disclosing_aggregate(
+                    tape,
+                    &self.store,
+                    ne,
+                    h_t0,
+                    &neighbors,
+                    self.cfg.leaky_slope,
+                    self.cfg.dim,
+                );
+                match self.cfg.fusion {
+                    Fusion::Sum => tape.add(h_rt, h_d),
+                    Fusion::Concat => {
+                        let cat = tape.concat(&[h_rt, h_d]);
+                        let w3 = tape.param(&self.store, self.fuse_w3.expect("concat fusion weight"));
+                        tape.matvec(w3, cat)
+                    }
+                    Fusion::Gated => {
+                        let cat = tape.concat(&[h_rt, h_d]);
+                        let wg = tape.param(&self.store, self.fuse_gate.expect("gated fusion weight"));
+                        let logits = tape.matvec(wg, cat);
+                        let g = tape.sigmoid(logits);
+                        let ones = tape.constant(Tensor::full(&[self.cfg.dim], 1.0));
+                        let g_inv = tape.sub(ones, g);
+                        let a = tape.mul(g, h_rt);
+                        let b = tape.mul(g_inv, h_d);
+                        tape.add(a, b)
+                    }
+                }
+            }
+            None => h_rt,
+        };
+        if let Some(ent_w) = self.ent_w {
+            let hist = sample.label_histogram.as_ref().expect("entity-clue histogram");
+            let hist_v = tape.constant(Tensor::vector(hist.clone()));
+            let wv = tape.param(&self.store, ent_w);
+            let lin = tape.matvec(wv, hist_v);
+            let clue = tape.relu(lin);
+            fused = tape.add(fused, clue);
+        }
+        tape.dot(w, fused)
+    }
+
+    fn name(&self) -> String {
+        self.cfg.variant_name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RmpiConfig;
+
+    fn toy_graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+        ])
+    }
+
+    fn small_cfg() -> RmpiConfig {
+        RmpiConfig { dim: 8, edge_dropout: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn all_variants_produce_finite_scores() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        for cfg in [
+            small_cfg(),
+            RmpiConfig { ne: true, ..small_cfg() },
+            RmpiConfig { ta: true, ..small_cfg() },
+            RmpiConfig { ne: true, ta: true, ..small_cfg() },
+            RmpiConfig { ne: true, fusion: Fusion::Concat, ..small_cfg() },
+        ] {
+            let model = RmpiModel::new(cfg, 6, 0);
+            let mut rng = StdRng::seed_from_u64(0);
+            let s = model.score(&g, target, &mut rng);
+            assert!(s.is_finite(), "{}: score {s}", model.name());
+        }
+    }
+
+    #[test]
+    fn eval_scores_are_deterministic() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let model = RmpiModel::new(RmpiConfig { ne: true, ta: true, ..small_cfg() }, 6, 1);
+        let a = model.score(&g, target, &mut StdRng::seed_from_u64(0));
+        let b = model.score(&g, target, &mut StdRng::seed_from_u64(99));
+        assert_eq!(a, b, "eval forward must not depend on the rng");
+    }
+
+    #[test]
+    fn unseen_relation_scores_without_panicking() {
+        let g = toy_graph();
+        // relation 5 never occurs in the graph: the fully-inductive case
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let model = RmpiModel::new(small_cfg(), 6, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(model.score(&g, target, &mut rng).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model's id space")]
+    fn out_of_space_relation_panics() {
+        let g = toy_graph();
+        let model = RmpiModel::new(small_cfg(), 6, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        model.score(&g, Triple::new(0u32, 17u32, 3u32), &mut rng);
+    }
+
+    #[test]
+    fn schema_model_uses_onto_vectors() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let onto_a = Tensor::matrix(6, 10, vec![0.1; 60]);
+        let onto_b = Tensor::matrix(6, 10, (0..60).map(|i| (i as f32 * 0.37).sin()).collect());
+        let cfg = RmpiConfig { init: RelationInit::Schema, ..small_cfg() };
+        let ma = RmpiModel::with_schema_vectors(cfg, onto_a, 7);
+        let mb = RmpiModel::with_schema_vectors(cfg, onto_b, 7);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sa = ma.score(&g, target, &mut rng);
+        let sb = mb.score(&g, target, &mut rng);
+        assert_ne!(sa, sb, "different schema vectors must change the score");
+    }
+
+    #[test]
+    fn gradients_reach_scoring_head() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let mut model = RmpiModel::new(RmpiConfig { ne: true, ..small_cfg() }, 6, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tape = Tape::new();
+        let s = model.score_on_tape(&mut tape, &g, target, Mode::Eval, &mut rng);
+        tape.backward(s, model.param_store_mut());
+        let store = model.param_store();
+        assert!(store.grad(store.get("score_w").unwrap()).norm() > 0.0);
+        assert!(store.grad(store.get("rel_emb").unwrap()).norm() > 0.0);
+        assert!(store.grad(store.get("ne_wd").unwrap()).norm() > 0.0);
+    }
+
+    #[test]
+    fn gated_fusion_and_entity_clues_score_and_backprop() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let cfg = RmpiConfig { ne: true, fusion: Fusion::Gated, entity_clues: true, ..small_cfg() };
+        let mut model = RmpiModel::new(cfg, 6, 8);
+        assert_eq!(model.name(), "RMPI-NE(G)+EC");
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let s = model.score_on_tape(&mut tape, &g, target, Mode::Eval, &mut rng);
+        assert!(tape.value(s).item().is_finite());
+        tape.backward(s, model.param_store_mut());
+        let store = model.param_store();
+        assert!(store.grad(store.get("fuse_gate").unwrap()).norm() > 0.0);
+        assert!(store.grad(store.get("ent_w").unwrap()).norm() > 0.0);
+    }
+
+    #[test]
+    fn fusion_variants_differ() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut scores = Vec::new();
+        for fusion in [Fusion::Sum, Fusion::Concat, Fusion::Gated] {
+            let cfg = RmpiConfig { ne: true, fusion, ..small_cfg() };
+            let model = RmpiModel::new(cfg, 6, 9);
+            scores.push(model.score(&g, target, &mut rng));
+        }
+        assert_ne!(scores[0], scores[1]);
+        assert_ne!(scores[0], scores[2]);
+    }
+
+    #[test]
+    fn empty_subgraph_still_scores_with_ne() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(5u32, 1u32, 6u32),
+        ]);
+        let target = Triple::new(0u32, 2u32, 5u32);
+        let model = RmpiModel::new(RmpiConfig { ne: true, ..small_cfg() }, 4, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(model.score(&g, target, &mut rng).is_finite());
+    }
+}

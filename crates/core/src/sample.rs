@@ -1,0 +1,223 @@
+//! Per-target forward-pass inputs: subgraph extraction, edge dropout,
+//! relation-view transform, pruning schedule and disclosing neighbours.
+
+use crate::config::RmpiConfig;
+use crate::traits::Mode;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_subgraph::{
+    disclosing_subgraph, double_radius_labels, enclosing_subgraph, PruningSchedule, RelViewGraph,
+    Subgraph,
+};
+
+/// Everything the RMPI forward pass needs for one target triple.
+#[derive(Clone, Debug)]
+pub struct SampleInput {
+    /// Relation view of the (possibly edge-dropped) enclosing subgraph.
+    pub relview: RelViewGraph,
+    /// Pruned layer schedule over `relview`.
+    pub schedule: PruningSchedule,
+    /// Relations labelling the target's one-hop *disclosing* neighbourhood
+    /// (deduplicated) — the NE module's input.
+    pub disclosing_rels: Vec<RelationId>,
+    /// The target triple.
+    pub target: Triple,
+    /// Whether the enclosing subgraph had no edges before transformation.
+    pub enclosing_empty: bool,
+    /// Normalised histogram of the subgraph entities' double-radius labels
+    /// (present only when `cfg.entity_clues` is on).
+    pub label_histogram: Option<Vec<f32>>,
+}
+
+/// Build the forward-pass input for `target` against `graph`.
+///
+/// In [`Mode::Train`], subgraph edges are dropped independently with
+/// probability `cfg.edge_dropout` (the paper's edge dropout); oversized
+/// subgraphs are uniformly downsampled to `cfg.max_subgraph_edges` in both
+/// modes.
+pub fn prepare_sample(
+    graph: &KnowledgeGraph,
+    target: Triple,
+    cfg: &RmpiConfig,
+    mode: Mode,
+    rng: &mut StdRng,
+) -> SampleInput {
+    let mut sg = enclosing_subgraph(graph, target, cfg.hop);
+    let enclosing_empty = sg.is_empty();
+    apply_edge_budget(&mut sg, cfg, mode, rng);
+    let relview = RelViewGraph::from_subgraph(&sg);
+    let schedule = PruningSchedule::new(&relview, cfg.num_layers);
+
+    let disclosing_rels = if cfg.ne {
+        disclosing_one_hop_relations(graph, target, cfg.hop)
+    } else {
+        Vec::new()
+    };
+
+    let label_histogram = cfg.entity_clues.then(|| label_histogram(&sg, cfg.hop + 1));
+
+    SampleInput { relview, schedule, disclosing_rels, target, enclosing_empty, label_histogram }
+}
+
+/// Length of the entity-clue histogram for a given maximum label distance.
+pub fn label_histogram_len(max_dist: usize) -> usize {
+    2 * (max_dist + 1)
+}
+
+/// Normalised histogram of double-radius labels over the subgraph entities:
+/// counts of each `d(i,u)` value followed by counts of each `d(i,v)` value,
+/// both divided by the number of entities.
+pub fn label_histogram(sg: &Subgraph, max_dist: usize) -> Vec<f32> {
+    let labels = double_radius_labels(sg, max_dist);
+    let w = max_dist + 1;
+    let mut hist = vec![0f32; 2 * w];
+    for l in labels.values() {
+        hist[l.du.min(max_dist)] += 1.0;
+        hist[w + l.dv.min(max_dist)] += 1.0;
+    }
+    let n = labels.len().max(1) as f32;
+    for h in &mut hist {
+        *h /= n;
+    }
+    hist
+}
+
+/// Edge dropout (training) and the hard size cap (both modes).
+fn apply_edge_budget(sg: &mut Subgraph, cfg: &RmpiConfig, mode: Mode, rng: &mut StdRng) {
+    if mode == Mode::Train && cfg.edge_dropout > 0.0 {
+        sg.triples.retain(|_| !rng.gen_bool(cfg.edge_dropout));
+    }
+    if sg.triples.len() > cfg.max_subgraph_edges {
+        sg.triples.shuffle(rng);
+        sg.triples.truncate(cfg.max_subgraph_edges);
+        sg.triples.sort_unstable();
+    }
+}
+
+/// Distinct relations of the target's one-hop disclosing neighbourhood: all
+/// edges incident to the target head or tail (§III-F samples the one-hop
+/// neighbours of the target relation node in the disclosing relation view —
+/// which are exactly the edges sharing an entity with the target).
+pub fn disclosing_one_hop_relations(graph: &KnowledgeGraph, target: Triple, hop: usize) -> Vec<RelationId> {
+    // One-hop neighbours of the target node do not depend on the disclosing
+    // subgraph's depth, but we go through the extraction for exactness: the
+    // target edge itself is excluded there.
+    let dg = disclosing_subgraph(graph, target, hop);
+    let mut rels: Vec<RelationId> = dg
+        .triples
+        .iter()
+        .filter(|t| {
+            t.head == target.head || t.tail == target.head || t.head == target.tail || t.tail == target.tail
+        })
+        .map(|t| t.relation)
+        .collect();
+    rels.sort_unstable();
+    rels.dedup();
+    rels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+        ])
+    }
+
+    fn cfg() -> RmpiConfig {
+        RmpiConfig { ne: true, edge_dropout: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn eval_mode_is_deterministic_and_complete() {
+        let g = graph();
+        let t = Triple::new(0u32, 9u32, 3u32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let s = prepare_sample(&g, t, &cfg(), Mode::Eval, &mut rng);
+        assert_eq!(s.relview.num_nodes(), 5); // 4 enclosing edges + target
+        assert!(!s.enclosing_empty);
+        assert_eq!(s.target, t);
+    }
+
+    #[test]
+    fn train_mode_dropout_removes_edges() {
+        let g = graph();
+        let t = Triple::new(0u32, 9u32, 3u32);
+        let cfg = RmpiConfig { edge_dropout: 0.99, ..cfg() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = prepare_sample(&g, t, &cfg, Mode::Train, &mut rng);
+        assert!(s.relview.num_nodes() < 5, "dropout at 0.99 should remove edges");
+    }
+
+    #[test]
+    fn size_cap_applies() {
+        // star graph: many parallel edges between 0 and 1
+        let triples: Vec<Triple> = (0..50u32).map(|r| Triple::new(0u32, r, 1u32)).collect();
+        let g = KnowledgeGraph::from_triples(triples);
+        let t = Triple::new(0u32, 99u32, 1u32);
+        let cfg = RmpiConfig { max_subgraph_edges: 10, ne: false, edge_dropout: 0.0, ..Default::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = prepare_sample(&g, t, &cfg, Mode::Eval, &mut rng);
+        assert_eq!(s.relview.num_nodes(), 11);
+    }
+
+    #[test]
+    fn disclosing_relations_cover_pendant_edges() {
+        let g = graph();
+        let t = Triple::new(0u32, 9u32, 3u32);
+        let rels = disclosing_one_hop_relations(&g, t, 2);
+        // edges incident to 0 or 3: r0, r1, r2, r3, r4 (3->4 pendant)
+        assert_eq!(rels, vec![RelationId(0), RelationId(1), RelationId(2), RelationId(3), RelationId(4)]);
+    }
+
+    #[test]
+    fn empty_enclosing_flag_set() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(5u32, 0u32, 6u32),
+        ]);
+        let t = Triple::new(0u32, 9u32, 5u32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = prepare_sample(&g, t, &cfg(), Mode::Eval, &mut rng);
+        assert!(s.enclosing_empty);
+        assert_eq!(s.relview.num_nodes(), 1);
+        // disclosing still sees the pendant edges at both endpoints
+        assert!(!s.disclosing_rels.is_empty());
+    }
+
+    #[test]
+    fn entity_clue_histogram_is_normalized() {
+        let g = graph();
+        let t = Triple::new(0u32, 9u32, 3u32);
+        let cfg = RmpiConfig { entity_clues: true, ne: false, edge_dropout: 0.0, ..Default::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let s = prepare_sample(&g, t, &cfg, Mode::Eval, &mut rng);
+        let hist = s.label_histogram.expect("histogram requested");
+        assert_eq!(hist.len(), label_histogram_len(cfg.hop + 1));
+        // each half of the histogram sums to 1 (one label per entity)
+        let w = hist.len() / 2;
+        let du_sum: f32 = hist[..w].iter().sum();
+        let dv_sum: f32 = hist[w..].iter().sum();
+        assert!((du_sum - 1.0).abs() < 1e-5, "du half sums to {du_sum}");
+        assert!((dv_sum - 1.0).abs() < 1e-5, "dv half sums to {dv_sum}");
+    }
+
+    #[test]
+    fn ne_disabled_skips_disclosing_work() {
+        let g = graph();
+        let t = Triple::new(0u32, 9u32, 3u32);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let cfg = RmpiConfig { ne: false, edge_dropout: 0.0, ..Default::default() };
+        let s = prepare_sample(&g, t, &cfg, Mode::Eval, &mut rng);
+        assert!(s.disclosing_rels.is_empty());
+    }
+}

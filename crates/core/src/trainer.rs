@@ -1,0 +1,288 @@
+//! Generic training loop for subgraph scoring models (paper §III-E).
+//!
+//! Mini-batching works by gradient accumulation: each sample builds its own
+//! tape (positive + corrupted negative + margin ranking loss), backward
+//! accumulates into the shared [`rmpi_autograd::ParamStore`], and Adam steps
+//! once per batch. Validation tracks the pairwise ranking accuracy on held-
+//! out triples; the best parameter snapshot is restored at the end.
+
+use crate::loss::margin_ranking_loss;
+use crate::traits::{Mode, ScoringModel};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rmpi_autograd::optim::Adam;
+use rmpi_autograd::Tape;
+use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_subgraph::NegativeSampler;
+
+/// Training hyper-parameters. Defaults follow §IV-B: Adam lr 1e-3, batch 16,
+/// margin 10.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Passes over the (capped) target set.
+    pub epochs: usize,
+    /// Samples per optimiser step.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Ranking margin γ.
+    pub margin: f32,
+    /// Cap on targets used per epoch (0 = all).
+    pub max_samples_per_epoch: usize,
+    /// Global gradient-norm clip (0 = off).
+    pub grad_clip: f32,
+    /// Early-stopping patience in epochs (0 = off).
+    pub patience: usize,
+    /// Cap on validation triples scored per epoch (0 = all).
+    pub max_valid_samples: usize,
+    /// RNG seed (shuffling, negative sampling, dropout).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 16,
+            lr: 1e-3,
+            margin: 10.0,
+            max_samples_per_epoch: 2000,
+            grad_clip: 5.0,
+            patience: 3,
+            max_valid_samples: 200,
+            seed: 0,
+        }
+    }
+}
+
+/// What happened during training.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean margin loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Validation pairwise ranking accuracy per epoch (positive scored above
+    /// its corrupted negative).
+    pub valid_accuracy: Vec<f32>,
+    /// Epoch whose parameters were kept (0-based).
+    pub best_epoch: usize,
+}
+
+impl TrainReport {
+    /// Final (restored) validation accuracy.
+    pub fn best_accuracy(&self) -> f32 {
+        self.valid_accuracy.get(self.best_epoch).copied().unwrap_or(0.0)
+    }
+}
+
+/// Train `model` on `targets` against `graph`; `valid` steers early stopping.
+pub fn train_model<M: ScoringModel>(
+    model: &mut M,
+    graph: &KnowledgeGraph,
+    targets: &[Triple],
+    valid: &[Triple],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert!(!targets.is_empty(), "no training targets");
+    let sampler = NegativeSampler::from_graph(graph);
+    let mut adam = Adam::new(cfg.lr);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut report = TrainReport::default();
+    let mut best_acc = f32::NEG_INFINITY;
+    let mut best_store = model.param_store().clone();
+    let mut since_best = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        let mut order: Vec<Triple> = targets.to_vec();
+        order.shuffle(&mut rng);
+        if cfg.max_samples_per_epoch > 0 {
+            order.truncate(cfg.max_samples_per_epoch);
+        }
+
+        let mut epoch_loss = 0.0f64;
+        let mut in_batch = 0usize;
+        model.param_store_mut().zero_grad();
+        for &pos in &order {
+            let neg = sampler.corrupt(pos, graph, &mut rng);
+            let mut tape = Tape::new();
+            let sp = model.score_on_tape(&mut tape, graph, pos, Mode::Train, &mut rng);
+            let sn = model.score_on_tape(&mut tape, graph, neg, Mode::Train, &mut rng);
+            let loss = margin_ranking_loss(&mut tape, sp, sn, cfg.margin);
+            epoch_loss += tape.value(loss).item() as f64;
+            tape.backward(loss, model.param_store_mut());
+            in_batch += 1;
+            if in_batch == cfg.batch_size {
+                step(model, &mut adam, cfg, in_batch);
+                in_batch = 0;
+            }
+        }
+        if in_batch > 0 {
+            step(model, &mut adam, cfg, in_batch);
+        }
+        report.epoch_losses.push((epoch_loss / order.len() as f64) as f32);
+
+        let acc = validation_accuracy(model, graph, valid, cfg, &mut rng);
+        report.valid_accuracy.push(acc);
+        if acc > best_acc {
+            best_acc = acc;
+            best_store = model.param_store().clone();
+            report.best_epoch = epoch;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if cfg.patience > 0 && since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+    *model.param_store_mut() = best_store;
+    report
+}
+
+fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batch_len: usize) {
+    let store = model.param_store_mut();
+    // average over the batch
+    store.scale_grads(1.0 / batch_len as f32);
+    if cfg.grad_clip > 0.0 {
+        let norm = store.grad_norm();
+        if norm > cfg.grad_clip {
+            store.scale_grads(cfg.grad_clip / norm);
+        }
+    }
+    adam.step(store);
+    store.zero_grad();
+}
+
+/// Pairwise ranking accuracy on validation triples: fraction where the
+/// positive outscores one corrupted negative. Falls back to the training
+/// targets' *loss* trend when `valid` is empty (returns 0 so every epoch
+/// ties and the last snapshot wins).
+fn validation_accuracy<M: ScoringModel>(
+    model: &M,
+    graph: &KnowledgeGraph,
+    valid: &[Triple],
+    cfg: &TrainConfig,
+    rng: &mut StdRng,
+) -> f32 {
+    if valid.is_empty() {
+        return 0.0;
+    }
+    let sampler = NegativeSampler::from_graph(graph);
+    let mut subset: Vec<Triple> = valid.to_vec();
+    subset.shuffle(rng);
+    if cfg.max_valid_samples > 0 {
+        subset.truncate(cfg.max_valid_samples);
+    }
+    let mut wins = 0usize;
+    for &pos in &subset {
+        let neg = sampler.corrupt(pos, graph, rng);
+        if model.score(graph, pos, rng) > model.score(graph, neg, rng) {
+            wins += 1;
+        }
+    }
+    wins as f32 / subset.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RmpiConfig;
+    use crate::model::RmpiModel;
+    use rmpi_datasets::world::{GraphGenConfig, WorldConfig};
+    use rmpi_datasets::World;
+
+    /// A tiny planted-rule world where composition conclusions are perfectly
+    /// learnable from the enclosing subgraph.
+    fn tiny_data() -> (KnowledgeGraph, Vec<Triple>, Vec<Triple>) {
+        let world = World::new(WorldConfig {
+            comp_groups: 2,
+            long_groups: 0,
+            inv_groups: 1,
+            sym_groups: 0,
+            sub_groups: 0,
+            noise_relations: 0,
+            ..Default::default()
+        });
+        let groups: Vec<usize> = (0..world.groups().len()).collect();
+        let triples = world.generate_triples(
+            &groups,
+            &GraphGenConfig { num_entities: 120, num_base_triples: 420, noise_frac: 0.0, seed: 5, ..Default::default() },
+        );
+        let split = rmpi_kg::split_triples(&triples, 0.15, 0.0, 3);
+        let graph = KnowledgeGraph::from_triples(split.train.clone());
+        (graph, split.train, split.valid)
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let (graph, targets, valid) = tiny_data();
+        let mut model = RmpiModel::new(RmpiConfig { dim: 16, edge_dropout: 0.2, ..Default::default() }, 8, 0);
+        let cfg = TrainConfig {
+            epochs: 4,
+            max_samples_per_epoch: 250,
+            max_valid_samples: 80,
+            patience: 0,
+            seed: 1,
+            ..Default::default()
+        };
+        let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
+        assert_eq!(report.epoch_losses.len(), 4);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "loss should drop: {:?}",
+            report.epoch_losses
+        );
+        assert!(
+            report.best_accuracy() > 0.6,
+            "trained model should beat chance on validation: {:?}",
+            report.valid_accuracy
+        );
+    }
+
+    #[test]
+    fn early_stopping_respects_patience() {
+        let (graph, targets, valid) = tiny_data();
+        let mut model = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 2);
+        let cfg = TrainConfig {
+            epochs: 50,
+            max_samples_per_epoch: 40,
+            max_valid_samples: 30,
+            patience: 2,
+            seed: 2,
+            ..Default::default()
+        };
+        let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
+        assert!(report.epoch_losses.len() < 50, "patience should stop early");
+    }
+
+    #[test]
+    fn best_params_are_restored() {
+        let (graph, targets, valid) = tiny_data();
+        let mut model = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 3);
+        let cfg = TrainConfig {
+            epochs: 3,
+            max_samples_per_epoch: 60,
+            max_valid_samples: 40,
+            patience: 0,
+            seed: 3,
+            ..Default::default()
+        };
+        let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
+        // re-evaluating with restored params reproduces the best epoch's accuracy signal
+        let mut rng = StdRng::seed_from_u64(77);
+        let acc = validation_accuracy(&model, &graph, &valid, &cfg, &mut rng);
+        assert!(
+            acc >= report.best_accuracy() - 0.25,
+            "restored accuracy {acc} far below best {}",
+            report.best_accuracy()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no training targets")]
+    fn empty_targets_rejected() {
+        let (graph, _, _) = tiny_data();
+        let mut model = RmpiModel::new(RmpiConfig::default(), 8, 0);
+        train_model(&mut model, &graph, &[], &[], &TrainConfig::default());
+    }
+}

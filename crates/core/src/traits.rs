@@ -1,0 +1,72 @@
+//! The common interface between subgraph scoring models and the trainer /
+//! evaluation protocols.
+
+use rand::rngs::StdRng;
+use rmpi_autograd::{ParamStore, Tape, Var};
+use rmpi_kg::{KnowledgeGraph, Triple};
+
+/// Whether a forward pass is a training pass (dropout active) or an
+/// evaluation pass (deterministic).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Training: edge dropout and any other stochastic regularisers apply.
+    Train,
+    /// Evaluation: deterministic forward.
+    Eval,
+}
+
+/// A model that scores a candidate triple against a context graph by
+/// subgraph reasoning. Implemented by RMPI and all baselines, which is what
+/// lets one trainer and one evaluation harness serve every method.
+pub trait ScoringModel {
+    /// The trainable parameters.
+    fn param_store(&self) -> &ParamStore;
+
+    /// Mutable access for the optimiser.
+    fn param_store_mut(&mut self) -> &mut ParamStore;
+
+    /// Record the score of `target` (higher = more plausible) on `tape`.
+    fn score_on_tape(
+        &self,
+        tape: &mut Tape,
+        graph: &KnowledgeGraph,
+        target: Triple,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> Var;
+
+    /// Convenience: evaluate the score eagerly.
+    fn score(&self, graph: &KnowledgeGraph, target: Triple, rng: &mut StdRng) -> f32 {
+        let mut tape = Tape::new();
+        let v = self.score_on_tape(&mut tape, graph, target, Mode::Eval, rng);
+        tape.value(v).item()
+    }
+
+    /// A short display name (e.g. `"RMPI-NE"`).
+    fn name(&self) -> String;
+}
+
+impl<M: ScoringModel + ?Sized> ScoringModel for Box<M> {
+    fn param_store(&self) -> &ParamStore {
+        (**self).param_store()
+    }
+
+    fn param_store_mut(&mut self) -> &mut ParamStore {
+        (**self).param_store_mut()
+    }
+
+    fn score_on_tape(
+        &self,
+        tape: &mut Tape,
+        graph: &KnowledgeGraph,
+        target: Triple,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> Var {
+        (**self).score_on_tape(tape, graph, target, mode, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests over the RMPI model: every variant produces finite,
+//! deterministic scores on arbitrary graphs, and the margin loss behaves.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi_core::config::Fusion;
+use rmpi_core::loss::margin_ranking_loss;
+use rmpi_core::{RmpiConfig, RmpiModel, ScoringModel};
+use rmpi_kg::{KnowledgeGraph, Triple};
+
+fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, Triple)> {
+    (
+        prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 1..40),
+        (0u32..12, 0u32..6, 0u32..12),
+    )
+        .prop_map(|(edges, (h, r, t))| {
+            let triples: Vec<Triple> = edges
+                .into_iter()
+                .filter(|(a, _, b)| a != b)
+                .map(|(a, rel, b)| Triple::new(a, rel, b))
+                .collect();
+            let triples = if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
+            (KnowledgeGraph::from_triples(triples), Triple::new(h, r, t))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_variants_finite_and_deterministic((g, target) in arb_graph(), seed in 0u64..20) {
+        for cfg in [
+            RmpiConfig { dim: 6, edge_dropout: 0.0, ..RmpiConfig::base() },
+            RmpiConfig { dim: 6, edge_dropout: 0.0, ..RmpiConfig::ne() },
+            RmpiConfig { dim: 6, edge_dropout: 0.0, ..RmpiConfig::ne_ta() },
+            RmpiConfig { dim: 6, edge_dropout: 0.0, fusion: Fusion::Gated, ..RmpiConfig::ne() },
+            RmpiConfig { dim: 6, edge_dropout: 0.0, entity_clues: true, ..RmpiConfig::base() },
+        ] {
+            let model = RmpiModel::new(cfg, 6, seed);
+            let a = model.score(&g, target, &mut StdRng::seed_from_u64(0));
+            let b = model.score(&g, target, &mut StdRng::seed_from_u64(77));
+            prop_assert!(a.is_finite(), "{}: non-finite score", model.name());
+            prop_assert_eq!(a, b, "eval scoring must ignore the rng");
+        }
+    }
+
+    #[test]
+    fn backward_never_produces_nan((g, target) in arb_graph(), seed in 0u64..20) {
+        use rmpi_autograd::Tape;
+        use rmpi_core::Mode;
+        let cfg = RmpiConfig { dim: 6, edge_dropout: 0.0, ..RmpiConfig::ne_ta() };
+        let mut model = RmpiModel::new(cfg, 6, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tape = Tape::new();
+        let s = model.score_on_tape(&mut tape, &g, target, Mode::Eval, &mut rng);
+        tape.backward(s, model.param_store_mut());
+        let store = model.param_store();
+        for id in store.ids() {
+            prop_assert!(
+                store.grad(id).data().iter().all(|x| x.is_finite()),
+                "non-finite gradient in {}",
+                store.name(id)
+            );
+        }
+    }
+
+    #[test]
+    fn margin_loss_bounds(pos in -20.0f32..20.0, neg in -20.0f32..20.0, margin in 0.0f32..15.0) {
+        use rmpi_autograd::{Tape, Tensor};
+        let mut tape = Tape::new();
+        let p = tape.constant(Tensor::scalar(pos));
+        let n = tape.constant(Tensor::scalar(neg));
+        let l = margin_ranking_loss(&mut tape, p, n, margin);
+        let v = tape.value(l).item();
+        prop_assert!(v >= 0.0);
+        prop_assert!((v - (neg - pos + margin).max(0.0)).abs() < 1e-4);
+    }
+}

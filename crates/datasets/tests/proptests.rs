@@ -1,0 +1,86 @@
+//! Property-based tests for world generation and benchmark construction.
+
+use proptest::prelude::*;
+use rmpi_datasets::world::{GraphGenConfig, WorldConfig};
+use rmpi_datasets::{benchmark, World};
+use rmpi_kg::EntityId;
+use std::collections::HashSet;
+
+fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
+    (2usize..10, 1usize..4, 0usize..4, 0usize..3, 0usize..3, 0usize..3, 0usize..3, 0usize..3, 0u64..100)
+        .prop_map(|(classes, arch, comp, long, inv, sym, sub, noise, seed)| WorldConfig {
+            num_classes: classes,
+            num_archetypes: arch,
+            comp_groups: comp.max(1), // at least one group so graphs are non-trivial
+            long_groups: long,
+            inv_groups: inv,
+            sym_groups: sym,
+            sub_groups: sub,
+            noise_relations: noise,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn relation_count_matches_group_arithmetic(cfg in arb_world_config()) {
+        let w = World::new(cfg);
+        let expect = 3 * cfg.comp_groups
+            + 6 * cfg.long_groups
+            + 2 * cfg.inv_groups
+            + cfg.sym_groups
+            + 2 * cfg.sub_groups
+            + cfg.noise_relations;
+        prop_assert_eq!(w.num_relations(), expect);
+        prop_assert!(w.num_schema_relations() >= w.num_relations());
+    }
+
+    #[test]
+    fn generation_stays_in_entity_range(cfg in arb_world_config(), offset in 0u32..1000, n in 20usize..120) {
+        let w = World::new(cfg);
+        let groups: Vec<usize> = (0..w.groups().len()).collect();
+        let gen = GraphGenConfig {
+            num_entities: n,
+            num_base_triples: 3 * n,
+            entity_offset: offset,
+            seed: 42,
+            ..Default::default()
+        };
+        for t in w.generate_triples(&groups, &gen) {
+            prop_assert!(t.head.0 >= offset && t.head.0 < offset + n as u32);
+            prop_assert!(t.tail.0 >= offset && t.tail.0 < offset + n as u32);
+            prop_assert!(t.relation.index() < w.num_relations());
+            prop_assert!(!t.is_self_loop());
+        }
+    }
+
+    #[test]
+    fn schema_graph_edges_use_rdfs_vocab_only(cfg in arb_world_config()) {
+        let w = World::new(cfg);
+        let schema = w.schema_graph();
+        for t in schema.graph().triples() {
+            prop_assert!(t.relation.index() < 4, "schema edge label {} out of RDFS vocab", t.relation);
+        }
+    }
+
+    #[test]
+    fn partial_benchmarks_have_disjoint_entities(seed in 0u64..50) {
+        let w = World::new(WorldConfig { seed, ..Default::default() });
+        let groups: Vec<usize> = (0..w.groups().len()).collect();
+        let b = benchmark::partial_benchmark(
+            "prop",
+            w,
+            &groups,
+            GraphGenConfig { num_entities: 100, num_base_triples: 300, seed, ..Default::default() },
+            GraphGenConfig { num_entities: 80, num_base_triples: 240, seed: seed + 1, ..Default::default() },
+        );
+        let tr: HashSet<EntityId> = b.train.graph.present_entities().into_iter().collect();
+        let te: HashSet<EntityId> = b.tests[0].graph.present_entities().into_iter().collect();
+        prop_assert!(tr.is_disjoint(&te));
+        for t in &b.tests[0].targets {
+            prop_assert!(!b.tests[0].graph.contains(t));
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Schema TransE vectors packaged for model construction (paper §III-D.2).
+
+use rmpi_autograd::Tensor;
+use rmpi_datasets::Benchmark;
+use rmpi_kg::RelationId;
+use rmpi_schema::{TransEConfig, TransEModel};
+
+/// Train TransE on the benchmark world's schema graph and return one
+/// semantic vector per *concrete* relation, as the `(num_relations, dim)`
+/// matrix the schema-enhanced models consume.
+///
+/// The schema graph covers seen and unseen relations alike (it also contains
+/// the abstract role parents, which get vectors but no matrix rows).
+pub fn schema_vectors(benchmark: &Benchmark, dim: usize, epochs: usize, seed: u64) -> Tensor {
+    let schema = benchmark.world.schema_graph();
+    let cfg = TransEConfig { dim, epochs, seed, ..Default::default() };
+    let model = TransEModel::train(&schema, cfg);
+    let num_rel = benchmark.num_relations();
+    let mut data = Vec::with_capacity(num_rel * dim);
+    for r in 0..num_rel as u32 {
+        data.extend_from_slice(model.kg_relation_vector(&schema, RelationId(r)));
+    }
+    Tensor::matrix(num_rel, dim, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmpi_datasets::{build_benchmark, Scale};
+
+    #[test]
+    fn vectors_cover_all_relations_including_unseen() {
+        let b = build_benchmark("nell.v1.v3", Scale::Quick);
+        let onto = schema_vectors(&b, 16, 10, 0);
+        assert_eq!(onto.rows(), b.num_relations());
+        assert_eq!(onto.cols(), 16);
+        // unseen relations exist and have non-degenerate vectors
+        let unseen: Vec<u32> = (0..b.num_relations() as u32)
+            .filter(|&r| b.is_unseen(RelationId(r)))
+            .collect();
+        assert!(!unseen.is_empty());
+        for &r in unseen.iter().take(5) {
+            let norm: f32 = onto.row(r as usize).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!(norm > 0.5, "unseen relation {r} vector norm {norm}");
+        }
+    }
+
+    #[test]
+    fn sibling_role_relations_have_similar_vectors() {
+        // relations sharing an (archetype, role) schema parent should embed
+        // closer together than arbitrary pairs on average
+        let b = build_benchmark("nell.v2.v3", Scale::Quick);
+        let onto = schema_vectors(&b, 24, 60, 1);
+        let world = &b.world;
+        let cos = |a: usize, c: usize| {
+            let (ra, rc) = (onto.row(a), onto.row(c));
+            let dot: f32 = ra.iter().zip(rc).map(|(x, y)| x * y).sum();
+            let na: f32 = ra.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nc: f32 = rc.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nc).max(1e-9)
+        };
+        // collect same-(archetype, role) pairs from the first few groups
+        let mut same = Vec::new();
+        let groups = world.groups();
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                if groups[i].archetype != groups[j].archetype || groups[i].kind != groups[j].kind {
+                    continue;
+                }
+                for (ra, role_a) in &groups[i].relations {
+                    for (rb, role_b) in &groups[j].relations {
+                        if role_a == role_b {
+                            same.push(cos(ra.index(), rb.index()));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!same.is_empty(), "need same-role pairs to compare");
+        let mean_same: f32 = same.iter().sum::<f32>() / same.len() as f32;
+        // baseline: consecutive relations within a group (different roles)
+        let mut diff = Vec::new();
+        for g in groups.iter().take(10) {
+            let rels = g.relation_ids();
+            for w in rels.windows(2) {
+                diff.push(cos(w[0].index(), w[1].index()));
+            }
+        }
+        let mean_diff: f32 = diff.iter().sum::<f32>() / diff.len() as f32;
+        assert!(
+            mean_same > mean_diff,
+            "same-role similarity {mean_same} should exceed different-role {mean_diff}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use rmpi_eval::metrics::rank_of;
+use rmpi_eval::{average_precision, hits_at, mean_reciprocal_rank};
+
+proptest! {
+    #[test]
+    fn ap_is_bounded(scored in prop::collection::vec((-10.0f32..10.0, any::<bool>()), 0..200)) {
+        let ap = average_precision(&scored);
+        prop_assert!((0.0..=1.0).contains(&ap), "ap {ap}");
+    }
+
+    #[test]
+    fn ap_is_one_iff_positives_dominate(
+        pos in prop::collection::vec(5.0f32..10.0, 1..20),
+        neg in prop::collection::vec(-10.0f32..4.9, 1..20),
+    ) {
+        let scored: Vec<(f32, bool)> = pos
+            .iter()
+            .map(|&s| (s, true))
+            .chain(neg.iter().map(|&s| (s, false)))
+            .collect();
+        prop_assert!((average_precision(&scored) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mrr_bounded_and_monotone(ranks in prop::collection::vec(1usize..1000, 1..100)) {
+        let mrr = mean_reciprocal_rank(&ranks);
+        prop_assert!((0.0..=1.0).contains(&mrr));
+        // improving any rank improves MRR
+        let mut better = ranks.clone();
+        better[0] = 1;
+        prop_assert!(mean_reciprocal_rank(&better) >= mrr);
+    }
+
+    #[test]
+    fn hits_monotone_in_n(ranks in prop::collection::vec(1usize..100, 1..100), n in 1usize..50) {
+        let h_n = hits_at(&ranks, n);
+        let h_n10 = hits_at(&ranks, n + 10);
+        prop_assert!(h_n10 >= h_n);
+        prop_assert!((0.0..=1.0).contains(&h_n));
+        // MRR-vs-Hits consistency: hits@1 <= mrr <= 1
+        let mrr = mean_reciprocal_rank(&ranks);
+        prop_assert!(hits_at(&ranks, 1) <= mrr + 1e-12);
+    }
+
+    #[test]
+    fn rank_of_within_bounds(gt in -5.0f32..5.0, cands in prop::collection::vec(-5.0f32..5.0, 0..60)) {
+        let r = rank_of(gt, &cands);
+        prop_assert!(r >= 1);
+        prop_assert!(r <= cands.len() + 1);
+    }
+
+    #[test]
+    fn rank_of_monotone_in_gt_score(cands in prop::collection::vec(-5.0f32..5.0, 1..60)) {
+        // a strictly higher ground-truth score can never rank worse
+        prop_assert!(rank_of(100.0, &cands) <= rank_of(-100.0, &cands));
+        prop_assert_eq!(rank_of(100.0, &cands), 1);
+        prop_assert_eq!(rank_of(-100.0, &cands), cands.len() + 1);
+    }
+}

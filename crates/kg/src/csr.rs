@@ -1,0 +1,200 @@
+//! Compressed sparse row (CSR) storage for read-only graph workloads.
+//!
+//! [`KnowledgeGraph`] keeps one `Vec` per entity — simple, but two pointer
+//! hops per adjacency scan and ~48 bytes of `Vec` header per entity.
+//! [`CsrGraph`] packs all out-edges (and separately all in-edges) into one
+//! contiguous arena with per-entity offset ranges: one cache-friendly slice
+//! per query and O(1) memory overhead per entity. Subgraph extraction is
+//! adjacency-scan-bound, which makes this the layout to reach for on large
+//! graphs; the `graph_storage` criterion bench quantifies the difference.
+//!
+//! The query API mirrors [`KnowledgeGraph`] so the two are drop-in
+//! interchangeable for read paths; a property test in `tests/proptests.rs`
+//! pins the equivalence.
+
+use crate::graph::{Edge, KnowledgeGraph};
+use crate::ids::{EntityId, RelationId};
+use crate::triple::Triple;
+use std::collections::HashSet;
+
+/// Immutable CSR snapshot of a triple set.
+#[derive(Clone, Debug, Default)]
+pub struct CsrGraph {
+    triples: Vec<Triple>,
+    // out-edge arena: for entity e, edges live at out_arena[out_off[e]..out_off[e+1]]
+    out_off: Vec<u32>,
+    out_arena: Vec<Edge>,
+    in_off: Vec<u32>,
+    in_arena: Vec<Edge>,
+    members: HashSet<Triple>,
+    num_relations: usize,
+}
+
+impl CsrGraph {
+    /// Build from a triple list (two counting passes + one fill pass).
+    pub fn from_triples(triples: Vec<Triple>) -> Self {
+        let n = triples.iter().map(|t| t.head.0.max(t.tail.0) as usize + 1).max().unwrap_or(0);
+        let num_relations = triples.iter().map(|t| t.relation.0 as usize + 1).max().unwrap_or(0);
+
+        let mut out_off = vec![0u32; n + 1];
+        let mut in_off = vec![0u32; n + 1];
+        for t in &triples {
+            out_off[t.head.index() + 1] += 1;
+            in_off[t.tail.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_off[i + 1] += out_off[i];
+            in_off[i + 1] += in_off[i];
+        }
+
+        let dummy = Edge { neighbor: EntityId(0), relation: RelationId(0), triple_idx: 0 };
+        let mut out_arena = vec![dummy; triples.len()];
+        let mut in_arena = vec![dummy; triples.len()];
+        let mut out_cursor = out_off.clone();
+        let mut in_cursor = in_off.clone();
+        let mut members = HashSet::with_capacity(triples.len());
+        for (idx, t) in triples.iter().enumerate() {
+            let o = &mut out_cursor[t.head.index()];
+            out_arena[*o as usize] = Edge { neighbor: t.tail, relation: t.relation, triple_idx: idx };
+            *o += 1;
+            let i = &mut in_cursor[t.tail.index()];
+            in_arena[*i as usize] = Edge { neighbor: t.head, relation: t.relation, triple_idx: idx };
+            *i += 1;
+            members.insert(*t);
+        }
+        CsrGraph { triples, out_off, out_arena, in_off, in_arena, members, num_relations }
+    }
+
+    /// Convert from the Vec-of-Vecs representation.
+    pub fn from_graph(g: &KnowledgeGraph) -> Self {
+        Self::from_triples(g.triples().to_vec())
+    }
+
+    /// All triples, insertion order.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// The triple at `idx`.
+    pub fn triple(&self, idx: usize) -> Triple {
+        self.triples[idx]
+    }
+
+    /// Number of triples.
+    pub fn num_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Entity id-space capacity (max id + 1).
+    pub fn num_entities(&self) -> usize {
+        self.out_off.len().saturating_sub(1)
+    }
+
+    /// Relation id-space capacity (max id + 1).
+    pub fn num_relations(&self) -> usize {
+        self.num_relations
+    }
+
+    /// Outgoing edges of `e`, as one contiguous slice.
+    pub fn out_edges(&self, e: EntityId) -> &[Edge] {
+        let i = e.index();
+        if i + 1 >= self.out_off.len() {
+            return &[];
+        }
+        &self.out_arena[self.out_off[i] as usize..self.out_off[i + 1] as usize]
+    }
+
+    /// Incoming edges of `e`, as one contiguous slice.
+    pub fn in_edges(&self, e: EntityId) -> &[Edge] {
+        let i = e.index();
+        if i + 1 >= self.in_off.len() {
+            return &[];
+        }
+        &self.in_arena[self.in_off[i] as usize..self.in_off[i + 1] as usize]
+    }
+
+    /// Out-degree plus in-degree.
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.out_edges(e).len() + self.in_edges(e).len()
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.members.contains(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vec<Triple> {
+        vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 2u32),
+            Triple::new(2u32, 0u32, 0u32),
+            Triple::new(0u32, 1u32, 2u32),
+        ]
+    }
+
+    #[test]
+    fn sizes_match_vec_graph() {
+        let g = KnowledgeGraph::from_triples(toy());
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_triples(), g.num_triples());
+        assert_eq!(c.num_entities(), g.num_entities());
+        assert_eq!(c.num_relations(), g.num_relations());
+    }
+
+    #[test]
+    fn adjacency_matches_vec_graph_as_sets() {
+        let g = KnowledgeGraph::from_triples(toy());
+        let c = CsrGraph::from_graph(&g);
+        for e in 0..g.num_entities() as u32 {
+            let e = EntityId(e);
+            let mut a: Vec<Edge> = g.out_edges(e).to_vec();
+            let mut b: Vec<Edge> = c.out_edges(e).to_vec();
+            let key = |x: &Edge| (x.neighbor, x.relation, x.triple_idx);
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "out-edges of {e}");
+            let mut a: Vec<Edge> = g.in_edges(e).to_vec();
+            let mut b: Vec<Edge> = c.in_edges(e).to_vec();
+            a.sort_by_key(key);
+            b.sort_by_key(key);
+            assert_eq!(a, b, "in-edges of {e}");
+            assert_eq!(g.degree(e), c.degree(e));
+        }
+    }
+
+    #[test]
+    fn membership_and_bounds() {
+        let c = CsrGraph::from_triples(toy());
+        assert!(c.contains(&Triple::new(0u32, 0u32, 1u32)));
+        assert!(!c.contains(&Triple::new(1u32, 0u32, 0u32)));
+        assert!(c.out_edges(EntityId(99)).is_empty());
+        assert!(c.in_edges(EntityId(99)).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let c = CsrGraph::from_triples(vec![]);
+        assert_eq!(c.num_triples(), 0);
+        assert_eq!(c.num_entities(), 0);
+        assert!(c.out_edges(EntityId(0)).is_empty());
+    }
+
+    #[test]
+    fn arena_is_contiguous_per_entity() {
+        // every out_edges slice must contain exactly that entity's edges
+        let c = CsrGraph::from_triples(toy());
+        for e in 0..c.num_entities() as u32 {
+            for edge in c.out_edges(EntityId(e)) {
+                assert_eq!(c.triple(edge.triple_idx).head, EntityId(e));
+            }
+            for edge in c.in_edges(EntityId(e)) {
+                assert_eq!(c.triple(edge.triple_idx).tail, EntityId(e));
+            }
+        }
+    }
+}

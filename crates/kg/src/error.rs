@@ -1,0 +1,70 @@
+//! Error type for the KG substrate.
+
+use std::fmt;
+
+/// Errors raised by graph construction, lookup and (de)serialisation.
+#[derive(Debug)]
+pub enum KgError {
+    /// An entity id was outside the graph's entity range.
+    UnknownEntity(u32),
+    /// A relation id was outside the graph's relation range.
+    UnknownRelation(u32),
+    /// A name was not present in the vocabulary.
+    UnknownName(String),
+    /// Malformed line encountered while parsing TSV input.
+    Parse {
+        /// 1-based line number within the input.
+        line: usize,
+        /// Description of what was wrong with the line.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for KgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KgError::UnknownEntity(id) => write!(f, "unknown entity id {id}"),
+            KgError::UnknownRelation(id) => write!(f, "unknown relation id {id}"),
+            KgError::UnknownName(name) => write!(f, "unknown name {name:?}"),
+            KgError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            KgError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KgError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KgError {
+    fn from(e: std::io::Error) -> Self {
+        KgError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(KgError::UnknownEntity(4).to_string(), "unknown entity id 4");
+        assert_eq!(KgError::UnknownName("x".into()).to_string(), "unknown name \"x\"");
+        let p = KgError::Parse { line: 3, message: "bad".into() };
+        assert_eq!(p.to_string(), "parse error at line 3: bad");
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = KgError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! Compact newtype identifiers for graph elements.
+//!
+//! Entities and relations are referred to by dense `u32` indices everywhere
+//! in the workspace; the [`crate::Vocab`] maps them back to names. Newtypes
+//! keep the two id spaces from being confused at compile time.
+
+use std::fmt;
+
+/// Identifier of an entity (graph node) within one [`crate::Vocab`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation (edge label) within one [`crate::Vocab`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a usable array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for EntityId {
+    fn from(v: u32) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u32> for RelationId {
+    fn from(v: u32) -> Self {
+        RelationId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EntityId(3).to_string(), "e3");
+        assert_eq!(RelationId(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(EntityId(42).index(), 42);
+        assert_eq!(RelationId::from(9).index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(10));
+    }
+}

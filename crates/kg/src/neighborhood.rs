@@ -1,0 +1,122 @@
+//! K-hop breadth-first neighbourhoods.
+//!
+//! Subgraph extraction (paper §III-B) needs, for a target entity, the set of
+//! entities reachable within K hops *ignoring edge direction* — the paper
+//! collects "incoming and outgoing neighbors". [`khop_distances`] returns the
+//! hop distance of every such entity; [`khop_neighborhood`] just the set.
+
+use crate::graph::KnowledgeGraph;
+use crate::ids::EntityId;
+use std::collections::{HashMap, VecDeque};
+
+/// Breadth-first distances from `start` up to `k` hops, traversing edges in
+/// both directions. The start entity itself is included with distance 0.
+///
+/// `excluded` is an optional entity that must not be traversed *through* nor
+/// included — used by double-radius labelling, where `d(i, u)` is computed
+/// "without counting any path through v".
+pub fn khop_distances(
+    g: &KnowledgeGraph,
+    start: EntityId,
+    k: usize,
+    excluded: Option<EntityId>,
+) -> HashMap<EntityId, usize> {
+    let mut dist = HashMap::new();
+    if Some(start) == excluded {
+        return dist;
+    }
+    dist.insert(start, 0usize);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(cur) = queue.pop_front() {
+        let d = dist[&cur];
+        if d == k {
+            continue;
+        }
+        let nexts = g
+            .out_edges(cur)
+            .iter()
+            .map(|e| e.neighbor)
+            .chain(g.in_edges(cur).iter().map(|e| e.neighbor));
+        for nb in nexts {
+            if Some(nb) == excluded || dist.contains_key(&nb) {
+                continue;
+            }
+            dist.insert(nb, d + 1);
+            queue.push_back(nb);
+        }
+    }
+    dist
+}
+
+/// The set of entities within `k` undirected hops of `start` (inclusive).
+pub fn khop_neighborhood(g: &KnowledgeGraph, start: EntityId, k: usize) -> HashMap<EntityId, usize> {
+    khop_distances(g, start, k, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triple::Triple;
+
+    /// Path 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 3.
+    fn path_graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 0u32, 2u32),
+            Triple::new(2u32, 0u32, 3u32),
+            Triple::new(0u32, 1u32, 3u32),
+        ])
+    }
+
+    #[test]
+    fn distances_ignore_direction() {
+        let g = path_graph();
+        let d = khop_distances(&g, EntityId(3), 3, None);
+        // 3 reaches 2 (reverse edge), 0 (reverse shortcut), 1 via 2 or 0.
+        assert_eq!(d[&EntityId(3)], 0);
+        assert_eq!(d[&EntityId(2)], 1);
+        assert_eq!(d[&EntityId(0)], 1);
+        assert_eq!(d[&EntityId(1)], 2);
+    }
+
+    #[test]
+    fn hop_limit_respected() {
+        let g = path_graph();
+        let d = khop_distances(&g, EntityId(1), 1, None);
+        assert!(d.contains_key(&EntityId(0)));
+        assert!(d.contains_key(&EntityId(2)));
+        // distance-2 nodes (3 via 2 or via 0) excluded at k=1
+        assert!(!d.contains_key(&EntityId(3)));
+    }
+
+    #[test]
+    fn exclusion_blocks_paths_through_node() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 0u32, 2u32),
+        ]);
+        // without exclusion, 0 reaches 2 in 2 hops
+        let d = khop_distances(&g, EntityId(0), 2, None);
+        assert_eq!(d[&EntityId(2)], 2);
+        // excluding 1 disconnects 2
+        let d = khop_distances(&g, EntityId(0), 2, Some(EntityId(1)));
+        assert!(!d.contains_key(&EntityId(1)));
+        assert!(!d.contains_key(&EntityId(2)));
+    }
+
+    #[test]
+    fn excluded_start_yields_empty() {
+        let g = path_graph();
+        let d = khop_distances(&g, EntityId(0), 2, Some(EntityId(0)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn shortest_distance_wins_over_longer_path() {
+        let g = path_graph();
+        let d = khop_distances(&g, EntityId(0), 3, None);
+        // direct shortcut 0->3 gives distance 1, not 3 via the path
+        assert_eq!(d[&EntityId(3)], 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic dataset splitting.
+//!
+//! The inductive benchmarks split each graph's triples into train /
+//! validation / target-prediction subsets (80/10/10 in the paper §IV-A).
+//! Splits are seeded so a benchmark is reproducible from its name alone.
+
+use crate::triple::Triple;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A three-way split of one graph's triples.
+#[derive(Clone, Debug, Default)]
+pub struct TripleSplit {
+    /// Triples available as graph context / training facts.
+    pub train: Vec<Triple>,
+    /// Held-out triples for validation.
+    pub valid: Vec<Triple>,
+    /// Held-out triples to predict.
+    pub test: Vec<Triple>,
+}
+
+/// Shuffle `triples` with `seed` and split by the given fractions.
+///
+/// `valid_frac + test_frac` must be `< 1`; the remainder goes to train.
+pub fn split_triples(triples: &[Triple], valid_frac: f64, test_frac: f64, seed: u64) -> TripleSplit {
+    assert!(
+        (0.0..1.0).contains(&(valid_frac + test_frac)),
+        "valid+test fractions must be in [0,1): got {}",
+        valid_frac + test_frac
+    );
+    let mut shuffled: Vec<Triple> = triples.to_vec();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let n = shuffled.len();
+    let n_valid = (n as f64 * valid_frac).round() as usize;
+    let n_test = (n as f64 * test_frac).round() as usize;
+    let n_valid = n_valid.min(n);
+    let n_test = n_test.min(n - n_valid);
+    let valid = shuffled[..n_valid].to_vec();
+    let test = shuffled[n_valid..n_valid + n_test].to_vec();
+    let train = shuffled[n_valid + n_test..].to_vec();
+    TripleSplit { train, valid, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(n: u32) -> Vec<Triple> {
+        (0..n).map(|i| Triple::new(i, 0u32, i + 1)).collect()
+    }
+
+    #[test]
+    fn partitions_cover_everything_once() {
+        let ts = triples(100);
+        let s = split_triples(&ts, 0.1, 0.1, 7);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 100);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 10);
+        let mut all: Vec<Triple> = s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        all.sort();
+        let mut orig = ts.clone();
+        orig.sort();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let ts = triples(50);
+        let a = split_triples(&ts, 0.2, 0.2, 42);
+        let b = split_triples(&ts, 0.2, 0.2, 42);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn different_seed_changes_assignment() {
+        let ts = triples(50);
+        let a = split_triples(&ts, 0.2, 0.2, 1);
+        let b = split_triples(&ts, 0.2, 0.2, 2);
+        assert_ne!(a.test, b.test);
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        let ts = triples(1);
+        let s = split_triples(&ts, 0.3, 0.3, 0);
+        assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn rejects_overfull_fractions() {
+        split_triples(&triples(10), 0.6, 0.5, 0);
+    }
+}

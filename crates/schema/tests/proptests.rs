@@ -1,0 +1,69 @@
+//! Property-based tests for schema graphs and TransE.
+
+use proptest::prelude::*;
+use rmpi_kg::{EntityId, RelationId};
+use rmpi_schema::{ClassId, SchemaBuilder, SchemaVocab, TransEConfig, TransEModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn node_spaces_never_collide(num_rel in 1usize..30, num_cls in 1usize..20) {
+        let s = SchemaBuilder::new(num_rel, num_cls).build();
+        for r in 0..num_rel as u32 {
+            for c in 0..num_cls as u32 {
+                prop_assert_ne!(s.relation_node(RelationId(r)), s.class_node(ClassId(c)));
+            }
+        }
+        prop_assert_eq!(s.num_nodes(), num_rel + num_cls);
+    }
+
+    #[test]
+    fn assertions_produce_valid_triples(
+        rels in prop::collection::vec((0u32..8, 0u32..8), 1..20),
+        doms in prop::collection::vec((0u32..8, 0u32..5), 1..20),
+    ) {
+        let mut b = SchemaBuilder::new(8, 5);
+        for (c, p) in rels {
+            b.sub_property_of(RelationId(c), RelationId(p));
+        }
+        for (r, c) in doms {
+            b.domain(RelationId(r), ClassId(c));
+            b.range(RelationId(r), ClassId(c));
+        }
+        let s = b.build();
+        let g = s.graph();
+        for t in g.triples() {
+            prop_assert!(t.relation.index() < SchemaVocab::all().len());
+            prop_assert!((t.head.0 as usize) < s.num_nodes());
+            prop_assert!((t.tail.0 as usize) < s.num_nodes());
+        }
+    }
+
+    #[test]
+    fn transe_vectors_unit_norm_and_finite(seed in 0u64..100) {
+        let mut b = SchemaBuilder::new(4, 3);
+        b.sub_property_of(RelationId(0), RelationId(1))
+            .domain(RelationId(2), ClassId(0))
+            .range(RelationId(3), ClassId(2))
+            .sub_class_of(ClassId(1), ClassId(0));
+        let s = b.build();
+        let m = TransEModel::train(&s, TransEConfig { dim: 8, epochs: 10, seed, ..Default::default() });
+        for n in 0..s.num_nodes() as u32 {
+            let v = m.node_vector(EntityId(n));
+            prop_assert!(v.iter().all(|x| x.is_finite()));
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-3, "node {n} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn transe_energy_nonnegative(seed in 0u64..50, h in 0u32..7, r in 0u32..4, t in 0u32..7) {
+        let mut b = SchemaBuilder::new(4, 3);
+        b.domain(RelationId(0), ClassId(0));
+        let s = b.build();
+        let m = TransEModel::train(&s, TransEConfig { dim: 6, epochs: 2, seed, ..Default::default() });
+        let e = m.energy(rmpi_kg::Triple::new(h, r, t));
+        prop_assert!(e >= 0.0 && e.is_finite());
+    }
+}

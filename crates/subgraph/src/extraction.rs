@@ -1,0 +1,223 @@
+//! Enclosing and disclosing subgraph extraction (paper §III-B, §III-F).
+
+use rmpi_kg::{khop_distances, EntityId, KnowledgeGraph, Triple};
+use std::collections::{HashMap, HashSet};
+
+/// A subgraph extracted around a target triple.
+///
+/// `dist_u` / `dist_v` hold the hop distances (in the *full* graph, capped at
+/// K) of every retained entity from the target head/tail; the target
+/// endpoints themselves are always retained, even when the subgraph has no
+/// edges (the "empty subgraph" case §III-F addresses).
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    /// Edges retained in the subgraph (never includes the target triple).
+    pub triples: Vec<Triple>,
+    /// Entities retained (always contains the target head and tail).
+    pub entities: Vec<EntityId>,
+    /// Hop distance of each retained entity from the target head.
+    pub dist_u: HashMap<EntityId, usize>,
+    /// Hop distance of each retained entity from the target tail.
+    pub dist_v: HashMap<EntityId, usize>,
+    /// The target triple this subgraph was extracted for.
+    pub target: Triple,
+}
+
+impl Subgraph {
+    /// `true` when the subgraph contains no edges.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Number of retained entities.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+}
+
+/// Extract the K-hop **enclosing** subgraph of `target` from `g`:
+/// the entities in `N_K(u) ∩ N_K(v)`, pruned of nodes left isolated, plus
+/// every edge of `g` between retained entities. The target edge itself (and
+/// its duplicates) is excluded — it is what the model must predict.
+pub fn enclosing_subgraph(g: &KnowledgeGraph, target: Triple, k: usize) -> Subgraph {
+    let (u, v) = (target.head, target.tail);
+    let du = khop_distances(g, u, k, None);
+    let dv = khop_distances(g, v, k, None);
+    let mut keep: HashSet<EntityId> = du.keys().filter(|e| dv.contains_key(e)).copied().collect();
+    keep.insert(u);
+    keep.insert(v);
+    let triples = collect_edges(g, &keep, target);
+    // prune isolated entities (no incident retained edge), keeping u and v
+    let mut incident: HashSet<EntityId> = HashSet::new();
+    for t in &triples {
+        incident.insert(t.head);
+        incident.insert(t.tail);
+    }
+    incident.insert(u);
+    incident.insert(v);
+    // re-collect edges over the pruned set (pruning cannot remove edges since
+    // removed nodes were isolated, so `triples` is already correct)
+    let entities: Vec<EntityId> = {
+        let mut es: Vec<EntityId> = keep.intersection(&incident).copied().collect();
+        es.sort_unstable();
+        es
+    };
+    let dist = |m: &HashMap<EntityId, usize>, e: EntityId| m.get(&e).copied().unwrap_or(k + 1);
+    let dist_u = entities.iter().map(|&e| (e, dist(&du, e))).collect();
+    let dist_v = entities.iter().map(|&e| (e, dist(&dv, e))).collect();
+    Subgraph { triples, entities, dist_u, dist_v, target }
+}
+
+/// Extract the K-hop **disclosing** subgraph of `target` from `g`:
+/// the entities in `N_K(u) ∪ N_K(v)` plus every edge between them, again
+/// excluding the target edge.
+pub fn disclosing_subgraph(g: &KnowledgeGraph, target: Triple, k: usize) -> Subgraph {
+    let (u, v) = (target.head, target.tail);
+    let du = khop_distances(g, u, k, None);
+    let dv = khop_distances(g, v, k, None);
+    let mut keep: HashSet<EntityId> = du.keys().copied().collect();
+    keep.extend(dv.keys().copied());
+    keep.insert(u);
+    keep.insert(v);
+    let triples = collect_edges(g, &keep, target);
+    let mut entities: Vec<EntityId> = keep.into_iter().collect();
+    entities.sort_unstable();
+    let dist = |m: &HashMap<EntityId, usize>, e: EntityId| m.get(&e).copied().unwrap_or(k + 1);
+    let dist_u = entities.iter().map(|&e| (e, dist(&du, e))).collect();
+    let dist_v = entities.iter().map(|&e| (e, dist(&dv, e))).collect();
+    Subgraph { triples, entities, dist_u, dist_v, target }
+}
+
+/// Every edge of `g` whose endpoints are both in `keep`, except edges equal
+/// to `target`.
+fn collect_edges(g: &KnowledgeGraph, keep: &HashSet<EntityId>, target: Triple) -> Vec<Triple> {
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for &e in keep {
+        for edge in g.out_edges(e) {
+            if !keep.contains(&edge.neighbor) {
+                continue;
+            }
+            let t = g.triple(edge.triple_idx);
+            if t == target {
+                continue;
+            }
+            if seen.insert(edge.triple_idx) {
+                out.push(t);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond: u=0, v=3; paths 0->1->3 and 0->2->3, plus a pendant 3->4 and
+    /// a far chain 4->5.
+    fn diamond() -> (KnowledgeGraph, Triple) {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+            Triple::new(4u32, 4u32, 5u32),
+        ]);
+        (g, Triple::new(0u32, 9u32, 3u32))
+    }
+
+    #[test]
+    fn enclosing_keeps_paths_between_endpoints() {
+        let (g, target) = diamond();
+        let sg = enclosing_subgraph(&g, target, 2);
+        // entities on u-v paths: 0,1,2,3 (4 is within 2 hops of v but 3 hops of u via... 4: du=3? 0->1->3->4 = 3 hops -> excluded)
+        assert_eq!(sg.entities, vec![EntityId(0), EntityId(1), EntityId(2), EntityId(3)]);
+        assert_eq!(sg.num_edges(), 4);
+        assert_eq!(sg.dist_u[&EntityId(1)], 1);
+        assert_eq!(sg.dist_v[&EntityId(1)], 1);
+        assert_eq!(sg.dist_u[&EntityId(3)], 2);
+        assert_eq!(sg.dist_v[&EntityId(0)], 2);
+    }
+
+    #[test]
+    fn target_edge_is_excluded() {
+        let (mut triples, target) = {
+            let (g, t) = diamond();
+            (g.triples().to_vec(), t)
+        };
+        triples.push(target);
+        let g = KnowledgeGraph::from_triples(triples);
+        let sg = enclosing_subgraph(&g, target, 2);
+        assert!(!sg.triples.contains(&target));
+    }
+
+    #[test]
+    fn disclosing_is_superset_of_enclosing() {
+        let (g, target) = diamond();
+        let en = enclosing_subgraph(&g, target, 2);
+        let di = disclosing_subgraph(&g, target, 2);
+        let en_set: HashSet<Triple> = en.triples.iter().copied().collect();
+        let di_set: HashSet<Triple> = di.triples.iter().copied().collect();
+        assert!(en_set.is_subset(&di_set));
+        // disclosing picks up the pendant edges around v
+        assert!(di_set.contains(&Triple::new(3u32, 4u32, 4u32)));
+        assert!(di.num_entities() > en.num_entities());
+    }
+
+    #[test]
+    fn empty_enclosing_retains_endpoints() {
+        // u and v in disconnected components
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(2u32, 0u32, 3u32),
+        ]);
+        let target = Triple::new(0u32, 1u32, 2u32);
+        let sg = enclosing_subgraph(&g, target, 2);
+        assert!(sg.is_empty());
+        assert!(sg.entities.contains(&EntityId(0)));
+        assert!(sg.entities.contains(&EntityId(2)));
+        // unreachable distances are capped at k+1
+        assert_eq!(sg.dist_v[&EntityId(0)], 3);
+    }
+
+    #[test]
+    fn hop_limit_shrinks_subgraph() {
+        let (g, target) = diamond();
+        let sg1 = enclosing_subgraph(&g, target, 1);
+        // at K=1 the intersection of 1-hop neighbourhoods is {1, 2} plus endpoints
+        assert!(sg1.num_entities() <= 4);
+        let sg2 = enclosing_subgraph(&g, target, 2);
+        assert!(sg1.num_edges() <= sg2.num_edges());
+    }
+
+    #[test]
+    fn disclosing_far_chain_within_k_of_either_endpoint() {
+        let (g, target) = diamond();
+        let di = disclosing_subgraph(&g, target, 2);
+        // 5 is 2 hops from v (3->4->5): included in the union
+        assert!(di.entities.contains(&EntityId(5)));
+        assert_eq!(di.dist_v[&EntityId(5)], 2);
+        assert_eq!(di.dist_u[&EntityId(5)], 3); // capped unreachable-at-k marker
+    }
+
+    #[test]
+    fn self_loop_target_works() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 0u32, 0u32),
+        ]);
+        let target = Triple::new(0u32, 1u32, 0u32);
+        let sg = enclosing_subgraph(&g, target, 2);
+        assert_eq!(sg.num_edges(), 2);
+        assert_eq!(sg.dist_u[&EntityId(0)], 0);
+        assert_eq!(sg.dist_v[&EntityId(0)], 0);
+    }
+}

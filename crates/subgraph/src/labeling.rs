@@ -1,0 +1,129 @@
+//! GraIL's double-radius entity labelling (paper §II-B).
+//!
+//! Each entity `i` in an extracted subgraph is labelled with the tuple
+//! `(d(i,u), d(i,v))`, where `d(i,u)` is the shortest distance from `i` to
+//! the target head *within the subgraph, not counting paths through `v`*
+//! (and symmetrically for `d(i,v)`). The initial GNN feature of an entity is
+//! the concatenation of the one-hot encodings of the two components, each
+//! capped at `max_dist`.
+
+use crate::extraction::Subgraph;
+use rmpi_kg::{khop_distances, EntityId, KnowledgeGraph};
+use std::collections::HashMap;
+
+/// The double-radius label of one entity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NodeLabel {
+    /// Capped shortest distance to the target head.
+    pub du: usize,
+    /// Capped shortest distance to the target tail.
+    pub dv: usize,
+}
+
+impl NodeLabel {
+    /// One-hot encode as `[onehot(du) ++ onehot(dv)]` with `max_dist + 1`
+    /// positions per component.
+    pub fn one_hot(self, max_dist: usize) -> Vec<f32> {
+        let w = max_dist + 1;
+        let mut out = vec![0.0; 2 * w];
+        out[self.du.min(max_dist)] = 1.0;
+        out[w + self.dv.min(max_dist)] = 1.0;
+        out
+    }
+
+    /// Length of the [`NodeLabel::one_hot`] encoding.
+    pub fn one_hot_len(max_dist: usize) -> usize {
+        2 * (max_dist + 1)
+    }
+}
+
+/// Compute double-radius labels for every entity of `sg`, with distances
+/// measured inside the subgraph and capped at `max_dist`.
+pub fn double_radius_labels(sg: &Subgraph, max_dist: usize) -> HashMap<EntityId, NodeLabel> {
+    let (u, v) = (sg.target.head, sg.target.tail);
+    let inner = KnowledgeGraph::from_triples(sg.triples.clone());
+    let du = khop_distances(&inner, u, max_dist, Some(v));
+    let dv = khop_distances(&inner, v, max_dist, Some(u));
+    sg.entities
+        .iter()
+        .map(|&e| {
+            // GraIL's convention: the target endpoints are labelled (0,1) and
+            // (1,0) — their distance to the *other* endpoint is not computable
+            // under the exclusion rule (the other endpoint is excluded).
+            if e == u {
+                return (e, NodeLabel { du: 0, dv: 1 });
+            }
+            if e == v {
+                return (e, NodeLabel { du: 1, dv: 0 });
+            }
+            let lu = du.get(&e).copied().unwrap_or(max_dist).min(max_dist);
+            let lv = dv.get(&e).copied().unwrap_or(max_dist).min(max_dist);
+            (e, NodeLabel { du: lu, dv: lv })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::enclosing_subgraph;
+    use rmpi_kg::Triple;
+
+    fn diamond_sg() -> Subgraph {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+        ]);
+        enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2)
+    }
+
+    #[test]
+    fn endpoint_labels_follow_grail_convention() {
+        let labels = double_radius_labels(&diamond_sg(), 3);
+        assert_eq!(labels[&EntityId(0)], NodeLabel { du: 0, dv: 1 });
+        assert_eq!(labels[&EntityId(3)], NodeLabel { du: 1, dv: 0 });
+    }
+
+    #[test]
+    fn midpoint_labels() {
+        let labels = double_radius_labels(&diamond_sg(), 3);
+        assert_eq!(labels[&EntityId(1)], NodeLabel { du: 1, dv: 1 });
+        assert_eq!(labels[&EntityId(2)], NodeLabel { du: 1, dv: 1 });
+    }
+
+    #[test]
+    fn one_hot_encoding() {
+        let l = NodeLabel { du: 1, dv: 0 };
+        let v = l.one_hot(2);
+        assert_eq!(v.len(), NodeLabel::one_hot_len(2));
+        assert_eq!(v, vec![0.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_caps_at_max_dist() {
+        let l = NodeLabel { du: 9, dv: 9 };
+        let v = l.one_hot(2);
+        assert_eq!(v[2], 1.0);
+        assert_eq!(v[5], 1.0);
+        assert_eq!(v.iter().sum::<f32>(), 2.0);
+    }
+
+    #[test]
+    fn exclusion_rule_applies() {
+        // path u(0) -> v(1) -> 2: entity 2 only reachable from u through v,
+        // so d(2,u) must be capped (unreachable without v).
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 0u32, 2u32),
+            Triple::new(2u32, 0u32, 0u32), // close the cycle so 2 is in the enclosing sg
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 5u32, 1u32), 2);
+        assert!(sg.entities.contains(&EntityId(2)));
+        let labels = double_radius_labels(&sg, 3);
+        // without going through v=1, u(0) reaches 2 via the reverse edge 2->0: distance 1
+        assert_eq!(labels[&EntityId(2)].du, 1);
+        assert_eq!(labels[&EntityId(2)].dv, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Subgraph machinery for subgraph-based inductive KG reasoning.
+//!
+//! Implements §III-B and §III-F of the RMPI paper plus the pieces the
+//! baselines need:
+//!
+//! * [`enclosing_subgraph`] — the K-hop *enclosing* subgraph of a target
+//!   triple: intersection of the endpoints' K-hop neighbourhoods, pruned of
+//!   isolated / too-distant nodes;
+//! * [`disclosing_subgraph`] — the K-hop *disclosing* subgraph: the union of
+//!   the neighbourhoods (used to rescue empty enclosing subgraphs);
+//! * [`labeling`] — GraIL's double-radius entity labelling;
+//! * [`RelViewGraph`] — the relation-view (directed line-graph) transform
+//!   with the six edge types of Fig. 3c;
+//! * [`pruning`] — the target-relation-guided pruning of Algorithm 1;
+//! * [`negative`] — head/tail-corruption negative sampling.
+
+pub mod extraction;
+pub mod labeling;
+pub mod negative;
+pub mod pruning;
+pub mod relview;
+pub mod viz;
+
+pub use extraction::{disclosing_subgraph, enclosing_subgraph, Subgraph};
+pub use labeling::{double_radius_labels, NodeLabel};
+pub use negative::NegativeSampler;
+pub use pruning::PruningSchedule;
+pub use relview::{RelEdgeType, RelNode, RelViewGraph};
+pub use viz::{relview_to_dot, subgraph_to_dot};

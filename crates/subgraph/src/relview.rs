@@ -1,0 +1,313 @@
+//! Relation-view (directed line-graph) transform (paper §III-B, Fig. 3).
+//!
+//! Every edge of the entity-view subgraph becomes a node of [`RelViewGraph`];
+//! two nodes are connected iff their edges share an entity, and each directed
+//! connection is typed with one of the six patterns of Fig. 3c:
+//!
+//! | type | condition (for edge `a → b`)      |
+//! |------|-----------------------------------|
+//! | H-H  | head(a) = head(b)                 |
+//! | H-T  | head(a) = tail(b)                 |
+//! | T-H  | tail(a) = head(b)                 |
+//! | T-T  | tail(a) = tail(b)                 |
+//! | PARA | head & tail both equal            |
+//! | LOOP | head(a) = tail(b) and tail(a) = head(b) |
+//!
+//! PARA subsumes {H-H, T-T} and LOOP subsumes {H-T, T-H} when they apply, so
+//! a pair of relation nodes contributes exactly the most specific edge types.
+//!
+//! The *target* triple is always node 0 of the transform, even though it is
+//! excluded from the subgraph's edge set — it is the node whose representation
+//! the model reads out.
+
+use crate::extraction::Subgraph;
+use rmpi_kg::{RelationId, Triple};
+use std::collections::BTreeMap;
+
+/// Number of distinct relation-view edge types.
+pub const NUM_EDGE_TYPES: usize = 6;
+
+/// The six connection patterns between relation nodes (Fig. 3c).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RelEdgeType {
+    /// Heads coincide.
+    HH,
+    /// Head of source = tail of destination.
+    HT,
+    /// Tail of source = head of destination.
+    TH,
+    /// Tails coincide.
+    TT,
+    /// Both endpoints coincide (parallel edges).
+    Para,
+    /// Endpoints crossed (anti-parallel edges).
+    Loop,
+}
+
+impl RelEdgeType {
+    /// Dense index in `0..NUM_EDGE_TYPES`.
+    pub fn index(self) -> usize {
+        match self {
+            RelEdgeType::HH => 0,
+            RelEdgeType::HT => 1,
+            RelEdgeType::TH => 2,
+            RelEdgeType::TT => 3,
+            RelEdgeType::Para => 4,
+            RelEdgeType::Loop => 5,
+        }
+    }
+
+    /// All six types, index order.
+    pub fn all() -> [RelEdgeType; NUM_EDGE_TYPES] {
+        [RelEdgeType::HH, RelEdgeType::HT, RelEdgeType::TH, RelEdgeType::TT, RelEdgeType::Para, RelEdgeType::Loop]
+    }
+
+    /// Classify the directed connection `a → b`, or `None` when the edges
+    /// share no entity.
+    pub fn classify(a: Triple, b: Triple) -> Vec<RelEdgeType> {
+        let hh = a.head == b.head;
+        let ht = a.head == b.tail;
+        let th = a.tail == b.head;
+        let tt = a.tail == b.tail;
+        let mut out = Vec::new();
+        if hh && tt {
+            out.push(RelEdgeType::Para);
+        } else if ht && th {
+            out.push(RelEdgeType::Loop);
+        } else {
+            if hh {
+                out.push(RelEdgeType::HH);
+            }
+            if ht {
+                out.push(RelEdgeType::HT);
+            }
+            if th {
+                out.push(RelEdgeType::TH);
+            }
+            if tt {
+                out.push(RelEdgeType::TT);
+            }
+        }
+        out
+    }
+}
+
+/// One node of the relation view: an edge instance of the entity view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelNode {
+    /// The underlying entity-view edge.
+    pub triple: Triple,
+    /// Its relation label (what the node's embedding keys on).
+    pub relation: RelationId,
+}
+
+/// A directed incoming edge in the relation view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RelInEdge {
+    /// Source node index (the message sender `r_j`).
+    pub src: usize,
+    /// Connection pattern of `src → dst`.
+    pub etype: RelEdgeType,
+}
+
+/// The relation-view graph R(G) of a subgraph, with the target triple as
+/// node 0.
+#[derive(Clone, Debug)]
+pub struct RelViewGraph {
+    /// Nodes (target first, then the subgraph edges in sorted order).
+    pub nodes: Vec<RelNode>,
+    /// Incoming adjacency per node.
+    pub in_edges: Vec<Vec<RelInEdge>>,
+}
+
+/// Index of the target relation node.
+pub const TARGET_NODE: usize = 0;
+
+impl RelViewGraph {
+    /// Build R(G) for `sg`, inserting the target triple as node 0.
+    pub fn from_subgraph(sg: &Subgraph) -> Self {
+        let mut nodes = Vec::with_capacity(sg.triples.len() + 1);
+        nodes.push(RelNode { triple: sg.target, relation: sg.target.relation });
+        for &t in &sg.triples {
+            nodes.push(RelNode { triple: t, relation: t.relation });
+        }
+        let mut in_edges = vec![Vec::new(); nodes.len()];
+
+        // index nodes by incident entity so we only examine co-incident
+        // pairs; BTreeMap keeps construction order deterministic, which keeps
+        // f32 aggregation order (and therefore scores) reproducible
+        let mut by_entity: BTreeMap<rmpi_kg::EntityId, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_entity.entry(n.triple.head).or_default().push(i);
+            if n.triple.tail != n.triple.head {
+                by_entity.entry(n.triple.tail).or_default().push(i);
+            }
+        }
+        let mut seen_pairs = std::collections::HashSet::new();
+        for ids in by_entity.values() {
+            for (pos, &i) in ids.iter().enumerate() {
+                for &j in &ids[pos + 1..] {
+                    let (a, b) = (i.min(j), i.max(j));
+                    if !seen_pairs.insert((a, b)) {
+                        continue;
+                    }
+                    for et in RelEdgeType::classify(nodes[a].triple, nodes[b].triple) {
+                        // edge a -> b of type et means messages flow a -> b:
+                        // record as incoming edge of b
+                        in_edges[b].push(RelInEdge { src: a, etype: et });
+                    }
+                    for et in RelEdgeType::classify(nodes[b].triple, nodes[a].triple) {
+                        in_edges[a].push(RelInEdge { src: b, etype: et });
+                    }
+                }
+            }
+        }
+        for ins in &mut in_edges {
+            ins.sort_by_key(|e| (e.src, e.etype.index()));
+        }
+        RelViewGraph { nodes, in_edges }
+    }
+
+    /// Number of relation nodes (entity-view edges + target).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of directed typed edges.
+    pub fn num_edges(&self) -> usize {
+        self.in_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Incoming neighbours of `node`.
+    pub fn incoming(&self, node: usize) -> &[RelInEdge] {
+        &self.in_edges[node]
+    }
+
+    /// The distinct relations labelling the one-hop incoming neighbourhood of
+    /// the target node.
+    pub fn target_neighbor_relations(&self) -> Vec<RelationId> {
+        let mut rels: Vec<RelationId> =
+            self.in_edges[TARGET_NODE].iter().map(|e| self.nodes[e.src].relation).collect();
+        rels.sort_unstable();
+        rels.dedup();
+        rels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extraction::enclosing_subgraph;
+    use rmpi_kg::KnowledgeGraph;
+
+    #[test]
+    fn classify_basic_patterns() {
+        let a = Triple::new(0u32, 0u32, 1u32);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(0u32, 1u32, 2u32)), vec![RelEdgeType::HH]);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(2u32, 1u32, 0u32)), vec![RelEdgeType::HT]);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(1u32, 1u32, 2u32)), vec![RelEdgeType::TH]);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(2u32, 1u32, 1u32)), vec![RelEdgeType::TT]);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(0u32, 1u32, 1u32)), vec![RelEdgeType::Para]);
+        assert_eq!(RelEdgeType::classify(a, Triple::new(1u32, 1u32, 0u32)), vec![RelEdgeType::Loop]);
+        assert!(RelEdgeType::classify(a, Triple::new(5u32, 1u32, 6u32)).is_empty());
+    }
+
+    #[test]
+    fn classify_can_return_two_basic_patterns() {
+        // a = (0 -> 1), b = (1 -> 0)? that's LOOP. Two basics need e.g.
+        // a = (0 -> 1), b = (0 -> 0): HH (head=head) and HT (head=tail).
+        let a = Triple::new(0u32, 0u32, 1u32);
+        let b = Triple::new(0u32, 1u32, 0u32);
+        let ts = RelEdgeType::classify(a, b);
+        assert!(ts.contains(&RelEdgeType::HH) && ts.contains(&RelEdgeType::HT));
+    }
+
+    #[test]
+    fn node_count_is_edge_count_plus_target() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        assert_eq!(rv.num_nodes(), sg.num_edges() + 1);
+        assert_eq!(rv.nodes[TARGET_NODE].triple, sg.target);
+    }
+
+    #[test]
+    fn edges_require_shared_entity() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        for (dst, ins) in rv.in_edges.iter().enumerate() {
+            for e in ins {
+                let a = rv.nodes[e.src].triple;
+                let b = rv.nodes[dst].triple;
+                let shared = a.head == b.head || a.head == b.tail || a.tail == b.head || a.tail == b.tail;
+                assert!(shared, "edge without shared entity: {a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn direction_types_mirror() {
+        // a=(0,r,1), b=(1,r,2): a->b is T-H, b->a is H-T.
+        let a = Triple::new(0u32, 0u32, 1u32);
+        let b = Triple::new(1u32, 1u32, 2u32);
+        assert_eq!(RelEdgeType::classify(a, b), vec![RelEdgeType::TH]);
+        assert_eq!(RelEdgeType::classify(b, a), vec![RelEdgeType::HT]);
+    }
+
+    #[test]
+    fn target_node_receives_messages_from_incident_edges() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32), // shares head with target
+            Triple::new(1u32, 1u32, 3u32),
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        assert!(!rv.incoming(TARGET_NODE).is_empty());
+        let rels = rv.target_neighbor_relations();
+        assert!(rels.contains(&RelationId(0)));
+        assert!(rels.contains(&RelationId(1)));
+    }
+
+    #[test]
+    fn empty_subgraph_gives_isolated_target() {
+        let g = KnowledgeGraph::from_triples(vec![Triple::new(5u32, 0u32, 6u32)]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 1u32, 1u32), 2);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        assert_eq!(rv.num_nodes(), 1);
+        assert!(rv.incoming(TARGET_NODE).is_empty());
+        assert!(rv.target_neighbor_relations().is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_linked_as_para_both_ways() {
+        let g = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(0u32, 1u32, 1u32),
+            Triple::new(1u32, 2u32, 0u32),
+        ]);
+        let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 1u32), 1);
+        let rv = RelViewGraph::from_subgraph(&sg);
+        // find the two para nodes
+        let para_edges: usize = rv
+            .in_edges
+            .iter()
+            .flatten()
+            .filter(|e| e.etype == RelEdgeType::Para)
+            .count();
+        // r0<->r1 are parallel; target (0,9,1) is also parallel to both.
+        assert!(para_edges >= 2, "para edges: {para_edges}");
+        let loop_edges: usize = rv.in_edges.iter().flatten().filter(|e| e.etype == RelEdgeType::Loop).count();
+        assert!(loop_edges >= 2, "loop edges from the reversed r2: {loop_edges}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Build your own KG and ontology, then predict a triple with an unseen
+//! relation — the paper's Fig. 1 scenario (`spouse_of` emerging at test
+//! time), end to end on the public API.
+//!
+//! ```text
+//! cargo run --release --example custom_kg
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi::core::config::RelationInit;
+use rmpi::core::{train_model, RmpiConfig, RmpiModel, ScoringModel, TrainConfig};
+use rmpi::kg::{io, KnowledgeGraph, Triple, Vocab};
+use rmpi::schema::{ClassId, SchemaBuilder, TransEConfig, TransEModel};
+use rmpi_autograd::Tensor;
+use std::io::Cursor;
+
+/// A family world: many small families with husband/wife/father/son facts,
+/// plus a seen `partner_of` relation parallel to `husband_of` in half the
+/// families (so parallel-edge patterns are trained). `spouse_of` itself
+/// never appears in training — it is the unseen relation of Fig. 1, tied to
+/// `husband_of`/`wife_of`/`partner_of` only through the ontology.
+fn family_triples(vocab: &mut Vocab, families: usize, offset: usize) -> Vec<Triple> {
+    let mut text = String::new();
+    for f in offset..offset + families {
+        let (h, w, s) = (format!("man{f}"), format!("woman{f}"), format!("boy{f}"));
+        text.push_str(&format!("{h}\thusband_of\t{w}\n"));
+        text.push_str(&format!("{w}\twife_of\t{h}\n"));
+        text.push_str(&format!("{h}\tfather_of\t{s}\n"));
+        text.push_str(&format!("{s}\tson_of\t{w}\n"));
+        if f % 2 == 0 {
+            text.push_str(&format!("{h}\tpartner_of\t{w}\n"));
+        }
+    }
+    io::read_triples(Cursor::new(text), vocab).expect("well-formed TSV")
+}
+
+fn main() {
+    // 1. Training graph: families 0..120, without the spouse_of relation.
+    let mut vocab = Vocab::new();
+    let train_triples = family_triples(&mut vocab, 120, 0);
+    // make sure spouse_of exists in the relation id space (unseen in training)
+    let spouse = vocab.relation("spouse_of");
+    let train_graph = KnowledgeGraph::from_triples(train_triples.clone());
+    println!(
+        "training graph: {} triples, {} relations (spouse_of unseen)",
+        train_graph.num_triples(),
+        train_graph.num_present_relations()
+    );
+
+    // 2. An RDFS ontology: spouse_of is the parent of husband_of/wife_of,
+    //    all ranging over Person.
+    let person = ClassId(0);
+    let num_relations = vocab.relations.len();
+    let mut schema = SchemaBuilder::new(num_relations, 1);
+    let rel = |v: &Vocab, name: &str| v.relation_id(name).expect("relation interned");
+    schema
+        .sub_property_of(rel(&vocab, "husband_of"), spouse)
+        .sub_property_of(rel(&vocab, "wife_of"), spouse)
+        .sub_property_of(rel(&vocab, "partner_of"), spouse);
+    for name in ["husband_of", "wife_of", "father_of", "son_of", "partner_of", "spouse_of"] {
+        schema.domain(rel(&vocab, name), person).range(rel(&vocab, name), person);
+    }
+    let schema = schema.build();
+    let transe = TransEModel::train(&schema, TransEConfig { dim: 24, epochs: 150, seed: 5, ..Default::default() });
+    let mut onto_data = Vec::new();
+    for r in 0..num_relations as u32 {
+        onto_data.extend_from_slice(transe.kg_relation_vector(&schema, rmpi::kg::RelationId(r)));
+    }
+    let onto = Tensor::matrix(num_relations, 24, onto_data);
+
+    // 3. Train a schema-enhanced RMPI model on the family facts.
+    let cfg = RmpiConfig { dim: 16, ne: true, init: RelationInit::Schema, ..Default::default() };
+    let mut model = RmpiModel::with_schema_vectors(cfg, onto, 0);
+    let train_cfg = TrainConfig { epochs: 10, max_samples_per_epoch: 480, patience: 0, ..Default::default() };
+    let report = train_model(&mut model, &train_graph, train_graph.triples(), &[], &train_cfg);
+    println!("trained {}: final epoch loss {:.3}", model.name(), report.epoch_losses.last().unwrap());
+
+    // 4. Testing graph: brand-new families (unseen entities), and we ask the
+    //    Fig. 1 question — does (man, spouse_of, woman) hold?
+    let test_triples = family_triples(&mut vocab, 40, 1000);
+    let test_graph = KnowledgeGraph::from_triples(test_triples);
+    let h = vocab.entity_id("man1005").unwrap();
+    let w = vocab.entity_id("woman1005").unwrap();
+    let other_w = vocab.entity_id("woman1010").unwrap();
+    let boy = vocab.entity_id("boy1005").unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+
+    let candidates = [
+        ("(man1005, spouse_of, woman1005)  [true]", Triple { head: h, relation: spouse, tail: w }),
+        ("(man1005, spouse_of, woman1010)  [wrong partner]", Triple { head: h, relation: spouse, tail: other_w }),
+        ("(man1005, spouse_of, boy1005)    [wrong type]", Triple { head: h, relation: spouse, tail: boy }),
+    ];
+    println!("\nscoring spouse_of candidates on unseen entities (higher = more plausible):");
+    let mut scores = Vec::new();
+    for (label, t) in candidates {
+        let s = model.score(&test_graph, t, &mut rng);
+        println!("  {label:<48} {s:>9.4}");
+        scores.push(s);
+    }
+    if scores[0] > scores[1] {
+        println!("\nthe true spouse outranks the wrong partner on entities the model has never");
+        println!("seen, for a relation it has never seen — fully inductive completion.");
+    }
+    if scores[2] > scores[0] {
+        println!("caveat: the [wrong type] candidate can still score high — uniform negative");
+        println!("sampling rarely produces a *related* wrong-typed pair during training, so the");
+        println!("parallel-edge pathway for father_of stays weakly constrained. The paper's");
+        println!("future-work item on entity clues (RmpiConfig::entity_clues) targets exactly");
+        println!("this gap.");
+    }
+}

@@ -1,0 +1,40 @@
+//! Measure the computation saved by Algorithm 1's target-relation-guided
+//! pruning across the three dataset families.
+//!
+//! ```text
+//! cargo run --release --example pruning_effect
+//! ```
+
+use rmpi::datasets::registry::Family;
+use rmpi::datasets::world::GraphGenConfig;
+use rmpi::kg::KnowledgeGraph;
+use rmpi::subgraph::{enclosing_subgraph, PruningSchedule, RelViewGraph};
+
+fn main() {
+    println!("node updates required for K-layer message passing, with and without pruning\n");
+    println!("{:<8} {:>4} {:>14} {:>12} {:>10}", "family", "K", "pruned", "unpruned", "savings");
+    for family in [Family::Wn, Family::Fb, Family::Nell] {
+        let world = family.world();
+        let groups: Vec<usize> = (0..world.groups().len()).collect();
+        let triples = world.generate_triples(
+            &groups,
+            &GraphGenConfig { num_entities: 400, num_base_triples: 2000, seed: 9, ..Default::default() },
+        );
+        let g = KnowledgeGraph::from_triples(triples);
+        for k in [2usize, 3] {
+            let (mut pruned, mut full) = (0usize, 0usize);
+            for &t in g.triples().iter().step_by(g.num_triples() / 64 + 1) {
+                let sg = enclosing_subgraph(&g, t, 2);
+                let rv = RelViewGraph::from_subgraph(&sg);
+                let sched = PruningSchedule::new(&rv, k);
+                let (p, f) = sched.update_counts();
+                pruned += p;
+                full += f;
+            }
+            let savings = 100.0 * (1.0 - pruned as f64 / full.max(1) as f64);
+            println!("{:<8} {:>4} {:>14} {:>12} {:>9.1}%", family.tag(), k, pruned, full, savings);
+        }
+    }
+    println!("\nThe pruned schedule updates only nodes that can still influence the target");
+    println!("relation (Algorithm 1, steps 4–8), so deeper stacks save proportionally more.");
+}

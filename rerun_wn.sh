@@ -1,0 +1,9 @@
+#!/bin/bash
+set -x
+R=results
+cargo run --release -p rmpi-bench --bin table1_stats > $R/table1_stats.txt 2>$R/table1_stats.err
+cargo run --release -p rmpi-bench --bin dataset_report > $R/dataset_report.txt 2>$R/dataset_report.err
+cargo run --release -p rmpi-bench --bin table6_partial -- --datasets wn.v1 --epochs 5 --max-samples 500 > $R/table6_wn_rerun.txt 2>$R/table6_wn_rerun.err
+cargo run --release -p rmpi-bench --bin supp_rulen -- --datasets wn.v1 --epochs 5 --max-samples 500 > $R/supp_rulen_wn.txt 2>$R/supp_rulen_wn.err
+cargo run --release -p rmpi-bench --bin ablation_extensions -- --datasets wn.v1 --epochs 5 --max-samples 500 > $R/ablation_wn.txt 2>$R/ablation_wn.err
+echo WN_RERUN_DONE

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Sequential experiment campaign (quick profile, reduced budgets for the big tables).
+set -x
+R=results
+run() { name=$1; shift; cargo run --release -p rmpi-bench --bin "$name" -- "$@" > $R/$name.txt 2> $R/$name.err; echo "=== $name done rc=$? ==="; }
+run table1_stats
+run table2_semi_unseen --epochs 6 --max-samples 600
+run table3_fully_unseen --epochs 6 --max-samples 600
+run table4_maker --epochs 5 --max-samples 500
+run table5_maker_schema --epochs 5 --max-samples 500
+run table6_partial --datasets wn.v1,fb.v1,nell.v1,nell.v4 --epochs 5 --max-samples 500
+run table7_fusion --datasets nell.v2,nell.v2.v3,nell.v4.v3 --epochs 5 --max-samples 500
+run table8_schema_partial --epochs 5 --max-samples 500
+run fig4_case_study --epochs 5 --max-samples 500
+run ablation_extensions --epochs 5 --max-samples 500
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,25 @@
+//! # RMPI — Relational Message Passing for Fully Inductive Knowledge Graph Completion
+//!
+//! A complete Rust reproduction of Geng et al., ICDE 2023. This facade crate
+//! re-exports the whole workspace so downstream users depend on one crate:
+//!
+//! * [`kg`] — knowledge-graph storage, traversal, io and statistics;
+//! * [`autograd`] — from-scratch tensors, reverse-mode autodiff, optimisers;
+//! * [`subgraph`] — enclosing/disclosing extraction, relation-view transform,
+//!   target-guided pruning, negative sampling;
+//! * [`schema`] — ontological schema graphs and TransE embeddings;
+//! * [`datasets`] — synthetic inductive KGC benchmark generators;
+//! * [`core`] — the RMPI model and trainer;
+//! * [`baselines`] — GraIL, TACT(-base), CoMPILE and MaKEr-lite;
+//! * [`eval`] — metrics, protocols and the experiment runner.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use rmpi_autograd as autograd;
+pub use rmpi_baselines as baselines;
+pub use rmpi_core as core;
+pub use rmpi_datasets as datasets;
+pub use rmpi_eval as eval;
+pub use rmpi_kg as kg;
+pub use rmpi_schema as schema;
+pub use rmpi_subgraph as subgraph;

@@ -1,0 +1,65 @@
+//! The `rmpi` facade crate re-exports every workspace layer; exercise the
+//! public paths a downstream user touches first, including model
+//! checkpointing through the facade.
+
+use rmpi::autograd::{load_params, save_params, ParamStore, Tape, Tensor};
+use rmpi::kg::{KnowledgeGraph, Triple};
+use rmpi::schema::{SchemaBuilder, TransEConfig, TransEModel};
+
+#[test]
+fn facade_exposes_all_layers() {
+    // kg
+    let g = KnowledgeGraph::from_triples(vec![Triple::new(0u32, 0u32, 1u32)]);
+    assert_eq!(g.num_triples(), 1);
+    // autograd
+    let mut tape = Tape::new();
+    let a = tape.constant(Tensor::vector(vec![1.0, 2.0]));
+    let s = tape.sum(a);
+    assert_eq!(tape.value(s).item(), 3.0);
+    // subgraph
+    let sg = rmpi::subgraph::enclosing_subgraph(&g, Triple::new(0u32, 1u32, 1u32), 2);
+    assert!(sg.entities.len() >= 2);
+    // schema
+    let schema = SchemaBuilder::new(1, 1).build();
+    let model = TransEModel::train(&schema, TransEConfig { dim: 4, epochs: 1, ..Default::default() });
+    assert_eq!(model.dim(), 4);
+    // datasets
+    assert!(rmpi::datasets::registry_names().contains(&"nell.v1"));
+    // eval
+    assert_eq!(rmpi::eval::hits_at(&[1, 20], 10), 0.5);
+}
+
+#[test]
+fn checkpoint_roundtrip_through_facade() {
+    let mut store = ParamStore::new();
+    store.create("layer", Tensor::matrix(2, 2, vec![1.0, -2.0, 3.5, 0.25]));
+    let mut buf = Vec::new();
+    save_params(&mut buf, &store).unwrap();
+    let loaded = load_params(std::io::Cursor::new(buf)).unwrap();
+    let id = loaded.get("layer").unwrap();
+    assert_eq!(loaded.value(id).data(), &[1.0, -2.0, 3.5, 0.25]);
+}
+
+#[test]
+fn trained_model_checkpoint_restores_scores() {
+    use rand::SeedableRng;
+    use rmpi::core::{RmpiConfig, RmpiModel, ScoringModel};
+    let g = KnowledgeGraph::from_triples(vec![
+        Triple::new(0u32, 0u32, 1u32),
+        Triple::new(1u32, 1u32, 2u32),
+        Triple::new(0u32, 2u32, 2u32),
+    ]);
+    let model = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 4, 3);
+    let target = Triple::new(0u32, 3u32, 2u32);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let before = model.score(&g, target, &mut rng);
+
+    // snapshot, rebuild a fresh model with a different seed, restore weights
+    let mut buf = Vec::new();
+    save_params(&mut buf, model.param_store()).unwrap();
+    let mut other = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 4, 99);
+    let restored = load_params(std::io::Cursor::new(buf)).unwrap();
+    *other.param_store_mut() = restored;
+    let after = other.score(&g, target, &mut rng);
+    assert_eq!(before, after, "checkpoint restore must reproduce scores exactly");
+}
