@@ -1,0 +1,229 @@
+//! Cache-blocked matrix-multiply kernels.
+//!
+//! Three variants cover everything the tape needs without ever materialising
+//! a transpose:
+//!
+//! * [`matmul_nn`] — `C += A·B` (forward pass);
+//! * [`matmul_nt`] — `C += A·Bᵀ` with `B` stored un-transposed (the
+//!   `grad_a = g·bᵀ` rule: every output element is a dot product of two
+//!   contiguous rows);
+//! * [`matmul_tn`] — `C += Aᵀ·B` with `A` stored un-transposed (the
+//!   `grad_b = aᵀ·g` rule: a sequence of rank-1 updates over contiguous
+//!   rows).
+//!
+//! All loops are tiled so the working set of each inner loop nest fits in L1,
+//! and every inner loop walks contiguous memory in both operands so the
+//! compiler can autovectorise it. For a fixed output element the reduction
+//! over the shared dimension always runs in ascending index order — blocking
+//! changes *which* elements are computed together, never the order of the
+//! floating-point additions — so results are bitwise independent of the tile
+//! sizes.
+
+/// Rows of the output tile kept hot per block.
+const BI: usize = 32;
+/// Shared-dimension tile: `BK` rows of `B` (or `A` in the `tn` case) are
+/// streamed through L1 per block.
+const BK: usize = 64;
+
+/// `out += a · b` for row-major `a` (`m`×`k`), `b` (`k`×`n`), `out` (`m`×`n`).
+///
+/// `out` is *accumulated into*, not overwritten — callers that want a plain
+/// product pass a zeroed buffer. Tiled i-k-j: the inner loop is an `axpy`
+/// over a contiguous row of `b` into a contiguous row of `out`. Rows of the
+/// left operand that are exactly zero (ReLU/dropout masks) are skipped; this
+/// cannot change the result because `0 · x` contributes nothing to a sum that
+/// is accumulated in the same order either way.
+pub fn matmul_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i0 in (0..m).step_by(BI) {
+        let i1 = (i0 + BI).min(m);
+        for p0 in (0..k).step_by(BK) {
+            let p1 = (p0 + BK).min(k);
+            for i in i0..i1 {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for p in p0..p1 {
+                    let av = arow[p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out += a · bᵀ` for row-major `a` (`m`×`k`), `b` (`n`×`k`), `out` (`m`×`n`).
+///
+/// `b` is the *un-transposed* right operand: `out[i][j] = Σₚ a[i][p]·b[j][p]`,
+/// a dot product of two contiguous rows. This is the `grad_a = g·bᵀ` backward
+/// rule without ever materialising `bᵀ`. Tiled over `i` and `j` so a block of
+/// `b` rows stays in L1 while `BI` rows of `a` stream past it.
+pub fn matmul_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    for i0 in (0..m).step_by(BI) {
+        let i1 = (i0 + BI).min(m);
+        for j0 in (0..n).step_by(BK) {
+            let j1 = (j0 + BK).min(n);
+            for i in i0..i1 {
+                let arow = &a[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for j in j0..j1 {
+                    let brow = &b[j * k..(j + 1) * k];
+                    let dot: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+                    orow[j] += dot;
+                }
+            }
+        }
+    }
+}
+
+/// `out += aᵀ · b` for row-major `a` (`k`×`m`), `b` (`k`×`n`), `out` (`m`×`n`).
+///
+/// `a` is the *un-transposed* left operand: `out[i][j] = Σₚ a[p][i]·b[p][j]`.
+/// This is the `grad_b = aᵀ·g` backward rule, computed as rank-1 updates:
+/// each shared-dimension index `p` scatters `a[p][i] · b_row_p` into output
+/// row `i`. Tiled over output rows so a block of `out` stays hot while the
+/// `p` loop streams `a` and `b` rows through it.
+pub fn matmul_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i0 in (0..m).step_by(BI) {
+        let i1 = (i0 + BI).min(m);
+        for p in 0..k {
+            let arow = &a[p * m..(p + 1) * m];
+            let brow = &b[p * n..(p + 1) * n];
+            for i in i0..i1 {
+                let av = arow[i];
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook triple loop, the reference the blocked kernels must match.
+    fn naive_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn transpose(r: usize, c: usize, x: &[f32]) -> Vec<f32> {
+        let mut t = vec![0.0; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                t[j * r + i] = x[i * c + j];
+            }
+        }
+        t
+    }
+
+    fn fill(len: usize, seed: u32) -> Vec<f32> {
+        // deterministic pseudo-random values with some exact zeros mixed in
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                if state.is_multiple_of(7) {
+                    0.0
+                } else {
+                    ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5
+                }
+            })
+            .collect()
+    }
+
+    // Shapes chosen to exercise every tiling edge: smaller than one block,
+    // exactly one block, one-past-a-block boundary, and multi-block.
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 2),
+        (8, 8, 8),
+        (31, 64, 33),
+        (32, 65, 64),
+        (70, 70, 70),
+        (1, 130, 1),
+    ];
+
+    #[test]
+    fn nn_matches_naive_on_all_shapes() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 1);
+            let b = fill(k * n, 2);
+            let mut out = vec![0.0; m * n];
+            matmul_nn(m, k, n, &a, &b, &mut out);
+            assert_eq!(out, naive_nn(m, k, n, &a, &b), "nn {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_against_explicit_transpose() {
+        for &(m, k, n) in SHAPES {
+            let a = fill(m * k, 3);
+            let bt = fill(n * k, 4); // B stored as (n, k)
+            let b = transpose(n, k, &bt); // materialised (k, n) for the reference
+            let mut out = vec![0.0; m * n];
+            matmul_nt(m, k, n, &a, &bt, &mut out);
+            let expect = naive_nn(m, k, n, &a, &b);
+            for (got, want) in out.iter().zip(&expect) {
+                assert!((got - want).abs() <= 1e-5, "nt {m}x{k}x{n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn tn_matches_naive_against_explicit_transpose() {
+        for &(m, k, n) in SHAPES {
+            let at = fill(k * m, 5); // A stored as (k, m)
+            let b = fill(k * n, 6);
+            let a = transpose(k, m, &at); // materialised (m, k) for the reference
+            let mut out = vec![0.0; m * n];
+            matmul_tn(m, k, n, &at, &b, &mut out);
+            let expect = naive_nn(m, k, n, &a, &b);
+            for (got, want) in out.iter().zip(&expect) {
+                assert!((got - want).abs() <= 1e-5, "tn {m}x{k}x{n}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_accumulate_rather_than_overwrite() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        let mut out = [10.0];
+        matmul_nn(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, [10.0 + 11.0]);
+        let mut out = [1.0];
+        matmul_nt(1, 2, 1, &a, &b, &mut out);
+        assert_eq!(out, [1.0 + 11.0]);
+        // aᵀ(2x1)·b(1x2): out[i][j] = a[0][i]*b[0][j]
+        let mut out = [0.5, 0.0, 0.0, 0.0];
+        matmul_tn(2, 1, 2, &a, &b, &mut out);
+        assert_eq!(out, [0.5 + 3.0, 4.0, 6.0, 8.0]);
+    }
+}

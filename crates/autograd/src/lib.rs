@@ -40,14 +40,17 @@
 //! assert!((store.value(x).item() - 3.0).abs() < 1e-3);
 //! ```
 
+pub mod grad;
 pub mod gradcheck;
 pub mod io;
 pub mod init;
+pub mod kernels;
 pub mod optim;
 pub mod params;
 pub mod tape;
 pub mod tensor;
 
+pub use grad::GradBuffer;
 pub use io::{load_params, save_params, CheckpointError};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Tape, Var};

@@ -12,6 +12,12 @@ impl ParamId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuild a handle from a dense index (crate-internal: used by
+    /// [`crate::GradBuffer`] iteration, which stores gradients by index).
+    pub(crate) fn from_index(i: usize) -> Self {
+        ParamId(i)
+    }
 }
 
 /// A flat registry of named parameters, their values and their gradients.

@@ -1,10 +1,14 @@
 //! Gradient tape: eager forward evaluation with recorded ops, reverse-mode
 //! backward pass.
 //!
-//! A [`Tape`] is built per forward pass (per training sample). Every op
-//! method computes its value immediately and records a node; [`Tape::backward`]
-//! seeds the loss gradient and walks the nodes in reverse, accumulating
-//! parameter gradients into the [`ParamStore`]. Tapes are cheap `Vec`s — no
+//! A [`Tape`] is built per forward pass (per training sample) — or reused
+//! across samples via [`Tape::reset`], which keeps the node arena's capacity.
+//! Every op method computes its value immediately and records a node;
+//! [`Tape::backward_into`] seeds the loss gradient, walks the nodes in
+//! reverse and writes parameter gradients into a detached [`GradBuffer`]
+//! (so the whole pass needs only `&ParamStore` and can run on any worker
+//! thread). [`Tape::backward`] is the single-threaded convenience wrapper
+//! that folds the buffer straight into a store. Tapes are cheap `Vec`s — no
 //! `Rc`/`RefCell` graph plumbing — because subgraph models rebuild the graph
 //! for every sample anyway.
 //!
@@ -13,6 +17,7 @@
 //! corresponding gradient summed on the way back. That is the only broadcast
 //! the models need (scalar gates and attention weights).
 
+use crate::grad::GradBuffer;
 use crate::params::{ParamId, ParamStore};
 use crate::tensor::Tensor;
 
@@ -84,6 +89,12 @@ impl Tape {
     /// `true` when the tape has no nodes.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Drop all recorded nodes but keep the arena's capacity, so one tape can
+    /// be reused across the samples of a batch without reallocating.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
     }
 
     // ------------------------------------------------------------------ leaves
@@ -300,7 +311,24 @@ impl Tape {
 
     /// Reverse-mode gradient pass from `loss` (which must be one element),
     /// accumulating parameter gradients into `store`.
+    ///
+    /// Convenience wrapper over [`Tape::backward_into`] for single-threaded
+    /// callers: runs the pass into a fresh [`GradBuffer`] and folds it into
+    /// the store immediately.
     pub fn backward(&self, loss: Var, store: &mut ParamStore) {
+        let mut buf = GradBuffer::new();
+        self.backward_into(loss, &mut buf);
+        buf.add_to(store);
+    }
+
+    /// Reverse-mode gradient pass from `loss` (which must be one element),
+    /// writing parameter gradients into `out`.
+    ///
+    /// The tape and the buffer are both detached from any [`ParamStore`], so
+    /// this needs no mutable access to shared state: worker threads run
+    /// forward + `backward_into` against `&ParamStore` and hand their buffers
+    /// back for a deterministic ordered reduce (see [`GradBuffer`]).
+    pub fn backward_into(&self, loss: Var, out: &mut GradBuffer) {
         assert_eq!(self.value(loss).len(), 1, "backward seed must be a one-element tensor");
         let mut grads: Vec<Option<Tensor>> = (0..=loss.0).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -313,7 +341,7 @@ impl Tape {
             let node = &self.nodes[i];
             match &node.op {
                 Op::Constant => {}
-                Op::Param(id) => store.accumulate_grad(*id, &g),
+                Op::Param(id) => out.add_assign(*id, g),
                 Op::Add(a, b) => {
                     self.bcast_back(&mut grads, *a, &g, 1.0);
                     self.bcast_back(&mut grads, *b, &g, 1.0);
@@ -333,8 +361,10 @@ impl Tape {
                 Op::AddScalar(a) => accumulate(&mut grads, *a, g),
                 Op::MatMul(a, b) => {
                     let (va, vb) = (self.value(*a), self.value(*b));
-                    accumulate(&mut grads, *a, g.matmul(&vb.transpose()));
-                    accumulate(&mut grads, *b, va.transpose().matmul(&g));
+                    // grad_a = g·bᵀ and grad_b = aᵀ·g via the transpose-free
+                    // blocked kernels (no intermediate transpose allocation).
+                    accumulate(&mut grads, *a, g.matmul_nt(vb));
+                    accumulate(&mut grads, *b, va.matmul_tn(&g));
                 }
                 Op::MatVec(a, x) => {
                     let (va, vx) = (self.value(*a), self.value(*x));
@@ -350,7 +380,9 @@ impl Tape {
                         }
                     }
                     accumulate(&mut grads, *a, Tensor::matrix(m, k, da));
-                    accumulate(&mut grads, *x, va.transpose().matvec(&g));
+                    // dx = Aᵀg computed as the row-combination g·A — walks A
+                    // by contiguous rows instead of materialising Aᵀ.
+                    accumulate(&mut grads, *x, g.vecmat(va));
                 }
                 Op::VecMat(x, a) => {
                     let (vx, va) = (self.value(*x), self.value(*a));
@@ -690,6 +722,62 @@ mod tests {
         let mut tape = Tape::new();
         let a = tape.constant(Tensor::vector(vec![1.0, 2.0]));
         tape.backward(a, &mut store);
+    }
+
+    #[test]
+    fn backward_into_matches_backward() {
+        let make = |tape: &mut Tape, store: &ParamStore, w: ParamId| {
+            let wv = tape.param(store, w);
+            let x = tape.constant(Tensor::vector(vec![0.3, -0.8]));
+            let y = tape.matvec(wv, x);
+            let t = tape.tanh(y);
+            tape.sum(t)
+        };
+        let (mut store, w) = store_with("w", Tensor::matrix(2, 2, vec![0.5, -0.2, 0.1, 0.9]));
+        let mut tape = Tape::new();
+        let loss = make(&mut tape, &store, w);
+        tape.backward(loss, &mut store);
+
+        let mut buf = crate::GradBuffer::new();
+        let mut tape2 = Tape::new();
+        let loss2 = make(&mut tape2, &store, w);
+        tape2.backward_into(loss2, &mut buf);
+        assert_eq!(buf.get(w).unwrap().data(), store.grad(w).data());
+    }
+
+    #[test]
+    fn reset_keeps_tape_usable() {
+        let (mut store, w) = store_with("w", Tensor::vector(vec![2.0, 3.0]));
+        let mut tape = Tape::new();
+        for _ in 0..3 {
+            tape.reset();
+            assert!(tape.is_empty());
+            let wv = tape.param(&store, w);
+            let s = tape.mul(wv, wv);
+            let loss = tape.sum(s);
+            tape.backward(loss, &mut store);
+            assert_eq!(tape.len(), 3);
+        }
+        // three identical passes accumulated: dL/dw = 3 * 2w
+        assert_eq!(store.grad(w).data(), &[12.0, 18.0]);
+    }
+
+    #[test]
+    fn gradcheck_matmul_blocked_shapes() {
+        // shapes that are not multiples of the kernel tile sizes, so the
+        // blocked nn/nt/tn paths all hit their edge-handling code
+        let a: Vec<f32> = (0..5 * 7).map(|i| ((i * 37 % 19) as f32 - 9.0) / 23.0).collect();
+        let b: Vec<f32> = (0..7 * 3).map(|i| ((i * 53 % 17) as f32 - 8.0) / 19.0).collect();
+        check_gradients(
+            &[("a", Tensor::matrix(5, 7, a)), ("b", Tensor::matrix(7, 3, b))],
+            |tape, store| {
+                let a = tape.param(store, store.get("a").unwrap());
+                let b = tape.param(store, store.get("b").unwrap());
+                let c = tape.matmul(a, b);
+                let t = tape.tanh(c);
+                tape.sum(t)
+            },
+        );
     }
 
     #[test]

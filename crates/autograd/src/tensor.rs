@@ -152,19 +152,33 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (o, b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernels::matmul_nn(m, k, n, &self.data, &other.data, &mut out);
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// `self · otherᵀ` without materialising the transpose:
+    /// `(m,k) x (n,k)ᵀ -> (m,n)`. This is the `grad_a = g·bᵀ` backward rule.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_nt lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_nt rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_nt inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul_nt(m, k, n, &self.data, &other.data, &mut out);
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// `selfᵀ · other` without materialising the transpose:
+    /// `(k,m)ᵀ x (k,n) -> (m,n)`. This is the `grad_b = aᵀ·g` backward rule.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_tn lhs must be rank 2");
+        assert_eq!(other.shape.len(), 2, "matmul_tn rhs must be rank 2");
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_tn inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul_tn(m, k, n, &self.data, &other.data, &mut out);
         Tensor { shape: vec![m, n], data: out }
     }
 
@@ -175,9 +189,9 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         assert_eq!(k, x.shape[0], "matvec inner dims {k} vs {}", x.shape[0]);
         let mut out = vec![0.0f32; m];
-        for i in 0..m {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * k..(i + 1) * k];
-            out[i] = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
         }
         Tensor::vector(out)
     }
@@ -304,6 +318,15 @@ mod tests {
         let y = Tensor::vector(vec![1., 1.]);
         assert_eq!(y.vecmat(&a).data(), &[1., 1., 3.]);
         assert_eq!(x.dot(&x), 14.0);
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        let a = Tensor::matrix(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::matrix(4, 3, (1..=12).map(|x| x as f32).collect());
+        assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+        let c = Tensor::matrix(2, 4, (1..=8).map(|x| x as f32).collect());
+        assert_eq!(a.matmul_tn(&c), a.transpose().matmul(&c));
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Throughput report for the data-parallel training engine.
+//!
+//! Trains one epoch of the base RMPI model at each thread count and reports
+//! training throughput (samples/sec) plus the speedup over the single-thread
+//! run. Writes `BENCH_parallel.json` in the working directory.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_parallel [--threads 1,2,4,8]
+//! ```
+
+use rmpi_core::{train_model, RmpiConfig, RmpiModel, TrainConfig};
+use rmpi_datasets::{build_benchmark, Benchmark, Scale};
+use std::time::Instant;
+
+const SAMPLES_PER_EPOCH: usize = 192;
+const REPS: usize = 3;
+
+/// Best-of-`REPS` wall-clock seconds for one training epoch at `threads`.
+fn time_epoch(b: &Benchmark, threads: usize) -> f64 {
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 32,
+        max_samples_per_epoch: SAMPLES_PER_EPOCH,
+        max_valid_samples: 8,
+        patience: 0,
+        seed: 1,
+        threads,
+        ..Default::default()
+    };
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut model =
+            RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::base() }, b.num_relations(), 1);
+        let t0 = Instant::now();
+        train_model(&mut model, &b.train.graph, &b.train.targets, &b.train.valid, &cfg);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let thread_counts: Vec<usize> = match args.iter().position(|a| a == "--threads") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("--threads takes a comma-separated list"))
+            .collect(),
+        None => vec![1, 2, 4, 8],
+    };
+
+    let b = build_benchmark("nell.v1", Scale::Quick);
+    // Warm the dataset/page caches so the first measured config isn't penalised.
+    time_epoch(&b, 1);
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("train_epoch throughput, {SAMPLES_PER_EPOCH} samples/epoch, best of {REPS}, {cores} core(s)");
+    if cores == 1 {
+        println!("  note: single-core host — thread counts > 1 cannot speed up; expect ~1.0x");
+    }
+    let mut rows = Vec::new();
+    let mut base_rate = None;
+    for &threads in &thread_counts {
+        let secs = time_epoch(&b, threads);
+        let rate = SAMPLES_PER_EPOCH as f64 / secs;
+        let base = *base_rate.get_or_insert(rate);
+        let speedup = rate / base;
+        println!("  threads={threads:<2} {rate:8.1} samples/sec  ({speedup:.2}x)");
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
+             \"samples_per_sec\": {rate:.1}, \"speedup\": {speedup:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"train_epoch_parallel\",\n  \"cores\": {cores},\n  \"samples_per_epoch\": {SAMPLES_PER_EPOCH},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

@@ -7,7 +7,10 @@
 //!   finishes in minutes and reproduces the tables' *shape*;
 //! * `--full` — paper-scale graphs, 5 seeds, full training budget;
 //! * `--seeds N`, `--epochs N`, `--dim N`, `--max-targets N` — overrides;
-//! * `--methods a,b,c` / `--datasets x,y` — row/column filters.
+//! * `--methods a,b,c` / `--datasets x,y` — row/column filters;
+//! * `--threads N` / env `RMPI_THREADS` — worker threads for training and
+//!   candidate scoring (`0` = all cores; results are bit-identical for every
+//!   value). The flag wins over the environment variable.
 //!
 //! The [`MethodSpec`] enum names every method that appears in the paper's
 //! tables, and [`method_factory`] builds the per-seed model factory
@@ -132,6 +135,12 @@ impl Harness {
             args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
         };
         let mut h = if full { Self::full() } else { Self::quick() };
+        let threads = match get("--threads") {
+            Some(v) => v.parse().expect("--threads N"),
+            None => rmpi_runtime::threads_from_env(),
+        };
+        h.train.threads = threads;
+        h.eval.threads = threads;
         if let Some(v) = get("--seeds") {
             let n: u64 = v.parse().expect("--seeds N");
             h.seeds = (0..n).collect();
@@ -169,7 +178,7 @@ impl Harness {
                 patience: 3,
                 ..Default::default()
             },
-            eval: EvalConfig { num_candidates: 24, max_targets: 80, seed: 11 },
+            eval: EvalConfig { num_candidates: 24, max_targets: 80, seed: 11, ..Default::default() },
             dim: 16,
             schema_dim: 32,
             schema_epochs: 60,
@@ -190,7 +199,7 @@ impl Harness {
                 patience: 3,
                 ..Default::default()
             },
-            eval: EvalConfig { num_candidates: 49, max_targets: 600, seed: 11 },
+            eval: EvalConfig { num_candidates: 49, max_targets: 600, seed: 11, ..Default::default() },
             dim: 32,
             schema_dim: 300,
             schema_epochs: 200,

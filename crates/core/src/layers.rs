@@ -52,6 +52,7 @@ pub struct AttentionConfig {
 /// `h0` must provide an initial representation for every node in
 /// `schedule.relevant_nodes()` (node-indexed). Nodes outside the pruned set
 /// are never touched — that is the efficiency win of Algorithm 1.
+#[allow(clippy::too_many_arguments)]
 pub fn relational_message_passing(
     tape: &mut Tape,
     store: &ParamStore,

@@ -2,9 +2,23 @@
 //!
 //! Mini-batching works by gradient accumulation: each sample builds its own
 //! tape (positive + corrupted negative + margin ranking loss), backward
-//! accumulates into the shared [`rmpi_autograd::ParamStore`], and Adam steps
+//! writes into a per-sample [`rmpi_autograd::GradBuffer`], and Adam steps
 //! once per batch. Validation tracks the pairwise ranking accuracy on held-
 //! out triples; the best parameter snapshot is restored at the end.
+//!
+//! # Data parallelism
+//!
+//! Each minibatch is sharded across a [`ThreadPool`] ([`TrainConfig::threads`]
+//! workers): every worker runs forward + backward for its samples against the
+//! shared read-only model and returns `(loss, GradBuffer)` per sample. The
+//! main thread then folds the buffers into the store *in sample-index order*,
+//! so the sequence of floating-point additions is identical to the sequential
+//! loop's, and steps the optimiser once. All randomness (negative sampling,
+//! dropout, validation corruption) comes from per-sample RNGs seeded by
+//! [`mix_seed`]`(cfg.seed, stream, sample_key)` — a function of the sample's
+//! position, never of the thread that happens to run it. Together these make
+//! training **bit-identical across thread counts** (see `DESIGN.md`,
+//! "Threading model").
 
 use crate::loss::margin_ranking_loss;
 use crate::traits::{Mode, ScoringModel};
@@ -12,9 +26,29 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rmpi_autograd::optim::Adam;
-use rmpi_autograd::Tape;
+use rmpi_autograd::{GradBuffer, Tape};
 use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_runtime::{mix_seed, ThreadPool};
 use rmpi_subgraph::NegativeSampler;
+
+/// RNG stream ids for [`mix_seed`] — one per independent use of randomness,
+/// so draws in one stream can never alias draws in another.
+mod stream {
+    /// Per-epoch shuffling of the training targets.
+    pub const SHUFFLE: u64 = 1;
+    /// Per-sample training randomness (negative sampling + dropout).
+    pub const TRAIN: u64 = 2;
+    /// Per-epoch shuffling of the validation subset.
+    pub const VALID_SHUFFLE: u64 = 3;
+    /// Per-sample validation randomness (negative sampling).
+    pub const VALID: u64 = 4;
+}
+
+/// Pack `(epoch, position)` into one 64-bit per-sample key. Positions are
+/// bounded by the dataset size, far below 2^40.
+fn sample_key(epoch: usize, pos: usize) -> u64 {
+    ((epoch as u64) << 40) | pos as u64
+}
 
 /// Training hyper-parameters. Defaults follow §IV-B: Adam lr 1e-3, batch 16,
 /// margin 10.
@@ -38,6 +72,10 @@ pub struct TrainConfig {
     pub max_valid_samples: usize,
     /// RNG seed (shuffling, negative sampling, dropout).
     pub seed: u64,
+    /// Worker threads for batch processing and validation scoring
+    /// (`0` = one per available core). The result is bit-identical for every
+    /// value — this knob trades wall-clock time only.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -52,6 +90,7 @@ impl Default for TrainConfig {
             patience: 3,
             max_valid_samples: 200,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -76,7 +115,10 @@ impl TrainReport {
 }
 
 /// Train `model` on `targets` against `graph`; `valid` steers early stopping.
-pub fn train_model<M: ScoringModel>(
+///
+/// With `cfg.threads > 1` each minibatch is sharded across a scoped worker
+/// pool; the result is bit-identical to `threads == 1` (see module docs).
+pub fn train_model<M: ScoringModel + Sync>(
     model: &mut M,
     graph: &KnowledgeGraph,
     targets: &[Triple],
@@ -84,9 +126,10 @@ pub fn train_model<M: ScoringModel>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!targets.is_empty(), "no training targets");
+    assert!(cfg.batch_size > 0, "batch_size must be positive");
     let sampler = NegativeSampler::from_graph(graph);
+    let pool = ThreadPool::new(cfg.threads);
     let mut adam = Adam::new(cfg.lr);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut report = TrainReport::default();
     let mut best_acc = f32::NEG_INFINITY;
     let mut best_store = model.param_store().clone();
@@ -94,34 +137,47 @@ pub fn train_model<M: ScoringModel>(
 
     for epoch in 0..cfg.epochs {
         let mut order: Vec<Triple> = targets.to_vec();
-        order.shuffle(&mut rng);
+        let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::SHUFFLE, epoch as u64));
+        order.shuffle(&mut shuffle_rng);
         if cfg.max_samples_per_epoch > 0 {
             order.truncate(cfg.max_samples_per_epoch);
         }
 
         let mut epoch_loss = 0.0f64;
-        let mut in_batch = 0usize;
         model.param_store_mut().zero_grad();
-        for &pos in &order {
-            let neg = sampler.corrupt(pos, graph, &mut rng);
-            let mut tape = Tape::new();
-            let sp = model.score_on_tape(&mut tape, graph, pos, Mode::Train, &mut rng);
-            let sn = model.score_on_tape(&mut tape, graph, neg, Mode::Train, &mut rng);
-            let loss = margin_ranking_loss(&mut tape, sp, sn, cfg.margin);
-            epoch_loss += tape.value(loss).item() as f64;
-            tape.backward(loss, model.param_store_mut());
-            in_batch += 1;
-            if in_batch == cfg.batch_size {
-                step(model, &mut adam, cfg, in_batch);
-                in_batch = 0;
+        for (batch_idx, batch) in order.chunks(cfg.batch_size).enumerate() {
+            let base = batch_idx * cfg.batch_size;
+            // Fan the batch out: each worker reuses one tape across its shard
+            // and returns (loss, gradient buffer) per sample. The model and
+            // graph are only read.
+            let results: Vec<(f32, GradBuffer)> = {
+                let model: &M = model;
+                pool.map_init(batch.len(), Tape::new, |tape, i| {
+                    let pos = batch[i];
+                    let mut rng =
+                        StdRng::seed_from_u64(mix_seed(cfg.seed, stream::TRAIN, sample_key(epoch, base + i)));
+                    let neg = sampler.corrupt(pos, graph, &mut rng);
+                    tape.reset();
+                    let sp = model.score_on_tape(tape, graph, pos, Mode::Train, &mut rng);
+                    let sn = model.score_on_tape(tape, graph, neg, Mode::Train, &mut rng);
+                    let loss = margin_ranking_loss(tape, sp, sn, cfg.margin);
+                    let mut buf = GradBuffer::new();
+                    tape.backward_into(loss, &mut buf);
+                    (tape.value(loss).item(), buf)
+                })
+            };
+            // Ordered reduce: fold per-sample buffers into the store in
+            // sample-index order — the same addition sequence as the
+            // sequential loop, hence bit-identical parameters.
+            for (loss, buf) in &results {
+                epoch_loss += *loss as f64;
+                buf.add_to(model.param_store_mut());
             }
-        }
-        if in_batch > 0 {
-            step(model, &mut adam, cfg, in_batch);
+            step(model, &mut adam, cfg, batch.len());
         }
         report.epoch_losses.push((epoch_loss / order.len() as f64) as f32);
 
-        let acc = validation_accuracy(model, graph, valid, cfg, &mut rng);
+        let acc = validation_accuracy(model, graph, valid, cfg, &pool, epoch as u64);
         report.valid_accuracy.push(acc);
         if acc > best_acc {
             best_acc = acc;
@@ -154,32 +210,39 @@ fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batc
 }
 
 /// Pairwise ranking accuracy on validation triples: fraction where the
-/// positive outscores one corrupted negative. Falls back to the training
-/// targets' *loss* trend when `valid` is empty (returns 0 so every epoch
-/// ties and the last snapshot wins).
-fn validation_accuracy<M: ScoringModel>(
+/// positive outscores one corrupted negative. Returns 0 when `valid` is
+/// empty (every epoch ties and the last snapshot wins).
+///
+/// Candidate scoring fans out over the pool; each win is an integer, so the
+/// sum is order-independent and the result thread-count-invariant.
+fn validation_accuracy<M: ScoringModel + Sync>(
     model: &M,
     graph: &KnowledgeGraph,
     valid: &[Triple],
     cfg: &TrainConfig,
-    rng: &mut StdRng,
+    pool: &ThreadPool,
+    epoch: u64,
 ) -> f32 {
     if valid.is_empty() {
         return 0.0;
     }
     let sampler = NegativeSampler::from_graph(graph);
     let mut subset: Vec<Triple> = valid.to_vec();
-    subset.shuffle(rng);
+    let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID_SHUFFLE, epoch));
+    subset.shuffle(&mut shuffle_rng);
     if cfg.max_valid_samples > 0 {
         subset.truncate(cfg.max_valid_samples);
     }
-    let mut wins = 0usize;
-    for &pos in &subset {
-        let neg = sampler.corrupt(pos, graph, rng);
-        if model.score(graph, pos, rng) > model.score(graph, neg, rng) {
-            wins += 1;
-        }
-    }
+    let wins: u32 = pool
+        .map_indexed(subset.len(), |i| {
+            let pos = subset[i];
+            let mut rng =
+                StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID, sample_key(epoch as usize, i)));
+            let neg = sampler.corrupt(pos, graph, &mut rng);
+            u32::from(model.score(graph, pos, &mut rng) > model.score(graph, neg, &mut rng))
+        })
+        .iter()
+        .sum();
     wins as f32 / subset.len() as f32
 }
 
@@ -269,8 +332,7 @@ mod tests {
         };
         let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
         // re-evaluating with restored params reproduces the best epoch's accuracy signal
-        let mut rng = StdRng::seed_from_u64(77);
-        let acc = validation_accuracy(&model, &graph, &valid, &cfg, &mut rng);
+        let acc = validation_accuracy(&model, &graph, &valid, &cfg, &ThreadPool::sequential(), 99);
         assert!(
             acc >= report.best_accuracy() - 0.25,
             "restored accuracy {acc} far below best {}",

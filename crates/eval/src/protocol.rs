@@ -1,4 +1,11 @@
 //! Evaluation protocols (paper §IV-B).
+//!
+//! Every ranking loop here is embarrassingly parallel across targets: each
+//! target owns an RNG derived from `(seed, stream, target index)` via
+//! [`mix_seed`], candidate generation and scoring run inside the worker, and
+//! only per-target results (scores, ranks) come back — in index order. The
+//! metrics computed from them are therefore bit-identical for every
+//! [`EvalConfig::threads`] setting.
 
 use crate::metrics::{average_precision, hits_at, mean_reciprocal_rank, rank_of};
 use rand::rngs::StdRng;
@@ -6,7 +13,21 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rmpi_core::ScoringModel;
 use rmpi_datasets::TestSet;
+use rmpi_runtime::{mix_seed, ThreadPool};
 use rmpi_subgraph::NegativeSampler;
+
+/// RNG stream ids for [`mix_seed`], one per protocol (disjoint from the
+/// trainer's streams by convention — trainer uses 1..=4).
+mod stream {
+    /// Triple classification negatives + scoring draws.
+    pub const CLASSIFY: u64 = 11;
+    /// Entity-prediction candidates + scoring draws.
+    pub const ENTITY: u64 = 12;
+    /// Paired entity prediction per-item scoring draws.
+    pub const PAIRED: u64 = 13;
+    /// Relation-prediction scoring draws.
+    pub const RELATION: u64 = 14;
+}
 
 /// Protocol parameters.
 #[derive(Clone, Copy, Debug)]
@@ -17,11 +38,14 @@ pub struct EvalConfig {
     pub max_targets: usize,
     /// RNG seed for negatives/candidates.
     pub seed: u64,
+    /// Worker threads for candidate scoring (`0` = one per available core).
+    /// Metrics are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { num_candidates: 49, max_targets: 200, seed: 0 }
+        EvalConfig { num_candidates: 49, max_targets: 200, seed: 0, threads: 1 }
     }
 }
 
@@ -51,15 +75,25 @@ fn select_targets(test: &TestSet, cfg: &EvalConfig, rng: &mut StdRng) -> Vec<rmp
 
 /// Triple classification: one corrupted negative per positive, AUC-PR over
 /// the pooled scores (×100).
-pub fn triple_classification(model: &dyn ScoringModel, test: &TestSet, cfg: &EvalConfig) -> (f64, usize) {
+pub fn triple_classification<M: ScoringModel + Sync + ?Sized>(
+    model: &M,
+    test: &TestSet,
+    cfg: &EvalConfig,
+) -> (f64, usize) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sampler = NegativeSampler::from_graph(&test.graph);
     let targets = select_targets(test, cfg, &mut rng);
-    let mut scored: Vec<(f32, bool)> = Vec::with_capacity(2 * targets.len());
-    for &pos in &targets {
+    let pool = ThreadPool::new(cfg.threads);
+    let pairs: Vec<(f32, f32)> = pool.map_indexed(targets.len(), |i| {
+        let pos = targets[i];
+        let mut rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::CLASSIFY, i as u64));
         let neg = sampler.corrupt(pos, &test.graph, &mut rng);
-        scored.push((model.score(&test.graph, pos, &mut rng), true));
-        scored.push((model.score(&test.graph, neg, &mut rng), false));
+        (model.score(&test.graph, pos, &mut rng), model.score(&test.graph, neg, &mut rng))
+    });
+    let mut scored: Vec<(f32, bool)> = Vec::with_capacity(2 * targets.len());
+    for (p, n) in pairs {
+        scored.push((p, true));
+        scored.push((n, false));
     }
     (average_precision(&scored) * 100.0, targets.len())
 }
@@ -67,17 +101,22 @@ pub fn triple_classification(model: &dyn ScoringModel, test: &TestSet, cfg: &Eva
 /// Entity prediction: rank the ground truth against `num_candidates`
 /// corrupted entities, on both the head and the tail side. Returns
 /// `(mrr, hits1, hits10, num_targets)`, all ×100.
-pub fn entity_prediction(
-    model: &dyn ScoringModel,
+pub fn entity_prediction<M: ScoringModel + Sync + ?Sized>(
+    model: &M,
     test: &TestSet,
     cfg: &EvalConfig,
 ) -> (f64, f64, f64, usize) {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
     let sampler = NegativeSampler::from_graph(&test.graph);
     let targets = select_targets(test, cfg, &mut rng);
-    let mut ranks: Vec<usize> = Vec::with_capacity(2 * targets.len());
-    for &pos in &targets {
+    let pool = ThreadPool::new(cfg.threads);
+    // Each target is self-contained: its RNG drives candidate generation and
+    // any scoring draws, so per-target rank lists are schedule-independent.
+    let per_target: Vec<Vec<usize>> = pool.map_indexed(targets.len(), |i| {
+        let pos = targets[i];
+        let mut rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::ENTITY, i as u64));
         let gt = model.score(&test.graph, pos, &mut rng);
+        let mut ranks = Vec::with_capacity(2);
         for corrupt_head in [false, true] {
             let cands = sampler.ranking_candidates(pos, cfg.num_candidates, corrupt_head, &test.graph, &mut rng);
             if cands.is_empty() {
@@ -86,7 +125,9 @@ pub fn entity_prediction(
             let scores: Vec<f32> = cands.iter().map(|&c| model.score(&test.graph, c, &mut rng)).collect();
             ranks.push(rank_of(gt, &scores));
         }
-    }
+        ranks
+    });
+    let ranks: Vec<usize> = per_target.into_iter().flatten().collect();
     (
         mean_reciprocal_rank(&ranks) * 100.0,
         hits_at(&ranks, 1) * 100.0,
@@ -103,14 +144,15 @@ pub fn entity_prediction(
 /// Targets and candidates are sampled once up front, so model-side rng
 /// consumption cannot desynchronise the pairing.
 pub fn entity_prediction_paired(
-    models: &[&dyn ScoringModel],
+    models: &[&(dyn ScoringModel + Sync)],
     test: &TestSet,
     cfg: &EvalConfig,
 ) -> Vec<Vec<f64>> {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(3));
     let sampler = NegativeSampler::from_graph(&test.graph);
     let targets = select_targets(test, cfg, &mut rng);
-    // pre-generate every candidate list
+    // pre-generate every candidate list (sequentially, from one rng — the
+    // whole point of the paired protocol is one shared candidate universe)
     let prepared: Vec<(rmpi_kg::Triple, Vec<Vec<rmpi_kg::Triple>>)> = targets
         .iter()
         .map(|&pos| {
@@ -123,29 +165,32 @@ pub fn entity_prediction_paired(
         })
         .collect();
 
+    let pool = ThreadPool::new(cfg.threads);
     models
         .iter()
-        .map(|model| {
-            let mut mrng = StdRng::seed_from_u64(cfg.seed.wrapping_add(4));
-            prepared
-                .iter()
-                .map(|(pos, sides)| {
-                    let gt = model.score(&test.graph, *pos, &mut mrng);
-                    if sides.is_empty() {
-                        return 1.0;
-                    }
-                    let rr: f64 = sides
-                        .iter()
-                        .map(|cands| {
-                            let scores: Vec<f32> =
-                                cands.iter().map(|&c| model.score(&test.graph, c, &mut mrng)).collect();
-                            1.0 / rank_of(gt, &scores) as f64
-                        })
-                        .sum::<f64>()
-                        / sides.len() as f64;
-                    rr
-                })
-                .collect()
+        .enumerate()
+        .map(|(mi, model)| {
+            pool.map_indexed(prepared.len(), |i| {
+                let (pos, sides) = &prepared[i];
+                let mut mrng = StdRng::seed_from_u64(mix_seed(
+                    cfg.seed.wrapping_add(mi as u64),
+                    stream::PAIRED,
+                    i as u64,
+                ));
+                let gt = model.score(&test.graph, *pos, &mut mrng);
+                if sides.is_empty() {
+                    return 1.0;
+                }
+                sides
+                    .iter()
+                    .map(|cands| {
+                        let scores: Vec<f32> =
+                            cands.iter().map(|&c| model.score(&test.graph, c, &mut mrng)).collect();
+                        1.0 / rank_of(gt, &scores) as f64
+                    })
+                    .sum::<f64>()
+                    / sides.len() as f64
+            })
         })
         .collect()
 }
@@ -153,16 +198,18 @@ pub fn entity_prediction_paired(
 /// Relation prediction (TACT's original protocol): rank the ground-truth
 /// relation of each target against every other relation in `0..num_relations`.
 /// Returns `(mrr, hits1, hits10, num_targets)`, all ×100.
-pub fn relation_prediction(
-    model: &dyn ScoringModel,
+pub fn relation_prediction<M: ScoringModel + Sync + ?Sized>(
+    model: &M,
     test: &TestSet,
     num_relations: usize,
     cfg: &EvalConfig,
 ) -> (f64, f64, f64, usize) {
     let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(2));
     let targets = select_targets(test, cfg, &mut rng);
-    let mut ranks = Vec::with_capacity(targets.len());
-    for &pos in &targets {
+    let pool = ThreadPool::new(cfg.threads);
+    let ranks: Vec<usize> = pool.map_indexed(targets.len(), |i| {
+        let pos = targets[i];
+        let mut rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::RELATION, i as u64));
         let gt = model.score(&test.graph, pos, &mut rng);
         let scores: Vec<f32> = (0..num_relations as u32)
             .filter(|&r| r != pos.relation.0)
@@ -175,8 +222,8 @@ pub fn relation_prediction(
                 }
             })
             .collect();
-        ranks.push(rank_of(gt, &scores));
-    }
+        rank_of(gt, &scores)
+    });
     (
         mean_reciprocal_rank(&ranks) * 100.0,
         hits_at(&ranks, 1) * 100.0,
@@ -186,7 +233,7 @@ pub fn relation_prediction(
 }
 
 /// Run both protocols and collect an [`EvalMetrics`].
-pub fn evaluate(model: &dyn ScoringModel, test: &TestSet, cfg: &EvalConfig) -> EvalMetrics {
+pub fn evaluate<M: ScoringModel + Sync + ?Sized>(model: &M, test: &TestSet, cfg: &EvalConfig) -> EvalMetrics {
     let (auc_pr, n1) = triple_classification(model, test, cfg);
     let (mrr, hits1, hits10, n2) = entity_prediction(model, test, cfg);
     EvalMetrics { auc_pr, mrr, hits1, hits10, num_targets: n1.max(n2) }
@@ -240,7 +287,7 @@ mod tests {
     fn oracle_gets_perfect_scores() {
         let (test, all_facts) = test_set();
         let model = Oracle { store: ParamStore::new(), facts: all_facts };
-        let cfg = EvalConfig { num_candidates: 10, max_targets: 20, seed: 1 };
+        let cfg = EvalConfig { num_candidates: 10, max_targets: 20, seed: 1, ..Default::default() };
         let m = evaluate(&model, &test, &cfg);
         assert!(m.auc_pr > 99.0, "auc {}", m.auc_pr);
         assert!(m.mrr > 99.0, "mrr {}", m.mrr);
@@ -276,7 +323,7 @@ mod tests {
             }
         }
         let model = Anti(Oracle { store: ParamStore::new(), facts: all_facts });
-        let cfg = EvalConfig { num_candidates: 10, max_targets: 20, seed: 1 };
+        let cfg = EvalConfig { num_candidates: 10, max_targets: 20, seed: 1, ..Default::default() };
         let m = evaluate(&model, &test, &cfg);
         assert!(m.mrr < 20.0, "anti-oracle mrr {}", m.mrr);
         assert!(m.auc_pr < 60.0, "anti-oracle auc {}", m.auc_pr);
@@ -287,7 +334,7 @@ mod tests {
         let (test, all_facts) = test_set();
         let oracle = Oracle { store: ParamStore::new(), facts: all_facts.clone() };
         let oracle2 = Oracle { store: ParamStore::new(), facts: all_facts };
-        let cfg = EvalConfig { num_candidates: 8, max_targets: 12, seed: 9 };
+        let cfg = EvalConfig { num_candidates: 8, max_targets: 12, seed: 9, ..Default::default() };
         let rrs = entity_prediction_paired(&[&oracle, &oracle2], &test, &cfg);
         assert_eq!(rrs.len(), 2);
         assert_eq!(rrs[0].len(), 12);
@@ -301,7 +348,7 @@ mod tests {
     fn relation_prediction_favors_oracle() {
         let (test, all_facts) = test_set();
         let model = Oracle { store: ParamStore::new(), facts: all_facts };
-        let cfg = EvalConfig { num_candidates: 10, max_targets: 15, seed: 3 };
+        let cfg = EvalConfig { num_candidates: 10, max_targets: 15, seed: 3, ..Default::default() };
         let (mrr, h1, h10, n) = relation_prediction(&model, &test, 5, &cfg);
         assert!(mrr > 99.0, "relation MRR {mrr}");
         assert_eq!(h1, 100.0);
@@ -335,7 +382,7 @@ mod tests {
             }
         }
         let model = Flat(ParamStore::new());
-        let cfg = EvalConfig { num_candidates: 9, max_targets: 30, seed: 2 };
+        let cfg = EvalConfig { num_candidates: 9, max_targets: 30, seed: 2, ..Default::default() };
         let (mrr, _h1, h10, _) = entity_prediction(&model, &test, &cfg);
         // all ties -> rank ~ (1 + 10)/2 -> mrr ~ 1/6..1/5, hits@10 = 100
         assert!(mrr < 30.0);

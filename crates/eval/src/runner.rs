@@ -5,11 +5,14 @@
 use crate::protocol::{evaluate, EvalConfig, EvalMetrics};
 use rmpi_core::{train_model, ScoringModel, TrainConfig};
 use rmpi_datasets::Benchmark;
+use rmpi_runtime::ThreadPool;
 use std::collections::HashMap;
 
 /// Builds a fresh model for one seed. The factory owns everything the model
-/// needs (schema vectors, seen-relation sets, hyper-parameters).
-pub type ModelFactory = Box<dyn Fn(u64, &Benchmark) -> Box<dyn ScoringModel + Send> + Send + Sync>;
+/// needs (schema vectors, seen-relation sets, hyper-parameters). Models must
+/// be `Sync` so training batches and candidate scoring can fan out across
+/// worker threads.
+pub type ModelFactory = Box<dyn Fn(u64, &Benchmark) -> Box<dyn ScoringModel + Send + Sync> + Send + Sync>;
 
 /// Per-test-set aggregation over seeds.
 #[derive(Clone, Debug, Default)]
@@ -67,27 +70,23 @@ pub fn run_experiment(
             benchmark.name
         );
     }
-    let runs: Vec<HashMap<String, EvalMetrics>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| {
-                scope.spawn(move || {
-                    let mut model = factory(seed, benchmark);
-                    let tc = TrainConfig { seed: train_cfg.seed.wrapping_add(seed), ..*train_cfg };
-                    train_model(&mut model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &tc);
-                    let mut out = HashMap::new();
-                    for &name in test_names {
-                        let test = benchmark
-                            .test(name)
-                            .unwrap_or_else(|| panic!("benchmark {} has no test set {name:?}", benchmark.name));
-                        let ec = EvalConfig { seed: eval_cfg.seed.wrapping_add(seed), ..*eval_cfg };
-                        out.insert(name.to_owned(), evaluate(model.as_ref(), test, &ec));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("seed thread panicked")).collect()
+    // One worker per seed (seed counts are small); each seed's inner
+    // training/eval parallelism is governed by the configs' `threads` knobs.
+    let pool = ThreadPool::new(seeds.len());
+    let runs: Vec<HashMap<String, EvalMetrics>> = pool.map_indexed(seeds.len(), |si| {
+        let seed = seeds[si];
+        let mut model = factory(seed, benchmark);
+        let tc = TrainConfig { seed: train_cfg.seed.wrapping_add(seed), ..*train_cfg };
+        train_model(&mut model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &tc);
+        let mut out = HashMap::new();
+        for &name in test_names {
+            let test = benchmark
+                .test(name)
+                .unwrap_or_else(|| panic!("benchmark {} has no test set {name:?}", benchmark.name));
+            let ec = EvalConfig { seed: eval_cfg.seed.wrapping_add(seed), ..*eval_cfg };
+            out.insert(name.to_owned(), evaluate(&model, test, &ec));
+        }
+        out
     });
 
     let mut summaries = HashMap::new();
@@ -118,7 +117,7 @@ mod tests {
             patience: 0,
             ..Default::default()
         };
-        let eval_cfg = EvalConfig { num_candidates: 9, max_targets: 25, seed: 5 };
+        let eval_cfg = EvalConfig { num_candidates: 9, max_targets: 25, seed: 5, ..Default::default() };
         let out = run_experiment(&factory, &b, &["TE"], &train_cfg, &eval_cfg, &[0, 1]);
         let s = &out["TE"];
         assert_eq!(s.per_seed.len(), 2);

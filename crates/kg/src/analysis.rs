@@ -28,8 +28,8 @@ pub fn connected_components(g: &KnowledgeGraph) -> HashMap<EntityId, usize> {
                 .map(|x| x.neighbor)
                 .chain(g.in_edges(cur).iter().map(|x| x.neighbor));
             for nb in nbs {
-                if !comp.contains_key(&nb) {
-                    comp.insert(nb, id);
+                if let std::collections::hash_map::Entry::Vacant(slot) = comp.entry(nb) {
+                    slot.insert(id);
                     stack.push(nb);
                 }
             }

@@ -1,0 +1,146 @@
+//! Scoped worker pool with static sharding.
+//!
+//! Built on `std::thread::scope` only: workers borrow the caller's data
+//! (models, graphs, parameter stores) immutably, run a contiguous shard of
+//! the index space, and write results into disjoint slices of one output
+//! vector — no channels, no locks, no work stealing. Static sharding keeps
+//! the assignment deterministic, and because all randomness is derived per
+//! *index* (see [`crate::mix_seed`]) rather than per worker, results do not
+//! depend on the thread count at all.
+
+use crate::resolve_threads;
+
+/// A lightweight handle describing how many workers parallel maps may use.
+///
+/// The pool is cheap to construct and copy; threads are spawned per call via
+/// `std::thread::scope` (scoped threads borrow non-`'static` data, which is
+/// what lets workers share `&ParamStore` / `&KnowledgeGraph` directly).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// A pool with `threads` workers (`0` = one per available core).
+    pub fn new(threads: usize) -> Self {
+        ThreadPool { workers: resolve_threads(threads).max(1) }
+    }
+
+    /// A single-worker pool (runs everything inline).
+    pub fn sequential() -> Self {
+        ThreadPool { workers: 1 }
+    }
+
+    /// Number of workers parallel maps will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Map `f` over `0..n`, returning results in index order.
+    ///
+    /// Work is split into at most `workers` contiguous shards. `f` must be
+    /// deterministic in its index argument for thread-count invariance.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_init(n, || (), |(), i| f(i))
+    }
+
+    /// Map with per-worker scratch state: `init` runs once per worker and the
+    /// resulting state is reused across that worker's whole shard.
+    ///
+    /// This is what lets each worker reuse one [`Tape`]-like arena for a
+    /// whole batch instead of reallocating per sample. Results still come
+    /// back in index order and must not depend on how indices were sharded.
+    pub fn map_init<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            let mut state = init();
+            return (0..n).map(|i| f(&mut state, i)).collect();
+        }
+
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (shard, slots) in out.chunks_mut(chunk).enumerate() {
+                let (init, f) = (&init, &f);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let base = shard * chunk;
+                    for (offset, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(&mut state, base + offset));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("pool worker filled every slot")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 3, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.map_indexed(23, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(4);
+        assert!(pool.map_indexed(0, |i| i).is_empty());
+        assert_eq!(pool.map_indexed(1, |i| i + 10), vec![10]);
+        assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn init_state_is_per_worker_and_reused() {
+        let pool = ThreadPool::new(2);
+        // each worker counts how many items it processed via its own state
+        let out = pool.map_init(
+            10,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        // indices are intact and each worker's counter increments within its shard
+        for (idx, (i, c)) in out.iter().enumerate() {
+            assert_eq!(*i, idx);
+            assert!(*c >= 1 && *c <= 10);
+        }
+        let total: usize = out.iter().filter(|(_, c)| *c == 1).count();
+        assert_eq!(total, 2, "exactly one state reset per worker");
+    }
+
+    #[test]
+    fn workers_capped_by_items() {
+        let pool = ThreadPool::new(16);
+        assert_eq!(pool.workers(), 16);
+        let out = pool.map_indexed(2, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_cores() {
+        assert!(ThreadPool::new(0).workers() >= 1);
+        assert_eq!(ThreadPool::sequential().workers(), 1);
+    }
+}

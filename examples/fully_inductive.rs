@@ -31,7 +31,7 @@ fn main() {
     );
 
     let train_cfg = TrainConfig { epochs: 3, max_samples_per_epoch: 400, ..Default::default() };
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 3 };
+    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 3, ..Default::default() };
 
     // Random Initialized: unseen relations keep untrained embedding rows;
     // only the message passing over neighbouring seen relations helps.

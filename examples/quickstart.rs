@@ -42,7 +42,7 @@ fn main() {
     );
 
     // 4. Evaluate on the unseen-entity testing graph.
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 7 };
+    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 7, ..Default::default() };
     let metrics = evaluate(&model, &benchmark.tests[0], &eval_cfg);
     println!(
         "test metrics: AUC-PR {:.2}  MRR {:.2}  Hits@1 {:.2}  Hits@10 {:.2}  ({} targets)",

@@ -24,7 +24,7 @@ fn main() {
 
     // per-target reciprocal ranks on identical targets & candidate sets
     let test = benchmark.test("TE").expect("TE");
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 120, seed: 5 };
+    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 120, seed: 5, ..Default::default() };
     let rrs = entity_prediction_paired(&[&base, &ne], test, &eval_cfg);
     let (rr_base, rr_ne) = (&rrs[0], &rrs[1]);
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Release build + tier-1 test suite + thread-count determinism check.
+#
+# Usage: scripts/verify.sh
+# Run from the repository root (or anywhere inside it).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q (tier-1: root package) =="
+cargo test -q
+
+echo "== determinism: threads=1 vs threads=4 vs threads=0 =="
+cargo test -q -p rmpi-core --test parallel_determinism
+
+echo "== worker pool unit tests =="
+cargo test -q -p rmpi-runtime
+
+echo "verify.sh: all checks passed"

@@ -10,9 +10,9 @@ fn benchmark() -> Benchmark {
     build_benchmark("nell.v1", Scale::Quick)
 }
 
-fn quick_train<M: ScoringModel>(model: &mut M, b: &Benchmark, seed: u64) -> f32 {
+fn train_epochs<M: ScoringModel + Sync>(model: &mut M, b: &Benchmark, seed: u64, epochs: usize) -> f32 {
     let cfg = TrainConfig {
-        epochs: 2,
+        epochs,
         max_samples_per_epoch: 250,
         max_valid_samples: 60,
         patience: 0,
@@ -21,6 +21,10 @@ fn quick_train<M: ScoringModel>(model: &mut M, b: &Benchmark, seed: u64) -> f32 
     };
     let report = train_model(model, &b.train.graph, &b.train.targets, &b.train.valid, &cfg);
     report.best_accuracy()
+}
+
+fn quick_train<M: ScoringModel + Sync>(model: &mut M, b: &Benchmark, seed: u64) -> f32 {
+    train_epochs(model, b, seed, 2)
 }
 
 #[test]
@@ -42,7 +46,9 @@ fn rmpi_variants_learn_above_chance() {
 fn grail_learns_above_chance() {
     let b = benchmark();
     let mut model = GrailModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 2);
-    let acc = quick_train(&mut model, &b, 2);
+    // GraIL's loss falls more slowly than the other baselines on this quick
+    // benchmark; give it one extra epoch to clear the above-chance bar.
+    let acc = train_epochs(&mut model, &b, 2, 3);
     assert!(acc > 0.55, "GraIL validation accuracy {acc}");
 }
 
@@ -84,7 +90,7 @@ fn trained_model_beats_untrained_on_test_graph() {
     let mut trained = RmpiModel::new(cfg, b.num_relations(), 5);
     quick_train(&mut trained, &b, 5);
 
-    let ec = EvalConfig { num_candidates: 15, max_targets: 60, seed: 9 };
+    let ec = EvalConfig { num_candidates: 15, max_targets: 60, seed: 9, ..Default::default() };
     let test = b.test("TE").unwrap();
     let m_untrained = evaluate(&untrained, test, &ec);
     let m_trained = evaluate(&trained, test, &ec);

@@ -18,7 +18,7 @@ fn schema_enhancement_beats_random_init_on_fully_unseen() {
         patience: 0,
         ..Default::default()
     };
-    let eval_cfg = EvalConfig { num_candidates: 15, max_targets: 60, seed: 4 };
+    let eval_cfg = EvalConfig { num_candidates: 15, max_targets: 60, seed: 4, ..Default::default() };
     let fully = b.test("TE(fully)").expect("TE(fully)");
 
     let cfg = RmpiConfig { dim: 12, ..RmpiConfig::base() };
