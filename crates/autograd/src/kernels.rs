@@ -149,7 +149,7 @@ mod tests {
         (0..len)
             .map(|_| {
                 state = state.wrapping_mul(1664525).wrapping_add(1013904223);
-                if state.is_multiple_of(7) {
+                if state % 7 == 0 {
                     0.0
                 } else {
                     ((state >> 8) as f32 / (1u32 << 24) as f32) - 0.5

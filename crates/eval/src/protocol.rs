@@ -168,15 +168,13 @@ pub fn entity_prediction_paired(
     let pool = ThreadPool::new(cfg.threads);
     models
         .iter()
-        .enumerate()
-        .map(|(mi, model)| {
+        .map(|model| {
             pool.map_indexed(prepared.len(), |i| {
                 let (pos, sides) = &prepared[i];
-                let mut mrng = StdRng::seed_from_u64(mix_seed(
-                    cfg.seed.wrapping_add(mi as u64),
-                    stream::PAIRED,
-                    i as u64,
-                ));
+                // the per-item scoring rng is keyed by item only (not model),
+                // so stochastic models draw *identical* streams on every side
+                // of the pairing
+                let mut mrng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::PAIRED, i as u64));
                 let gt = model.score(&test.graph, *pos, &mut mrng);
                 if sides.is_empty() {
                     return 1.0;

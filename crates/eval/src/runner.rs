@@ -5,7 +5,7 @@
 use crate::protocol::{evaluate, EvalConfig, EvalMetrics};
 use rmpi_core::{train_model, ScoringModel, TrainConfig};
 use rmpi_datasets::Benchmark;
-use rmpi_runtime::ThreadPool;
+use rmpi_runtime::{resolve_threads, ThreadPool};
 use std::collections::HashMap;
 
 /// Builds a fresh model for one seed. The factory owns everything the model
@@ -70,20 +70,34 @@ pub fn run_experiment(
             benchmark.name
         );
     }
-    // One worker per seed (seed counts are small); each seed's inner
-    // training/eval parallelism is governed by the configs' `threads` knobs.
+    // One worker per seed (seed counts are small). All seeds run
+    // concurrently, so split each seed's inner training/eval thread budget
+    // across them — otherwise `threads = 0` would spawn seeds × cores
+    // workers and oversubscribe the CPU (results are thread-count-invariant,
+    // so this only affects throughput, never numbers).
+    let concurrent = seeds.len().max(1);
+    let train_threads = (resolve_threads(train_cfg.threads) / concurrent).max(1);
+    let eval_threads = (resolve_threads(eval_cfg.threads) / concurrent).max(1);
     let pool = ThreadPool::new(seeds.len());
     let runs: Vec<HashMap<String, EvalMetrics>> = pool.map_indexed(seeds.len(), |si| {
         let seed = seeds[si];
         let mut model = factory(seed, benchmark);
-        let tc = TrainConfig { seed: train_cfg.seed.wrapping_add(seed), ..*train_cfg };
+        let tc = TrainConfig {
+            seed: train_cfg.seed.wrapping_add(seed),
+            threads: train_threads,
+            ..*train_cfg
+        };
         train_model(&mut model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &tc);
         let mut out = HashMap::new();
         for &name in test_names {
             let test = benchmark
                 .test(name)
                 .unwrap_or_else(|| panic!("benchmark {} has no test set {name:?}", benchmark.name));
-            let ec = EvalConfig { seed: eval_cfg.seed.wrapping_add(seed), ..*eval_cfg };
+            let ec = EvalConfig {
+                seed: eval_cfg.seed.wrapping_add(seed),
+                threads: eval_threads,
+                ..*eval_cfg
+            };
             out.insert(name.to_owned(), evaluate(&model, test, &ec));
         }
         out

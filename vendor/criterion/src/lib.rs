@@ -1,0 +1,202 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion the benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] with [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is a simple calibrated wall-clock
+//! loop reporting mean ns/iter — no statistics, plots or HTML reports — which
+//! is enough to compare kernels and thread counts across PRs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// `parameter`-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<MeasuredRun>,
+    measurement_time: Duration,
+}
+
+struct MeasuredRun {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, first calibrating an iteration count that fills
+    /// the group's measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup + calibration: find how many iterations fit the window
+        let probe_start = Instant::now();
+        black_box(routine());
+        let one = probe_start.elapsed().max(Duration::from_nanos(1));
+        let target = self.measurement_time;
+        let iters = (target.as_nanos() / one.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some(MeasuredRun { iters, total: start.elapsed() });
+    }
+}
+
+fn report(name: &str, run: &MeasuredRun) {
+    let ns = run.total.as_nanos() as f64 / run.iters.max(1) as f64;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{name:<48} time: {value:>10.3} {unit}/iter  ({} iters)", run.iters);
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, measurement_time: Duration, mut f: F) {
+    let mut b = Bencher { measured: None, measurement_time };
+    f(&mut b);
+    match &b.measured {
+        Some(run) => report(name, run),
+        None => println!("{name:<48} (no measurement recorded)"),
+    }
+}
+
+/// A named set of related benchmark cases.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower the per-case measurement window (upstream tunes sample counts;
+    /// here fewer samples simply means a shorter window).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = n.clamp(10, 1000) as u64;
+        self.measurement_time = Duration::from_millis(10 * n);
+        self
+    }
+
+    /// Explicit measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `routine` against one `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.measurement_time, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark an input-free routine inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, routine: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.name);
+        run_one(&label, self.measurement_time, routine);
+        self
+    }
+
+    /// End the group (upstream finalises reports here; a no-op offline).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, routine: F) -> &mut Self {
+        run_one(name, default_measurement_time(), routine);
+        self
+    }
+
+    /// Open a named group of cases.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), measurement_time: default_measurement_time(), _parent: self }
+    }
+}
+
+fn default_measurement_time() -> Duration {
+    // keep `cargo bench` for the whole workspace in the minutes range;
+    // RMPI_BENCH_MS overrides the per-case window
+    let ms = std::env::var("RMPI_BENCH_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Collect benchmark functions into a runner (mirrors upstream's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (mirrors upstream's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        std::env::set_var("RMPI_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.measurement_time(Duration::from_millis(5));
+        g.bench_with_input(BenchmarkId::new("case", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).name, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").name, "x");
+    }
+}
