@@ -10,6 +10,11 @@
 //! Values are written with full `f32` round-trip precision via the Ryu-style
 //! shortest representation Rust's formatter provides, so save → load is
 //! bit-exact.
+//!
+//! Loading is strict: duplicate parameter names, non-finite values (a NaN or
+//! Inf weight means the checkpoint is corrupt — nothing downstream can score
+//! with it) and shape/value-count mismatches are all rejected with the
+//! offending line number.
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
@@ -45,7 +50,14 @@ impl fmt::Display for CheckpointError {
     }
 }
 
-impl std::error::Error for CheckpointError {}
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for CheckpointError {
     fn from(e: std::io::Error) -> Self {
@@ -87,6 +99,9 @@ pub fn load_params<R: BufRead>(r: R) -> Result<ParamStore, CheckpointError> {
         let mut parts = line.split_whitespace();
         let err = |message: String| CheckpointError::Parse { line: lineno, message };
         let name = parts.next().ok_or_else(|| err("missing name".into()))?;
+        if store.get(name).is_some() {
+            return Err(err(format!("duplicate parameter {name:?}")));
+        }
         let rank: usize = parts
             .next()
             .ok_or_else(|| err("missing rank".into()))?
@@ -107,7 +122,11 @@ pub fn load_params<R: BufRead>(r: R) -> Result<ParamStore, CheckpointError> {
         let expect: usize = shape.iter().product();
         let mut data = Vec::with_capacity(expect);
         for p in parts {
-            data.push(p.parse::<f32>().map_err(|e| err(format!("bad value: {e}")))?);
+            let v = p.parse::<f32>().map_err(|e| err(format!("bad value: {e}")))?;
+            if !v.is_finite() {
+                return Err(err(format!("non-finite value {v} in parameter {name:?}")));
+            }
+            data.push(v);
         }
         if data.len() != expect {
             return Err(err(format!("expected {expect} values, got {}", data.len())));
@@ -175,6 +194,51 @@ mod tests {
     #[test]
     fn rejects_unsupported_rank() {
         let input = format!("{MAGIC}\nw 3 1 1 1 0.0\n");
+        assert!(load_params(Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        let underlying = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "cut short");
+        let err = CheckpointError::from(underlying);
+        let source = std::error::Error::source(&err).expect("Io variant must carry its cause");
+        assert!(source.to_string().contains("cut short"));
+        let parse = CheckpointError::Parse { line: 1, message: "x".into() };
+        assert!(std::error::Error::source(&parse).is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_parameter_names() {
+        let input = format!("{MAGIC}\nw 1 1 0.5\nw 1 1 0.25\n");
+        let err = load_params(Cursor::new(input)).unwrap_err();
+        match err {
+            CheckpointError::Parse { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("duplicate"), "message: {message}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let input = format!("{MAGIC}\nw 1 2 1.0 {bad}\n");
+            let err = load_params(Cursor::new(input)).unwrap_err();
+            match err {
+                CheckpointError::Parse { line, message } => {
+                    assert_eq!(line, 2);
+                    assert!(message.contains("non-finite"), "{bad}: {message}");
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_value_count_mismatch() {
+        // too many values is as corrupt as too few
+        let input = format!("{MAGIC}\nw 1 2 1.0 2.0 3.0\n");
         assert!(load_params(Cursor::new(input)).is_err());
     }
 

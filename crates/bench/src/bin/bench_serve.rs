@@ -1,0 +1,106 @@
+//! Latency/throughput report for the inference service.
+//!
+//! Measures, on a fixed batch of test-split queries against one engine:
+//! cold-cache batch latency (every subgraph freshly extracted), warm-cache
+//! batch latency (every subgraph served from the LRU), uncached batch
+//! latency (cache disabled — the steady-state cost without the cache), and
+//! warm-cache throughput at each thread count. Writes `BENCH_serve.json`
+//! in the working directory.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_serve [--threads 1,2,4,8]
+//! ```
+
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_datasets::{build_benchmark, Scale};
+use rmpi_kg::Triple;
+use rmpi_serve::{Engine, EngineConfig};
+use std::time::Instant;
+
+const BATCH: usize = 96;
+const REPS: usize = 3;
+const SEED: u64 = 17;
+
+/// Best-of-`REPS` seconds to score `targets` once. `prepare` runs before
+/// every rep (e.g. clearing the cache for cold runs).
+fn time_batch(engine: &Engine, targets: &[Triple], prepare: impl Fn(&Engine)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        prepare(engine);
+        let t0 = Instant::now();
+        engine.score_batch(targets).expect("score batch");
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let thread_counts: Vec<usize> = match args.iter().position(|a| a == "--threads") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("--threads takes a comma-separated list"))
+            .collect(),
+        None => vec![1, 2, 4, 8],
+    };
+
+    let b = build_benchmark("nell.v1", Scale::Quick);
+    let test = b.test("TE").expect("TE split");
+    let model =
+        RmpiModel::new(RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() }, b.num_relations(), 1);
+    let targets: Vec<Triple> =
+        test.targets.iter().copied().cycle().take(BATCH).collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("serve latency/throughput, batch of {BATCH}, best of {REPS}, {cores} core(s)");
+
+    // cold vs warm vs uncached, single-threaded so the cache effect is not
+    // confounded with parallel speedup
+    let make = |cache: usize, threads: usize| {
+        Engine::new(
+            model.clone(),
+            test.graph.clone(),
+            EngineConfig { seed: SEED, cache_capacity: cache, threads },
+        )
+    };
+    let engine = make(8192, 1);
+    let cold = time_batch(&engine, &targets, |e| e.clear_cache());
+    engine.clear_cache();
+    engine.score_batch(&targets).expect("cache warmup");
+    let warm = time_batch(&engine, &targets, |_| {});
+    let uncached = time_batch(&make(0, 1), &targets, |_| {});
+    let cold_ms = cold * 1e3;
+    let warm_ms = warm * 1e3;
+    let uncached_ms = uncached * 1e3;
+    println!("  cold-cache  {cold_ms:8.1} ms/batch");
+    println!("  warm-cache  {warm_ms:8.1} ms/batch  ({:.2}x vs cold)", cold / warm);
+    println!("  uncached    {uncached_ms:8.1} ms/batch");
+
+    // warm-cache throughput vs thread count
+    let mut rows = Vec::new();
+    let mut base_rate = None;
+    for &threads in &thread_counts {
+        let engine = make(8192, threads);
+        engine.score_batch(&targets).expect("warmup");
+        let secs = time_batch(&engine, &targets, |_| {});
+        let rate = BATCH as f64 / secs;
+        let base = *base_rate.get_or_insert(rate);
+        println!("  threads={threads:<2} {rate:8.1} scores/sec  ({:.2}x)", rate / base);
+        rows.push(format!(
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
+             \"scores_per_sec\": {rate:.1}, \"speedup\": {:.3}}}",
+            rate / base
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"cores\": {cores},\n  \"batch\": {BATCH},\n  \
+         \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \
+         \"uncached_ms\": {uncached_ms:.3},\n  \"warm_speedup_vs_cold\": {:.3},\n  \
+         \"warm_throughput\": [\n{}\n  ]\n}}\n",
+        cold / warm,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+}

@@ -43,6 +43,14 @@ impl RelationEncoder {
         RelationEncoder::Schema { onto, w1, w2 }
     }
 
+    /// The fixed schema TransE vectors, when this is the schema encoder.
+    pub fn schema_vectors(&self) -> Option<&Tensor> {
+        match self {
+            RelationEncoder::Random { .. } => None,
+            RelationEncoder::Schema { onto, .. } => Some(onto),
+        }
+    }
+
     /// Number of relations covered.
     pub fn num_relations(&self, store: &ParamStore) -> usize {
         match self {

@@ -29,6 +29,7 @@ pub mod trainer;
 pub mod traits;
 
 pub use config::{Fusion, RelationInit, RmpiConfig};
-pub use model::RmpiModel;
+pub use model::{ModelAssemblyError, RmpiModel};
+pub use sample::SampleInput;
 pub use trainer::{train_model, TrainConfig, TrainReport};
 pub use traits::{Mode, ScoringModel};

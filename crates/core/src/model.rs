@@ -4,12 +4,14 @@ use crate::config::{Fusion, RelationInit, RmpiConfig};
 use crate::encode::RelationEncoder;
 use crate::layers::{relational_message_passing, AttentionConfig, MessagePassingWeights};
 use crate::ne::{disclosing_aggregate, NeWeights};
-use crate::sample::prepare_sample;
+use crate::sample::{prepare_sample, SampleInput};
 use crate::traits::{Mode, ScoringModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_subgraph::relview::NUM_EDGE_TYPES;
+use std::fmt;
 
 /// RMPI with all its variants (base / NE / TA / NE-TA, SUM / CONC fusion,
 /// random / schema initialisation) selected by [`RmpiConfig`].
@@ -81,6 +83,97 @@ impl RmpiModel {
         RmpiModel { cfg, store, encoder, mp, ne_weights, score_w, fuse_w3, fuse_gate, ent_w, num_relations }
     }
 
+    /// Reassemble a model from a loaded parameter store — the bundle-loading
+    /// path: every handle the forward pass needs is looked up by the name
+    /// [`RmpiModel::new`] would have created it under, and shapes are checked
+    /// against `cfg` so a config/checkpoint mismatch fails loudly instead of
+    /// scoring garbage. Schema-initialised models additionally need their
+    /// fixed `onto` vectors back (they live outside the store).
+    pub fn from_store(
+        cfg: RmpiConfig,
+        num_relations: usize,
+        store: ParamStore,
+        onto: Option<Tensor>,
+    ) -> Result<Self, ModelAssemblyError> {
+        let mut expected: Vec<String> = Vec::new();
+        let mut lookup = |name: String, shape: &[usize]| -> Result<ParamId, ModelAssemblyError> {
+            let id = store
+                .get(&name)
+                .ok_or_else(|| ModelAssemblyError::MissingParam(name.clone()))?;
+            let got = store.value(id).shape();
+            if got != shape {
+                return Err(ModelAssemblyError::ShapeMismatch {
+                    name,
+                    expected: shape.to_vec(),
+                    got: got.to_vec(),
+                });
+            }
+            expected.push(name);
+            Ok(id)
+        };
+
+        let encoder = match cfg.init {
+            RelationInit::Random => {
+                let emb = lookup("rel_emb".into(), &[num_relations.max(1), cfg.dim])?;
+                RelationEncoder::Random { emb }
+            }
+            RelationInit::Schema => {
+                let onto = onto.ok_or(ModelAssemblyError::MissingSchemaVectors)?;
+                if onto.rows() != num_relations {
+                    return Err(ModelAssemblyError::SchemaVectorRows {
+                        expected: num_relations,
+                        got: onto.rows(),
+                    });
+                }
+                let hidden = cfg.schema_hidden_dim();
+                let w2 = lookup("onto_w2".into(), &[hidden, onto.cols()])?;
+                let w1 = lookup("onto_w1".into(), &[cfg.dim, hidden])?;
+                RelationEncoder::Schema { onto, w1, w2 }
+            }
+        };
+        let w = (0..cfg.num_layers)
+            .map(|k| {
+                (0..NUM_EDGE_TYPES)
+                    .map(|e| lookup(format!("mp_l{k}_e{e}"), &[cfg.dim, cfg.dim]))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let mp = MessagePassingWeights { w };
+        let ne_weights = if cfg.ne {
+            Some(NeWeights { wd: lookup("ne_wd".into(), &[cfg.dim, cfg.dim])? })
+        } else {
+            None
+        };
+        let fuse_w3 = if cfg.ne && cfg.fusion == Fusion::Concat {
+            Some(lookup("fuse_w3".into(), &[cfg.dim, 2 * cfg.dim])?)
+        } else {
+            None
+        };
+        let fuse_gate = if cfg.ne && cfg.fusion == Fusion::Gated {
+            Some(lookup("fuse_gate".into(), &[cfg.dim, 2 * cfg.dim])?)
+        } else {
+            None
+        };
+        let ent_w = if cfg.entity_clues {
+            let hist_dim = crate::sample::label_histogram_len(cfg.hop + 1);
+            Some(lookup("ent_w".into(), &[cfg.dim, hist_dim])?)
+        } else {
+            None
+        };
+        let score_w = lookup("score_w".into(), &[cfg.dim])?;
+
+        // a parameter the config does not call for means the checkpoint was
+        // written by a different variant — refuse rather than silently ignore
+        if store.len() != expected.len() {
+            for id in store.ids() {
+                if !expected.iter().any(|n| n == store.name(id)) {
+                    return Err(ModelAssemblyError::UnexpectedParam(store.name(id).to_owned()));
+                }
+            }
+        }
+        Ok(RmpiModel { cfg, store, encoder, mp, ne_weights, score_w, fuse_w3, fuse_gate, ent_w, num_relations })
+    }
+
     /// The model configuration.
     pub fn config(&self) -> &RmpiConfig {
         &self.cfg
@@ -90,32 +183,36 @@ impl RmpiModel {
     pub fn num_relations(&self) -> usize {
         self.num_relations
     }
-}
 
-impl ScoringModel for RmpiModel {
-    fn param_store(&self) -> &ParamStore {
-        &self.store
+    /// The fixed schema TransE vectors, when `cfg.init` is schema.
+    pub fn schema_vectors(&self) -> Option<&Tensor> {
+        self.encoder.schema_vectors()
     }
 
-    fn param_store_mut(&mut self) -> &mut ParamStore {
-        &mut self.store
+    /// Build the deterministic (eval-mode) forward input for `target`, with
+    /// all stochastic choices (oversized-subgraph downsampling) drawn from a
+    /// fresh RNG seeded with `seed`. This is the extraction half of
+    /// [`ScoringModel::score`]: scoring the returned sample via
+    /// [`RmpiModel::score_sample`] is bit-identical to
+    /// `self.score(graph, target, &mut StdRng::seed_from_u64(seed))` — which
+    /// is what lets a serving cache store the sample and replay it later.
+    pub fn prepare_eval_sample(&self, graph: &KnowledgeGraph, target: Triple, seed: u64) -> SampleInput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prepare_sample(graph, target, &self.cfg, Mode::Eval, &mut rng)
     }
 
-    fn score_on_tape(
-        &self,
-        tape: &mut Tape,
-        graph: &KnowledgeGraph,
-        target: Triple,
-        mode: Mode,
-        rng: &mut StdRng,
-    ) -> Var {
+    /// Record the score of an already-prepared sample on `tape` — the
+    /// cache-hit scoring path. The forward pass past sample preparation is
+    /// fully deterministic, so the result depends only on the sample and the
+    /// parameters.
+    pub fn score_sample_on_tape(&self, tape: &mut Tape, sample: &SampleInput) -> Var {
+        let target = sample.target;
         assert!(
             target.relation.index() < self.num_relations,
             "relation {} outside the model's id space ({})",
             target.relation,
             self.num_relations
         );
-        let sample = prepare_sample(graph, target, &self.cfg, mode, rng);
 
         // every relation whose h^0 the pass needs
         let mut rels: Vec<RelationId> = sample.relview.nodes.iter().map(|n| n.relation).collect();
@@ -181,6 +278,85 @@ impl ScoringModel for RmpiModel {
             fused = tape.add(fused, clue);
         }
         tape.dot(w, fused)
+    }
+
+    /// Eagerly score an already-prepared sample.
+    pub fn score_sample(&self, sample: &SampleInput) -> f32 {
+        let mut tape = Tape::new();
+        let v = self.score_sample_on_tape(&mut tape, sample);
+        tape.value(v).item()
+    }
+}
+
+/// Errors from [`RmpiModel::from_store`]: the parameter store does not match
+/// what the configuration says the model should look like.
+#[derive(Debug)]
+pub enum ModelAssemblyError {
+    /// A parameter the config calls for is absent.
+    MissingParam(String),
+    /// A parameter exists but with the wrong shape.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Shape the config implies.
+        expected: Vec<usize>,
+        /// Shape found in the store.
+        got: Vec<usize>,
+    },
+    /// The store holds a parameter the config does not call for.
+    UnexpectedParam(String),
+    /// Schema init requested but no schema vectors supplied.
+    MissingSchemaVectors,
+    /// Schema vectors do not cover the relation id space.
+    SchemaVectorRows {
+        /// Relations the model must cover.
+        expected: usize,
+        /// Rows the supplied matrix has.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ModelAssemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelAssemblyError::MissingParam(name) => write!(f, "missing parameter {name:?}"),
+            ModelAssemblyError::ShapeMismatch { name, expected, got } => {
+                write!(f, "parameter {name:?} has shape {got:?}, config implies {expected:?}")
+            }
+            ModelAssemblyError::UnexpectedParam(name) => {
+                write!(f, "unexpected parameter {name:?} for this configuration")
+            }
+            ModelAssemblyError::MissingSchemaVectors => {
+                write!(f, "schema-initialised model needs its schema vectors")
+            }
+            ModelAssemblyError::SchemaVectorRows { expected, got } => {
+                write!(f, "schema vectors cover {got} relations, model needs {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelAssemblyError {}
+
+impl ScoringModel for RmpiModel {
+    fn param_store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn param_store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn score_on_tape(
+        &self,
+        tape: &mut Tape,
+        graph: &KnowledgeGraph,
+        target: Triple,
+        mode: Mode,
+        rng: &mut StdRng,
+    ) -> Var {
+        let sample = prepare_sample(graph, target, &self.cfg, mode, rng);
+        self.score_sample_on_tape(tape, &sample)
     }
 
     fn name(&self) -> String {
@@ -314,6 +490,81 @@ mod tests {
         }
         assert_ne!(scores[0], scores[1]);
         assert_ne!(scores[0], scores[2]);
+    }
+
+    #[test]
+    fn prepared_sample_scores_match_direct_scoring() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        let model = RmpiModel::new(RmpiConfig { ne: true, ta: true, ..small_cfg() }, 6, 11);
+        let direct = model.score(&g, target, &mut StdRng::seed_from_u64(42));
+        let sample = model.prepare_eval_sample(&g, target, 42);
+        assert_eq!(model.score_sample(&sample), direct);
+        // replaying the same sample (the cache-hit path) stays bit-identical
+        assert_eq!(model.score_sample(&sample), direct);
+    }
+
+    #[test]
+    fn from_store_reassembles_bitwise_identical_model() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 5u32, 3u32);
+        for cfg in [
+            small_cfg(),
+            RmpiConfig { ne: true, ta: true, ..small_cfg() },
+            RmpiConfig { ne: true, fusion: Fusion::Gated, entity_clues: true, ..small_cfg() },
+        ] {
+            let model = RmpiModel::new(cfg, 6, 13);
+            let rebuilt = RmpiModel::from_store(cfg, 6, model.param_store().clone(), None)
+                .expect("reassembly must accept the model's own store");
+            let mut rng = StdRng::seed_from_u64(0);
+            let a = model.score(&g, target, &mut rng);
+            let b = rebuilt.score(&g, target, &mut StdRng::seed_from_u64(0));
+            assert_eq!(a, b, "{}", model.name());
+        }
+    }
+
+    #[test]
+    fn from_store_rejects_mismatched_configs() {
+        let base = RmpiModel::new(small_cfg(), 6, 0);
+        // config wants NE weights the checkpoint lacks
+        let err = RmpiModel::from_store(
+            RmpiConfig { ne: true, ..small_cfg() },
+            6,
+            base.param_store().clone(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelAssemblyError::MissingParam(_)), "{err}");
+        // checkpoint has NE weights the config does not call for
+        let ne_model = RmpiModel::new(RmpiConfig { ne: true, ..small_cfg() }, 6, 0);
+        let err = RmpiModel::from_store(small_cfg(), 6, ne_model.param_store().clone(), None).unwrap_err();
+        assert!(matches!(err, ModelAssemblyError::UnexpectedParam(_)), "{err}");
+        // wrong dimension
+        let err = RmpiModel::from_store(
+            RmpiConfig { dim: 16, ..small_cfg() },
+            6,
+            base.param_store().clone(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelAssemblyError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn from_store_schema_model_needs_onto() {
+        let cfg = RmpiConfig { init: RelationInit::Schema, ..small_cfg() };
+        let onto = Tensor::matrix(6, 10, vec![0.2; 60]);
+        let model = RmpiModel::with_schema_vectors(cfg, onto.clone(), 3);
+        assert!(model.schema_vectors().is_some());
+        let err = RmpiModel::from_store(cfg, 6, model.param_store().clone(), None).unwrap_err();
+        assert!(matches!(err, ModelAssemblyError::MissingSchemaVectors), "{err}");
+        let rebuilt =
+            RmpiModel::from_store(cfg, 6, model.param_store().clone(), Some(onto)).unwrap();
+        let g = toy_graph();
+        let t = Triple::new(0u32, 5u32, 3u32);
+        let a = model.score(&g, t, &mut StdRng::seed_from_u64(1));
+        let b = rebuilt.score(&g, t, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! Model bundles: everything needed to re-instantiate a trained model
+//! outside the trainer, in one artifact.
+//!
+//! A bundle is a single UTF-8 file with two sections:
+//!
+//! ```text
+//! rmpi-bundle v1
+//! variant RMPI-NE(S)            # informational, re-derived on load
+//! dim 32
+//! layers 2
+//! hop 2
+//! ne true
+//! ta false
+//! fusion sum                    # sum | concat | gated
+//! leaky_slope 0.2
+//! edge_dropout 0.5
+//! init random                   # random | schema
+//! schema_hidden 0
+//! max_edges 300
+//! entity_clues false
+//! relations 12
+//! rel 0 bornIn                  # optional vocabulary, one line per relation
+//! onto 12 10 <values...>        # schema init only: rows cols data
+//! params
+//! rmpi-params v1                # the existing checkpoint format verbatim
+//! <name> <rank> <dim...> <value...>
+//! ```
+//!
+//! The manifest carries the full [`RmpiConfig`] (floats in round-trip
+//! precision), the relation id-space size, an optional relation vocabulary
+//! and — for schema-initialised models — the fixed ontology vectors, which
+//! live outside the parameter store. The `params` marker hands the rest of
+//! the stream to [`rmpi_autograd::io::load_params`] unchanged, so bundle and
+//! checkpoint parsing share one strict tensor parser. Save → load is
+//! bit-exact: a reloaded model scores identically to the one that was saved.
+
+use crate::error::ServeError;
+use rmpi_autograd::io::{load_params, save_params};
+use rmpi_autograd::Tensor;
+use rmpi_core::{Fusion, RelationInit, RmpiConfig, RmpiModel, ScoringModel};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Bundle header line.
+const MAGIC: &str = "rmpi-bundle v1";
+/// Marker separating the manifest from the parameter section.
+const PARAMS_MARKER: &str = "params";
+
+/// A loaded bundle: the re-instantiated model plus its relation vocabulary.
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// The reassembled model, bit-identical to the one saved.
+    pub model: RmpiModel,
+    /// Relation names by id (empty when the bundle carried no vocabulary).
+    pub relation_names: Vec<String>,
+}
+
+/// Serialise `model` (config, optional vocabulary, optional schema vectors,
+/// parameters) into `w`. `relation_names` must be empty or cover the model's
+/// whole relation id space.
+pub fn save_bundle<W: Write>(
+    w: &mut W,
+    model: &RmpiModel,
+    relation_names: &[String],
+) -> Result<(), ServeError> {
+    let cfg = model.config();
+    assert!(
+        relation_names.is_empty() || relation_names.len() == model.num_relations(),
+        "vocabulary must be empty or cover all {} relations",
+        model.num_relations()
+    );
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "variant {}", cfg.variant_name())?;
+    writeln!(w, "dim {}", cfg.dim)?;
+    writeln!(w, "layers {}", cfg.num_layers)?;
+    writeln!(w, "hop {}", cfg.hop)?;
+    writeln!(w, "ne {}", cfg.ne)?;
+    writeln!(w, "ta {}", cfg.ta)?;
+    let fusion = match cfg.fusion {
+        Fusion::Sum => "sum",
+        Fusion::Concat => "concat",
+        Fusion::Gated => "gated",
+    };
+    writeln!(w, "fusion {fusion}")?;
+    writeln!(w, "leaky_slope {}", cfg.leaky_slope)?;
+    writeln!(w, "edge_dropout {}", cfg.edge_dropout)?;
+    let init = match cfg.init {
+        RelationInit::Random => "random",
+        RelationInit::Schema => "schema",
+    };
+    writeln!(w, "init {init}")?;
+    writeln!(w, "schema_hidden {}", cfg.schema_hidden)?;
+    writeln!(w, "max_edges {}", cfg.max_subgraph_edges)?;
+    writeln!(w, "entity_clues {}", cfg.entity_clues)?;
+    writeln!(w, "relations {}", model.num_relations())?;
+    for (i, name) in relation_names.iter().enumerate() {
+        writeln!(w, "rel {i} {name}")?;
+    }
+    if let Some(onto) = model.schema_vectors() {
+        write!(w, "onto {} {}", onto.rows(), onto.cols())?;
+        for v in onto.data() {
+            write!(w, " {v}")?;
+        }
+        writeln!(w)?;
+    }
+    writeln!(w, "{PARAMS_MARKER}")?;
+    save_params(w, model.param_store())?;
+    Ok(())
+}
+
+/// Parse a bundle and reassemble the model.
+pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
+    let mut reader = BufReader::new(r);
+    let mut lineno = 0usize;
+    let mut line = String::new();
+    let mut next_line = |reader: &mut BufReader<R>, lineno: &mut usize| -> Result<Option<String>, ServeError> {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        *lineno += 1;
+        Ok(Some(line.trim_end_matches(['\n', '\r']).to_owned()))
+    };
+
+    let header = next_line(&mut reader, &mut lineno)?.unwrap_or_default();
+    if header != MAGIC {
+        return Err(ServeError::Manifest { line: 1, message: format!("bad header {header:?}") });
+    }
+
+    let mut manifest = ManifestBuilder::default();
+    loop {
+        let Some(text) = next_line(&mut reader, &mut lineno)? else {
+            return Err(ServeError::Manifest {
+                line: lineno,
+                message: format!("bundle ended before the {PARAMS_MARKER:?} marker"),
+            });
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        if text.trim() == PARAMS_MARKER {
+            break;
+        }
+        manifest.apply(&text, lineno)?;
+    }
+
+    let store = load_params(reader)?;
+    manifest.finish(store)
+}
+
+/// Save a bundle to `path` (buffered).
+pub fn save_bundle_file<P: AsRef<Path>>(
+    path: P,
+    model: &RmpiModel,
+    relation_names: &[String],
+) -> Result<(), ServeError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    save_bundle(&mut w, model, relation_names)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a bundle from `path`.
+pub fn load_bundle_file<P: AsRef<Path>>(path: P) -> Result<Bundle, ServeError> {
+    load_bundle(std::fs::File::open(path)?)
+}
+
+/// Accumulates manifest fields as lines arrive, then assembles the model.
+#[derive(Default)]
+struct ManifestBuilder {
+    cfg: RmpiConfig,
+    num_relations: Option<usize>,
+    relation_names: Vec<(usize, String)>,
+    onto: Option<Tensor>,
+    seen_dim: bool,
+}
+
+impl ManifestBuilder {
+    fn apply(&mut self, text: &str, lineno: usize) -> Result<(), ServeError> {
+        let err = |message: String| ServeError::Manifest { line: lineno, message };
+        let (key, rest) = match text.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (text.trim(), ""),
+        };
+        match key {
+            "variant" => {} // informational; re-derived from the config
+            "dim" => {
+                self.cfg.dim = parse(rest, "dim", lineno)?;
+                self.seen_dim = true;
+            }
+            "layers" => self.cfg.num_layers = parse(rest, "layers", lineno)?,
+            "hop" => self.cfg.hop = parse(rest, "hop", lineno)?,
+            "ne" => self.cfg.ne = parse(rest, "ne", lineno)?,
+            "ta" => self.cfg.ta = parse(rest, "ta", lineno)?,
+            "fusion" => {
+                self.cfg.fusion = match rest {
+                    "sum" => Fusion::Sum,
+                    "concat" => Fusion::Concat,
+                    "gated" => Fusion::Gated,
+                    other => return Err(err(format!("unknown fusion {other:?}"))),
+                }
+            }
+            "leaky_slope" => self.cfg.leaky_slope = parse(rest, "leaky_slope", lineno)?,
+            "edge_dropout" => self.cfg.edge_dropout = parse(rest, "edge_dropout", lineno)?,
+            "init" => {
+                self.cfg.init = match rest {
+                    "random" => RelationInit::Random,
+                    "schema" => RelationInit::Schema,
+                    other => return Err(err(format!("unknown init {other:?}"))),
+                }
+            }
+            "schema_hidden" => self.cfg.schema_hidden = parse(rest, "schema_hidden", lineno)?,
+            "max_edges" => self.cfg.max_subgraph_edges = parse(rest, "max_edges", lineno)?,
+            "entity_clues" => self.cfg.entity_clues = parse(rest, "entity_clues", lineno)?,
+            "relations" => self.num_relations = Some(parse(rest, "relations", lineno)?),
+            "rel" => {
+                let (id, name) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("rel needs an id and a name".into()))?;
+                let id: usize = parse(id, "rel id", lineno)?;
+                self.relation_names.push((id, name.trim().to_owned()));
+            }
+            "onto" => {
+                let mut parts = rest.split_whitespace();
+                let rows: usize =
+                    parse(parts.next().ok_or_else(|| err("onto needs rows".into()))?, "onto rows", lineno)?;
+                let cols: usize =
+                    parse(parts.next().ok_or_else(|| err("onto needs cols".into()))?, "onto cols", lineno)?;
+                let mut data = Vec::with_capacity(rows * cols);
+                for p in parts {
+                    let v: f32 = parse(p, "onto value", lineno)?;
+                    if !v.is_finite() {
+                        return Err(err(format!("non-finite onto value {v}")));
+                    }
+                    data.push(v);
+                }
+                if data.len() != rows * cols {
+                    return Err(err(format!("onto expects {} values, got {}", rows * cols, data.len())));
+                }
+                self.onto = Some(Tensor::matrix(rows, cols, data));
+            }
+            other => return Err(err(format!("unknown manifest key {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn finish(self, store: rmpi_autograd::ParamStore) -> Result<Bundle, ServeError> {
+        let missing = |what: &str| ServeError::Manifest { line: 0, message: format!("manifest is missing {what}") };
+        if !self.seen_dim {
+            return Err(missing("dim"));
+        }
+        let num_relations = self.num_relations.ok_or_else(|| missing("relations"))?;
+        let mut relation_names = Vec::new();
+        if !self.relation_names.is_empty() {
+            relation_names = vec![String::new(); num_relations];
+            for (id, name) in self.relation_names {
+                let slot = relation_names.get_mut(id).ok_or_else(|| ServeError::Manifest {
+                    line: 0,
+                    message: format!("rel id {id} outside the {num_relations}-relation space"),
+                })?;
+                *slot = name;
+            }
+        }
+        let model = RmpiModel::from_store(self.cfg, num_relations, store, self.onto)?;
+        Ok(Bundle { model, relation_names })
+    }
+}
+
+/// Parse one manifest scalar, mapping failures to a labelled manifest error.
+fn parse<T: std::str::FromStr>(s: &str, what: &str, lineno: usize) -> Result<T, ServeError>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| ServeError::Manifest { line: lineno, message: format!("bad {what}: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmpi_kg::{KnowledgeGraph, Triple};
+    use std::io::Cursor;
+
+    fn toy_graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+        ])
+    }
+
+    fn roundtrip(model: &RmpiModel, names: &[String]) -> Bundle {
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, model, names).unwrap();
+        load_bundle(Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_scores_bit_identically() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 4u32, 3u32);
+        for cfg in [
+            RmpiConfig { dim: 8, ..RmpiConfig::base() },
+            RmpiConfig { dim: 8, ..RmpiConfig::ne_ta() },
+            RmpiConfig { dim: 8, fusion: Fusion::Gated, entity_clues: true, ..RmpiConfig::ne() },
+        ] {
+            let model = RmpiModel::new(cfg, 5, 7);
+            let loaded = roundtrip(&model, &[]);
+            let a = model.score(&g, target, &mut StdRng::seed_from_u64(0));
+            let b = loaded.model.score(&g, target, &mut StdRng::seed_from_u64(0));
+            assert_eq!(a, b, "{}", model.name());
+            assert_eq!(loaded.model.config().variant_name(), cfg.variant_name());
+        }
+    }
+
+    #[test]
+    fn schema_bundle_carries_onto_vectors() {
+        let g = toy_graph();
+        let target = Triple::new(0u32, 4u32, 3u32);
+        let onto = Tensor::matrix(5, 6, (0..30).map(|i| (i as f32 * 0.31).cos()).collect());
+        let cfg = RmpiConfig { dim: 8, ..RmpiConfig::base().with_schema() };
+        let model = RmpiModel::with_schema_vectors(cfg, onto, 9);
+        let loaded = roundtrip(&model, &[]);
+        let a = model.score(&g, target, &mut StdRng::seed_from_u64(3));
+        let b = loaded.model.score(&g, target, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vocabulary_roundtrips_including_spaced_names() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let names = vec!["born in".to_owned(), "capital_of".to_owned(), "r2".to_owned()];
+        let loaded = roundtrip(&model, &names);
+        assert_eq!(loaded.relation_names, names);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = load_bundle(Cursor::new("not-a-bundle\n")).unwrap_err();
+        assert!(matches!(err, ServeError::Manifest { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_bundle() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        // cut in the middle of the parameter section
+        let cut = buf.len() - buf.len() / 4;
+        let err = load_bundle(Cursor::new(&buf[..cut])).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Checkpoint(_) | ServeError::Assembly(_)),
+            "truncation must fail parsing or assembly: {err}"
+        );
+        // cut before the params marker
+        let head = String::from_utf8_lossy(&buf);
+        let manifest_only = head.split(PARAMS_MARKER).next().unwrap();
+        let err = load_bundle(Cursor::new(manifest_only.as_bytes())).unwrap_err();
+        assert!(matches!(err, ServeError::Manifest { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_nan_params_and_unknown_keys() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // poison a tensor value inside the parameter section
+        let idx = text.find("rmpi-params v1").unwrap();
+        let poisoned = format!("{}{}", &text[..idx], text[idx..].replacen("0.", "NaN ", 1));
+        let err = load_bundle(Cursor::new(poisoned.into_bytes())).unwrap_err();
+        assert!(matches!(err, ServeError::Checkpoint(_)), "{err}");
+        let unknown = text.replace("hop 2", "hops 2");
+        let err = load_bundle(Cursor::new(unknown.into_bytes())).unwrap_err();
+        assert!(err.to_string().contains("unknown manifest key"), "{err}");
+    }
+
+    #[test]
+    fn rejects_config_param_mismatch() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // manifest claims ne=true but the store has no NE weights
+        let lying = text.replace("ne false", "ne true");
+        let err = load_bundle(Cursor::new(lying.into_bytes())).unwrap_err();
+        assert!(matches!(err, ServeError::Assembly(_)), "{err}");
+    }
+
+    #[test]
+    fn file_helpers_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rmpi-bundle-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bundle");
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ne: true, ..RmpiConfig::base() }, 3, 1);
+        save_bundle_file(&path, &model, &[]).unwrap();
+        let loaded = load_bundle_file(&path).unwrap();
+        assert_eq!(loaded.model.num_relations(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,283 @@
+//! The in-process inference engine: an immutable context graph, a seeded
+//! subgraph cache, and batch fan-out over the worker pool.
+//!
+//! # Determinism contract
+//!
+//! Every query is scored exactly as the offline evaluator would score it:
+//! `engine.score(t)` equals
+//! `model.score(&graph, t, &mut StdRng::seed_from_u64(cfg.seed))` bit for
+//! bit, whether the enclosing subgraph came from the cache or was freshly
+//! extracted. This holds because (a) extraction is a pure function of
+//! `(graph, target, hop, seed)` and the engine's graph and seed never change
+//! after construction, so a cached [`SampleInput`] is byte-identical to a
+//! re-extracted one; and (b) the forward pass past extraction is fully
+//! deterministic ([`RmpiModel::score_sample`]). Batch scoring shards targets
+//! across a [`ThreadPool`], and since each target's score is independent of
+//! every other, results are identical for every thread count.
+
+use crate::error::ServeError;
+use crate::stats::ServeStats;
+use rmpi_autograd::Tape;
+use rmpi_core::{RmpiModel, SampleInput};
+use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
+use rmpi_runtime::ThreadPool;
+use rmpi_subgraph::{LruCache, SubgraphKey};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Engine construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Extraction seed: the engine scores exactly like
+    /// `model.score(graph, t, &mut StdRng::seed_from_u64(seed))`.
+    pub seed: u64,
+    /// Maximum cached subgraph samples (0 disables caching).
+    pub cache_capacity: usize,
+    /// Worker threads for batch scoring (`0` = one per available core).
+    /// Scores are bit-identical for every value.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { seed: 0, cache_capacity: 4096, threads: 1 }
+    }
+}
+
+/// A loaded model bound to an immutable context graph, answering scoring and
+/// ranking queries through a subgraph cache.
+pub struct Engine {
+    model: RmpiModel,
+    graph: KnowledgeGraph,
+    pool: ThreadPool,
+    cache: Mutex<LruCache<SampleInput>>,
+    stats: ServeStats,
+    /// Ranking candidates: every entity present in the context graph.
+    candidates: Vec<EntityId>,
+    seed: u64,
+}
+
+impl Engine {
+    /// Bind `model` to `graph`. The graph is the context for all subgraph
+    /// extraction and is never mutated — which is what makes caching sound.
+    pub fn new(model: RmpiModel, graph: KnowledgeGraph, cfg: EngineConfig) -> Self {
+        let candidates = graph.present_entities();
+        Engine {
+            model,
+            graph,
+            pool: ThreadPool::new(cfg.threads),
+            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
+            stats: ServeStats::new(),
+            candidates,
+            seed: cfg.seed,
+        }
+    }
+
+    /// The served model.
+    pub fn model(&self) -> &RmpiModel {
+        &self.model
+    }
+
+    /// The immutable context graph.
+    pub fn graph(&self) -> &KnowledgeGraph {
+        &self.graph
+    }
+
+    /// The engine's counters (the TCP front end adds its own through this).
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// `(hits, misses, entries)` of the subgraph cache.
+    pub fn cache_stats(&self) -> (u64, u64, usize) {
+        let cache = self.cache.lock().expect("cache lock");
+        (cache.hits(), cache.misses(), cache.len())
+    }
+
+    /// Drop all cached subgraphs (counters survive) — the bench harness's
+    /// cold-start lever.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// All counters plus cache state as a single-line JSON object.
+    pub fn stats_json(&self) -> String {
+        let (hits, misses, len) = self.cache_stats();
+        self.stats.to_json(hits, misses, len)
+    }
+
+    fn check_relation(&self, r: RelationId) -> Result<(), ServeError> {
+        if r.index() < self.model.num_relations() {
+            Ok(())
+        } else {
+            Err(ServeError::UnknownRelation(r.0))
+        }
+    }
+
+    /// The cached-extraction path: return the prepared forward input for
+    /// `target`, extracting (and caching) it on a miss.
+    fn prepared(&self, target: Triple) -> SampleInput {
+        let key = SubgraphKey::new(target, self.model.config().hop);
+        if let Some(sample) = self.cache.lock().expect("cache lock").get(&key) {
+            return sample.clone();
+        }
+        // extraction happens outside the lock: concurrent misses on the same
+        // key duplicate work but produce identical samples, so correctness
+        // (and bit-parity) is unaffected
+        let sample = self.model.prepare_eval_sample(&self.graph, target, self.seed);
+        self.cache.lock().expect("cache lock").insert(key, sample.clone());
+        sample
+    }
+
+    /// Score one triple. Bit-identical to offline
+    /// `model.score(graph, t, &mut StdRng::seed_from_u64(seed))`.
+    pub fn score(&self, target: Triple) -> Result<f32, ServeError> {
+        self.check_relation(target.relation)?;
+        let t0 = Instant::now();
+        let sample = self.prepared(target);
+        let score = self.model.score_sample(&sample);
+        self.stats.record_call(&self.stats.score_requests, 1, t0.elapsed());
+        Ok(score)
+    }
+
+    /// Score a batch, sharded across the worker pool. Each worker reuses one
+    /// tape arena for its whole shard; results come back in request order.
+    pub fn score_batch(&self, targets: &[Triple]) -> Result<Vec<f32>, ServeError> {
+        for t in targets {
+            self.check_relation(t.relation)?;
+        }
+        let t0 = Instant::now();
+        let scores = self.pool.map_init(targets.len(), Tape::new, |tape, i| {
+            let sample = self.prepared(targets[i]);
+            tape.reset();
+            let v = self.model.score_sample_on_tape(tape, &sample);
+            tape.value(v).item()
+        });
+        self.stats.record_call(&self.stats.score_requests, targets.len() as u64, t0.elapsed());
+        Ok(scores)
+    }
+
+    /// Rank every entity present in the context graph as a tail for
+    /// `(head, relation, ?)` and return the top `k` as `(entity, score)`,
+    /// best first. Ties break towards the smaller entity id so rankings are
+    /// fully deterministic.
+    pub fn rank_tails(
+        &self,
+        head: EntityId,
+        relation: RelationId,
+        k: usize,
+    ) -> Result<Vec<(EntityId, f32)>, ServeError> {
+        self.check_relation(relation)?;
+        let t0 = Instant::now();
+        let scores = self.pool.map_init(self.candidates.len(), Tape::new, |tape, i| {
+            let sample = self.prepared(Triple { head, relation, tail: self.candidates[i] });
+            tape.reset();
+            let v = self.model.score_sample_on_tape(tape, &sample);
+            tape.value(v).item()
+        });
+        let mut ranked: Vec<(EntityId, f32)> =
+            self.candidates.iter().copied().zip(scores).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        self.stats.record_call(&self.stats.rank_requests, self.candidates.len() as u64, t0.elapsed());
+        Ok(ranked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rmpi_core::{RmpiConfig, ScoringModel};
+
+    fn setup(threads: usize, cache: usize) -> Engine {
+        let graph = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+        ]);
+        let model = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 0);
+        Engine::new(model, graph, EngineConfig { seed: 9, cache_capacity: cache, threads })
+    }
+
+    #[test]
+    fn scores_match_offline_on_miss_and_hit() {
+        let engine = setup(1, 16);
+        let t = Triple::new(0u32, 5u32, 3u32);
+        let offline = engine.model().score(engine.graph(), t, &mut StdRng::seed_from_u64(9));
+        let miss = engine.score(t).unwrap();
+        let hit = engine.score(t).unwrap();
+        assert_eq!(miss, offline, "cache miss must equal offline scoring");
+        assert_eq!(hit, offline, "cache hit must equal offline scoring");
+        let (hits, misses, len) = engine.cache_stats();
+        assert_eq!((hits, misses, len), (1, 1, 1));
+    }
+
+    #[test]
+    fn batch_scores_are_thread_count_invariant() {
+        let targets: Vec<Triple> =
+            (0..12u32).map(|i| Triple::new(i % 5, i % 6, (i + 1) % 5)).collect();
+        let sequential = setup(1, 64).score_batch(&targets).unwrap();
+        for threads in [2, 4] {
+            let parallel = setup(threads, 64).score_batch(&targets).unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        // and caching does not change batch results either
+        let uncached = setup(1, 0).score_batch(&targets).unwrap();
+        assert_eq!(sequential, uncached);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error_not_a_panic() {
+        let engine = setup(1, 4);
+        let err = engine.score(Triple::new(0u32, 17u32, 1u32)).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownRelation(17)), "{err}");
+        assert!(engine.rank_tails(EntityId(0), RelationId(17), 3).is_err());
+        assert!(engine
+            .score_batch(&[Triple::new(0u32, 0u32, 1u32), Triple::new(0u32, 17u32, 1u32)])
+            .is_err());
+    }
+
+    #[test]
+    fn rank_tails_returns_sorted_top_k() {
+        let engine = setup(2, 64);
+        let ranked = engine.rank_tails(EntityId(0), RelationId(1), 3).unwrap();
+        assert_eq!(ranked.len(), 3);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "scores must be descending: {ranked:?}");
+        }
+        // parity with direct scoring of the winner
+        let (best, best_score) = ranked[0];
+        let direct = engine.score(Triple { head: EntityId(0), relation: RelationId(1), tail: best }).unwrap();
+        assert_eq!(direct, best_score);
+    }
+
+    #[test]
+    fn stats_json_reflects_traffic() {
+        let engine = setup(1, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        engine.score(t).unwrap();
+        engine.score(t).unwrap();
+        let json = engine.stats_json();
+        assert!(json.contains("\"score_requests\": 2"), "{json}");
+        assert!(json.contains("\"cache_hits\": 1"), "{json}");
+        assert!(json.contains("\"cache_misses\": 1"), "{json}");
+    }
+
+    #[test]
+    fn clear_cache_forces_reextraction_with_same_result() {
+        let engine = setup(1, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let a = engine.score(t).unwrap();
+        engine.clear_cache();
+        let b = engine.score(t).unwrap();
+        assert_eq!(a, b);
+        let (_, misses, _) = engine.cache_stats();
+        assert_eq!(misses, 2, "both lookups missed after the clear");
+    }
+}

@@ -1,0 +1,108 @@
+//! One error type for the whole serving layer.
+
+use rmpi_autograd::io::CheckpointError;
+use rmpi_core::ModelAssemblyError;
+use std::fmt;
+
+/// Errors from bundle IO, engine queries and the TCP front end.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A malformed bundle manifest line.
+    Manifest {
+        /// 1-based line number within the bundle.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The parameter section failed to parse.
+    Checkpoint(CheckpointError),
+    /// The parameters do not match the manifest's configuration.
+    Assembly(ModelAssemblyError),
+    /// A query referenced a relation outside the model's id space.
+    UnknownRelation(u32),
+    /// A malformed wire-protocol request.
+    BadRequest(String),
+    /// The server's bounded queue was full (backpressure).
+    Overloaded,
+    /// The request's deadline expired before it was processed.
+    DeadlineExpired,
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Manifest { line, message } => {
+                write!(f, "bundle manifest error at line {line}: {message}")
+            }
+            ServeError::Checkpoint(e) => write!(f, "bundle parameter section: {e}"),
+            ServeError::Assembly(e) => write!(f, "bundle does not assemble: {e}"),
+            ServeError::UnknownRelation(r) => write!(f, "unknown relation id {r}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded => write!(f, "server overloaded"),
+            ServeError::DeadlineExpired => write!(f, "deadline expired"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Assembly(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        // an Io failure mid-params is an Io failure of the bundle, not a
+        // format problem — keep the distinction callers match on
+        match e {
+            CheckpointError::Io(io) => ServeError::Io(io),
+            other => ServeError::Checkpoint(other),
+        }
+    }
+}
+
+impl From<ModelAssemblyError> for ServeError {
+    fn from(e: ModelAssemblyError) -> Self {
+        ServeError::Assembly(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ServeError::Manifest { line: 3, message: "bad dim".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let io = ServeError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(std::error::Error::source(&io).is_some());
+
+        let ck = ServeError::from(CheckpointError::BadMagic("x".into()));
+        assert!(matches!(ck, ServeError::Checkpoint(_)));
+        assert!(std::error::Error::source(&ck).is_some());
+
+        // checkpoint Io failures flatten to ServeError::Io
+        let flat = ServeError::from(CheckpointError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "eof",
+        )));
+        assert!(matches!(flat, ServeError::Io(_)));
+    }
+}

@@ -1,0 +1,35 @@
+//! `rmpi-serve` — model-bundle artifacts and a batched, subgraph-caching
+//! inference service for trained RMPI models.
+//!
+//! Three layers, each usable on its own:
+//!
+//! - [`bundle`]: a self-describing artifact format (`rmpi-bundle v1`) that
+//!   packages a model's configuration, relation vocabulary, optional schema
+//!   vectors and the `rmpi-params v1` tensor payload into one file, with
+//!   bit-exact round-tripping ([`save_bundle`] / [`load_bundle`]).
+//! - [`engine`]: an in-process [`Engine`] that binds a loaded model to an
+//!   immutable context graph and answers `score` / `score_batch` /
+//!   `rank_tails` queries through a seeded LRU cache of extracted subgraphs,
+//!   sharding batches across an `rmpi-runtime` thread pool. Served scores
+//!   are bit-identical to offline `RmpiModel::score` with the same seed.
+//! - [`server`]: a dependency-free TCP front end speaking a line-delimited
+//!   protocol ([`protocol`]), with a bounded queue (backpressure via
+//!   `ERR server overloaded`), per-request deadlines, and graceful shutdown.
+//!
+//! Throughput, latency and cache-hit counters are collected in
+//! [`ServeStats`] and exported as single-line JSON (`Engine::stats_json`,
+//! wire command `STATS`).
+
+pub mod bundle;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
+pub use engine::{Engine, EngineConfig};
+pub use error::ServeError;
+pub use protocol::Request;
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use stats::ServeStats;

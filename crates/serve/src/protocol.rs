@@ -1,0 +1,168 @@
+//! The line-delimited wire protocol: parsing and response formatting,
+//! independent of any socket so it is testable in isolation.
+//!
+//! Requests are single ASCII lines; responses are single lines starting with
+//! `OK ` or `ERR `:
+//!
+//! ```text
+//! PING                          -> OK pong
+//! SCORE h r t [h r t ...]       -> OK s1 [s2 ...]
+//! RANK h r k                    -> OK tail:score tail:score ...
+//! STATS                         -> OK {"scores": ..., ...}
+//! anything else                 -> ERR <reason>
+//! ```
+//!
+//! `SCORE` accepts any number of triples on one line — that is the batched
+//! entry point: the server hands the whole batch to
+//! [`crate::Engine::score_batch`], which shards it across the worker pool.
+//! Scores are formatted with Rust's shortest-round-trip `f32` formatting, so
+//! a client parsing them back gets the bit-exact served value.
+
+use crate::error::ServeError;
+use rmpi_kg::{EntityId, RelationId, Triple};
+
+/// A parsed protocol request.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Score one or more triples (one batch).
+    Score(Vec<Triple>),
+    /// Rank context-graph entities as tails for `(head, relation, ?)`.
+    Rank {
+        /// Query head entity.
+        head: EntityId,
+        /// Query relation.
+        relation: RelationId,
+        /// How many top entities to return.
+        k: usize,
+    },
+    /// Fetch the serving counters as JSON.
+    Stats,
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let mut parts = line.split_whitespace();
+    let bad = |msg: String| ServeError::BadRequest(msg);
+    let command = parts.next().ok_or_else(|| bad("empty request".into()))?;
+    match command {
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "SCORE" => {
+            let ids: Vec<u32> = parts
+                .map(|p| p.parse().map_err(|e| bad(format!("bad id {p:?}: {e}"))))
+                .collect::<Result<_, _>>()?;
+            if ids.is_empty() || ids.len() % 3 != 0 {
+                return Err(bad(format!(
+                    "SCORE takes head/relation/tail id triplets, got {} ids",
+                    ids.len()
+                )));
+            }
+            let triples = ids.chunks_exact(3).map(|c| Triple::new(c[0], c[1], c[2])).collect();
+            Ok(Request::Score(triples))
+        }
+        "RANK" => {
+            let mut next = |what: &str| -> Result<u32, ServeError> {
+                parts
+                    .next()
+                    .ok_or_else(|| ServeError::BadRequest(format!("RANK is missing {what}")))?
+                    .parse()
+                    .map_err(|e| ServeError::BadRequest(format!("bad {what}: {e}")))
+            };
+            let head = next("head")?;
+            let relation = next("relation")?;
+            let k = next("k")? as usize;
+            if parts.next().is_some() {
+                return Err(bad("RANK takes exactly head, relation, k".into()));
+            }
+            Ok(Request::Rank { head: EntityId(head), relation: RelationId(relation), k })
+        }
+        other => Err(bad(format!("unknown command {other:?}"))),
+    }
+}
+
+/// `OK s1 s2 ...` for a score batch.
+pub fn format_scores(scores: &[f32]) -> String {
+    let mut out = String::from("OK");
+    for s in scores {
+        out.push(' ');
+        out.push_str(&s.to_string());
+    }
+    out
+}
+
+/// `OK tail:score ...` for a ranking, best first.
+pub fn format_ranked(ranked: &[(EntityId, f32)]) -> String {
+    let mut out = String::from("OK");
+    for (e, s) in ranked {
+        out.push(' ');
+        out.push_str(&format!("{}:{}", e.0, s));
+    }
+    out
+}
+
+/// `ERR <reason>` (single line, whatever the error was).
+pub fn format_error(err: &ServeError) -> String {
+    let msg = err.to_string().replace('\n', " ");
+    format!("ERR {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("SCORE 1 2 3").unwrap(),
+            Request::Score(vec![Triple::new(1u32, 2u32, 3u32)])
+        );
+        assert_eq!(
+            parse_request("SCORE 1 2 3 4 5 6").unwrap(),
+            Request::Score(vec![Triple::new(1u32, 2u32, 3u32), Triple::new(4u32, 5u32, 6u32)])
+        );
+        assert_eq!(
+            parse_request("RANK 7 0 10").unwrap(),
+            Request::Rank { head: EntityId(7), relation: RelationId(0), k: 10 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "FROB",
+            "SCORE",
+            "SCORE 1 2",
+            "SCORE 1 2 3 4",
+            "SCORE a b c",
+            "RANK 1 2",
+            "RANK 1 2 3 4",
+            "RANK x 2 3",
+        ] {
+            let err = parse_request(bad).unwrap_err();
+            assert!(matches!(err, ServeError::BadRequest(_)), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn score_formatting_round_trips_f32() {
+        let scores = [1.5f32, -0.12345678, 3.0e-8];
+        let line = format_scores(&scores);
+        assert!(line.starts_with("OK "));
+        let parsed: Vec<f32> = line[3..].split(' ').map(|s| s.parse().unwrap()).collect();
+        assert_eq!(parsed, scores);
+    }
+
+    #[test]
+    fn ranked_and_error_formatting() {
+        let line = format_ranked(&[(EntityId(3), 1.5), (EntityId(9), -0.25)]);
+        assert_eq!(line, "OK 3:1.5 9:-0.25");
+        assert_eq!(format_ranked(&[]), "OK");
+        let err = format_error(&ServeError::Overloaded);
+        assert_eq!(err, "ERR server overloaded");
+    }
+}

@@ -1,0 +1,117 @@
+//! Lock-free serving counters, exported as JSON.
+//!
+//! Every counter is a relaxed atomic: stats recording must never contend
+//! with the scoring hot path, and exact cross-counter consistency is not a
+//! requirement for monitoring output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters shared by the engine and the TCP front end.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Individual triple scores computed (cache hit or miss).
+    pub scores: AtomicU64,
+    /// `score`/`score_batch` engine calls.
+    pub score_requests: AtomicU64,
+    /// `rank_tails` engine calls.
+    pub rank_requests: AtomicU64,
+    /// Protocol requests answered by the TCP front end.
+    pub wire_requests: AtomicU64,
+    /// Connections rejected because the bounded queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Requests dropped because their deadline expired in the queue.
+    pub rejected_deadline: AtomicU64,
+    /// Malformed protocol lines answered with `ERR`.
+    pub bad_requests: AtomicU64,
+    /// Total scoring latency in microseconds (per engine call).
+    pub latency_us_sum: AtomicU64,
+    /// Worst single engine-call latency in microseconds.
+    pub latency_us_max: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one engine call that scored `scored` triples in `elapsed`.
+    pub fn record_call(&self, counter: &AtomicU64, scored: u64, elapsed: Duration) {
+        counter.fetch_add(1, Ordering::Relaxed);
+        self.scores.fetch_add(scored, Ordering::Relaxed);
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
+        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Render every counter (plus derived means and cache state) as one JSON
+    /// object. `cache_hits`/`cache_misses`/`cache_len` come from the engine's
+    /// cache, which lives behind its own lock.
+    pub fn to_json(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
+        let scores = self.scores.load(Ordering::Relaxed);
+        let calls = self.score_requests.load(Ordering::Relaxed) + self.rank_requests.load(Ordering::Relaxed);
+        let sum_us = self.latency_us_sum.load(Ordering::Relaxed);
+        let mean_us = if calls > 0 { sum_us as f64 / calls as f64 } else { 0.0 };
+        let lookups = cache_hits + cache_misses;
+        let hit_rate = if lookups > 0 { cache_hits as f64 / lookups as f64 } else { 0.0 };
+        format!(
+            "{{\"scores\": {scores}, \"score_requests\": {}, \"rank_requests\": {}, \
+             \"wire_requests\": {}, \"rejected_overload\": {}, \"rejected_deadline\": {}, \
+             \"bad_requests\": {}, \"latency_us_sum\": {sum_us}, \"latency_us_max\": {}, \
+             \"latency_us_mean\": {mean_us:.1}, \"cache_hits\": {cache_hits}, \
+             \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.4}, \
+             \"cache_len\": {cache_len}}}",
+            self.score_requests.load(Ordering::Relaxed),
+            self.rank_requests.load(Ordering::Relaxed),
+            self.wire_requests.load(Ordering::Relaxed),
+            self.rejected_overload.load(Ordering::Relaxed),
+            self.rejected_deadline.load(Ordering::Relaxed),
+            self.bad_requests.load(Ordering::Relaxed),
+            self.latency_us_max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_tracks_max() {
+        let s = ServeStats::new();
+        s.record_call(&s.score_requests, 3, Duration::from_micros(100));
+        s.record_call(&s.score_requests, 1, Duration::from_micros(50));
+        assert_eq!(s.scores.load(Ordering::Relaxed), 4);
+        assert_eq!(s.score_requests.load(Ordering::Relaxed), 2);
+        assert_eq!(s.latency_us_sum.load(Ordering::Relaxed), 150);
+        assert_eq!(s.latency_us_max.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn json_has_every_field_and_derived_rates() {
+        let s = ServeStats::new();
+        s.record_call(&s.rank_requests, 10, Duration::from_micros(200));
+        let json = s.to_json(3, 1, 2);
+        for field in [
+            "\"scores\": 10",
+            "\"rank_requests\": 1",
+            "\"cache_hits\": 3",
+            "\"cache_misses\": 1",
+            "\"cache_hit_rate\": 0.7500",
+            "\"cache_len\": 2",
+            "\"latency_us_mean\": 200.0",
+        ] {
+            assert!(json.contains(field), "missing {field} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'), "stats JSON must be a single line for the wire protocol");
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let json = ServeStats::new().to_json(0, 0, 0);
+        assert!(json.contains("\"cache_hit_rate\": 0.0000"));
+        assert!(json.contains("\"latency_us_mean\": 0.0"));
+    }
+}

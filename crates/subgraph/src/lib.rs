@@ -12,8 +12,11 @@
 //! * [`RelViewGraph`] — the relation-view (directed line-graph) transform
 //!   with the six edge types of Fig. 3c;
 //! * [`pruning`] — the target-relation-guided pruning of Algorithm 1;
-//! * [`negative`] — head/tail-corruption negative sampling.
+//! * [`negative`] — head/tail-corruption negative sampling;
+//! * [`cache`] — cache-keyable extraction: [`SubgraphKey`] and an LRU cache
+//!   the serving layer uses to amortise per-triple extraction cost.
 
+pub mod cache;
 pub mod extraction;
 pub mod labeling;
 pub mod negative;
@@ -21,6 +24,7 @@ pub mod pruning;
 pub mod relview;
 pub mod viz;
 
+pub use cache::{LruCache, SubgraphKey};
 pub use extraction::{disclosing_subgraph, enclosing_subgraph, Subgraph};
 pub use labeling::{double_radius_labels, NodeLabel};
 pub use negative::NegativeSampler;

@@ -1,0 +1,77 @@
+//! Serving: train a model, package it as a bundle, reload the bundle and
+//! answer ranked queries through the in-process inference engine.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use rmpi::core::{train_model, RmpiConfig, RmpiModel, TrainConfig};
+use rmpi::datasets::{build_benchmark, Scale};
+use rmpi::serve::{load_bundle_file, save_bundle_file, Engine, EngineConfig};
+
+fn main() {
+    // 1. Train a small model on an inductive benchmark.
+    let benchmark = build_benchmark("nell.v1", Scale::Quick);
+    let cfg = RmpiConfig { dim: 16, ne: true, ..Default::default() };
+    let mut model = RmpiModel::new(cfg, benchmark.num_relations(), 0);
+    let train_cfg = TrainConfig { epochs: 2, max_samples_per_epoch: 200, ..Default::default() };
+    let report = train_model(
+        &mut model,
+        &benchmark.train.graph,
+        &benchmark.train.targets,
+        &benchmark.train.valid,
+        &train_cfg,
+    );
+    println!(
+        "trained: {} epochs, best validation accuracy {:.3}",
+        report.epoch_losses.len(),
+        report.best_accuracy()
+    );
+
+    // 2. Package it: config + relation vocabulary + weights in one artifact.
+    let path = std::env::temp_dir().join("rmpi-serving-example.bundle");
+    let names: Vec<String> =
+        (0..benchmark.num_relations()).map(|r| format!("relation_{r}")).collect();
+    save_bundle_file(&path, &model, &names).expect("save bundle");
+    println!(
+        "bundle: wrote {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // 3. Reload the bundle — this is what a serving process would do; it
+    //    never needs the trainer, only the artifact and a context graph.
+    let bundle = load_bundle_file(&path).expect("load bundle");
+    println!("bundle: reloaded model with {} relations", bundle.relation_names.len());
+
+    // 4. Serve: bind the model to the unseen-entity test graph and answer
+    //    queries through the subgraph cache.
+    let test = benchmark.test("TE").expect("TE split");
+    let engine = Engine::new(
+        bundle.model,
+        test.graph.clone(),
+        EngineConfig { seed: 7, cache_capacity: 4096, threads: 0 },
+    );
+
+    for &target in test.targets.iter().take(3) {
+        let ranked = engine.rank_tails(target.head, target.relation, 5).expect("rank");
+        let names = &bundle.relation_names;
+        println!(
+            "top tails for ({}, {}):",
+            target.head.0,
+            names[target.relation.0 as usize]
+        );
+        for (rank, (entity, score)) in ranked.iter().enumerate() {
+            let marker = if *entity == target.tail { "  <- true tail" } else { "" };
+            println!("  #{} entity {:<4} score {:+.4}{marker}", rank + 1, entity.0, score);
+        }
+    }
+
+    // 5. The engine keeps serving counters; scoring the same queries again
+    //    hits the cache.
+    for &target in test.targets.iter().take(3) {
+        engine.rank_tails(target.head, target.relation, 5).expect("rank");
+    }
+    println!("stats: {}", engine.stats_json());
+    std::fs::remove_file(&path).ok();
+}

@@ -19,4 +19,10 @@ cargo test -q -p rmpi-core --test parallel_determinism
 echo "== worker pool unit tests =="
 cargo test -q -p rmpi-runtime
 
+echo "== serving layer: bundle + engine + protocol unit tests =="
+cargo test -q -p rmpi-serve --lib
+
+echo "== serve smoke test: ephemeral-port server, scripted query batch, offline parity =="
+cargo test -q -p rmpi-serve --test serving
+
 echo "verify.sh: all checks passed"

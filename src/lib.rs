@@ -11,9 +11,12 @@
 //! * [`datasets`] — synthetic inductive KGC benchmark generators;
 //! * [`core`] — the RMPI model and trainer;
 //! * [`baselines`] — GraIL, TACT(-base), CoMPILE and MaKEr-lite;
-//! * [`eval`] — metrics, protocols and the experiment runner.
+//! * [`eval`] — metrics, protocols and the experiment runner;
+//! * [`serve`] — model bundles and the batched, subgraph-caching inference
+//!   service (in-process engine + TCP front end).
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour and
+//! `examples/serving.rs` for the train → bundle → serve pipeline.
 
 pub use rmpi_autograd as autograd;
 pub use rmpi_baselines as baselines;
@@ -22,4 +25,5 @@ pub use rmpi_datasets as datasets;
 pub use rmpi_eval as eval;
 pub use rmpi_kg as kg;
 pub use rmpi_schema as schema;
+pub use rmpi_serve as serve;
 pub use rmpi_subgraph as subgraph;
