@@ -15,11 +15,18 @@
 //! Inf weight means the checkpoint is corrupt — nothing downstream can score
 //! with it) and shape/value-count mismatches are all rejected with the
 //! offending line number.
+//!
+//! File-level helpers are **crash-safe**: [`save_params_file`] (and the
+//! general [`atomic_write_bytes`]) serialise to a temp file in the target's
+//! directory, fsync it, and atomically rename it over the destination — so a
+//! failure or kill mid-write can never leave a truncated checkpoint behind;
+//! the previous file, if any, survives untouched.
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
 use std::fmt;
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
 
 /// Checkpoint header line.
 const MAGIC: &str = "rmpi-params v1";
@@ -80,6 +87,72 @@ pub fn save_params<W: Write>(w: &mut W, store: &ParamStore) -> Result<(), Checkp
         writeln!(w)?;
     }
     Ok(())
+}
+
+/// Failpoint name consulted by [`atomic_write_bytes`] while the temp file is
+/// being written — arm it with `io_error` or `truncate(n)` to simulate a
+/// crash mid-checkpoint.
+pub const WRITE_FAILPOINT: &str = "io::atomic_write";
+
+/// Write `bytes` to `path` atomically: the data goes to a temp file in the
+/// same directory, is flushed and fsynced, and only then renamed over the
+/// destination (followed by a directory fsync where the platform supports
+/// it). On any failure the destination is untouched and the temp file is
+/// removed — readers never observe a partial file.
+pub fn atomic_write_bytes<P: AsRef<Path>>(path: P, bytes: &[u8]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("path {} has no file name", path.display())))?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let tmp = parent.join(format!(".{}.tmp-{}", file_name.to_string_lossy(), std::process::id()));
+    let written = (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        if let Some(n) = rmpi_testutil::failpoint::fs_write(WRITE_FAILPOINT)? {
+            // simulate a crash mid-write: part of the payload lands in the
+            // temp file, then the write "dies"
+            f.write_all(&bytes[..n.min(bytes.len())])?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                format!("failpoint {WRITE_FAILPOINT}: write truncated at {n} bytes"),
+            ));
+        }
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    })()
+    .and_then(|()| std::fs::rename(&tmp, path));
+    match written {
+        Ok(()) => {
+            // persist the rename itself; best-effort — not all platforms
+            // allow fsync on a directory handle
+            if let Ok(dir) = std::fs::File::open(&parent) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        }
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// Save a checkpoint to `path` with atomic write-to-temp + fsync + rename
+/// semantics: on failure the previous file at `path` is untouched.
+pub fn save_params_file<P: AsRef<Path>>(path: P, store: &ParamStore) -> Result<(), CheckpointError> {
+    let mut buf = Vec::new();
+    save_params(&mut buf, store)?;
+    atomic_write_bytes(path, &buf)?;
+    Ok(())
+}
+
+/// Load a checkpoint from `path`.
+pub fn load_params_file<P: AsRef<Path>>(path: P) -> Result<ParamStore, CheckpointError> {
+    load_params(BufReader::new(std::fs::File::open(path)?))
 }
 
 /// Parse a checkpoint into a fresh store (creation order = file order).
@@ -240,6 +313,83 @@ mod tests {
         // too many values is as corrupt as too few
         let input = format!("{MAGIC}\nw 1 2 1.0 2.0 3.0\n");
         assert!(load_params(Cursor::new(input)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_via_atomic_write() {
+        let _lock = rmpi_testutil::failpoint::exclusive();
+        let dir = std::env::temp_dir().join(format!("rmpi-io-at-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.ckpt");
+        let mut store = ParamStore::new();
+        store.create("w", Tensor::vector(vec![1.0, -2.5, 0.125]));
+        save_params_file(&path, &store).unwrap();
+        let loaded = load_params_file(&path).unwrap();
+        assert_eq!(loaded.value(loaded.get("w").unwrap()).data(), &[1.0, -2.5, 0.125]);
+        // no temp litter left behind
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_leaves_original_untouched() {
+        use rmpi_testutil::failpoint::{self, Action};
+        let _lock = failpoint::exclusive();
+        let dir = std::env::temp_dir().join(format!("rmpi-io-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.ckpt");
+        let mut store = ParamStore::new();
+        store.create("w", Tensor::vector(vec![3.0, 4.0]));
+        save_params_file(&path, &store).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        let mut bigger = ParamStore::new();
+        bigger.create("w", Tensor::vector(vec![9.0; 64]));
+        for action in [Action::IoError("disk full".into()), Action::Truncate(10)] {
+            failpoint::arm(WRITE_FAILPOINT, action);
+            let err = save_params_file(&path, &bigger).unwrap_err();
+            failpoint::disarm(WRITE_FAILPOINT);
+            assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                original,
+                "a failed save must leave the previous checkpoint byte-identical"
+            );
+            // and the aborted temp file is cleaned up
+            assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+            // the surviving file still parses
+            assert!(load_params_file(&path).is_ok());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adam_state_roundtrips_through_export() {
+        use crate::optim::Adam;
+        let mut store = ParamStore::new();
+        let w = store.create("w", Tensor::vector(vec![1.0, 2.0]));
+        let mut adam = Adam::new(0.01);
+        store.accumulate_grad(w, &Tensor::vector(vec![0.5, -0.5]));
+        adam.step(&mut store);
+        let state = adam.export_state();
+        assert_eq!(state.t, 1);
+
+        // continue one branch with the live optimiser and another with a
+        // fresh optimiser restored from the snapshot: same gradients in,
+        // identical parameters out
+        let mut live = store.clone();
+        let mut restored = store.clone();
+        let mut adam2 = Adam::new(0.01);
+        adam2.restore_state(state);
+        live.accumulate_grad(w, &Tensor::vector(vec![0.25, 0.75]));
+        restored.accumulate_grad(w, &Tensor::vector(vec![0.25, 0.75]));
+        adam.step(&mut live);
+        adam2.step(&mut restored);
+        assert_eq!(
+            live.value(w).data(),
+            restored.value(w).data(),
+            "a restored optimiser must continue bit-identically"
+        );
     }
 
     #[test]

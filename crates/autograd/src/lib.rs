@@ -51,7 +51,10 @@ pub mod tape;
 pub mod tensor;
 
 pub use grad::GradBuffer;
-pub use io::{load_params, save_params, CheckpointError};
+pub use io::{
+    atomic_write_bytes, load_params, load_params_file, save_params, save_params_file,
+    CheckpointError,
+};
 pub use params::{ParamId, ParamStore};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

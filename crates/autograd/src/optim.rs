@@ -29,6 +29,18 @@ impl Sgd {
     }
 }
 
+/// A checkpointable snapshot of [`Adam`]'s internal state: the step count
+/// and the first/second moment buffers, indexed by parameter index.
+#[derive(Clone, Debug, Default)]
+pub struct AdamState {
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates per parameter.
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates per parameter.
+    pub v: Vec<Tensor>,
+}
+
 /// Adam (Kingma & Ba, 2015) with bias correction — the paper's optimiser
 /// (lr 1e-3).
 #[derive(Clone, Debug)]
@@ -63,6 +75,21 @@ impl Adam {
     /// Number of steps taken so far.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Snapshot the optimiser's internal state (step count + moment buffers)
+    /// for checkpointing. Restoring the snapshot with [`Adam::restore_state`]
+    /// continues the update sequence bit-identically.
+    pub fn export_state(&self) -> AdamState {
+        AdamState { t: self.t, m: self.m.clone(), v: self.v.clone() }
+    }
+
+    /// Replace the optimiser's internal state with a snapshot taken by
+    /// [`Adam::export_state`] (hyper-parameters are kept as configured).
+    pub fn restore_state(&mut self, state: AdamState) {
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
     }
 
     /// Apply one update using the store's accumulated gradients.

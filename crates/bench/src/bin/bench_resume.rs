@@ -1,0 +1,195 @@
+//! Crash-recovery benchmark and smoke test: train → SIGKILL mid-epoch →
+//! resume from the last checkpoint → verify the finished run is
+//! **bit-identical** to an uninterrupted one, and report what periodic
+//! checkpointing costs. Writes `BENCH_resume.json` in the working directory.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_resume            # orchestrate everything
+//! cargo run ... --bin bench_resume -- --mode crash  --dir D      # child: die mid-epoch
+//! cargo run ... --bin bench_resume -- --mode resume --dir D      # child: resume + report
+//! ```
+//!
+//! The `crash` child checkpoints every epoch and `kill -9`s itself from the
+//! `BatchEnd` callback in the middle of epoch 1 — a real SIGKILL, so no
+//! destructors, flushes or atexit handlers soften the crash. The `resume`
+//! child starts from a fresh process (exactly what recovery looks like in
+//! production), continues from the newest checkpoint, and writes its final
+//! metrics with float *bit patterns* so the parent can compare exactly.
+
+use rmpi_core::trainer::{CheckpointConfig, Trainer};
+use rmpi_core::{RmpiConfig, RmpiModel, ScoringModel, TrainConfig, TrainEvent, TrainReport};
+use rmpi_datasets::{build_benchmark, Benchmark, Scale};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const DATASET: &str = "nell.v1";
+const THREADS: usize = 2;
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        max_samples_per_epoch: 96, // 3 batches per epoch
+        max_valid_samples: 16,
+        patience: 0,
+        seed: 7,
+        threads: THREADS,
+        ..Default::default()
+    }
+}
+
+fn fresh_model(b: &Benchmark) -> RmpiModel {
+    RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::base() }, b.num_relations(), 1)
+}
+
+/// FNV-1a over every parameter's name and value bits, in store order: one
+/// u64 that only matches when the weights are bit-identical.
+fn param_hash(model: &RmpiModel) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    let store = model.param_store();
+    for id in store.ids() {
+        for b in store.name(id).as_bytes() {
+            eat(*b);
+        }
+        for v in store.value(id).data() {
+            for b in v.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+    }
+    h
+}
+
+/// The run fingerprint the parent compares: every float as its bit pattern.
+fn metrics_text(report: &TrainReport, model: &RmpiModel) -> String {
+    let losses: Vec<String> = report.epoch_losses.iter().map(|l| l.to_bits().to_string()).collect();
+    let accs: Vec<String> = report.valid_accuracy.iter().map(|a| a.to_bits().to_string()).collect();
+    format!(
+        "losses_bits {}\naccuracy_bits {}\nbest_epoch {}\nparam_hash {}\n",
+        losses.join(","),
+        accs.join(","),
+        report.best_epoch,
+        param_hash(model)
+    )
+}
+
+fn run_crash_child(dir: &Path) -> ! {
+    let b = build_benchmark(DATASET, Scale::Quick);
+    let mut model = fresh_model(&b);
+    Trainer::new(train_cfg())
+        .with_checkpointing(CheckpointConfig::new(dir))
+        .on_event(|ev| {
+            if let TrainEvent::BatchEnd { epoch: 1, batch: 1 } = ev {
+                // a genuine SIGKILL: no unwinding, no Drop, no flushes
+                let pid = std::process::id().to_string();
+                let _ = std::process::Command::new("kill").args(["-9", &pid]).status();
+                std::process::abort(); // unreachable unless `kill` is missing
+            }
+        })
+        .train(&mut model, &b.train.graph, &b.train.targets, &b.train.valid);
+    eprintln!("bench_resume: crash child survived its own SIGKILL");
+    std::process::exit(3);
+}
+
+fn run_resume_child(dir: &Path) -> ! {
+    let b = build_benchmark(DATASET, Scale::Quick);
+    let mut model = fresh_model(&b);
+    let t0 = Instant::now();
+    let report = Trainer::new(train_cfg())
+        .resume_latest(dir)
+        .expect("resume_latest")
+        .train(&mut model, &b.train.graph, &b.train.targets, &b.train.valid);
+    let secs = t0.elapsed().as_secs_f64();
+    if report.resumed_from.is_none() {
+        eprintln!("bench_resume: resume child found no checkpoint in {}", dir.display());
+        std::process::exit(4);
+    }
+    let text = format!("{}resume_seconds {secs:.4}\n", metrics_text(&report, &model));
+    std::fs::write(dir.join("resume_metrics.txt"), text).expect("write resume metrics");
+    std::process::exit(0);
+}
+
+fn spawn_child(mode: &str, dir: &Path) -> std::process::ExitStatus {
+    let exe = std::env::current_exe().expect("current_exe");
+    std::process::Command::new(exe)
+        .args(["--mode", mode, "--dir"])
+        .arg(dir)
+        .status()
+        .expect("spawn bench_resume child")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| args.iter().position(|a| a == name).map(|i| args[i + 1].clone());
+    let mode = flag("--mode").unwrap_or_else(|| "all".into());
+    let dir = flag("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("rmpi-bench-resume-{}", std::process::id())));
+
+    match mode.as_str() {
+        "crash" => run_crash_child(&dir),
+        "resume" => run_resume_child(&dir),
+        "all" => {}
+        other => {
+            eprintln!("bench_resume: unknown --mode {other:?} (use all | crash | resume)");
+            std::process::exit(2);
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let b = build_benchmark(DATASET, Scale::Quick);
+    let cfg = train_cfg();
+
+    // Reference: uninterrupted, no checkpointing.
+    let mut reference = fresh_model(&b);
+    let t0 = Instant::now();
+    let full = Trainer::new(cfg).train(&mut reference, &b.train.graph, &b.train.targets, &b.train.valid);
+    let full_secs = t0.elapsed().as_secs_f64();
+    let reference_metrics = metrics_text(&full, &reference);
+
+    // Same run with per-epoch checkpointing: the durability overhead.
+    let ckpt_probe = dir.join("overhead");
+    let mut checkpointed = fresh_model(&b);
+    let t0 = Instant::now();
+    Trainer::new(cfg)
+        .with_checkpointing(CheckpointConfig::new(&ckpt_probe))
+        .train(&mut checkpointed, &b.train.graph, &b.train.targets, &b.train.valid);
+    let ckpt_secs = t0.elapsed().as_secs_f64();
+    let overhead_pct = (ckpt_secs / full_secs - 1.0) * 100.0;
+
+    // Crash/recover cycle in real child processes.
+    let crash_dir = dir.join("crash");
+    let status = spawn_child("crash", &crash_dir);
+    assert!(!status.success(), "the crash child must die, got {status}");
+    println!("crash child terminated: {status} (expected: killed by SIGKILL)");
+    let t0 = Instant::now();
+    let status = spawn_child("resume", &crash_dir);
+    let recover_secs = t0.elapsed().as_secs_f64();
+    assert!(status.success(), "the resume child must succeed, got {status}");
+
+    let resumed = std::fs::read_to_string(crash_dir.join("resume_metrics.txt"))
+        .expect("resume child metrics");
+    let bit_identical = resumed.starts_with(&reference_metrics);
+    println!("reference run : {full_secs:.3}s");
+    println!("checkpointed  : {ckpt_secs:.3}s ({overhead_pct:+.1}% checkpoint overhead)");
+    println!("crash+resume  : {recover_secs:.3}s wall for the recovery leg");
+    println!("bit-identical : {bit_identical}");
+    if !bit_identical {
+        eprintln!("--- reference ---\n{reference_metrics}\n--- resumed ---\n{resumed}");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"crash_resume\",\n  \"dataset\": \"{DATASET}\",\n  \"threads\": {THREADS},\n  \
+         \"full_seconds\": {full_secs:.4},\n  \"checkpointed_seconds\": {ckpt_secs:.4},\n  \
+         \"checkpoint_overhead_pct\": {overhead_pct:.2},\n  \"recovery_seconds\": {recover_secs:.4},\n  \
+         \"bit_identical\": {bit_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_resume.json", &json).expect("write BENCH_resume.json");
+    println!("wrote BENCH_resume.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -18,6 +18,7 @@
 //! [`trainer::train_model`] loop (margin ranking loss Eq. 12 + Adam) serves
 //! RMPI and all baselines via the [`ScoringModel`] trait.
 
+pub mod checkpoint;
 pub mod config;
 pub mod encode;
 pub mod layers;
@@ -28,8 +29,11 @@ pub mod sample;
 pub mod trainer;
 pub mod traits;
 
+pub use checkpoint::{latest_checkpoint, load_checkpoint, save_checkpoint, TrainCheckpoint};
 pub use config::{Fusion, RelationInit, RmpiConfig};
 pub use model::{ModelAssemblyError, RmpiModel};
 pub use sample::SampleInput;
-pub use trainer::{train_model, TrainConfig, TrainReport};
+pub use trainer::{
+    train_model, CheckpointConfig, DivergencePolicy, TrainConfig, TrainEvent, TrainReport, Trainer,
+};
 pub use traits::{Mode, ScoringModel};

@@ -19,17 +19,48 @@
 //! position, never of the thread that happens to run it. Together these make
 //! training **bit-identical across thread counts** (see `DESIGN.md`,
 //! "Threading model").
+//!
+//! # Fault tolerance
+//!
+//! [`Trainer`] wraps the same loop with three safety layers (`DESIGN.md` §9):
+//!
+//! * **Crash-safe checkpoints** — [`Trainer::with_checkpointing`] writes a
+//!   [`crate::checkpoint::TrainCheckpoint`] at epoch boundaries.
+//!   Because every random draw is keyed by `(seed, stream, epoch, position)`,
+//!   an epoch boundary pins the *entire* RNG state: resuming via
+//!   [`Trainer::resume_from`] and replaying the interrupted epoch is
+//!   bit-identical to a run that never crashed, at any thread count.
+//! * **Divergence guards** — after folding each batch's gradients, the loop
+//!   checks the batch losses and the global gradient norm for non-finite
+//!   values and applies the configured [`DivergencePolicy`].
+//! * **Panic isolation** — batch fan-out uses
+//!   [`ThreadPool::try_map_init`]; a worker panic fails only that batch
+//!   (reported as [`TrainEvent::BatchFailed`]) and training continues.
+//!
+//! Progress and every fault decision surface through the [`TrainEvent`]
+//! callback channel ([`Trainer::on_event`]).
 
+use crate::checkpoint::{latest_checkpoint, load_checkpoint, save_checkpoint, TrainCheckpoint};
 use crate::loss::margin_ranking_loss;
 use crate::traits::{Mode, ScoringModel};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use rmpi_autograd::optim::Adam;
-use rmpi_autograd::{GradBuffer, Tape};
+use rmpi_autograd::io::CheckpointError;
+use rmpi_autograd::optim::{Adam, AdamState};
+use rmpi_autograd::{GradBuffer, ParamStore, Tape, Tensor};
 use rmpi_kg::{KnowledgeGraph, Triple};
-use rmpi_runtime::{mix_seed, ThreadPool};
+use rmpi_runtime::{mix_seed, PoolError, ThreadPool};
 use rmpi_subgraph::NegativeSampler;
+use rmpi_testutil::failpoint;
+use std::path::{Path, PathBuf};
+
+/// Failpoint hit once per training sample with the sample's loss value; the
+/// `nan` action turns the loss non-finite (fault-injection tests).
+pub const LOSS_FAILPOINT: &str = "trainer::loss";
+/// Failpoint hit once per batch after gradients are folded; the `nan` action
+/// poisons one gradient entry (fault-injection tests).
+pub const GRAD_FAILPOINT: &str = "trainer::grad";
 
 /// RNG stream ids for [`mix_seed`] — one per independent use of randomness,
 /// so draws in one stream can never alias draws in another.
@@ -48,6 +79,132 @@ mod stream {
 /// bounded by the dataset size, far below 2^40.
 fn sample_key(epoch: usize, pos: usize) -> u64 {
     ((epoch as u64) << 40) | pos as u64
+}
+
+/// What to do when a batch produces a non-finite loss or gradient norm.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DivergencePolicy {
+    /// Drop the poisoned batch's gradients and move on (default).
+    SkipBatch,
+    /// Zero the non-finite gradient entries, then step with what remains.
+    ClipAndWarn,
+    /// Restore parameters and optimiser state from the last epoch boundary
+    /// and multiply the learning rate by `lr_decay`. Falls back to skipping
+    /// the batch when no boundary snapshot exists yet.
+    Rollback {
+        /// Multiplied into the Adam learning rate on every rollback.
+        lr_decay: f32,
+    },
+    /// Stop training immediately; the best snapshot so far is restored.
+    Abort,
+}
+
+impl Default for DivergencePolicy {
+    fn default() -> Self {
+        DivergencePolicy::SkipBatch
+    }
+}
+
+/// Progress and fault notifications emitted by [`Trainer::train`].
+#[derive(Clone, Debug)]
+pub enum TrainEvent {
+    /// Training continued from a checkpoint; `epoch` is the first epoch run.
+    Resumed {
+        /// First epoch the resumed run executes.
+        epoch: usize,
+    },
+    /// A batch finished (stepped, skipped, sanitised or rolled back).
+    BatchEnd {
+        /// Epoch index.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+    },
+    /// An epoch finished (after validation and checkpointing).
+    EpochEnd {
+        /// Epoch index.
+        epoch: usize,
+        /// Mean margin loss over the epoch's counted samples.
+        loss: f32,
+        /// Validation pairwise ranking accuracy.
+        accuracy: f32,
+    },
+    /// A batch produced a non-finite loss or gradient norm; the configured
+    /// [`DivergencePolicy`] decides what happens next.
+    NonFinite {
+        /// Epoch index.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// Sum of the batch's sample losses (may be NaN/inf).
+        loss: f32,
+        /// Global gradient norm after folding the batch (may be NaN/inf).
+        grad_norm: f32,
+    },
+    /// The divergence guard dropped this batch's gradients.
+    BatchSkipped {
+        /// Epoch index.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+    },
+    /// A worker panicked while processing this batch; the batch was dropped.
+    BatchFailed {
+        /// Epoch index.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// The worker's panic message.
+        message: String,
+    },
+    /// The clip-and-warn policy zeroed non-finite gradient entries.
+    GradSanitized {
+        /// Epoch index.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// Number of gradient entries zeroed.
+        zeroed: usize,
+    },
+    /// The rollback policy restored the last epoch-boundary snapshot.
+    RolledBack {
+        /// Epoch in which the divergence occurred.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+        /// Epoch boundary the parameters were restored to.
+        restored_epoch: usize,
+        /// Learning rate after decay.
+        lr: f32,
+    },
+    /// A checkpoint was written and `LATEST` now points at it.
+    CheckpointSaved {
+        /// Epoch just completed.
+        epoch: usize,
+        /// The checkpoint directory.
+        path: PathBuf,
+    },
+    /// Writing a checkpoint failed; training continues on the previous one.
+    CheckpointFailed {
+        /// Epoch just completed.
+        epoch: usize,
+        /// Why the save failed.
+        message: String,
+    },
+    /// Validation scoring failed (worker panic); the epoch records accuracy 0.
+    ValidationFailed {
+        /// Epoch index.
+        epoch: usize,
+        /// The worker's panic message.
+        message: String,
+    },
+    /// The abort policy stopped training.
+    Aborted {
+        /// Epoch in which the divergence occurred.
+        epoch: usize,
+        /// Batch index within the epoch.
+        batch: usize,
+    },
 }
 
 /// Training hyper-parameters. Defaults follow §IV-B: Adam lr 1e-3, batch 16,
@@ -76,6 +233,8 @@ pub struct TrainConfig {
     /// (`0` = one per available core). The result is bit-identical for every
     /// value — this knob trades wall-clock time only.
     pub threads: usize,
+    /// What to do when a batch turns up non-finite (see [`DivergencePolicy`]).
+    pub divergence: DivergencePolicy,
 }
 
 impl Default for TrainConfig {
@@ -91,7 +250,27 @@ impl Default for TrainConfig {
             max_valid_samples: 200,
             seed: 0,
             threads: 1,
+            divergence: DivergencePolicy::SkipBatch,
         }
+    }
+}
+
+/// Where and how often [`Trainer`] writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Root directory; checkpoints land in `<dir>/ckpt-NNNNNN/` with a
+    /// `LATEST` pointer file alongside.
+    pub dir: PathBuf,
+    /// Write every N epochs (values below 1 behave as 1).
+    pub every_epochs: usize,
+    /// Keep at most this many checkpoint directories (0 = keep all).
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir` every epoch, keeping the two newest.
+    pub fn new<P: Into<PathBuf>>(dir: P) -> Self {
+        CheckpointConfig { dir: dir.into(), every_epochs: 1, keep: 2 }
     }
 }
 
@@ -105,6 +284,16 @@ pub struct TrainReport {
     pub valid_accuracy: Vec<f32>,
     /// Epoch whose parameters were kept (0-based).
     pub best_epoch: usize,
+    /// Batches dropped by the divergence guard or by worker panics.
+    pub skipped_batches: usize,
+    /// Batches whose gradients were sanitised (clip-and-warn policy).
+    pub sanitized_batches: usize,
+    /// Divergence rollbacks performed.
+    pub rollbacks: usize,
+    /// `true` when the abort policy stopped training early.
+    pub aborted: bool,
+    /// First epoch executed when training resumed from a checkpoint.
+    pub resumed_from: Option<usize>,
 }
 
 impl TrainReport {
@@ -116,8 +305,10 @@ impl TrainReport {
 
 /// Train `model` on `targets` against `graph`; `valid` steers early stopping.
 ///
-/// With `cfg.threads > 1` each minibatch is sharded across a scoped worker
-/// pool; the result is bit-identical to `threads == 1` (see module docs).
+/// Equivalent to `Trainer::new(*cfg).train(...)` — no checkpointing, no
+/// callback. With `cfg.threads > 1` each minibatch is sharded across a scoped
+/// worker pool; the result is bit-identical to `threads == 1` (see module
+/// docs).
 pub fn train_model<M: ScoringModel + Sync>(
     model: &mut M,
     graph: &KnowledgeGraph,
@@ -125,74 +316,369 @@ pub fn train_model<M: ScoringModel + Sync>(
     valid: &[Triple],
     cfg: &TrainConfig,
 ) -> TrainReport {
-    assert!(!targets.is_empty(), "no training targets");
-    assert!(cfg.batch_size > 0, "batch_size must be positive");
-    let sampler = NegativeSampler::from_graph(graph);
-    let pool = ThreadPool::new(cfg.threads);
-    let mut adam = Adam::new(cfg.lr);
-    let mut report = TrainReport::default();
-    let mut best_acc = f32::NEG_INFINITY;
-    let mut best_store = model.param_store().clone();
-    let mut since_best = 0usize;
+    Trainer::new(*cfg).train(model, graph, targets, valid)
+}
 
-    for epoch in 0..cfg.epochs {
-        let mut order: Vec<Triple> = targets.to_vec();
-        let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::SHUFFLE, epoch as u64));
-        order.shuffle(&mut shuffle_rng);
-        if cfg.max_samples_per_epoch > 0 {
-            order.truncate(cfg.max_samples_per_epoch);
+/// The crash-safe training driver: checkpointing, resume, divergence guards
+/// and a [`TrainEvent`] callback around the data-parallel loop.
+///
+/// ```no_run
+/// # use rmpi_core::trainer::{CheckpointConfig, Trainer, TrainConfig};
+/// # let (model, graph, targets, valid): (rmpi_core::RmpiModel, rmpi_kg::KnowledgeGraph, Vec<rmpi_kg::Triple>, Vec<rmpi_kg::Triple>) = unimplemented!();
+/// # let mut model = model;
+/// let cfg = TrainConfig::default();
+/// let report = Trainer::new(cfg)
+///     .with_checkpointing(CheckpointConfig::new("run/checkpoints"))
+///     .resume_latest("run/checkpoints")  // no-op on a fresh directory
+///     .unwrap()
+///     .train(&mut model, &graph, &targets, &valid);
+/// ```
+pub struct Trainer<'cb> {
+    cfg: TrainConfig,
+    checkpoint: Option<CheckpointConfig>,
+    resume: Option<TrainCheckpoint>,
+    callback: Option<Box<dyn FnMut(&TrainEvent) + 'cb>>,
+}
+
+impl<'cb> Trainer<'cb> {
+    /// A trainer with no checkpointing and no callback.
+    pub fn new(cfg: TrainConfig) -> Self {
+        Trainer { cfg, checkpoint: None, resume: None, callback: None }
+    }
+
+    /// Write crash-safe checkpoints while training (see [`CheckpointConfig`]).
+    pub fn with_checkpointing(mut self, ck: CheckpointConfig) -> Self {
+        self.checkpoint = Some(ck);
+        self
+    }
+
+    /// Continue bit-identically from the checkpoint directory `dir` (one
+    /// `ckpt-NNNNNN` directory, e.g. from
+    /// [`latest_checkpoint`](crate::checkpoint::latest_checkpoint)).
+    pub fn resume_from<P: AsRef<Path>>(mut self, dir: P) -> Result<Self, CheckpointError> {
+        self.resume = Some(load_checkpoint(dir)?);
+        Ok(self)
+    }
+
+    /// Continue from an already-loaded checkpoint.
+    pub fn resume_from_checkpoint(mut self, ckpt: TrainCheckpoint) -> Self {
+        self.resume = Some(ckpt);
+        self
+    }
+
+    /// Continue from the newest complete checkpoint under `root`, or start
+    /// fresh when `root` holds none — the restart-after-crash one-liner.
+    pub fn resume_latest<P: AsRef<Path>>(mut self, root: P) -> Result<Self, CheckpointError> {
+        if let Some(dir) = latest_checkpoint(root)? {
+            self.resume = Some(load_checkpoint(dir)?);
         }
+        Ok(self)
+    }
 
-        let mut epoch_loss = 0.0f64;
-        model.param_store_mut().zero_grad();
-        for (batch_idx, batch) in order.chunks(cfg.batch_size).enumerate() {
-            let base = batch_idx * cfg.batch_size;
-            // Fan the batch out: each worker reuses one tape across its shard
-            // and returns (loss, gradient buffer) per sample. The model and
-            // graph are only read.
-            let results: Vec<(f32, GradBuffer)> = {
-                let model: &M = model;
-                pool.map_init(batch.len(), Tape::new, |tape, i| {
-                    let pos = batch[i];
-                    let mut rng =
-                        StdRng::seed_from_u64(mix_seed(cfg.seed, stream::TRAIN, sample_key(epoch, base + i)));
-                    let neg = sampler.corrupt(pos, graph, &mut rng);
-                    tape.reset();
-                    let sp = model.score_on_tape(tape, graph, pos, Mode::Train, &mut rng);
-                    let sn = model.score_on_tape(tape, graph, neg, Mode::Train, &mut rng);
-                    let loss = margin_ranking_loss(tape, sp, sn, cfg.margin);
-                    let mut buf = GradBuffer::new();
-                    tape.backward_into(loss, &mut buf);
-                    (tape.value(loss).item(), buf)
-                })
-            };
-            // Ordered reduce: fold per-sample buffers into the store in
-            // sample-index order — the same addition sequence as the
-            // sequential loop, hence bit-identical parameters.
-            for (loss, buf) in &results {
-                epoch_loss += *loss as f64;
-                buf.add_to(model.param_store_mut());
+    /// Receive a [`TrainEvent`] for every batch, epoch and fault decision.
+    pub fn on_event(mut self, f: impl FnMut(&TrainEvent) + 'cb) -> Self {
+        self.callback = Some(Box::new(f));
+        self
+    }
+
+    /// Run the training loop. See [`train_model`] for the underlying
+    /// algorithm and the module docs for the fault-tolerance layers.
+    pub fn train<M: ScoringModel + Sync>(
+        mut self,
+        model: &mut M,
+        graph: &KnowledgeGraph,
+        targets: &[Triple],
+        valid: &[Triple],
+    ) -> TrainReport {
+        let cfg = self.cfg;
+        assert!(!targets.is_empty(), "no training targets");
+        assert!(cfg.batch_size > 0, "batch_size must be positive");
+        let sampler = NegativeSampler::from_graph(graph);
+        let pool = ThreadPool::new(cfg.threads);
+        let mut adam = Adam::new(cfg.lr);
+        let mut report = TrainReport::default();
+        let mut best_acc = f32::NEG_INFINITY;
+        let mut best_store = model.param_store().clone();
+        let mut since_best = 0usize;
+        let mut cb = self.callback.take();
+        let mut emit = move |ev: TrainEvent| {
+            if let Some(f) = cb.as_mut() {
+                f(&ev);
             }
-            step(model, &mut adam, cfg, batch.len());
-        }
-        report.epoch_losses.push((epoch_loss / order.len() as f64) as f32);
+        };
 
-        let acc = validation_accuracy(model, graph, valid, cfg, &pool, epoch as u64);
-        report.valid_accuracy.push(acc);
-        if acc > best_acc {
-            best_acc = acc;
-            best_store = model.param_store().clone();
-            report.best_epoch = epoch;
-            since_best = 0;
-        } else {
-            since_best += 1;
+        let mut start_epoch = 0usize;
+        if let Some(ck) = self.resume.take() {
+            assert!(
+                ck.seed == cfg.seed,
+                "checkpoint was written under seed {} but the config says {}; resuming under a \
+                 different seed cannot reproduce the interrupted run",
+                ck.seed,
+                cfg.seed
+            );
+            check_resume_params(model.param_store(), &ck.params);
+            adam.lr = ck.adam_lr;
+            adam.restore_state(AdamState { t: ck.adam_t, m: ck.adam_m, v: ck.adam_v });
+            best_acc = ck.best_acc;
+            since_best = ck.since_best;
+            best_store = ck.best_params;
+            report.best_epoch = ck.best_epoch;
+            report.epoch_losses = ck.epoch_losses;
+            report.valid_accuracy = ck.valid_accuracy;
+            report.skipped_batches = ck.skipped_batches;
+            report.sanitized_batches = ck.sanitized_batches;
+            report.rollbacks = ck.rollbacks;
+            *model.param_store_mut() = ck.params;
+            start_epoch = ck.next_epoch;
+            report.resumed_from = Some(start_epoch);
+            emit(TrainEvent::Resumed { epoch: start_epoch });
+        }
+
+        // Epoch-boundary snapshot for the rollback policy: (params, optimiser
+        // state, boundary epoch). Only maintained when the policy needs it —
+        // it costs a full parameter clone per epoch.
+        let track_rollback = matches!(cfg.divergence, DivergencePolicy::Rollback { .. });
+        let mut last_good: Option<(ParamStore, AdamState, usize)> = track_rollback
+            .then(|| (model.param_store().clone(), adam.export_state(), start_epoch));
+
+        'epochs: for epoch in start_epoch..cfg.epochs {
+            // A checkpoint can be written with the patience budget already
+            // exhausted (the run stops right after saving it); a resume from
+            // such a checkpoint must stop here too, not train further.
+            if cfg.patience > 0 && since_best >= cfg.patience {
+                break;
+            }
+            let mut order: Vec<Triple> = targets.to_vec();
+            let mut shuffle_rng =
+                StdRng::seed_from_u64(mix_seed(cfg.seed, stream::SHUFFLE, epoch as u64));
+            order.shuffle(&mut shuffle_rng);
+            if cfg.max_samples_per_epoch > 0 {
+                order.truncate(cfg.max_samples_per_epoch);
+            }
+
+            let mut epoch_loss = 0.0f64;
+            let mut counted = 0usize;
+            model.param_store_mut().zero_grad();
+            for (batch_idx, batch) in order.chunks(cfg.batch_size).enumerate() {
+                let base = batch_idx * cfg.batch_size;
+                // Fan the batch out: each worker reuses one tape across its
+                // shard and returns (loss, gradient buffer) per sample. The
+                // model and graph are only read.
+                let results: Result<Vec<(f32, GradBuffer)>, PoolError> = {
+                    let model: &M = model;
+                    pool.try_map_init(batch.len(), Tape::new, |tape, i| {
+                        let pos = batch[i];
+                        let mut rng = StdRng::seed_from_u64(mix_seed(
+                            cfg.seed,
+                            stream::TRAIN,
+                            sample_key(epoch, base + i),
+                        ));
+                        let neg = sampler.corrupt(pos, graph, &mut rng);
+                        tape.reset();
+                        let sp = model.score_on_tape(tape, graph, pos, Mode::Train, &mut rng);
+                        let sn = model.score_on_tape(tape, graph, neg, Mode::Train, &mut rng);
+                        let loss = margin_ranking_loss(tape, sp, sn, cfg.margin);
+                        let mut buf = GradBuffer::new();
+                        tape.backward_into(loss, &mut buf);
+                        (failpoint::nan32(LOSS_FAILPOINT, tape.value(loss).item()), buf)
+                    })
+                };
+                let results = match results {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // A panicking worker poisons only its batch: drop any
+                        // partial gradients and keep training.
+                        report.skipped_batches += 1;
+                        model.param_store_mut().zero_grad();
+                        emit(TrainEvent::BatchFailed {
+                            epoch,
+                            batch: batch_idx,
+                            message: e.to_string(),
+                        });
+                        emit(TrainEvent::BatchEnd { epoch, batch: batch_idx });
+                        continue;
+                    }
+                };
+                // Ordered reduce: fold per-sample buffers into the store in
+                // sample-index order — the same addition sequence as the
+                // sequential loop, hence bit-identical parameters.
+                for (_, buf) in &results {
+                    buf.add_to(model.param_store_mut());
+                }
+                maybe_poison_grads(model.param_store_mut());
+                let batch_loss: f64 = results.iter().map(|(l, _)| *l as f64).sum();
+                let losses_finite = results.iter().all(|(l, _)| l.is_finite());
+                let grad_norm = model.param_store().grad_norm();
+                if losses_finite && grad_norm.is_finite() {
+                    epoch_loss += batch_loss;
+                    counted += results.len();
+                    step(model, &mut adam, &cfg, batch.len());
+                } else {
+                    emit(TrainEvent::NonFinite {
+                        epoch,
+                        batch: batch_idx,
+                        loss: batch_loss as f32,
+                        grad_norm,
+                    });
+                    match cfg.divergence {
+                        DivergencePolicy::SkipBatch => {
+                            report.skipped_batches += 1;
+                            model.param_store_mut().zero_grad();
+                            emit(TrainEvent::BatchSkipped { epoch, batch: batch_idx });
+                        }
+                        DivergencePolicy::ClipAndWarn => {
+                            let zeroed = model.param_store_mut().sanitize_grads();
+                            report.sanitized_batches += 1;
+                            emit(TrainEvent::GradSanitized { epoch, batch: batch_idx, zeroed });
+                            for (l, _) in &results {
+                                if l.is_finite() {
+                                    epoch_loss += *l as f64;
+                                    counted += 1;
+                                }
+                            }
+                            step(model, &mut adam, &cfg, batch.len());
+                        }
+                        DivergencePolicy::Rollback { lr_decay } => {
+                            if let Some((params, state, boundary)) = last_good.as_ref() {
+                                *model.param_store_mut() = params.clone();
+                                adam.restore_state(state.clone());
+                                adam.lr *= lr_decay;
+                                report.rollbacks += 1;
+                                emit(TrainEvent::RolledBack {
+                                    epoch,
+                                    batch: batch_idx,
+                                    restored_epoch: *boundary,
+                                    lr: adam.lr,
+                                });
+                            } else {
+                                report.skipped_batches += 1;
+                                model.param_store_mut().zero_grad();
+                                emit(TrainEvent::BatchSkipped { epoch, batch: batch_idx });
+                            }
+                        }
+                        DivergencePolicy::Abort => {
+                            report.aborted = true;
+                            emit(TrainEvent::Aborted { epoch, batch: batch_idx });
+                            break 'epochs;
+                        }
+                    }
+                }
+                emit(TrainEvent::BatchEnd { epoch, batch: batch_idx });
+            }
+            let mean_loss = if counted == 0 { 0.0 } else { (epoch_loss / counted as f64) as f32 };
+            report.epoch_losses.push(mean_loss);
+
+            let acc = match try_validation_accuracy(model, graph, valid, &cfg, &pool, epoch as u64)
+            {
+                Ok(acc) => acc,
+                Err(e) => {
+                    emit(TrainEvent::ValidationFailed { epoch, message: e.to_string() });
+                    0.0
+                }
+            };
+            report.valid_accuracy.push(acc);
+            if acc > best_acc {
+                best_acc = acc;
+                best_store = model.param_store().clone();
+                report.best_epoch = epoch;
+                since_best = 0;
+            } else {
+                since_best += 1;
+            }
+
+            if track_rollback {
+                last_good = Some((model.param_store().clone(), adam.export_state(), epoch + 1));
+            }
+
+            if let Some(ck) = &self.checkpoint {
+                if (epoch + 1) % ck.every_epochs.max(1) == 0 {
+                    let state = adam.export_state();
+                    let snapshot = TrainCheckpoint {
+                        next_epoch: epoch + 1,
+                        seed: cfg.seed,
+                        adam_lr: adam.lr,
+                        adam_t: state.t,
+                        adam_m: state.m,
+                        adam_v: state.v,
+                        best_epoch: report.best_epoch,
+                        best_acc,
+                        since_best,
+                        epoch_losses: report.epoch_losses.clone(),
+                        valid_accuracy: report.valid_accuracy.clone(),
+                        skipped_batches: report.skipped_batches,
+                        sanitized_batches: report.sanitized_batches,
+                        rollbacks: report.rollbacks,
+                        params: model.param_store().clone(),
+                        best_params: best_store.clone(),
+                    };
+                    match save_checkpoint(&ck.dir, &snapshot) {
+                        Ok(path) => {
+                            emit(TrainEvent::CheckpointSaved { epoch, path });
+                            if ck.keep > 0 {
+                                crate::checkpoint::prune_checkpoints(&ck.dir, ck.keep);
+                            }
+                        }
+                        Err(e) => {
+                            emit(TrainEvent::CheckpointFailed { epoch, message: e.to_string() })
+                        }
+                    }
+                }
+            }
+
+            emit(TrainEvent::EpochEnd { epoch, loss: mean_loss, accuracy: acc });
             if cfg.patience > 0 && since_best >= cfg.patience {
                 break;
             }
         }
+        *model.param_store_mut() = best_store;
+        report
     }
-    *model.param_store_mut() = best_store;
-    report
+}
+
+/// A resumed model must agree with the checkpoint on every parameter it
+/// created at construction time — same name, same dense index (gradient
+/// buffers reduce by index), same shape. The checkpoint may hold *extra*
+/// parameters the original run created lazily; they ride along untouched.
+fn check_resume_params(fresh: &ParamStore, loaded: &ParamStore) {
+    assert!(
+        loaded.len() >= fresh.len(),
+        "checkpoint holds {} parameters but the model defines {}; \
+         was it written by a different model configuration?",
+        loaded.len(),
+        fresh.len()
+    );
+    for id in fresh.ids() {
+        let name = fresh.name(id);
+        let lid = loaded
+            .get(name)
+            .unwrap_or_else(|| panic!("checkpoint is missing parameter {name:?}"));
+        assert!(
+            lid == id,
+            "parameter {name:?} sits at index {} in the checkpoint but {} in the model; \
+         parameter creation order must match for resume to be exact",
+            lid.index(),
+            id.index()
+        );
+        assert!(
+            loaded.value(lid).shape() == fresh.value(id).shape(),
+            "parameter {name:?} has shape {:?} in the checkpoint but {:?} in the model",
+            loaded.value(lid).shape(),
+            fresh.value(id).shape()
+        );
+    }
+}
+
+/// Inject a NaN into the first gradient entry when the `trainer::grad`
+/// failpoint is armed with the `nan` action (no-op in production: one relaxed
+/// atomic load).
+fn maybe_poison_grads(store: &mut ParamStore) {
+    if matches!(failpoint::check(GRAD_FAILPOINT), Some(failpoint::Action::Nan)) {
+        if let Some(id) = store.ids().next() {
+            let mut poison = Tensor::zeros(store.grad(id).shape());
+            poison.data_mut()[0] = f32::NAN;
+            store.accumulate_grad(id, &poison);
+        }
+    }
 }
 
 fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batch_len: usize) {
@@ -211,20 +697,22 @@ fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batc
 
 /// Pairwise ranking accuracy on validation triples: fraction where the
 /// positive outscores one corrupted negative. Returns 0 when `valid` is
-/// empty (every epoch ties and the last snapshot wins).
+/// empty (every epoch ties and the last snapshot wins). Worker panics
+/// surface as `Err` — the trainer records the epoch as accuracy 0 rather
+/// than dying.
 ///
 /// Candidate scoring fans out over the pool; each win is an integer, so the
 /// sum is order-independent and the result thread-count-invariant.
-fn validation_accuracy<M: ScoringModel + Sync>(
+fn try_validation_accuracy<M: ScoringModel + Sync>(
     model: &M,
     graph: &KnowledgeGraph,
     valid: &[Triple],
     cfg: &TrainConfig,
     pool: &ThreadPool,
     epoch: u64,
-) -> f32 {
+) -> Result<f32, PoolError> {
     if valid.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let sampler = NegativeSampler::from_graph(graph);
     let mut subset: Vec<Triple> = valid.to_vec();
@@ -234,16 +722,16 @@ fn validation_accuracy<M: ScoringModel + Sync>(
         subset.truncate(cfg.max_valid_samples);
     }
     let wins: u32 = pool
-        .map_indexed(subset.len(), |i| {
+        .try_map_indexed(subset.len(), |i| {
             let pos = subset[i];
             let mut rng =
                 StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID, sample_key(epoch as usize, i)));
             let neg = sampler.corrupt(pos, graph, &mut rng);
             u32::from(model.score(graph, pos, &mut rng) > model.score(graph, neg, &mut rng))
-        })
+        })?
         .iter()
         .sum();
-    wins as f32 / subset.len() as f32
+    Ok(wins as f32 / subset.len() as f32)
 }
 
 #[cfg(test)]
@@ -253,6 +741,7 @@ mod tests {
     use crate::model::RmpiModel;
     use rmpi_datasets::world::{GraphGenConfig, WorldConfig};
     use rmpi_datasets::World;
+    use std::cell::RefCell;
 
     /// A tiny planted-rule world where composition conclusions are perfectly
     /// learnable from the enclosing subgraph.
@@ -300,6 +789,8 @@ mod tests {
             "trained model should beat chance on validation: {:?}",
             report.valid_accuracy
         );
+        assert_eq!(report.skipped_batches, 0);
+        assert!(!report.aborted);
     }
 
     #[test]
@@ -332,7 +823,9 @@ mod tests {
         };
         let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
         // re-evaluating with restored params reproduces the best epoch's accuracy signal
-        let acc = validation_accuracy(&model, &graph, &valid, &cfg, &ThreadPool::sequential(), 99);
+        let acc =
+            try_validation_accuracy(&model, &graph, &valid, &cfg, &ThreadPool::sequential(), 99)
+                .unwrap();
         assert!(
             acc >= report.best_accuracy() - 0.25,
             "restored accuracy {acc} far below best {}",
@@ -346,5 +839,34 @@ mod tests {
         let (graph, _, _) = tiny_data();
         let mut model = RmpiModel::new(RmpiConfig::default(), 8, 0);
         train_model(&mut model, &graph, &[], &[], &TrainConfig::default());
+    }
+
+    #[test]
+    fn callback_sees_batches_and_epochs() {
+        let (graph, targets, valid) = tiny_data();
+        let mut model = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 4);
+        let cfg = TrainConfig {
+            epochs: 2,
+            max_samples_per_epoch: 32,
+            max_valid_samples: 20,
+            patience: 0,
+            seed: 4,
+            ..Default::default()
+        };
+        let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+        let report = Trainer::new(cfg)
+            .on_event(|ev| events.borrow_mut().push(ev.clone()))
+            .train(&mut model, &graph, &targets, &valid);
+        let events = events.into_inner();
+        let epoch_ends = events.iter().filter(|e| matches!(e, TrainEvent::EpochEnd { .. })).count();
+        let batch_ends = events.iter().filter(|e| matches!(e, TrainEvent::BatchEnd { .. })).count();
+        assert_eq!(epoch_ends, 2);
+        // 32 samples at batch 16 = 2 batches per epoch
+        assert_eq!(batch_ends, 4);
+        assert_eq!(report.epoch_losses.len(), 2);
+        assert!(
+            !events.iter().any(|e| matches!(e, TrainEvent::CheckpointSaved { .. })),
+            "no checkpointing configured"
+        );
     }
 }

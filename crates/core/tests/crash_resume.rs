@@ -1,0 +1,227 @@
+//! Kill-and-resume pinning: a training run interrupted mid-epoch and resumed
+//! from its last checkpoint must finish **bit-identical** to a run that was
+//! never interrupted — at every thread count.
+//!
+//! The interruption is a panic raised from the `TrainEvent::BatchEnd`
+//! callback (the main training thread), which unwinds out of
+//! `Trainer::train` exactly like a crash would: no teardown code runs, only
+//! what was already durably checkpointed survives.
+
+use rmpi_core::trainer::{CheckpointConfig, Trainer};
+use rmpi_core::{
+    latest_checkpoint, load_checkpoint, RmpiConfig, RmpiModel, ScoringModel, TrainConfig,
+    TrainEvent, TrainReport,
+};
+use rmpi_datasets::world::{GraphGenConfig, WorldConfig};
+use rmpi_datasets::World;
+use rmpi_kg::{KnowledgeGraph, Triple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+fn tiny_data() -> (KnowledgeGraph, Vec<Triple>, Vec<Triple>) {
+    let world = World::new(WorldConfig {
+        comp_groups: 2,
+        long_groups: 0,
+        inv_groups: 1,
+        sym_groups: 0,
+        sub_groups: 0,
+        noise_relations: 0,
+        ..Default::default()
+    });
+    let groups: Vec<usize> = (0..world.groups().len()).collect();
+    let triples = world.generate_triples(
+        &groups,
+        &GraphGenConfig {
+            num_entities: 120,
+            num_base_triples: 420,
+            noise_frac: 0.0,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let split = rmpi_kg::split_triples(&triples, 0.15, 0.0, 3);
+    let graph = KnowledgeGraph::from_triples(split.train.clone());
+    (graph, split.train, split.valid)
+}
+
+fn fresh_model() -> RmpiModel {
+    RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 11)
+}
+
+fn train_cfg(threads: usize) -> TrainConfig {
+    TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        max_samples_per_epoch: 48, // 3 batches per epoch
+        max_valid_samples: 20,
+        patience: 0,
+        seed: 21,
+        threads,
+        ..Default::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmpi-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_params_identical(a: &RmpiModel, b: &RmpiModel, what: &str) {
+    let (pa, pb) = (a.param_store(), b.param_store());
+    assert_eq!(pa.len(), pb.len(), "{what}: parameter count");
+    for (ia, ib) in pa.ids().zip(pb.ids()) {
+        assert_eq!(pa.name(ia), pb.name(ib), "{what}: parameter order");
+        assert_eq!(
+            pa.value(ia).data(),
+            pb.value(ib).data(),
+            "{what}: parameter {:?} must be bit-identical",
+            pa.name(ia)
+        );
+    }
+}
+
+fn assert_reports_match(full: &TrainReport, resumed: &TrainReport, what: &str) {
+    assert_eq!(full.epoch_losses, resumed.epoch_losses, "{what}: epoch losses");
+    assert_eq!(full.valid_accuracy, resumed.valid_accuracy, "{what}: validation accuracy");
+    assert_eq!(full.best_epoch, resumed.best_epoch, "{what}: best epoch");
+}
+
+#[test]
+fn kill_mid_epoch_then_resume_is_bit_identical() {
+    let (graph, targets, valid) = tiny_data();
+    for threads in [1, 2, 4] {
+        let cfg = train_cfg(threads);
+
+        // Reference: the run that never crashes.
+        let mut reference = fresh_model();
+        let full = Trainer::new(cfg).train(&mut reference, &graph, &targets, &valid);
+        assert_eq!(full.epoch_losses.len(), 3);
+
+        // Crashing run: checkpoint every epoch, die in the middle of epoch 1
+        // (after epoch 0's checkpoint landed, with epoch 1 half done).
+        let root = tmp_dir(&format!("mid-{threads}"));
+        let mut victim = fresh_model();
+        let crashed = catch_unwind(AssertUnwindSafe(|| {
+            Trainer::new(cfg)
+                .with_checkpointing(CheckpointConfig::new(&root))
+                .on_event(|ev| {
+                    if let TrainEvent::BatchEnd { epoch: 1, batch: 1 } = ev {
+                        panic!("simulated crash mid-epoch");
+                    }
+                })
+                .train(&mut victim, &graph, &targets, &valid)
+        }));
+        assert!(crashed.is_err(), "the injected crash must unwind out of train()");
+        let ckpt_dir = latest_checkpoint(&root)
+            .unwrap()
+            .expect("epoch 0 checkpoint must have been written before the crash");
+        assert_eq!(load_checkpoint(&ckpt_dir).unwrap().next_epoch, 1);
+
+        // Resume: a fresh process would construct the model the same way,
+        // then continue from the newest checkpoint.
+        let mut survivor = fresh_model();
+        let resumed = Trainer::new(cfg)
+            .resume_latest(&root)
+            .unwrap()
+            .train(&mut survivor, &graph, &targets, &valid);
+
+        assert_eq!(resumed.resumed_from, Some(1), "threads={threads}");
+        assert_reports_match(&full, &resumed, &format!("threads={threads}"));
+        assert_params_identical(&reference, &survivor, &format!("threads={threads}"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}
+
+#[test]
+fn crash_before_first_checkpoint_resumes_from_scratch() {
+    let (graph, targets, valid) = tiny_data();
+    let cfg = train_cfg(2);
+
+    let mut reference = fresh_model();
+    let full = Trainer::new(cfg).train(&mut reference, &graph, &targets, &valid);
+
+    // Die during epoch 0: no checkpoint exists yet.
+    let root = tmp_dir("scratch");
+    let mut victim = fresh_model();
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        Trainer::new(cfg)
+            .with_checkpointing(CheckpointConfig::new(&root))
+            .on_event(|ev| {
+                if let TrainEvent::BatchEnd { epoch: 0, batch: 0 } = ev {
+                    panic!("simulated crash before any checkpoint");
+                }
+            })
+            .train(&mut victim, &graph, &targets, &valid)
+    }));
+    assert!(crashed.is_err());
+    assert!(latest_checkpoint(&root).unwrap().is_none(), "no checkpoint should exist yet");
+
+    // resume_latest on an empty root is a fresh start — still bit-identical.
+    let mut survivor = fresh_model();
+    let resumed = Trainer::new(cfg)
+        .resume_latest(&root)
+        .unwrap()
+        .train(&mut survivor, &graph, &targets, &valid);
+    assert_eq!(resumed.resumed_from, None);
+    assert_reports_match(&full, &resumed, "from-scratch");
+    assert_params_identical(&reference, &survivor, "from-scratch");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_preserves_early_stopping_decision() {
+    // A checkpoint written in the same epoch the patience budget runs out
+    // must not train further when resumed: the resumed run stops at once and
+    // restores the same best snapshot.
+    let (graph, targets, valid) = tiny_data();
+    let cfg = TrainConfig { epochs: 30, patience: 2, ..train_cfg(1) };
+
+    let mut reference = fresh_model();
+    let full = Trainer::new(cfg).train(&mut reference, &graph, &targets, &valid);
+    let ran = full.epoch_losses.len();
+    assert!(ran < 30, "patience must stop the reference run early");
+
+    // Checkpointed run (uninterrupted) leaves its final checkpoint behind...
+    let root = tmp_dir("patience");
+    let mut victim = fresh_model();
+    let checkpointed = Trainer::new(cfg)
+        .with_checkpointing(CheckpointConfig::new(&root))
+        .train(&mut victim, &graph, &targets, &valid);
+    assert_eq!(checkpointed.epoch_losses.len(), ran);
+
+    // ...and a resume from it must refuse to run more epochs.
+    let mut survivor = fresh_model();
+    let resumed = Trainer::new(cfg)
+        .resume_latest(&root)
+        .unwrap()
+        .train(&mut survivor, &graph, &targets, &valid);
+    assert_eq!(resumed.epoch_losses.len(), ran, "resume must honour the exhausted patience");
+    assert_reports_match(&full, &resumed, "patience");
+    assert_params_identical(&reference, &survivor, "patience");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn resume_under_wrong_seed_is_refused() {
+    let (graph, targets, valid) = tiny_data();
+    let cfg = train_cfg(1);
+    let root = tmp_dir("seed");
+    let mut model = fresh_model();
+    Trainer::new(cfg)
+        .with_checkpointing(CheckpointConfig::new(&root))
+        .train(&mut model, &graph, &targets, &valid);
+
+    let bad = TrainConfig { seed: 99, ..cfg };
+    let mut other = fresh_model();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        Trainer::new(bad)
+            .resume_latest(&root)
+            .unwrap()
+            .train(&mut other, &graph, &targets, &valid)
+    }));
+    let payload = err.unwrap_err();
+    let msg = rmpi_runtime::panic_message(payload.as_ref());
+    assert!(msg.contains("seed"), "refusal must name the seed mismatch: {msg}");
+    std::fs::remove_dir_all(&root).unwrap();
+}

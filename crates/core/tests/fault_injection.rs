@@ -1,0 +1,260 @@
+//! Divergence-guard and panic-isolation behaviour under injected faults.
+//!
+//! Every test arms global failpoints, so each takes the process-wide
+//! `failpoint::exclusive()` lock for its whole body — they serialise against
+//! each other, and running them in their own test binary keeps the armed
+//! failpoints away from the ordinary unit tests.
+
+use rmpi_core::trainer::{CheckpointConfig, Trainer, GRAD_FAILPOINT, LOSS_FAILPOINT};
+use rmpi_core::{
+    latest_checkpoint, load_checkpoint, DivergencePolicy, RmpiConfig, RmpiModel, ScoringModel,
+    TrainConfig, TrainEvent,
+};
+use rmpi_datasets::world::{GraphGenConfig, WorldConfig};
+use rmpi_datasets::World;
+use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_testutil::failpoint::{self, Action};
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+fn tiny_data() -> (KnowledgeGraph, Vec<Triple>, Vec<Triple>) {
+    let world = World::new(WorldConfig {
+        comp_groups: 2,
+        long_groups: 0,
+        inv_groups: 1,
+        sym_groups: 0,
+        sub_groups: 0,
+        noise_relations: 0,
+        ..Default::default()
+    });
+    let groups: Vec<usize> = (0..world.groups().len()).collect();
+    let triples = world.generate_triples(
+        &groups,
+        &GraphGenConfig {
+            num_entities: 120,
+            num_base_triples: 420,
+            noise_frac: 0.0,
+            seed: 5,
+            ..Default::default()
+        },
+    );
+    let split = rmpi_kg::split_triples(&triples, 0.15, 0.0, 3);
+    let graph = KnowledgeGraph::from_triples(split.train.clone());
+    (graph, split.train, split.valid)
+}
+
+fn fresh_model() -> RmpiModel {
+    RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 31)
+}
+
+fn train_cfg(divergence: DivergencePolicy) -> TrainConfig {
+    TrainConfig {
+        epochs: 2,
+        batch_size: 16,
+        max_samples_per_epoch: 48,
+        max_valid_samples: 20,
+        patience: 0,
+        seed: 41,
+        threads: 2,
+        divergence,
+        ..Default::default()
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmpi-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn nan_loss_under_skip_batch_drops_the_batch_and_training_survives() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let mut model = fresh_model();
+    // every sample of the first batch reports a NaN loss; the callback
+    // disarms after the guard fires once, so the rest of the run is healthy
+    failpoint::arm(LOSS_FAILPOINT, Action::Nan);
+    let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+    let report = Trainer::new(train_cfg(DivergencePolicy::SkipBatch))
+        .on_event(|ev| {
+            if matches!(ev, TrainEvent::BatchSkipped { .. }) {
+                failpoint::disarm(LOSS_FAILPOINT);
+            }
+            events.borrow_mut().push(ev.clone());
+        })
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert_eq!(report.skipped_batches, 1, "exactly one poisoned batch");
+    assert_eq!(report.epoch_losses.len(), 2, "training must run to completion");
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
+    assert!(model.param_store().ids().all(|id| {
+        model.param_store().value(id).data().iter().all(|x| x.is_finite())
+    }));
+    let events = events.into_inner();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TrainEvent::NonFinite { epoch: 0, batch: 0, loss, .. } if loss.is_nan()
+    )));
+}
+
+#[test]
+fn nan_grads_under_clip_and_warn_are_sanitized_and_stepped() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let mut model = fresh_model();
+    failpoint::arm(GRAD_FAILPOINT, Action::Nan);
+    let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+    let report = Trainer::new(train_cfg(DivergencePolicy::ClipAndWarn))
+        .on_event(|ev| {
+            if matches!(ev, TrainEvent::GradSanitized { .. }) {
+                failpoint::disarm(GRAD_FAILPOINT);
+            }
+            events.borrow_mut().push(ev.clone());
+        })
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert_eq!(report.sanitized_batches, 1);
+    assert_eq!(report.skipped_batches, 0, "clip-and-warn keeps the batch");
+    assert_eq!(report.epoch_losses.len(), 2);
+    let events = events.into_inner();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TrainEvent::GradSanitized { epoch: 0, batch: 0, zeroed } if *zeroed >= 1
+        )),
+        "the sanitizer must report how many entries it zeroed"
+    );
+    assert!(model.param_store().ids().all(|id| {
+        model.param_store().value(id).data().iter().all(|x| x.is_finite())
+    }));
+}
+
+#[test]
+fn rollback_policy_restores_epoch_boundary_and_decays_lr() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let mut model = fresh_model();
+    let cfg = TrainConfig { epochs: 3, ..train_cfg(DivergencePolicy::Rollback { lr_decay: 0.5 }) };
+    let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+    // poison a gradient in epoch 1, after the epoch-0 boundary snapshot exists
+    let report = Trainer::new(cfg)
+        .on_event(|ev| {
+            match ev {
+                TrainEvent::EpochEnd { epoch: 0, .. } => failpoint::arm(GRAD_FAILPOINT, Action::Nan),
+                TrainEvent::RolledBack { .. } => failpoint::disarm(GRAD_FAILPOINT),
+                _ => {}
+            }
+            events.borrow_mut().push(ev.clone());
+        })
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert_eq!(report.rollbacks, 1);
+    assert_eq!(report.epoch_losses.len(), 3, "training continues after the rollback");
+    let events = events.into_inner();
+    let rolled = events
+        .iter()
+        .find_map(|e| match e {
+            TrainEvent::RolledBack { epoch, restored_epoch, lr, .. } => {
+                Some((*epoch, *restored_epoch, *lr))
+            }
+            _ => None,
+        })
+        .expect("a RolledBack event must be emitted");
+    assert_eq!(rolled.0, 1, "divergence hit in epoch 1");
+    assert_eq!(rolled.1, 1, "restored to the epoch-1 boundary snapshot");
+    assert!(
+        (rolled.2 - cfg.lr * 0.5).abs() < 1e-12,
+        "learning rate must decay by the configured factor: {}",
+        rolled.2
+    );
+}
+
+#[test]
+fn abort_policy_stops_training_immediately() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let mut model = fresh_model();
+    failpoint::arm(LOSS_FAILPOINT, Action::Nan);
+    let report = Trainer::new(train_cfg(DivergencePolicy::Abort))
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert!(report.aborted);
+    assert!(report.epoch_losses.is_empty(), "aborted in the first batch, before any epoch ended");
+    assert_eq!(report.skipped_batches, 0);
+}
+
+#[test]
+fn worker_panic_fails_only_its_batch() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let mut model = fresh_model();
+    failpoint::arm(rmpi_runtime::pool::SHARD_FAILPOINT, Action::Panic("injected worker crash".into()));
+    let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+    let report = Trainer::new(train_cfg(DivergencePolicy::SkipBatch))
+        .on_event(|ev| {
+            if matches!(ev, TrainEvent::BatchFailed { .. }) {
+                failpoint::disarm(rmpi_runtime::pool::SHARD_FAILPOINT);
+            }
+            events.borrow_mut().push(ev.clone());
+        })
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert_eq!(report.skipped_batches, 1, "the panicking batch is dropped, nothing else");
+    assert_eq!(report.epoch_losses.len(), 2, "training survives the worker panic");
+    let events = events.into_inner();
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TrainEvent::BatchFailed { epoch: 0, batch: 0, message } if message.contains("injected worker crash")
+        )),
+        "the panic message must surface in the event"
+    );
+}
+
+#[test]
+fn checkpoint_write_failure_keeps_training_and_previous_checkpoint() {
+    let _lock = failpoint::exclusive();
+    let (graph, targets, valid) = tiny_data();
+    let root = tmp_dir("ckfail");
+    let mut model = fresh_model();
+    let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
+    // let epoch 0's checkpoint land, then fail every write during epoch 1's
+    let report = Trainer::new(train_cfg(DivergencePolicy::SkipBatch))
+        .with_checkpointing(CheckpointConfig::new(&root))
+        .on_event(|ev| {
+            match ev {
+                TrainEvent::CheckpointSaved { .. } => {
+                    failpoint::arm(
+                        rmpi_autograd::io::WRITE_FAILPOINT,
+                        Action::IoError("checkpoint disk unplugged".into()),
+                    );
+                }
+                TrainEvent::CheckpointFailed { .. } => {
+                    failpoint::disarm(rmpi_autograd::io::WRITE_FAILPOINT);
+                }
+                _ => {}
+            }
+            events.borrow_mut().push(ev.clone());
+        })
+        .train(&mut model, &graph, &targets, &valid);
+    failpoint::disarm_all();
+
+    assert_eq!(report.epoch_losses.len(), 2, "a failed checkpoint must not stop training");
+    let events = events.into_inner();
+    assert!(events.iter().any(|e| matches!(e, TrainEvent::CheckpointSaved { epoch: 0, .. })));
+    assert!(events.iter().any(|e| matches!(
+        e,
+        TrainEvent::CheckpointFailed { epoch: 1, message } if message.contains("disk unplugged")
+    )));
+    // LATEST still points at the complete epoch-0 checkpoint and it loads
+    let dir = latest_checkpoint(&root).unwrap().expect("epoch 0 checkpoint survives");
+    assert!(dir.ends_with("ckpt-000001"));
+    assert_eq!(load_checkpoint(&dir).unwrap().next_epoch, 1);
+    std::fs::remove_dir_all(&root).unwrap();
+}

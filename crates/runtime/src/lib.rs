@@ -19,7 +19,7 @@
 
 pub mod pool;
 
-pub use pool::ThreadPool;
+pub use pool::{panic_message, PoolError, ThreadPool};
 
 /// Resolve a thread-count knob: `0` means one worker per available core.
 pub fn resolve_threads(threads: usize) -> usize {

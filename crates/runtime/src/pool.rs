@@ -1,4 +1,4 @@
-//! Scoped worker pool with static sharding.
+//! Scoped worker pool with static sharding and panic isolation.
 //!
 //! Built on `std::thread::scope` only: workers borrow the caller's data
 //! (models, graphs, parameter stores) immutably, run a contiguous shard of
@@ -7,8 +7,64 @@
 //! the assignment deterministic, and because all randomness is derived per
 //! *index* (see [`crate::mix_seed`]) rather than per worker, results do not
 //! depend on the thread count at all.
+//!
+//! # Panic isolation
+//!
+//! Every worker closure runs under `catch_unwind`: a panicking task can
+//! never detach a thread, abort the process through a poisoned scope, or
+//! wedge the caller. The fallible entry points ([`ThreadPool::try_map_init`]
+//! / [`ThreadPool::try_map_indexed`]) surface the first panic as a typed
+//! [`PoolError`] — every worker still runs its shard to completion or its
+//! own panic, and all threads are joined before the error returns. The
+//! infallible `map_*` wrappers re-raise the panic on the calling thread,
+//! preserving the pre-isolation contract for callers that treat a panic as
+//! a bug. The pool itself carries no state that a panic could poison, so it
+//! remains fully usable after any failure.
 
 use crate::resolve_threads;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// Typed failure from a parallel map: a worker closure panicked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A worker panicked while processing `index`; `message` is the panic
+    /// payload (when it was a string).
+    WorkerPanicked {
+        /// The item index whose closure panicked.
+        index: usize,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { index, message } => {
+                write!(f, "worker panicked at item {index}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Render a `catch_unwind` payload as text (panics carry `&str` or `String`
+/// almost always; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Failpoint consulted once per worker shard (arm with `panic(..)` or
+/// `delay(..)` via `rmpi-testutil` to fault-inject workers).
+pub const SHARD_FAILPOINT: &str = "pool::shard";
 
 /// A lightweight handle describing how many workers parallel maps may use.
 ///
@@ -40,6 +96,9 @@ impl ThreadPool {
     ///
     /// Work is split into at most `workers` contiguous shards. `f` must be
     /// deterministic in its index argument for thread-count invariance.
+    /// Panics in `f` are re-raised on the calling thread after every worker
+    /// has been joined; use [`ThreadPool::try_map_indexed`] for a typed
+    /// error instead.
     pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -48,43 +107,93 @@ impl ThreadPool {
         self.map_init(n, || (), |(), i| f(i))
     }
 
+    /// Panic-isolating variant of [`ThreadPool::map_indexed`].
+    pub fn try_map_indexed<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.try_map_init(n, || (), |(), i| f(i))
+    }
+
     /// Map with per-worker scratch state: `init` runs once per worker and the
     /// resulting state is reused across that worker's whole shard.
     ///
     /// This is what lets each worker reuse one [`Tape`]-like arena for a
     /// whole batch instead of reallocating per sample. Results still come
     /// back in index order and must not depend on how indices were sharded.
+    /// Panics in `init`/`f` are re-raised on the calling thread after every
+    /// worker has been joined.
     pub fn map_init<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
     where
         T: Send,
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
+        match self.try_map_init(n, init, f) {
+            Ok(out) => out,
+            Err(PoolError::WorkerPanicked { index, message }) => {
+                panic!("pool worker panicked at item {index}: {message}")
+            }
+        }
+    }
+
+    /// Panic-isolating variant of [`ThreadPool::map_init`]: a panic in any
+    /// worker closure is caught, all threads are joined, and the first panic
+    /// (by item index) is reported as a [`PoolError`]. Other workers'
+    /// results are discarded, so a retry starts from a clean slate.
+    pub fn try_map_init<T, S, I, F>(&self, n: usize, init: I, f: F) -> Result<Vec<T>, PoolError>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let workers = self.workers.min(n);
-        if workers <= 1 {
-            let mut state = init();
-            return (0..n).map(|i| f(&mut state, i)).collect();
-        }
+        // collects (item index, panic message) per panicking worker
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
 
-        let chunk = n.div_ceil(workers);
+        let run_shard = |slots: &mut [Option<T>], base: usize| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                rmpi_testutil::failpoint::point(SHARD_FAILPOINT);
+                let mut state = init();
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    // record progress before calling f so a panic is
+                    // attributed to the exact item
+                    *slot = Some(f(&mut state, base + offset));
+                }
+            }));
+            if let Err(payload) = caught {
+                // the first None slot is the item that panicked
+                let at = slots.iter().position(Option::is_none).unwrap_or(0);
+                panics
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .push((base + at, panic_message(payload.as_ref())));
+            }
+        };
+
         let mut out: Vec<Option<T>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
-        std::thread::scope(|scope| {
-            for (shard, slots) in out.chunks_mut(chunk).enumerate() {
-                let (init, f) = (&init, &f);
-                scope.spawn(move || {
-                    let mut state = init();
-                    let base = shard * chunk;
-                    for (offset, slot) in slots.iter_mut().enumerate() {
-                        *slot = Some(f(&mut state, base + offset));
-                    }
-                });
-            }
-        });
-        out.into_iter().map(|slot| slot.expect("pool worker filled every slot")).collect()
+        if workers <= 1 {
+            run_shard(&mut out, 0);
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (shard, slots) in out.chunks_mut(chunk).enumerate() {
+                    let run_shard = &run_shard;
+                    scope.spawn(move || run_shard(slots, shard * chunk));
+                }
+            });
+        }
+
+        let mut panics = panics.into_inner().unwrap_or_else(|p| p.into_inner());
+        if let Some((index, message)) = panics.drain(..).min_by_key(|(i, _)| *i) {
+            return Err(PoolError::WorkerPanicked { index, message });
+        }
+        Ok(out.into_iter().map(|slot| slot.expect("pool worker filled every slot")).collect())
     }
 }
 
@@ -142,5 +251,79 @@ mod tests {
     fn zero_resolves_to_available_cores() {
         assert!(ThreadPool::new(0).workers() >= 1);
         assert_eq!(ThreadPool::sequential().workers(), 1);
+    }
+
+    #[test]
+    fn panicking_item_becomes_typed_error_and_pool_stays_usable() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let err = pool
+                .try_map_indexed(17, |i| {
+                    if i == 11 {
+                        panic!("shard bomb");
+                    }
+                    i
+                })
+                .unwrap_err();
+            match &err {
+                PoolError::WorkerPanicked { index, message } => {
+                    assert_eq!(*index, 11, "threads={threads}");
+                    assert!(message.contains("shard bomb"), "{message}");
+                }
+            }
+            assert!(err.to_string().contains("item 11"), "{err}");
+            // the pool is stateless w.r.t. failures: the very next map works
+            let out = pool.try_map_indexed(5, |i| i * 2).unwrap();
+            assert_eq!(out, vec![0, 2, 4, 6, 8], "pool must stay usable after a panic");
+        }
+    }
+
+    #[test]
+    fn earliest_panicking_index_wins_across_shards() {
+        let pool = ThreadPool::new(4);
+        let err = pool
+            .try_map_indexed(16, |i| {
+                if i % 5 == 4 {
+                    panic!("boom {i}");
+                }
+                i
+            })
+            .unwrap_err();
+        let PoolError::WorkerPanicked { index, .. } = err;
+        assert_eq!(index, 4, "the lowest panicking item index must be reported");
+    }
+
+    #[test]
+    fn map_init_panic_propagates_on_infallible_path() {
+        let pool = ThreadPool::new(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(6, |i| if i == 3 { panic!("legacy contract") } else { i })
+        }));
+        let msg = panic_message(caught.unwrap_err().as_ref());
+        assert!(msg.contains("legacy contract"), "{msg}");
+        // ...and the pool is still fine afterwards
+        assert_eq!(pool.map_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn delayed_worker_failpoint_only_slows_not_breaks() {
+        use rmpi_testutil::failpoint::{self, Action};
+        let _lock = failpoint::exclusive();
+        failpoint::arm(SHARD_FAILPOINT, Action::Delay(std::time::Duration::from_millis(5)));
+        let out = ThreadPool::new(2).try_map_indexed(4, |i| i).unwrap();
+        failpoint::disarm_all();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_worker_failpoint_is_isolated() {
+        use rmpi_testutil::failpoint::{self, Action};
+        let _lock = failpoint::exclusive();
+        // second shard hit panics: with 2 workers that is one whole shard
+        failpoint::arm_after(SHARD_FAILPOINT, Action::Panic("injected shard panic".into()), 1);
+        let err = ThreadPool::new(2).try_map_indexed(8, |i| i).unwrap_err();
+        failpoint::disarm_all();
+        let PoolError::WorkerPanicked { message, .. } = &err;
+        assert!(message.contains("injected shard panic"), "{err}");
     }
 }

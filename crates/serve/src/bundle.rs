@@ -33,12 +33,18 @@
 //! the stream to [`rmpi_autograd::io::load_params`] unchanged, so bundle and
 //! checkpoint parsing share one strict tensor parser. Save → load is
 //! bit-exact: a reloaded model scores identically to the one that was saved.
+//!
+//! Every parse error names its section and carries the **byte offset** into
+//! the bundle (the line start for manifest errors, the section start for
+//! parameter errors), so a corrupt artifact can be localised with `head -c`.
+//! [`save_bundle_file`] writes atomically (temp + fsync + rename): a crash
+//! mid-save never clobbers the bundle a server might reload next.
 
-use crate::error::ServeError;
-use rmpi_autograd::io::{load_params, save_params};
+use crate::error::{checkpoint_at, ServeError};
+use rmpi_autograd::io::{atomic_write_bytes, load_params, save_params};
 use rmpi_autograd::Tensor;
 use rmpi_core::{Fusion, RelationInit, RmpiConfig, RmpiModel, ScoringModel};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 /// Bundle header line.
@@ -108,33 +114,80 @@ pub fn save_bundle<W: Write>(
     Ok(())
 }
 
+/// A [`BufRead`] adapter that counts every byte the parser actually
+/// consumed. `Read` is routed through `fill_buf`/`consume` so the two
+/// interfaces share one tally and nothing is counted twice.
+struct CountingReader<R> {
+    inner: BufReader<R>,
+    consumed: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(r: R) -> Self {
+        CountingReader { inner: BufReader::new(r), consumed: 0 }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: Read> BufRead for CountingReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+    fn consume(&mut self, amt: usize) {
+        self.consumed += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
+/// Position of a manifest line: line number plus the byte offset of its
+/// first character. Threaded into every manifest error.
+#[derive(Clone, Copy)]
+struct At {
+    line: usize,
+    offset: u64,
+}
+
+impl At {
+    fn err(self, message: String) -> ServeError {
+        ServeError::Manifest { line: self.line, offset: self.offset, message }
+    }
+}
+
 /// Parse a bundle and reassemble the model.
 pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
-    let mut reader = BufReader::new(r);
-    let mut lineno = 0usize;
+    let mut reader = CountingReader::new(r);
+    let mut at = At { line: 0, offset: 0 };
     let mut line = String::new();
-    let mut next_line = |reader: &mut BufReader<R>, lineno: &mut usize| -> Result<Option<String>, ServeError> {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
-        if n == 0 {
-            return Ok(None);
-        }
-        *lineno += 1;
-        Ok(Some(line.trim_end_matches(['\n', '\r']).to_owned()))
-    };
+    let mut next_line =
+        |reader: &mut CountingReader<R>, at: &mut At| -> Result<Option<String>, ServeError> {
+            at.offset = reader.consumed;
+            line.clear();
+            let n = reader.read_line(&mut line)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            at.line += 1;
+            Ok(Some(line.trim_end_matches(['\n', '\r']).to_owned()))
+        };
 
-    let header = next_line(&mut reader, &mut lineno)?.unwrap_or_default();
+    let header = next_line(&mut reader, &mut at)?.unwrap_or_default();
     if header != MAGIC {
-        return Err(ServeError::Manifest { line: 1, message: format!("bad header {header:?}") });
+        return Err(At { line: 1, offset: 0 }.err(format!("bad header {header:?}")));
     }
 
     let mut manifest = ManifestBuilder::default();
     loop {
-        let Some(text) = next_line(&mut reader, &mut lineno)? else {
-            return Err(ServeError::Manifest {
-                line: lineno,
-                message: format!("bundle ended before the {PARAMS_MARKER:?} marker"),
-            });
+        let Some(text) = next_line(&mut reader, &mut at)? else {
+            return Err(at.err(format!("bundle ended before the {PARAMS_MARKER:?} marker")));
         };
         if text.trim().is_empty() {
             continue;
@@ -142,23 +195,28 @@ pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
         if text.trim() == PARAMS_MARKER {
             break;
         }
-        manifest.apply(&text, lineno)?;
+        manifest.apply(&text, at)?;
     }
 
-    let store = load_params(reader)?;
+    // Everything past the marker is the parameter section; failures in it
+    // are reported against the section's start, which is deterministic
+    // regardless of how far the tensor parser read ahead.
+    let params_start = reader.consumed;
+    let store = load_params(&mut reader).map_err(|e| checkpoint_at(params_start, e))?;
     manifest.finish(store)
 }
 
-/// Save a bundle to `path` (buffered).
+/// Save a bundle to `path` **atomically**: the serialised bytes land under a
+/// temporary name, are fsynced, and replace `path` in one rename. A crash or
+/// injected I/O failure mid-save leaves any previous bundle untouched.
 pub fn save_bundle_file<P: AsRef<Path>>(
     path: P,
     model: &RmpiModel,
     relation_names: &[String],
 ) -> Result<(), ServeError> {
-    let file = std::fs::File::create(path)?;
-    let mut w = BufWriter::new(file);
-    save_bundle(&mut w, model, relation_names)?;
-    w.flush()?;
+    let mut buf = Vec::new();
+    save_bundle(&mut buf, model, relation_names)?;
+    atomic_write_bytes(path, &buf)?;
     Ok(())
 }
 
@@ -178,8 +236,8 @@ struct ManifestBuilder {
 }
 
 impl ManifestBuilder {
-    fn apply(&mut self, text: &str, lineno: usize) -> Result<(), ServeError> {
-        let err = |message: String| ServeError::Manifest { line: lineno, message };
+    fn apply(&mut self, text: &str, at: At) -> Result<(), ServeError> {
+        let err = |message: String| at.err(message);
         let (key, rest) = match text.split_once(char::is_whitespace) {
             Some((k, r)) => (k, r.trim()),
             None => (text.trim(), ""),
@@ -187,13 +245,13 @@ impl ManifestBuilder {
         match key {
             "variant" => {} // informational; re-derived from the config
             "dim" => {
-                self.cfg.dim = parse(rest, "dim", lineno)?;
+                self.cfg.dim = parse(rest, "dim", at)?;
                 self.seen_dim = true;
             }
-            "layers" => self.cfg.num_layers = parse(rest, "layers", lineno)?,
-            "hop" => self.cfg.hop = parse(rest, "hop", lineno)?,
-            "ne" => self.cfg.ne = parse(rest, "ne", lineno)?,
-            "ta" => self.cfg.ta = parse(rest, "ta", lineno)?,
+            "layers" => self.cfg.num_layers = parse(rest, "layers", at)?,
+            "hop" => self.cfg.hop = parse(rest, "hop", at)?,
+            "ne" => self.cfg.ne = parse(rest, "ne", at)?,
+            "ta" => self.cfg.ta = parse(rest, "ta", at)?,
             "fusion" => {
                 self.cfg.fusion = match rest {
                     "sum" => Fusion::Sum,
@@ -202,8 +260,8 @@ impl ManifestBuilder {
                     other => return Err(err(format!("unknown fusion {other:?}"))),
                 }
             }
-            "leaky_slope" => self.cfg.leaky_slope = parse(rest, "leaky_slope", lineno)?,
-            "edge_dropout" => self.cfg.edge_dropout = parse(rest, "edge_dropout", lineno)?,
+            "leaky_slope" => self.cfg.leaky_slope = parse(rest, "leaky_slope", at)?,
+            "edge_dropout" => self.cfg.edge_dropout = parse(rest, "edge_dropout", at)?,
             "init" => {
                 self.cfg.init = match rest {
                     "random" => RelationInit::Random,
@@ -211,26 +269,26 @@ impl ManifestBuilder {
                     other => return Err(err(format!("unknown init {other:?}"))),
                 }
             }
-            "schema_hidden" => self.cfg.schema_hidden = parse(rest, "schema_hidden", lineno)?,
-            "max_edges" => self.cfg.max_subgraph_edges = parse(rest, "max_edges", lineno)?,
-            "entity_clues" => self.cfg.entity_clues = parse(rest, "entity_clues", lineno)?,
-            "relations" => self.num_relations = Some(parse(rest, "relations", lineno)?),
+            "schema_hidden" => self.cfg.schema_hidden = parse(rest, "schema_hidden", at)?,
+            "max_edges" => self.cfg.max_subgraph_edges = parse(rest, "max_edges", at)?,
+            "entity_clues" => self.cfg.entity_clues = parse(rest, "entity_clues", at)?,
+            "relations" => self.num_relations = Some(parse(rest, "relations", at)?),
             "rel" => {
                 let (id, name) = rest
                     .split_once(char::is_whitespace)
                     .ok_or_else(|| err("rel needs an id and a name".into()))?;
-                let id: usize = parse(id, "rel id", lineno)?;
+                let id: usize = parse(id, "rel id", at)?;
                 self.relation_names.push((id, name.trim().to_owned()));
             }
             "onto" => {
                 let mut parts = rest.split_whitespace();
                 let rows: usize =
-                    parse(parts.next().ok_or_else(|| err("onto needs rows".into()))?, "onto rows", lineno)?;
+                    parse(parts.next().ok_or_else(|| err("onto needs rows".into()))?, "onto rows", at)?;
                 let cols: usize =
-                    parse(parts.next().ok_or_else(|| err("onto needs cols".into()))?, "onto cols", lineno)?;
+                    parse(parts.next().ok_or_else(|| err("onto needs cols".into()))?, "onto cols", at)?;
                 let mut data = Vec::with_capacity(rows * cols);
                 for p in parts {
-                    let v: f32 = parse(p, "onto value", lineno)?;
+                    let v: f32 = parse(p, "onto value", at)?;
                     if !v.is_finite() {
                         return Err(err(format!("non-finite onto value {v}")));
                     }
@@ -247,7 +305,7 @@ impl ManifestBuilder {
     }
 
     fn finish(self, store: rmpi_autograd::ParamStore) -> Result<Bundle, ServeError> {
-        let missing = |what: &str| ServeError::Manifest { line: 0, message: format!("manifest is missing {what}") };
+        let missing = |what: &str| At { line: 0, offset: 0 }.err(format!("manifest is missing {what}"));
         if !self.seen_dim {
             return Err(missing("dim"));
         }
@@ -256,9 +314,9 @@ impl ManifestBuilder {
         if !self.relation_names.is_empty() {
             relation_names = vec![String::new(); num_relations];
             for (id, name) in self.relation_names {
-                let slot = relation_names.get_mut(id).ok_or_else(|| ServeError::Manifest {
-                    line: 0,
-                    message: format!("rel id {id} outside the {num_relations}-relation space"),
+                let slot = relation_names.get_mut(id).ok_or_else(|| {
+                    At { line: 0, offset: 0 }
+                        .err(format!("rel id {id} outside the {num_relations}-relation space"))
                 })?;
                 *slot = name;
             }
@@ -269,11 +327,11 @@ impl ManifestBuilder {
 }
 
 /// Parse one manifest scalar, mapping failures to a labelled manifest error.
-fn parse<T: std::str::FromStr>(s: &str, what: &str, lineno: usize) -> Result<T, ServeError>
+fn parse<T: std::str::FromStr>(s: &str, what: &str, at: At) -> Result<T, ServeError>
 where
     T::Err: std::fmt::Display,
 {
-    s.parse().map_err(|e| ServeError::Manifest { line: lineno, message: format!("bad {what}: {e}") })
+    s.parse().map_err(|e| at.err(format!("bad {what}: {e}")))
 }
 
 #[cfg(test)]
@@ -353,7 +411,7 @@ mod tests {
         let cut = buf.len() - buf.len() / 4;
         let err = load_bundle(Cursor::new(&buf[..cut])).unwrap_err();
         assert!(
-            matches!(err, ServeError::Checkpoint(_) | ServeError::Assembly(_)),
+            matches!(err, ServeError::Checkpoint { .. } | ServeError::Assembly(_)),
             "truncation must fail parsing or assembly: {err}"
         );
         // cut before the params marker
@@ -373,10 +431,42 @@ mod tests {
         let idx = text.find("rmpi-params v1").unwrap();
         let poisoned = format!("{}{}", &text[..idx], text[idx..].replacen("0.", "NaN ", 1));
         let err = load_bundle(Cursor::new(poisoned.into_bytes())).unwrap_err();
-        assert!(matches!(err, ServeError::Checkpoint(_)), "{err}");
+        assert!(matches!(err, ServeError::Checkpoint { .. }), "{err}");
         let unknown = text.replace("hop 2", "hops 2");
         let err = load_bundle(Cursor::new(unknown.into_bytes())).unwrap_err();
         assert!(err.to_string().contains("unknown manifest key"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets_and_section_names() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // A bad manifest key is reported at the byte offset of its line start.
+        let bad = text.replace("hop 2", "hops 2");
+        let key_offset = bad.find("hops 2").unwrap() as u64;
+        let err = load_bundle(Cursor::new(bad.clone().into_bytes())).unwrap_err();
+        match &err {
+            ServeError::Manifest { offset, .. } => assert_eq!(*offset, key_offset, "{err}"),
+            other => panic!("expected manifest error, got {other}"),
+        }
+        assert!(err.to_string().contains(&format!("byte {key_offset}")), "{err}");
+
+        // A corrupt parameter section is reported against the section start
+        // (the byte right after the "params" marker line) and names itself.
+        let params_start = (text.find("\nparams\n").unwrap() + "\nparams\n".len()) as u64;
+        let idx = text.find("rmpi-params v1").unwrap();
+        let poisoned = format!("{}{}", &text[..idx], text[idx..].replacen("0.", "NaN ", 1));
+        let err = load_bundle(Cursor::new(poisoned.into_bytes())).unwrap_err();
+        match &err {
+            ServeError::Checkpoint { offset, .. } => assert_eq!(*offset, params_start, "{err}"),
+            other => panic!("expected checkpoint error, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("parameter section"), "{msg}");
+        assert!(msg.contains(&format!("byte {params_start}")), "{msg}");
     }
 
     #[test]
@@ -393,6 +483,7 @@ mod tests {
 
     #[test]
     fn file_helpers_roundtrip() {
+        let _lock = rmpi_testutil::failpoint::exclusive();
         let dir = std::env::temp_dir().join(format!("rmpi-bundle-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("model.bundle");
@@ -400,6 +491,32 @@ mod tests {
         save_bundle_file(&path, &model, &[]).unwrap();
         let loaded = load_bundle_file(&path).unwrap();
         assert_eq!(loaded.model.num_relations(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_bundle_untouched() {
+        use rmpi_testutil::failpoint::{self, Action};
+        let _lock = failpoint::exclusive();
+        let dir = std::env::temp_dir().join(format!("rmpi-bundle-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bundle");
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 1);
+        save_bundle_file(&path, &model, &[]).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        failpoint::arm(rmpi_autograd::io::WRITE_FAILPOINT, Action::IoError("disk gone".into()));
+        let bigger = RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, 3, 2);
+        let err = save_bundle_file(&path, &bigger, &[]).unwrap_err();
+        failpoint::disarm_all();
+        assert!(err.to_string().contains("disk gone"), "{err}");
+
+        assert_eq!(std::fs::read(&path).unwrap(), original, "failed save must not clobber");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name() != "model.bundle")
+            .collect();
+        assert!(leftovers.is_empty(), "no temp litter: {leftovers:?}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -14,16 +14,38 @@
 //! deterministic ([`RmpiModel::score_sample`]). Batch scoring shards targets
 //! across a [`ThreadPool`], and since each target's score is independent of
 //! every other, results are identical for every thread count.
+//!
+//! # Hot reload and fault isolation
+//!
+//! The model and its subgraph cache live together in one `Arc<ModelState>`
+//! behind an `RwLock`. Every request clones that `Arc` exactly once up
+//! front, so a request sees one consistent (model, cache) pair for its whole
+//! lifetime — [`Engine::reload_from`] swapping in a new bundle mid-request
+//! can never mix old cached subgraphs with new weights. A reload candidate
+//! is validated *before* the swap (relation coverage plus a probe score
+//! under `catch_unwind`); a bad bundle is rejected, counted, and the
+//! previous model keeps serving. Scoring panics are caught per request and
+//! surface as [`ServeError::Internal`] — one poisoned query never takes the
+//! engine down.
 
 use crate::error::ServeError;
 use crate::stats::ServeStats;
 use rmpi_autograd::Tape;
 use rmpi_core::{RmpiModel, SampleInput};
 use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
-use rmpi_runtime::ThreadPool;
+use rmpi_runtime::{panic_message, ThreadPool};
 use rmpi_subgraph::{LruCache, SubgraphKey};
-use std::sync::Mutex;
+use rmpi_testutil::failpoint;
+use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+/// Failpoint inside every scoring closure — lets tests inject a panic into
+/// a live request and watch the engine answer `ERR internal` and survive.
+pub const SCORE_FAILPOINT: &str = "engine::score";
 
 /// Engine construction knobs.
 #[derive(Clone, Copy, Debug)]
@@ -44,17 +66,42 @@ impl Default for EngineConfig {
     }
 }
 
+/// The swappable half of the engine: a model and the subgraph cache that is
+/// only valid for that model's hop radius. They swap together or not at all.
+struct ModelState {
+    model: RmpiModel,
+    cache: Mutex<LruCache<SampleInput>>,
+}
+
+impl ModelState {
+    fn new(model: RmpiModel, cache_capacity: usize) -> Arc<Self> {
+        Arc::new(ModelState { model, cache: Mutex::new(LruCache::new(cache_capacity)) })
+    }
+}
+
+/// A read snapshot of the served model, pinned for as long as the caller
+/// holds it. Dereferences to [`RmpiModel`]; a concurrent [`Engine::reload_from`]
+/// does not affect snapshots already taken.
+pub struct ModelSnapshot(Arc<ModelState>);
+
+impl Deref for ModelSnapshot {
+    type Target = RmpiModel;
+    fn deref(&self) -> &RmpiModel {
+        &self.0.model
+    }
+}
+
 /// A loaded model bound to an immutable context graph, answering scoring and
 /// ranking queries through a subgraph cache.
 pub struct Engine {
-    model: RmpiModel,
+    state: RwLock<Arc<ModelState>>,
     graph: KnowledgeGraph,
     pool: ThreadPool,
-    cache: Mutex<LruCache<SampleInput>>,
     stats: ServeStats,
     /// Ranking candidates: every entity present in the context graph.
     candidates: Vec<EntityId>,
     seed: u64,
+    cache_capacity: usize,
 }
 
 impl Engine {
@@ -63,19 +110,24 @@ impl Engine {
     pub fn new(model: RmpiModel, graph: KnowledgeGraph, cfg: EngineConfig) -> Self {
         let candidates = graph.present_entities();
         Engine {
-            model,
+            state: RwLock::new(ModelState::new(model, cfg.cache_capacity)),
             graph,
             pool: ThreadPool::new(cfg.threads),
-            cache: Mutex::new(LruCache::new(cfg.cache_capacity)),
             stats: ServeStats::new(),
             candidates,
             seed: cfg.seed,
+            cache_capacity: cfg.cache_capacity,
         }
     }
 
-    /// The served model.
-    pub fn model(&self) -> &RmpiModel {
-        &self.model
+    /// One `Arc` clone: the request-scoped view of the served model.
+    fn snapshot(&self) -> Arc<ModelState> {
+        Arc::clone(&self.state.read().expect("model lock"))
+    }
+
+    /// The served model (a snapshot: stable even across a concurrent reload).
+    pub fn model(&self) -> ModelSnapshot {
+        ModelSnapshot(self.snapshot())
     }
 
     /// The immutable context graph.
@@ -88,16 +140,18 @@ impl Engine {
         &self.stats
     }
 
-    /// `(hits, misses, entries)` of the subgraph cache.
+    /// `(hits, misses, entries)` of the current model's subgraph cache.
+    /// A reload installs a fresh cache, so these reset on swap.
     pub fn cache_stats(&self) -> (u64, u64, usize) {
-        let cache = self.cache.lock().expect("cache lock");
+        let state = self.snapshot();
+        let cache = state.cache.lock().expect("cache lock");
         (cache.hits(), cache.misses(), cache.len())
     }
 
     /// Drop all cached subgraphs (counters survive) — the bench harness's
     /// cold-start lever.
     pub fn clear_cache(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        self.snapshot().cache.lock().expect("cache lock").clear();
     }
 
     /// All counters plus cache state as a single-line JSON object.
@@ -106,8 +160,62 @@ impl Engine {
         self.stats.to_json(hits, misses, len)
     }
 
-    fn check_relation(&self, r: RelationId) -> Result<(), ServeError> {
-        if r.index() < self.model.num_relations() {
+    /// Validate a candidate bundle and, if sound, atomically swap it (with a
+    /// fresh cache) in as the served model. On any failure — unreadable or
+    /// corrupt bundle, insufficient relation coverage, non-finite or panicking
+    /// probe score — the swap does **not** happen: the previous model keeps
+    /// serving, `reload_failures` is bumped and the error is returned.
+    pub fn reload_from<P: AsRef<Path>>(&self, path: P) -> Result<(), ServeError> {
+        let result = self.try_reload(path.as_ref());
+        match result {
+            Ok(()) => {
+                self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_reload(&self, path: &Path) -> Result<(), ServeError> {
+        let bundle = crate::bundle::load_bundle_file(path)?;
+        self.validate_candidate(&bundle.model).map_err(ServeError::Reload)?;
+        let state = ModelState::new(bundle.model, self.cache_capacity);
+        *self.state.write().expect("model lock") = state;
+        Ok(())
+    }
+
+    /// Pre-swap validation: the candidate must cover every relation the
+    /// context graph uses, and must produce a finite score (without
+    /// panicking) on a probe triple from the graph.
+    fn validate_candidate(&self, model: &RmpiModel) -> Result<(), String> {
+        if model.num_relations() < self.graph.num_relations() {
+            return Err(format!(
+                "bundle covers {} relations but the context graph uses {}",
+                model.num_relations(),
+                self.graph.num_relations()
+            ));
+        }
+        if let Some(&probe) = self.graph.triples().first() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let sample = model.prepare_eval_sample(&self.graph, probe, self.seed);
+                model.score_sample(&sample)
+            }));
+            match outcome {
+                Ok(s) if s.is_finite() => {}
+                Ok(s) => return Err(format!("probe score is non-finite ({s})")),
+                Err(p) => {
+                    return Err(format!("probe scoring panicked: {}", panic_message(p.as_ref())))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_relation(&self, model: &RmpiModel, r: RelationId) -> Result<(), ServeError> {
+        if r.index() < model.num_relations() {
             Ok(())
         } else {
             Err(ServeError::UnknownRelation(r.0))
@@ -115,46 +223,70 @@ impl Engine {
     }
 
     /// The cached-extraction path: return the prepared forward input for
-    /// `target`, extracting (and caching) it on a miss.
-    fn prepared(&self, target: Triple) -> SampleInput {
-        let key = SubgraphKey::new(target, self.model.config().hop);
-        if let Some(sample) = self.cache.lock().expect("cache lock").get(&key) {
+    /// `target`, extracting (and caching) it on a miss. Always reads and
+    /// writes the cache belonging to the snapshot that will score the sample.
+    fn prepared(&self, state: &ModelState, target: Triple) -> SampleInput {
+        let key = SubgraphKey::new(target, state.model.config().hop);
+        if let Some(sample) = state.cache.lock().expect("cache lock").get(&key) {
             return sample.clone();
         }
         // extraction happens outside the lock: concurrent misses on the same
         // key duplicate work but produce identical samples, so correctness
         // (and bit-parity) is unaffected
-        let sample = self.model.prepare_eval_sample(&self.graph, target, self.seed);
-        self.cache.lock().expect("cache lock").insert(key, sample.clone());
+        let sample = state.model.prepare_eval_sample(&self.graph, target, self.seed);
+        state.cache.lock().expect("cache lock").insert(key, sample.clone());
         sample
     }
 
+    fn internal(&self, message: String) -> ServeError {
+        self.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+        ServeError::Internal(message)
+    }
+
     /// Score one triple. Bit-identical to offline
-    /// `model.score(graph, t, &mut StdRng::seed_from_u64(seed))`.
+    /// `model.score(graph, t, &mut StdRng::seed_from_u64(seed))`. A panic in
+    /// the scoring path is caught and reported as [`ServeError::Internal`].
     pub fn score(&self, target: Triple) -> Result<f32, ServeError> {
-        self.check_relation(target.relation)?;
+        let state = self.snapshot();
+        self.check_relation(&state.model, target.relation)?;
         let t0 = Instant::now();
-        let sample = self.prepared(target);
-        let score = self.model.score_sample(&sample);
-        self.stats.record_call(&self.stats.score_requests, 1, t0.elapsed());
-        Ok(score)
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            failpoint::point(SCORE_FAILPOINT);
+            let sample = self.prepared(&state, target);
+            state.model.score_sample(&sample)
+        }));
+        match outcome {
+            Ok(score) => {
+                self.stats.record_call(&self.stats.score_requests, 1, t0.elapsed());
+                Ok(score)
+            }
+            Err(p) => Err(self.internal(panic_message(p.as_ref()))),
+        }
     }
 
     /// Score a batch, sharded across the worker pool. Each worker reuses one
     /// tape arena for its whole shard; results come back in request order.
+    /// A worker panic fails only this request, not the pool.
     pub fn score_batch(&self, targets: &[Triple]) -> Result<Vec<f32>, ServeError> {
+        let state = self.snapshot();
         for t in targets {
-            self.check_relation(t.relation)?;
+            self.check_relation(&state.model, t.relation)?;
         }
         let t0 = Instant::now();
-        let scores = self.pool.map_init(targets.len(), Tape::new, |tape, i| {
-            let sample = self.prepared(targets[i]);
+        let scores = self.pool.try_map_init(targets.len(), Tape::new, |tape, i| {
+            failpoint::point(SCORE_FAILPOINT);
+            let sample = self.prepared(&state, targets[i]);
             tape.reset();
-            let v = self.model.score_sample_on_tape(tape, &sample);
+            let v = state.model.score_sample_on_tape(tape, &sample);
             tape.value(v).item()
         });
-        self.stats.record_call(&self.stats.score_requests, targets.len() as u64, t0.elapsed());
-        Ok(scores)
+        match scores {
+            Ok(scores) => {
+                self.stats.record_call(&self.stats.score_requests, targets.len() as u64, t0.elapsed());
+                Ok(scores)
+            }
+            Err(e) => Err(self.internal(e.to_string())),
+        }
     }
 
     /// Rank every entity present in the context graph as a tail for
@@ -167,14 +299,21 @@ impl Engine {
         relation: RelationId,
         k: usize,
     ) -> Result<Vec<(EntityId, f32)>, ServeError> {
-        self.check_relation(relation)?;
+        let state = self.snapshot();
+        self.check_relation(&state.model, relation)?;
         let t0 = Instant::now();
-        let scores = self.pool.map_init(self.candidates.len(), Tape::new, |tape, i| {
-            let sample = self.prepared(Triple { head, relation, tail: self.candidates[i] });
+        let scores = self.pool.try_map_init(self.candidates.len(), Tape::new, |tape, i| {
+            failpoint::point(SCORE_FAILPOINT);
+            let sample =
+                self.prepared(&state, Triple { head, relation, tail: self.candidates[i] });
             tape.reset();
-            let v = self.model.score_sample_on_tape(tape, &sample);
+            let v = state.model.score_sample_on_tape(tape, &sample);
             tape.value(v).item()
         });
+        let scores = match scores {
+            Ok(s) => s,
+            Err(e) => return Err(self.internal(e.to_string())),
+        };
         let mut ranked: Vec<(EntityId, f32)> =
             self.candidates.iter().copied().zip(scores).collect();
         ranked.sort_by(|a, b| {
@@ -279,5 +418,80 @@ mod tests {
         assert_eq!(a, b);
         let (_, misses, _) = engine.cache_stats();
         assert_eq!(misses, 2, "both lookups missed after the clear");
+    }
+
+    #[test]
+    fn reload_from_missing_bundle_keeps_serving_and_counts_failure() {
+        let engine = setup(1, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let before = engine.score(t).unwrap();
+        let err = engine.reload_from("/nonexistent/model.bundle").unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "{err}");
+        assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), 0);
+        assert_eq!(engine.score(t).unwrap(), before, "old model must keep serving");
+    }
+
+    #[test]
+    fn reload_rejects_bundle_with_too_few_relations() {
+        let _lock = failpoint::exclusive();
+        let dir = std::env::temp_dir().join(format!("rmpi-reload-narrow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("narrow.bundle");
+        // 2 relations < the 6-relation graph space (graph relations are 0..=4)
+        let narrow = RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, 2, 1);
+        crate::bundle::save_bundle_file(&path, &narrow, &[]).unwrap();
+
+        let engine = setup(1, 8);
+        let err = engine.reload_from(&path).unwrap_err();
+        assert!(matches!(err, ServeError::Reload(_)), "{err}");
+        assert!(err.to_string().contains("relations"), "{err}");
+        assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn successful_reload_swaps_model_and_resets_cache() {
+        let _lock = failpoint::exclusive();
+        let dir = std::env::temp_dir().join(format!("rmpi-reload-ok-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.bundle");
+        let next = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 7);
+        crate::bundle::save_bundle_file(&path, &next, &[]).unwrap();
+
+        let engine = setup(1, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let before = engine.score(t).unwrap();
+        engine.reload_from(&path).unwrap();
+        assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), 1);
+        let after = engine.score(t).unwrap();
+        let offline = next.score(engine.graph(), t, &mut StdRng::seed_from_u64(9));
+        assert_eq!(after, offline, "post-reload scores come from the new model");
+        assert_ne!(before, after, "different weights should score differently");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_score_panic_is_an_internal_error_not_a_crash() {
+        use rmpi_testutil::failpoint::Action;
+        let _lock = failpoint::exclusive();
+        let engine = setup(2, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+
+        failpoint::arm(SCORE_FAILPOINT, Action::Panic("score blew up".into()));
+        let err = engine.score(t).unwrap_err();
+        assert!(matches!(err, ServeError::Internal(_)), "{err}");
+        assert!(err.to_string().contains("score blew up"), "{err}");
+
+        failpoint::arm(SCORE_FAILPOINT, Action::Panic("batch blew up".into()));
+        let err = engine.score_batch(&[t]).unwrap_err();
+        assert!(matches!(err, ServeError::Internal(_)), "{err}");
+        failpoint::disarm_all();
+
+        assert_eq!(engine.stats().internal_errors.load(Ordering::Relaxed), 2);
+        // the engine (and its pool) keep working after both panics
+        let healthy = engine.score(t).unwrap();
+        assert!(healthy.is_finite());
+        assert_eq!(engine.score_batch(&[t]).unwrap(), vec![healthy]);
     }
 }

@@ -1,7 +1,12 @@
 //! One error type for the whole serving layer.
+//!
+//! Bundle-parsing variants carry the **byte offset** into the bundle stream
+//! and name the section (`manifest` vs `parameter section`) so a corrupt
+//! artifact can be inspected with `dd`/`head -c` instead of a debugger.
 
 use rmpi_autograd::io::CheckpointError;
 use rmpi_core::ModelAssemblyError;
+use rmpi_runtime::PoolError;
 use std::fmt;
 
 /// Errors from bundle IO, engine queries and the TCP front end.
@@ -11,11 +16,18 @@ pub enum ServeError {
     Manifest {
         /// 1-based line number within the bundle.
         line: usize,
+        /// Byte offset of the offending line's start within the bundle.
+        offset: u64,
         /// What was wrong.
         message: String,
     },
     /// The parameter section failed to parse.
-    Checkpoint(CheckpointError),
+    Checkpoint {
+        /// Byte offset into the bundle at which parsing stopped.
+        offset: u64,
+        /// The underlying parser error.
+        source: CheckpointError,
+    },
     /// The parameters do not match the manifest's configuration.
     Assembly(ModelAssemblyError),
     /// A query referenced a relation outside the model's id space.
@@ -26,6 +38,11 @@ pub enum ServeError {
     Overloaded,
     /// The request's deadline expired before it was processed.
     DeadlineExpired,
+    /// A hot-reload candidate bundle failed validation; the previous model
+    /// keeps serving.
+    Reload(String),
+    /// A request handler panicked; the worker survived and answered `ERR`.
+    Internal(String),
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -33,15 +50,19 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Manifest { line, message } => {
-                write!(f, "bundle manifest error at line {line}: {message}")
+            ServeError::Manifest { line, offset, message } => {
+                write!(f, "bundle manifest error at line {line} (byte {offset}): {message}")
             }
-            ServeError::Checkpoint(e) => write!(f, "bundle parameter section: {e}"),
+            ServeError::Checkpoint { offset, source } => {
+                write!(f, "bundle parameter section at byte {offset}: {source}")
+            }
             ServeError::Assembly(e) => write!(f, "bundle does not assemble: {e}"),
             ServeError::UnknownRelation(r) => write!(f, "unknown relation id {r}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Overloaded => write!(f, "server overloaded"),
             ServeError::DeadlineExpired => write!(f, "deadline expired"),
+            ServeError::Reload(msg) => write!(f, "reload rejected: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal: {msg}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -50,7 +71,7 @@ impl fmt::Display for ServeError {
 impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Checkpoint { source, .. } => Some(source),
             ServeError::Assembly(e) => Some(e),
             ServeError::Io(e) => Some(e),
             _ => None,
@@ -64,20 +85,32 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-impl From<CheckpointError> for ServeError {
-    fn from(e: CheckpointError) -> Self {
-        // an Io failure mid-params is an Io failure of the bundle, not a
-        // format problem — keep the distinction callers match on
-        match e {
-            CheckpointError::Io(io) => ServeError::Io(io),
-            other => ServeError::Checkpoint(other),
-        }
-    }
-}
-
 impl From<ModelAssemblyError> for ServeError {
     fn from(e: ModelAssemblyError) -> Self {
         ServeError::Assembly(e)
+    }
+}
+
+impl From<PoolError> for ServeError {
+    fn from(e: PoolError) -> Self {
+        ServeError::Internal(e.to_string())
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        // the save path has no meaningful stream offset
+        checkpoint_at(0, e)
+    }
+}
+
+/// Attach a byte offset to a [`CheckpointError`], flattening plain I/O
+/// failures to [`ServeError::Io`] (an Io failure mid-params is an Io failure
+/// of the bundle, not a format problem).
+pub(crate) fn checkpoint_at(offset: u64, e: CheckpointError) -> ServeError {
+    match e {
+        CheckpointError::Io(io) => ServeError::Io(io),
+        other => ServeError::Checkpoint { offset, source: other },
     }
 }
 
@@ -87,22 +120,28 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ServeError::Manifest { line: 3, message: "bad dim".into() };
+        let e = ServeError::Manifest { line: 3, offset: 41, message: "bad dim".into() };
         assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("byte 41"));
         assert!(std::error::Error::source(&e).is_none());
 
         let io = ServeError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
         assert!(std::error::Error::source(&io).is_some());
 
-        let ck = ServeError::from(CheckpointError::BadMagic("x".into()));
-        assert!(matches!(ck, ServeError::Checkpoint(_)));
+        let ck = checkpoint_at(120, CheckpointError::BadMagic("x".into()));
+        assert!(matches!(ck, ServeError::Checkpoint { offset: 120, .. }));
+        assert!(ck.to_string().contains("parameter section at byte 120"), "{ck}");
         assert!(std::error::Error::source(&ck).is_some());
 
         // checkpoint Io failures flatten to ServeError::Io
-        let flat = ServeError::from(CheckpointError::Io(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "eof",
-        )));
+        let flat = checkpoint_at(
+            7,
+            CheckpointError::Io(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof")),
+        );
         assert!(matches!(flat, ServeError::Io(_)));
+
+        let internal = ServeError::from(PoolError::WorkerPanicked { index: 4, message: "boom".into() });
+        assert!(internal.to_string().starts_with("internal: "), "{internal}");
+        assert!(ServeError::Reload("bad probe".into()).to_string().contains("reload rejected"));
     }
 }

@@ -19,6 +19,13 @@
 //! Throughput, latency and cache-hit counters are collected in
 //! [`ServeStats`] and exported as single-line JSON (`Engine::stats_json`,
 //! wire command `STATS`).
+//!
+//! The service is self-healing: request panics are isolated per line
+//! (`ERR internal`), `HEALTH` reports readiness, and `RELOAD <path>`
+//! hot-swaps the served bundle with validation-before-swap and rollback —
+//! see [`Engine::reload_from`]. Bundles are written atomically, and parse
+//! errors carry byte offsets ([`ServeError::Manifest`],
+//! [`ServeError::Checkpoint`]).
 
 pub mod bundle;
 pub mod engine;
@@ -28,7 +35,7 @@ pub mod server;
 pub mod stats;
 
 pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, ModelSnapshot, SCORE_FAILPOINT};
 pub use error::ServeError;
 pub use protocol::Request;
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -6,9 +6,11 @@
 //!
 //! ```text
 //! PING                          -> OK pong
+//! HEALTH                        -> OK healthy ...
 //! SCORE h r t [h r t ...]       -> OK s1 [s2 ...]
 //! RANK h r k                    -> OK tail:score tail:score ...
 //! STATS                         -> OK {"scores": ..., ...}
+//! RELOAD /path/to/model.bundle  -> OK reloaded | ERR reload rejected: ...
 //! anything else                 -> ERR <reason>
 //! ```
 //!
@@ -39,6 +41,13 @@ pub enum Request {
     },
     /// Fetch the serving counters as JSON.
     Stats,
+    /// Readiness probe: answers only if a request can actually be served.
+    Health,
+    /// Hot-swap the served model from a bundle file on the server's disk.
+    Reload {
+        /// Bundle path as the server sees it (rest of the line, verbatim).
+        path: String,
+    },
 }
 
 /// Parse one request line.
@@ -49,6 +58,16 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     match command {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
+        "HEALTH" => Ok(Request::Health),
+        "RELOAD" => {
+            // the rest of the line is the path, verbatim (paths may contain
+            // spaces); leading/trailing whitespace is trimmed
+            let path = line.trim_start()["RELOAD".len()..].trim();
+            if path.is_empty() {
+                return Err(bad("RELOAD needs a bundle path".into()));
+            }
+            Ok(Request::Reload { path: path.to_owned() })
+        }
         "SCORE" => {
             let ids: Vec<u32> = parts
                 .map(|p| p.parse().map_err(|e| bad(format!("bad id {p:?}: {e}"))))
@@ -128,6 +147,16 @@ mod tests {
             parse_request("RANK 7 0 10").unwrap(),
             Request::Rank { head: EntityId(7), relation: RelationId(0), k: 10 }
         );
+        assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(
+            parse_request("RELOAD /models/next.bundle").unwrap(),
+            Request::Reload { path: "/models/next.bundle".into() }
+        );
+        assert_eq!(
+            parse_request("RELOAD /models/with space/m.bundle ").unwrap(),
+            Request::Reload { path: "/models/with space/m.bundle".into() },
+            "the path is the rest of the line, spaces included"
+        );
     }
 
     #[test]
@@ -142,6 +171,8 @@ mod tests {
             "RANK 1 2",
             "RANK 1 2 3 4",
             "RANK x 2 3",
+            "RELOAD",
+            "RELOAD   ",
         ] {
             let err = parse_request(bad).unwrap_err();
             assert!(matches!(err, ServeError::BadRequest(_)), "{bad:?} -> {err}");

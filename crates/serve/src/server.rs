@@ -26,6 +26,15 @@
 //! [`ServerHandle::shutdown`] flips a stop flag, wakes the acceptor with a
 //! self-connection, drains the workers via the condvar, and joins every
 //! thread. Dropping the handle shuts down implicitly.
+//!
+//! # Fault isolation
+//!
+//! Every request line is answered under `catch_unwind`: a panic anywhere in
+//! parsing, scoring or formatting becomes a single `ERR internal: ...` line
+//! and the connection (and worker) keep serving. `HEALTH` is the readiness
+//! probe; `RELOAD <path>` hot-swaps the served bundle through
+//! [`Engine::reload_from`], which validates before swapping and keeps the
+//! old model on rejection.
 
 use crate::engine::Engine;
 use crate::error::ServeError;
@@ -229,20 +238,22 @@ fn handle_connection(shared: &Shared, job: Job) {
 }
 
 /// Answer one request line. Split out of the socket loop so the protocol
-/// semantics are testable without a live server.
+/// semantics are testable without a live server. Runs the whole
+/// parse → dispatch → format path under `catch_unwind`: a panicking request
+/// becomes `ERR internal: ...` and the worker keeps serving.
 fn respond(shared: &Shared, line: &str) -> String {
     let stats = shared.engine.stats();
     stats.wire_requests.fetch_add(1, Ordering::Relaxed);
-    let result = parse_request(line).and_then(|req| match req {
-        Request::Ping => Ok("OK pong".to_string()),
-        Request::Stats => Ok(format!("OK {}", shared.engine.stats_json())),
-        Request::Score(targets) => {
-            shared.engine.score_batch(&targets).map(|scores| format_scores(&scores))
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(shared, line)));
+    let result = match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            // Engine-level catches count themselves; this only sees panics
+            // that escaped the engine (parsing, formatting, bugs).
+            stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::Internal(rmpi_runtime::panic_message(payload.as_ref())))
         }
-        Request::Rank { head, relation, k } => {
-            shared.engine.rank_tails(head, relation, k).map(|ranked| format_ranked(&ranked))
-        }
-    });
+    };
     match result {
         Ok(response) => response,
         Err(err) => {
@@ -252,6 +263,30 @@ fn respond(shared: &Shared, line: &str) -> String {
             format_error(&err)
         }
     }
+}
+
+fn dispatch(shared: &Shared, line: &str) -> Result<String, ServeError> {
+    parse_request(line).and_then(|req| match req {
+        Request::Ping => Ok("OK pong".to_string()),
+        Request::Stats => Ok(format!("OK {}", shared.engine.stats_json())),
+        Request::Health => {
+            let model = shared.engine.model();
+            Ok(format!(
+                "OK healthy relations={} entities={}",
+                model.num_relations(),
+                shared.engine.graph().num_entities()
+            ))
+        }
+        Request::Reload { path } => {
+            shared.engine.reload_from(&path).map(|()| "OK reloaded".to_string())
+        }
+        Request::Score(targets) => {
+            shared.engine.score_batch(&targets).map(|scores| format_scores(&scores))
+        }
+        Request::Rank { head, relation, k } => {
+            shared.engine.rank_tails(head, relation, k).map(|ranked| format_ranked(&ranked))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -287,6 +322,9 @@ mod tests {
         let addr = server.addr();
 
         assert_eq!(query(addr, "PING"), "OK pong");
+        let health = query(addr, "HEALTH");
+        assert!(health.starts_with("OK healthy"), "{health}");
+        assert!(health.contains("relations=4"), "{health}");
 
         let scored = query(addr, "SCORE 0 1 2");
         let wire: f32 = scored.strip_prefix("OK ").expect(&scored).parse().expect("score");

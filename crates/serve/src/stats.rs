@@ -24,6 +24,12 @@ pub struct ServeStats {
     pub rejected_deadline: AtomicU64,
     /// Malformed protocol lines answered with `ERR`.
     pub bad_requests: AtomicU64,
+    /// Successful hot bundle reloads (model swaps).
+    pub reloads: AtomicU64,
+    /// Reload attempts rejected before the swap (bad bundle or validation).
+    pub reload_failures: AtomicU64,
+    /// Requests that panicked and were answered `ERR internal`.
+    pub internal_errors: AtomicU64,
     /// Total scoring latency in microseconds (per engine call).
     pub latency_us_sum: AtomicU64,
     /// Worst single engine-call latency in microseconds.
@@ -58,7 +64,8 @@ impl ServeStats {
         format!(
             "{{\"scores\": {scores}, \"score_requests\": {}, \"rank_requests\": {}, \
              \"wire_requests\": {}, \"rejected_overload\": {}, \"rejected_deadline\": {}, \
-             \"bad_requests\": {}, \"latency_us_sum\": {sum_us}, \"latency_us_max\": {}, \
+             \"bad_requests\": {}, \"reloads\": {}, \"reload_failures\": {}, \
+             \"internal_errors\": {}, \"latency_us_sum\": {sum_us}, \"latency_us_max\": {}, \
              \"latency_us_mean\": {mean_us:.1}, \"cache_hits\": {cache_hits}, \
              \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.4}, \
              \"cache_len\": {cache_len}}}",
@@ -68,6 +75,9 @@ impl ServeStats {
             self.rejected_overload.load(Ordering::Relaxed),
             self.rejected_deadline.load(Ordering::Relaxed),
             self.bad_requests.load(Ordering::Relaxed),
+            self.reloads.load(Ordering::Relaxed),
+            self.reload_failures.load(Ordering::Relaxed),
+            self.internal_errors.load(Ordering::Relaxed),
             self.latency_us_max.load(Ordering::Relaxed),
         )
     }
@@ -101,6 +111,9 @@ mod tests {
             "\"cache_hit_rate\": 0.7500",
             "\"cache_len\": 2",
             "\"latency_us_mean\": 200.0",
+            "\"reloads\": 0",
+            "\"reload_failures\": 0",
+            "\"internal_errors\": 0",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -1,0 +1,188 @@
+//! Self-healing serving under injected faults: hot reload atomicity,
+//! panic-isolated request handling, and byte-offset bundle diagnostics.
+//!
+//! Every test holds `failpoint::exclusive()` for its whole body — some arm
+//! global failpoints and the others drive concurrent scoring that must not
+//! observe them.
+
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_serve::{
+    load_bundle_file, save_bundle_file, serve, Engine, EngineConfig, ServerConfig, SCORE_FAILPOINT,
+};
+use rmpi_testutil::failpoint::{self, Action};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn toy_graph() -> KnowledgeGraph {
+    KnowledgeGraph::from_triples(vec![
+        Triple::new(0u32, 0u32, 1u32),
+        Triple::new(1u32, 1u32, 3u32),
+        Triple::new(0u32, 2u32, 2u32),
+        Triple::new(2u32, 3u32, 3u32),
+        Triple::new(3u32, 4u32, 4u32),
+    ])
+}
+
+fn model(init_seed: u64) -> RmpiModel {
+    RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, init_seed)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rmpi-serve-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn engine_for_bundle(path: &Path) -> Engine {
+    let bundle = load_bundle_file(path).unwrap();
+    Engine::new(bundle.model, toy_graph(), EngineConfig { seed: 9, cache_capacity: 64, threads: 2 })
+}
+
+/// The two probe triples scored as one batch everywhere below: a batch is
+/// the unit that must never be torn across a reload.
+const PROBES: [Triple; 2] =
+    [Triple { head: rmpi_kg::EntityId(0), relation: rmpi_kg::RelationId(1), tail: rmpi_kg::EntityId(2) },
+     Triple { head: rmpi_kg::EntityId(2), relation: rmpi_kg::RelationId(3), tail: rmpi_kg::EntityId(3) }];
+
+#[test]
+fn concurrent_reload_and_score_never_serves_a_torn_model() {
+    let _lock = failpoint::exclusive();
+    let dir = tmp_dir("torn");
+    let (path_a, path_b) = (dir.join("a.bundle"), dir.join("b.bundle"));
+    save_bundle_file(&path_a, &model(1), &[]).unwrap();
+    save_bundle_file(&path_b, &model(2), &[]).unwrap();
+
+    // ground truth: what a batch scores under each bundle, exclusively
+    let expect_a = engine_for_bundle(&path_a).score_batch(&PROBES).unwrap();
+    let expect_b = engine_for_bundle(&path_b).score_batch(&PROBES).unwrap();
+    assert_ne!(expect_a, expect_b, "the two bundles must be distinguishable");
+
+    let engine = Arc::new(engine_for_bundle(&path_a));
+    let stop = AtomicBool::new(false);
+    const RELOADS: u64 = 12;
+
+    let observed = std::thread::scope(|scope| {
+        let scorer = {
+            let engine = Arc::clone(&engine);
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    seen.push(engine.score_batch(&PROBES).unwrap());
+                }
+                seen.push(engine.score_batch(&PROBES).unwrap());
+                seen
+            })
+        };
+        for i in 0..RELOADS {
+            let path = if i % 2 == 0 { &path_b } else { &path_a };
+            engine.reload_from(path).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        scorer.join().expect("scorer thread must not panic")
+    });
+
+    assert!(!observed.is_empty());
+    for (i, batch) in observed.iter().enumerate() {
+        assert!(
+            *batch == expect_a || *batch == expect_b,
+            "batch {i} mixed weights across a reload: {batch:?}\n a={expect_a:?}\n b={expect_b:?}"
+        );
+    }
+    assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), RELOADS);
+    assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 0);
+    assert!(engine.stats_json().contains(&format!("\"reloads\": {RELOADS}")));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn query(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    response.trim_end().to_string()
+}
+
+#[test]
+fn wire_reload_swaps_model_validates_and_counts() {
+    let _lock = failpoint::exclusive();
+    let dir = tmp_dir("wire-reload");
+    let (path_a, path_b) = (dir.join("a.bundle"), dir.join("b.bundle"));
+    save_bundle_file(&path_a, &model(1), &[]).unwrap();
+    save_bundle_file(&path_b, &model(2), &[]).unwrap();
+    // a corrupt bundle: valid header, poisoned parameter section
+    let corrupt = dir.join("corrupt.bundle");
+    let text = std::fs::read_to_string(&path_b).unwrap();
+    let idx = text.find("rmpi-params v1").unwrap();
+    std::fs::write(&corrupt, format!("{}{}", &text[..idx], text[idx..].replacen("0.", "NaN ", 1)))
+        .unwrap();
+
+    let engine = Arc::new(engine_for_bundle(&path_a));
+    let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("serve");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let before = query(&mut stream, &mut reader, "SCORE 0 1 2 2 3 3");
+    assert!(before.starts_with("OK "), "{before}");
+
+    assert_eq!(query(&mut stream, &mut reader, &format!("RELOAD {}", path_b.display())), "OK reloaded");
+    let after = query(&mut stream, &mut reader, "SCORE 0 1 2 2 3 3");
+    let offline: Vec<f32> = engine_for_bundle(&path_b)
+        .score_batch(&PROBES)
+        .unwrap();
+    let served: Vec<f32> = after[3..].split(' ').map(|s| s.parse().unwrap()).collect();
+    assert_eq!(served, offline, "post-reload wire scores come from the new bundle");
+    assert_ne!(after, before);
+
+    // a missing bundle is refused; the swapped-in model keeps serving
+    let missing = query(&mut stream, &mut reader, "RELOAD /nonexistent/x.bundle");
+    assert!(missing.starts_with("ERR "), "{missing}");
+    // a corrupt bundle is refused with a byte-offset diagnostic
+    let rejected = query(&mut stream, &mut reader, &format!("RELOAD {}", corrupt.display()));
+    assert!(rejected.starts_with("ERR "), "{rejected}");
+    assert!(rejected.contains("parameter section"), "{rejected}");
+    assert!(rejected.contains("byte"), "{rejected}");
+    assert_eq!(query(&mut stream, &mut reader, "SCORE 0 1 2 2 3 3"), after);
+
+    let stats = query(&mut stream, &mut reader, "STATS");
+    assert!(stats.contains("\"reloads\": 1"), "{stats}");
+    assert!(stats.contains("\"reload_failures\": 2"), "{stats}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wire_request_panic_answers_err_internal_and_connection_survives() {
+    let _lock = failpoint::exclusive();
+    let dir = tmp_dir("wire-panic");
+    let path = dir.join("m.bundle");
+    save_bundle_file(&path, &model(3), &[]).unwrap();
+    let engine = Arc::new(engine_for_bundle(&path));
+    let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("serve");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let health = query(&mut stream, &mut reader, "HEALTH");
+    assert!(health.starts_with("OK healthy"), "{health}");
+
+    failpoint::arm(SCORE_FAILPOINT, Action::Panic("scoring kernel exploded".into()));
+    let err = query(&mut stream, &mut reader, "SCORE 0 1 2");
+    failpoint::disarm_all();
+    assert!(err.starts_with("ERR internal"), "{err}");
+    assert!(err.contains("scoring kernel exploded"), "{err}");
+
+    // same connection, same worker: the panic did not take anything down
+    let ok = query(&mut stream, &mut reader, "SCORE 0 1 2");
+    assert!(ok.starts_with("OK "), "{ok}");
+    assert!(query(&mut stream, &mut reader, "HEALTH").starts_with("OK healthy"));
+    let stats = query(&mut stream, &mut reader, "STATS");
+    assert!(stats.contains("\"internal_errors\": 1"), "{stats}");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -25,4 +25,16 @@ cargo test -q -p rmpi-serve --lib
 echo "== serve smoke test: ephemeral-port server, scripted query batch, offline parity =="
 cargo test -q -p rmpi-serve --test serving
 
+echo "== fault suite: divergence guards, worker panics, checkpoint write failures =="
+cargo test -q -p rmpi-core --test fault_injection
+
+echo "== crash-resume suite: kill mid-epoch, resume, bit-identical at every thread count =="
+cargo test -q -p rmpi-core --test crash_resume
+
+echo "== serve fault suite: hot reload atomicity, panic isolation, byte-offset diagnostics =="
+cargo test -q -p rmpi-serve --test faults
+
+echo "== crash-recovery smoke: train -> SIGKILL mid-epoch -> resume -> metrics bit-identical =="
+cargo run --release -q -p rmpi-bench --bin bench_resume
+
 echo "verify.sh: all checks passed"
