@@ -2,7 +2,9 @@
 //!
 //! Trains one epoch of the base RMPI model at each thread count and reports
 //! training throughput (samples/sec) plus the speedup over the single-thread
-//! run. Writes `BENCH_parallel.json` in the working directory.
+//! run, and the per-phase timing breakdown (subgraph extraction, forward,
+//! backward, optimiser step) read back from the `rmpi-obs` metrics registry.
+//! Writes `BENCH_parallel.json` in the working directory.
 //!
 //! ```text
 //! cargo run --release -p rmpi-bench --bin bench_parallel [--threads 1,2,4,8]
@@ -10,6 +12,7 @@
 
 use rmpi_core::{train_model, RmpiConfig, RmpiModel, TrainConfig};
 use rmpi_datasets::{build_benchmark, Benchmark, Scale};
+use rmpi_obs::json::{array, JsonObject};
 use std::time::Instant;
 
 const SAMPLES_PER_EPOCH: usize = 192;
@@ -57,24 +60,46 @@ fn main() {
     if cores == 1 {
         println!("  note: single-core host — thread counts > 1 cannot speed up; expect ~1.0x");
     }
+    let registry = rmpi_obs::global();
     let mut rows = Vec::new();
     let mut base_rate = None;
     for &threads in &thread_counts {
+        // phase metrics come from the registry; zero it so each config's
+        // breakdown covers exactly its own reps
+        registry.reset();
         let secs = time_epoch(&b, threads);
         let rate = SAMPLES_PER_EPOCH as f64 / secs;
         let base = *base_rate.get_or_insert(rate);
         let speedup = rate / base;
         println!("  threads={threads:<2} {rate:8.1} samples/sec  ({speedup:.2}x)");
-        rows.push(format!(
-            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
-             \"samples_per_sec\": {rate:.1}, \"speedup\": {speedup:.3}}}"
-        ));
+
+        let mut phases = JsonObject::new();
+        for (label, metric) in [
+            ("extract", "core.extract.us"),
+            ("forward", "trainer.forward.us"),
+            ("backward", "trainer.backward.us"),
+            ("optim_step", "trainer.optim_step.us"),
+            ("epoch", "trainer.epoch.us"),
+        ] {
+            phases.field_raw(label, &registry.histogram(metric).summary_json());
+        }
+        let mut row = JsonObject::new();
+        row.field_u64("threads", threads as u64);
+        row.field_f64("seconds", secs, 4);
+        row.field_f64("samples_per_sec", rate, 1);
+        row.field_f64("speedup", speedup, 3);
+        row.field_u64("samples_counted", registry.counter("trainer.samples.count").get());
+        row.field_raw("phases_us", &phases.finish());
+        rows.push(row.finish());
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"train_epoch_parallel\",\n  \"cores\": {cores},\n  \"samples_per_epoch\": {SAMPLES_PER_EPOCH},\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
+    let mut out = JsonObject::new();
+    out.field_str("bench", "train_epoch_parallel");
+    out.field_u64("cores", cores as u64);
+    out.field_u64("samples_per_epoch", SAMPLES_PER_EPOCH as u64);
+    out.field_u64("reps", REPS as u64);
+    out.field_raw("results", &array(&rows));
+    let json = format!("{}\n", out.finish());
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("wrote BENCH_parallel.json");
 }

@@ -183,12 +183,21 @@ fn main() {
         std::process::exit(1);
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"crash_resume\",\n  \"dataset\": \"{DATASET}\",\n  \"threads\": {THREADS},\n  \
-         \"full_seconds\": {full_secs:.4},\n  \"checkpointed_seconds\": {ckpt_secs:.4},\n  \
-         \"checkpoint_overhead_pct\": {overhead_pct:.2},\n  \"recovery_seconds\": {recover_secs:.4},\n  \
-         \"bit_identical\": {bit_identical}\n}}\n"
+    let mut out = rmpi_obs::json::JsonObject::new();
+    out.field_str("bench", "crash_resume");
+    out.field_str("dataset", DATASET);
+    out.field_u64("threads", THREADS as u64);
+    out.field_f64("full_seconds", full_secs, 4);
+    out.field_f64("checkpointed_seconds", ckpt_secs, 4);
+    out.field_f64("checkpoint_overhead_pct", overhead_pct, 2);
+    out.field_f64("recovery_seconds", recover_secs, 4);
+    out.field_bool("bit_identical", bit_identical);
+    // the durability cost, straight from the trainer's own instrumentation
+    out.field_raw(
+        "checkpoint_write_us",
+        &rmpi_obs::global().histogram("trainer.checkpoint_write.us").summary_json(),
     );
+    let json = format!("{}\n", out.finish());
     std::fs::write("BENCH_resume.json", &json).expect("write BENCH_resume.json");
     println!("wrote BENCH_resume.json");
     let _ = std::fs::remove_dir_all(&dir);

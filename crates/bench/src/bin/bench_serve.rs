@@ -14,6 +14,7 @@
 use rmpi_core::{RmpiConfig, RmpiModel};
 use rmpi_datasets::{build_benchmark, Scale};
 use rmpi_kg::Triple;
+use rmpi_obs::json::{array, JsonObject};
 use rmpi_serve::{Engine, EngineConfig};
 use std::time::Instant;
 
@@ -76,31 +77,37 @@ fn main() {
     println!("  warm-cache  {warm_ms:8.1} ms/batch  ({:.2}x vs cold)", cold / warm);
     println!("  uncached    {uncached_ms:8.1} ms/batch");
 
-    // warm-cache throughput vs thread count
+    // warm-cache throughput vs thread count; per-call latency percentiles
+    // come from each engine's own metrics registry
     let mut rows = Vec::new();
     let mut base_rate = None;
     for &threads in &thread_counts {
         let engine = make(8192, threads);
         engine.score_batch(&targets).expect("warmup");
+        engine.stats().registry().reset();
         let secs = time_batch(&engine, &targets, |_| {});
         let rate = BATCH as f64 / secs;
         let base = *base_rate.get_or_insert(rate);
         println!("  threads={threads:<2} {rate:8.1} scores/sec  ({:.2}x)", rate / base);
-        rows.push(format!(
-            "    {{\"threads\": {threads}, \"seconds\": {secs:.4}, \
-             \"scores_per_sec\": {rate:.1}, \"speedup\": {:.3}}}",
-            rate / base
-        ));
+        let mut row = JsonObject::new();
+        row.field_u64("threads", threads as u64);
+        row.field_f64("seconds", secs, 4);
+        row.field_f64("scores_per_sec", rate, 1);
+        row.field_f64("speedup", rate / base, 3);
+        row.field_raw("score_call_us", &engine.stats().score_latency.summary_json());
+        rows.push(row.finish());
     }
 
-    let json = format!(
-        "{{\n  \"bench\": \"serve\",\n  \"cores\": {cores},\n  \"batch\": {BATCH},\n  \
-         \"cold_ms\": {cold_ms:.3},\n  \"warm_ms\": {warm_ms:.3},\n  \
-         \"uncached_ms\": {uncached_ms:.3},\n  \"warm_speedup_vs_cold\": {:.3},\n  \
-         \"warm_throughput\": [\n{}\n  ]\n}}\n",
-        cold / warm,
-        rows.join(",\n")
-    );
+    let mut out = JsonObject::new();
+    out.field_str("bench", "serve");
+    out.field_u64("cores", cores as u64);
+    out.field_u64("batch", BATCH as u64);
+    out.field_f64("cold_ms", cold_ms, 3);
+    out.field_f64("warm_ms", warm_ms, 3);
+    out.field_f64("uncached_ms", uncached_ms, 3);
+    out.field_f64("warm_speedup_vs_cold", cold / warm, 3);
+    out.field_raw("warm_throughput", &array(&rows));
+    let json = format!("{}\n", out.finish());
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("wrote BENCH_serve.json");
 }

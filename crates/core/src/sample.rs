@@ -44,6 +44,13 @@ pub fn prepare_sample(
     mode: Mode,
     rng: &mut StdRng,
 ) -> SampleInput {
+    // `core.extract.us` times the full input preparation (extraction,
+    // budget, relation view, schedule) — the phase the paper's efficiency
+    // analysis singles out. Handle cached per process; recording is a few
+    // relaxed atomics.
+    static EXTRACT_US: std::sync::OnceLock<rmpi_obs::Histogram> = std::sync::OnceLock::new();
+    let extract_us = EXTRACT_US.get_or_init(|| rmpi_obs::global().histogram("core.extract.us"));
+    let extract_start = std::time::Instant::now();
     let mut sg = enclosing_subgraph(graph, target, cfg.hop);
     let enclosing_empty = sg.is_empty();
     apply_edge_budget(&mut sg, cfg, mode, rng);
@@ -58,6 +65,7 @@ pub fn prepare_sample(
 
     let label_histogram = cfg.entity_clues.then(|| label_histogram(&sg, cfg.hop + 1));
 
+    extract_us.record_duration(extract_start.elapsed());
     SampleInput { relview, schedule, disclosing_rels, target, enclosing_empty, label_histogram }
 }
 

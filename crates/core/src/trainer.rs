@@ -51,9 +51,12 @@ use rmpi_autograd::optim::{Adam, AdamState};
 use rmpi_autograd::{GradBuffer, ParamStore, Tape, Tensor};
 use rmpi_kg::{KnowledgeGraph, Triple};
 use rmpi_runtime::{mix_seed, PoolError, ThreadPool};
+use rmpi_obs::{Counter, Histogram};
 use rmpi_subgraph::NegativeSampler;
 use rmpi_testutil::failpoint;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Failpoint hit once per training sample with the sample's loss value; the
 /// `nan` action turns the loss non-finite (fault-injection tests).
@@ -79,6 +82,66 @@ mod stream {
 /// bounded by the dataset size, far below 2^40.
 fn sample_key(epoch: usize, pos: usize) -> u64 {
     ((epoch as u64) << 40) | pos as u64
+}
+
+/// Handles into the global metrics registry for the trainer's phases and
+/// fault counters, resolved once per process so the hot loop pays only
+/// relaxed atomic recording (see `DESIGN.md` §10). Purely observational:
+/// nothing here feeds back into computation, so training stays bit-identical
+/// across thread counts with instrumentation on.
+struct TrainerMetrics {
+    /// `trainer.forward.us` — per-sample forward passes (positive +
+    /// negative scoring and the loss node).
+    forward: Histogram,
+    /// `trainer.backward.us` — per-sample backward passes.
+    backward: Histogram,
+    /// `trainer.optim_step.us` — per-batch Adam steps (incl. clipping).
+    optim_step: Histogram,
+    /// `trainer.checkpoint_write.us` — checkpoint save + prune.
+    checkpoint_write: Histogram,
+    /// `trainer.validation.us` — per-epoch validation scoring.
+    validation: Histogram,
+    /// `trainer.epoch.us` — whole epochs, wall clock.
+    epoch: Histogram,
+    /// `trainer.epochs.count` — epochs completed.
+    epochs: Counter,
+    /// `trainer.batches.count` — batches processed (any outcome).
+    batches: Counter,
+    /// `trainer.samples.count` — samples whose gradients were computed.
+    samples: Counter,
+    /// `trainer.batches_skipped.count` — divergence-guard skips.
+    batches_skipped: Counter,
+    /// `trainer.batches_failed.count` — worker-panic batch drops.
+    batches_failed: Counter,
+    /// `trainer.batches_sanitized.count` — clip-and-warn sanitisations.
+    batches_sanitized: Counter,
+    /// `trainer.nonfinite.count` — non-finite loss/grad-norm detections.
+    nonfinite: Counter,
+    /// `trainer.rollbacks.count` — divergence rollbacks performed.
+    rollbacks: Counter,
+}
+
+fn trainer_metrics() -> &'static TrainerMetrics {
+    static METRICS: OnceLock<TrainerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = rmpi_obs::global();
+        TrainerMetrics {
+            forward: reg.histogram("trainer.forward.us"),
+            backward: reg.histogram("trainer.backward.us"),
+            optim_step: reg.histogram("trainer.optim_step.us"),
+            checkpoint_write: reg.histogram("trainer.checkpoint_write.us"),
+            validation: reg.histogram("trainer.validation.us"),
+            epoch: reg.histogram("trainer.epoch.us"),
+            epochs: reg.counter("trainer.epochs.count"),
+            batches: reg.counter("trainer.batches.count"),
+            samples: reg.counter("trainer.samples.count"),
+            batches_skipped: reg.counter("trainer.batches_skipped.count"),
+            batches_failed: reg.counter("trainer.batches_failed.count"),
+            batches_sanitized: reg.counter("trainer.batches_sanitized.count"),
+            nonfinite: reg.counter("trainer.nonfinite.count"),
+            rollbacks: reg.counter("trainer.rollbacks.count"),
+        }
+    })
 }
 
 /// What to do when a batch produces a non-finite loss or gradient norm.
@@ -272,6 +335,32 @@ impl CheckpointConfig {
     pub fn new<P: Into<PathBuf>>(dir: P) -> Self {
         CheckpointConfig { dir: dir.into(), every_epochs: 1, keep: 2 }
     }
+
+    /// Set the checkpoint root directory.
+    pub fn with_dir<P: Into<PathBuf>>(mut self, dir: P) -> Self {
+        self.dir = dir.into();
+        self
+    }
+
+    /// Write a checkpoint every `n` epochs (values below 1 behave as 1).
+    pub fn with_every_epochs(mut self, n: usize) -> Self {
+        self.every_epochs = n;
+        self
+    }
+
+    /// Keep at most `n` checkpoint directories (0 = keep all).
+    pub fn with_keep(mut self, n: usize) -> Self {
+        self.keep = n;
+        self
+    }
+}
+
+impl Default for CheckpointConfig {
+    /// Checkpoints under `./checkpoints`, every epoch, keeping the two
+    /// newest — equivalent to `CheckpointConfig::new("checkpoints")`.
+    fn default() -> Self {
+        CheckpointConfig::new("checkpoints")
+    }
 }
 
 /// What happened during training.
@@ -441,7 +530,9 @@ impl<'cb> Trainer<'cb> {
         let mut last_good: Option<(ParamStore, AdamState, usize)> = track_rollback
             .then(|| (model.param_store().clone(), adam.export_state(), start_epoch));
 
+        let metrics = trainer_metrics();
         'epochs: for epoch in start_epoch..cfg.epochs {
+            let epoch_start = Instant::now();
             // A checkpoint can be written with the patience budget already
             // exhausted (the run stops right after saving it); a resume from
             // such a checkpoint must stop here too, not train further.
@@ -475,11 +566,15 @@ impl<'cb> Trainer<'cb> {
                         ));
                         let neg = sampler.corrupt(pos, graph, &mut rng);
                         tape.reset();
+                        let forward_start = Instant::now();
                         let sp = model.score_on_tape(tape, graph, pos, Mode::Train, &mut rng);
                         let sn = model.score_on_tape(tape, graph, neg, Mode::Train, &mut rng);
                         let loss = margin_ranking_loss(tape, sp, sn, cfg.margin);
+                        metrics.forward.record_duration(forward_start.elapsed());
                         let mut buf = GradBuffer::new();
+                        let backward_start = Instant::now();
                         tape.backward_into(loss, &mut buf);
+                        metrics.backward.record_duration(backward_start.elapsed());
                         (failpoint::nan32(LOSS_FAILPOINT, tape.value(loss).item()), buf)
                     })
                 };
@@ -489,6 +584,8 @@ impl<'cb> Trainer<'cb> {
                         // A panicking worker poisons only its batch: drop any
                         // partial gradients and keep training.
                         report.skipped_batches += 1;
+                        metrics.batches_failed.inc();
+                        metrics.batches.inc();
                         model.param_store_mut().zero_grad();
                         emit(TrainEvent::BatchFailed {
                             epoch,
@@ -509,11 +606,13 @@ impl<'cb> Trainer<'cb> {
                 let batch_loss: f64 = results.iter().map(|(l, _)| *l as f64).sum();
                 let losses_finite = results.iter().all(|(l, _)| l.is_finite());
                 let grad_norm = model.param_store().grad_norm();
+                metrics.samples.add(results.len() as u64);
                 if losses_finite && grad_norm.is_finite() {
                     epoch_loss += batch_loss;
                     counted += results.len();
                     step(model, &mut adam, &cfg, batch.len());
                 } else {
+                    metrics.nonfinite.inc();
                     emit(TrainEvent::NonFinite {
                         epoch,
                         batch: batch_idx,
@@ -523,12 +622,14 @@ impl<'cb> Trainer<'cb> {
                     match cfg.divergence {
                         DivergencePolicy::SkipBatch => {
                             report.skipped_batches += 1;
+                            metrics.batches_skipped.inc();
                             model.param_store_mut().zero_grad();
                             emit(TrainEvent::BatchSkipped { epoch, batch: batch_idx });
                         }
                         DivergencePolicy::ClipAndWarn => {
                             let zeroed = model.param_store_mut().sanitize_grads();
                             report.sanitized_batches += 1;
+                            metrics.batches_sanitized.inc();
                             emit(TrainEvent::GradSanitized { epoch, batch: batch_idx, zeroed });
                             for (l, _) in &results {
                                 if l.is_finite() {
@@ -544,6 +645,7 @@ impl<'cb> Trainer<'cb> {
                                 adam.restore_state(state.clone());
                                 adam.lr *= lr_decay;
                                 report.rollbacks += 1;
+                                metrics.rollbacks.inc();
                                 emit(TrainEvent::RolledBack {
                                     epoch,
                                     batch: batch_idx,
@@ -552,6 +654,7 @@ impl<'cb> Trainer<'cb> {
                                 });
                             } else {
                                 report.skipped_batches += 1;
+                                metrics.batches_skipped.inc();
                                 model.param_store_mut().zero_grad();
                                 emit(TrainEvent::BatchSkipped { epoch, batch: batch_idx });
                             }
@@ -563,11 +666,13 @@ impl<'cb> Trainer<'cb> {
                         }
                     }
                 }
+                metrics.batches.inc();
                 emit(TrainEvent::BatchEnd { epoch, batch: batch_idx });
             }
             let mean_loss = if counted == 0 { 0.0 } else { (epoch_loss / counted as f64) as f32 };
             report.epoch_losses.push(mean_loss);
 
+            let validation_start = Instant::now();
             let acc = match try_validation_accuracy(model, graph, valid, &cfg, &pool, epoch as u64)
             {
                 Ok(acc) => acc,
@@ -576,6 +681,7 @@ impl<'cb> Trainer<'cb> {
                     0.0
                 }
             };
+            metrics.validation.record_duration(validation_start.elapsed());
             report.valid_accuracy.push(acc);
             if acc > best_acc {
                 best_acc = acc;
@@ -592,6 +698,7 @@ impl<'cb> Trainer<'cb> {
 
             if let Some(ck) = &self.checkpoint {
                 if (epoch + 1) % ck.every_epochs.max(1) == 0 {
+                    let checkpoint_start = Instant::now();
                     let state = adam.export_state();
                     let snapshot = TrainCheckpoint {
                         next_epoch: epoch + 1,
@@ -622,9 +729,12 @@ impl<'cb> Trainer<'cb> {
                             emit(TrainEvent::CheckpointFailed { epoch, message: e.to_string() })
                         }
                     }
+                    metrics.checkpoint_write.record_duration(checkpoint_start.elapsed());
                 }
             }
 
+            metrics.epochs.inc();
+            metrics.epoch.record_duration(epoch_start.elapsed());
             emit(TrainEvent::EpochEnd { epoch, loss: mean_loss, accuracy: acc });
             if cfg.patience > 0 && since_best >= cfg.patience {
                 break;
@@ -682,6 +792,7 @@ fn maybe_poison_grads(store: &mut ParamStore) {
 }
 
 fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batch_len: usize) {
+    let step_start = Instant::now();
     let store = model.param_store_mut();
     // average over the batch
     store.scale_grads(1.0 / batch_len as f32);
@@ -693,6 +804,7 @@ fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batc
     }
     adam.step(store);
     store.zero_grad();
+    trainer_metrics().optim_step.record_duration(step_start.elapsed());
 }
 
 /// Pairwise ranking accuracy on validation triples: fraction where the

@@ -1,0 +1,89 @@
+//! `rmpi-obs` — the workspace's observability layer, std-only.
+//!
+//! Every long-running subsystem (trainer, worker pool, subgraph cache,
+//! serving engine, TCP front end) records into one [`MetricsRegistry`]:
+//!
+//! * [`Counter`] — monotone relaxed-atomic event counts;
+//! * [`Gauge`] — last-value instruments (queue depth, cache entries);
+//! * [`Histogram`] — fixed-bucket latency distributions with `p50`/`p90`/
+//!   `p99` summaries, safe to hammer from any number of threads;
+//! * [`Span`] — scoped timers that record into a histogram on drop, driven
+//!   by a [`Clock`] that is either real (monotonic) or manual (tests);
+//! * [`json`] — the shared single-line JSON writer every stats/metrics/bench
+//!   emitter in the workspace routes through.
+//!
+//! # Naming scheme
+//!
+//! Metric names follow `subsystem.metric.unit` — e.g. `trainer.forward.us`,
+//! `pool.items.count`, `serve.queue_wait.us`. Units: `us` (microseconds,
+//! histograms), `count` (counters/gauges). See `DESIGN.md` §10.
+//!
+//! # Overhead contract
+//!
+//! Recording is a handful of relaxed atomic operations — no locks on the hot
+//! path (the registry's lock is only taken when a handle is first created).
+//! Instrumented hot loops cache their handles up front, so per-sample cost
+//! stays in the tens of nanoseconds against millisecond-scale forward
+//! passes (budget: < 3% on `train_epoch_parallel`).
+//!
+//! # Determinism
+//!
+//! Metrics observe; they never feed back into computation. Training remains
+//! bit-identical across thread counts with instrumentation on. The
+//! [`Clock::manual`] variant makes span timing itself deterministic in
+//! tests.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use clock::Clock;
+pub use metrics::{global, Counter, Gauge, Histogram, HistogramSummary, MetricsRegistry};
+pub use span::Span;
+
+/// Time `f`, recording its wall-clock duration into the histogram `name` of
+/// the **global** registry. The everyday one-liner for cold paths; hot loops
+/// should cache a [`Histogram`] handle and record explicitly.
+pub fn time_us<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let hist = global().histogram(name);
+    let start = std::time::Instant::now();
+    let out = f();
+    hist.record_duration(start.elapsed());
+    out
+}
+
+/// Scope a span on the given registry: `span!(registry, "serve.score.us")`
+/// expands to a guard that records the elapsed microseconds into that
+/// histogram when it leaves scope.
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $crate::Span::enter(&$registry.histogram($name), $crate::Clock::real())
+    };
+    ($registry:expr, $name:expr, $clock:expr) => {
+        $crate::Span::enter(&$registry.histogram($name), $clock)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_us_records_into_global() {
+        let before = global().histogram("obs.selftest.us").summary().count;
+        let out = time_us("obs.selftest.us", || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(global().histogram("obs.selftest.us").summary().count > before);
+    }
+
+    #[test]
+    fn span_macro_scopes_a_timer() {
+        let reg = MetricsRegistry::new();
+        {
+            let _guard = span!(reg, "obs.macro.us");
+        }
+        assert_eq!(reg.histogram("obs.macro.us").summary().count, 1);
+    }
+}

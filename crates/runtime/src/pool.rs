@@ -22,8 +22,39 @@
 //! remains fully usable after any failure.
 
 use crate::resolve_threads;
+use rmpi_obs::{Counter, Gauge, Histogram};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Handles into the global metrics registry, resolved once per process so
+/// the per-map cost is a few relaxed atomic ops, not a name lookup.
+struct PoolMetrics {
+    /// `pool.maps.count` — parallel map invocations.
+    maps: Counter,
+    /// `pool.items.count` — total items fanned out across all maps.
+    items: Counter,
+    /// `pool.panics.count` — worker shard panics caught and surfaced.
+    panics: Counter,
+    /// `pool.shard_busy.us` — wall-clock busy time of each worker shard.
+    shard_busy: Histogram,
+    /// `pool.workers.count` — workers used by the most recent map.
+    workers: Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = rmpi_obs::global();
+        PoolMetrics {
+            maps: reg.counter("pool.maps.count"),
+            items: reg.counter("pool.items.count"),
+            panics: reg.counter("pool.panics.count"),
+            shard_busy: reg.histogram("pool.shard_busy.us"),
+            workers: reg.gauge("pool.workers.count"),
+        }
+    })
+}
 
 /// Typed failure from a parallel map: a worker closure panicked.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -152,10 +183,15 @@ impl ThreadPool {
             return Ok(Vec::new());
         }
         let workers = self.workers.min(n);
+        let metrics = pool_metrics();
+        metrics.maps.inc();
+        metrics.items.add(n as u64);
+        metrics.workers.set(workers as i64);
         // collects (item index, panic message) per panicking worker
         let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
 
         let run_shard = |slots: &mut [Option<T>], base: usize| {
+            let shard_start = Instant::now();
             let caught = catch_unwind(AssertUnwindSafe(|| {
                 rmpi_testutil::failpoint::point(SHARD_FAILPOINT);
                 let mut state = init();
@@ -165,7 +201,9 @@ impl ThreadPool {
                     *slot = Some(f(&mut state, base + offset));
                 }
             }));
+            metrics.shard_busy.record_duration(shard_start.elapsed());
             if let Err(payload) = caught {
+                metrics.panics.inc();
                 // the first None slot is the item that panicked
                 let at = slots.iter().position(Option::is_none).unwrap_or(0);
                 panics
@@ -313,6 +351,52 @@ mod tests {
         let out = ThreadPool::new(2).try_map_indexed(4, |i| i).unwrap();
         failpoint::disarm_all();
         assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_records_map_metrics_into_global_registry() {
+        // deltas, not absolutes: other tests in this process also drive pools
+        let maps_before = pool_metrics().maps.get();
+        let items_before = pool_metrics().items.get();
+        let busy_before = pool_metrics().shard_busy.count();
+        let pool = ThreadPool::new(3);
+        pool.map_indexed(12, |i| i);
+        assert_eq!(pool_metrics().maps.get() - maps_before, 1);
+        assert_eq!(pool_metrics().items.get() - items_before, 12);
+        assert!(pool_metrics().shard_busy.count() > busy_before, "shards were timed");
+        assert!(rmpi_obs::global().contains("pool.workers.count"));
+    }
+
+    #[test]
+    fn pool_counts_caught_panics() {
+        let before = pool_metrics().panics.get();
+        let pool = ThreadPool::new(2);
+        let _ = pool.try_map_indexed(8, |i| if i == 5 { panic!("bomb") } else { i });
+        assert!(pool_metrics().panics.get() > before);
+    }
+
+    #[test]
+    fn registry_survives_hammering_from_pool_workers() {
+        // concurrency smoke test: every worker creates and records metrics
+        // through the registry at once; nothing is lost or deadlocked
+        let reg = std::sync::Arc::new(rmpi_obs::MetricsRegistry::new());
+        let pool = ThreadPool::new(4);
+        let n = 400;
+        pool.map_indexed(n, |i| {
+            let c = reg.counter("smoke.events.count");
+            let h = reg.histogram("smoke.lat.us");
+            let g = reg.gauge("smoke.depth.count");
+            c.inc();
+            h.record(i as u64);
+            g.set(i as i64);
+        });
+        assert_eq!(reg.counter("smoke.events.count").get(), n as u64);
+        let s = reg.histogram("smoke.lat.us").summary();
+        assert_eq!(s.count, n as u64);
+        assert_eq!(s.max, (n - 1) as u64);
+        assert_eq!(s.sum, (0..n as u64).sum::<u64>());
+        let json = reg.to_json();
+        assert!(json.contains("\"smoke.events.count\": 400"), "{json}");
     }
 
     #[test]

@@ -33,13 +33,13 @@ use crate::stats::ServeStats;
 use rmpi_autograd::Tape;
 use rmpi_core::{RmpiModel, SampleInput};
 use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
+use rmpi_obs::MetricsRegistry;
 use rmpi_runtime::{panic_message, ThreadPool};
 use rmpi_subgraph::{LruCache, SubgraphKey};
 use rmpi_testutil::failpoint;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -58,6 +58,26 @@ pub struct EngineConfig {
     /// Worker threads for batch scoring (`0` = one per available core).
     /// Scores are bit-identical for every value.
     pub threads: usize,
+}
+
+impl EngineConfig {
+    /// Set the extraction seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the subgraph-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Set the batch-scoring worker count (`0` = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -107,13 +127,27 @@ pub struct Engine {
 impl Engine {
     /// Bind `model` to `graph`. The graph is the context for all subgraph
     /// extraction and is never mutated — which is what makes caching sound.
+    /// Metrics record into the process-global registry; use
+    /// [`Engine::with_registry`] to isolate them.
     pub fn new(model: RmpiModel, graph: KnowledgeGraph, cfg: EngineConfig) -> Self {
+        Engine::with_registry(model, graph, cfg, Arc::clone(rmpi_obs::global()))
+    }
+
+    /// Like [`Engine::new`], but metrics record into `registry` instead of
+    /// the process-global one — tests pass a fresh registry so per-engine
+    /// counts stay exact under concurrent test execution.
+    pub fn with_registry(
+        model: RmpiModel,
+        graph: KnowledgeGraph,
+        cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         let candidates = graph.present_entities();
         Engine {
             state: RwLock::new(ModelState::new(model, cfg.cache_capacity)),
             graph,
             pool: ThreadPool::new(cfg.threads),
-            stats: ServeStats::new(),
+            stats: ServeStats::with_registry(registry),
             candidates,
             seed: cfg.seed,
             cache_capacity: cfg.cache_capacity,
@@ -148,6 +182,29 @@ impl Engine {
         (cache.hits(), cache.misses(), cache.len())
     }
 
+    /// Mirror the current cache's counters into the metrics registry as
+    /// `subgraph.cache_*` gauges. The cache lives behind the model lock, so
+    /// these are synced at dump time rather than on every lookup.
+    fn sync_cache_gauges(&self) {
+        let state = self.snapshot();
+        let cache = state.cache.lock().expect("cache lock");
+        let reg = self.stats.registry();
+        reg.gauge("subgraph.cache_hits.count").set(cache.hits() as i64);
+        reg.gauge("subgraph.cache_misses.count").set(cache.misses() as i64);
+        reg.gauge("subgraph.cache_evictions.count").set(cache.evictions() as i64);
+        reg.gauge("subgraph.cache_entries.count").set(cache.len() as i64);
+    }
+
+    /// The full metrics registry as one single-line JSON object — the
+    /// `METRICS` wire payload. Cache gauges are synced first, so the dump
+    /// includes up-to-date `subgraph.cache_*` values; on the default
+    /// (global) registry it also carries trainer and pool metrics from the
+    /// same process.
+    pub fn metrics_json(&self) -> String {
+        self.sync_cache_gauges();
+        self.stats.registry().to_json()
+    }
+
     /// Drop all cached subgraphs (counters survive) — the bench harness's
     /// cold-start lever.
     pub fn clear_cache(&self) {
@@ -169,11 +226,11 @@ impl Engine {
         let result = self.try_reload(path.as_ref());
         match result {
             Ok(()) => {
-                self.stats.reloads.fetch_add(1, Ordering::Relaxed);
+                self.stats.reloads.inc();
                 Ok(())
             }
             Err(e) => {
-                self.stats.reload_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats.reload_failures.inc();
                 Err(e)
             }
         }
@@ -239,7 +296,7 @@ impl Engine {
     }
 
     fn internal(&self, message: String) -> ServeError {
-        self.stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+        self.stats.internal_errors.inc();
         ServeError::Internal(message)
     }
 
@@ -257,7 +314,7 @@ impl Engine {
         }));
         match outcome {
             Ok(score) => {
-                self.stats.record_call(&self.stats.score_requests, 1, t0.elapsed());
+                self.stats.record_score_call(1, t0.elapsed());
                 Ok(score)
             }
             Err(p) => Err(self.internal(panic_message(p.as_ref()))),
@@ -282,7 +339,7 @@ impl Engine {
         });
         match scores {
             Ok(scores) => {
-                self.stats.record_call(&self.stats.score_requests, targets.len() as u64, t0.elapsed());
+                self.stats.record_score_call(targets.len() as u64, t0.elapsed());
                 Ok(scores)
             }
             Err(e) => Err(self.internal(e.to_string())),
@@ -320,7 +377,7 @@ impl Engine {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         ranked.truncate(k);
-        self.stats.record_call(&self.stats.rank_requests, self.candidates.len() as u64, t0.elapsed());
+        self.stats.record_rank_call(self.candidates.len() as u64, t0.elapsed());
         Ok(ranked)
     }
 }
@@ -341,7 +398,14 @@ mod tests {
             Triple::new(3u32, 4u32, 4u32),
         ]);
         let model = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 0);
-        Engine::new(model, graph, EngineConfig { seed: 9, cache_capacity: cache, threads })
+        // a fresh registry per engine: tests in this binary run concurrently
+        // and assert exact counter values
+        Engine::with_registry(
+            model,
+            graph,
+            EngineConfig { seed: 9, cache_capacity: cache, threads },
+            Arc::new(rmpi_obs::MetricsRegistry::new()),
+        )
     }
 
     #[test]
@@ -409,6 +473,22 @@ mod tests {
     }
 
     #[test]
+    fn metrics_json_carries_cache_gauges_and_latency_percentiles() {
+        let engine = setup(1, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        engine.score(t).unwrap();
+        engine.score(t).unwrap();
+        let json = engine.metrics_json();
+        assert!(json.contains("\"subgraph.cache_hits.count\": 1"), "{json}");
+        assert!(json.contains("\"subgraph.cache_misses.count\": 1"), "{json}");
+        assert!(json.contains("\"subgraph.cache_entries.count\": 1"), "{json}");
+        assert!(json.contains("\"serve.score_requests.count\": 2"), "{json}");
+        assert!(json.contains("\"serve.score.us\": {\"count\": 2"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        assert!(!json.contains('\n'), "METRICS payload must be one line");
+    }
+
+    #[test]
     fn clear_cache_forces_reextraction_with_same_result() {
         let engine = setup(1, 8);
         let t = Triple::new(0u32, 1u32, 2u32);
@@ -427,8 +507,8 @@ mod tests {
         let before = engine.score(t).unwrap();
         let err = engine.reload_from("/nonexistent/model.bundle").unwrap_err();
         assert!(matches!(err, ServeError::Io(_)), "{err}");
-        assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 1);
-        assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), 0);
+        assert_eq!(engine.stats().reload_failures.get(), 1);
+        assert_eq!(engine.stats().reloads.get(), 0);
         assert_eq!(engine.score(t).unwrap(), before, "old model must keep serving");
     }
 
@@ -446,7 +526,7 @@ mod tests {
         let err = engine.reload_from(&path).unwrap_err();
         assert!(matches!(err, ServeError::Reload(_)), "{err}");
         assert!(err.to_string().contains("relations"), "{err}");
-        assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().reload_failures.get(), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -463,7 +543,7 @@ mod tests {
         let t = Triple::new(0u32, 1u32, 2u32);
         let before = engine.score(t).unwrap();
         engine.reload_from(&path).unwrap();
-        assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.stats().reloads.get(), 1);
         let after = engine.score(t).unwrap();
         let offline = next.score(engine.graph(), t, &mut StdRng::seed_from_u64(9));
         assert_eq!(after, offline, "post-reload scores come from the new model");
@@ -488,7 +568,7 @@ mod tests {
         assert!(matches!(err, ServeError::Internal(_)), "{err}");
         failpoint::disarm_all();
 
-        assert_eq!(engine.stats().internal_errors.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.stats().internal_errors.get(), 2);
         // the engine (and its pool) keep working after both panics
         let healthy = engine.score(t).unwrap();
         assert!(healthy.is_finite());

@@ -16,9 +16,12 @@
 //!   protocol ([`protocol`]), with a bounded queue (backpressure via
 //!   `ERR server overloaded`), per-request deadlines, and graceful shutdown.
 //!
-//! Throughput, latency and cache-hit counters are collected in
-//! [`ServeStats`] and exported as single-line JSON (`Engine::stats_json`,
-//! wire command `STATS`).
+//! Throughput, latency and cache-hit metrics are registry-backed
+//! ([`ServeStats`] holds `rmpi-obs` counter/histogram handles): the legacy
+//! single-line JSON survives unchanged (`Engine::stats_json`, wire command
+//! `STATS`), and the full registry — per-verb latency percentiles, queue
+//! wait, cache gauges, plus trainer/pool metrics when they share the
+//! process — dumps via `Engine::metrics_json` / wire command `METRICS`.
 //!
 //! The service is self-healing: request panics are isolated per line
 //! (`ERR internal`), `HEALTH` reports readiness, and `RELOAD <path>`

@@ -10,6 +10,7 @@
 //! SCORE h r t [h r t ...]       -> OK s1 [s2 ...]
 //! RANK h r k                    -> OK tail:score tail:score ...
 //! STATS                         -> OK {"scores": ..., ...}
+//! METRICS                       -> OK {"serve.score.us": {...}, ...}
 //! RELOAD /path/to/model.bundle  -> OK reloaded | ERR reload rejected: ...
 //! anything else                 -> ERR <reason>
 //! ```
@@ -39,8 +40,11 @@ pub enum Request {
         /// How many top entities to return.
         k: usize,
     },
-    /// Fetch the serving counters as JSON.
+    /// Fetch the serving counters as JSON (legacy wire shape).
     Stats,
+    /// Dump the full metrics registry as JSON (`subsystem.metric.unit`
+    /// names; histograms carry count/sum/mean/max/p50/p90/p99).
+    Metrics,
     /// Readiness probe: answers only if a request can actually be served.
     Health,
     /// Hot-swap the served model from a bundle file on the server's disk.
@@ -58,6 +62,7 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     match command {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
         "HEALTH" => Ok(Request::Health),
         "RELOAD" => {
             // the rest of the line is the path, verbatim (paths may contain
@@ -135,6 +140,7 @@ mod tests {
     fn parses_every_command() {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert_eq!(
             parse_request("SCORE 1 2 3").unwrap(),
             Request::Score(vec![Triple::new(1u32, 2u32, 3u32)])

@@ -172,12 +172,13 @@ fn accept_loop(shared: &Shared, listener: TcpListener, capacity: usize) {
         let mut queue = shared.queue.lock().expect("serve queue lock");
         if queue.len() >= capacity {
             drop(queue);
-            shared.engine.stats().rejected_overload.fetch_add(1, Ordering::Relaxed);
+            shared.engine.stats().rejected_overload.inc();
             let mut s = stream;
             let _ = writeln!(s, "{}", format_error(&ServeError::Overloaded));
             continue; // dropping `s` closes the connection: explicit load shedding
         }
         queue.push_back(Job { stream, enqueued: Instant::now() });
+        shared.engine.stats().queue_depth.set(queue.len() as i64);
         drop(queue);
         shared.available.notify_one();
     }
@@ -189,6 +190,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("serve queue lock");
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.engine.stats().queue_depth.set(queue.len() as i64);
                     break job;
                 }
                 if shared.stop.load(Ordering::SeqCst) {
@@ -206,10 +208,12 @@ fn worker_loop(shared: &Shared) {
 
 fn handle_connection(shared: &Shared, job: Job) {
     let mut stream = job.stream;
+    let waited = job.enqueued.elapsed();
+    shared.engine.stats().queue_wait.record_duration(waited);
     // deadline check at dequeue: a job that sat in the queue past the
     // request timeout is shed, not served late
-    if job.enqueued.elapsed() > shared.timeout {
-        shared.engine.stats().rejected_deadline.fetch_add(1, Ordering::Relaxed);
+    if waited > shared.timeout {
+        shared.engine.stats().rejected_deadline.inc();
         let _ = writeln!(stream, "{}", format_error(&ServeError::DeadlineExpired));
         return;
     }
@@ -243,25 +247,43 @@ fn handle_connection(shared: &Shared, job: Job) {
 /// becomes `ERR internal: ...` and the worker keeps serving.
 fn respond(shared: &Shared, line: &str) -> String {
     let stats = shared.engine.stats();
-    stats.wire_requests.fetch_add(1, Ordering::Relaxed);
+    stats.wire_requests.inc();
+    let t0 = Instant::now();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dispatch(shared, line)));
     let result = match outcome {
         Ok(result) => result,
         Err(payload) => {
             // Engine-level catches count themselves; this only sees panics
             // that escaped the engine (parsing, formatting, bugs).
-            stats.internal_errors.fetch_add(1, Ordering::Relaxed);
+            stats.internal_errors.inc();
             Err(ServeError::Internal(rmpi_runtime::panic_message(payload.as_ref())))
         }
     };
+    stats.wire_latency(wire_verb(line)).record_duration(t0.elapsed());
     match result {
         Ok(response) => response,
         Err(err) => {
             if matches!(err, ServeError::BadRequest(_)) {
-                stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                stats.bad_requests.inc();
             }
             format_error(&err)
         }
+    }
+}
+
+/// The metric label for a request line's verb (`serve.wire.<verb>.us`).
+/// Unknown or malformed commands share one `other` histogram so hostile
+/// input cannot grow the registry unboundedly.
+fn wire_verb(line: &str) -> &'static str {
+    match line.split_whitespace().next() {
+        Some("PING") => "ping",
+        Some("SCORE") => "score",
+        Some("RANK") => "rank",
+        Some("STATS") => "stats",
+        Some("METRICS") => "metrics",
+        Some("HEALTH") => "health",
+        Some("RELOAD") => "reload",
+        _ => "other",
     }
 }
 
@@ -269,6 +291,7 @@ fn dispatch(shared: &Shared, line: &str) -> Result<String, ServeError> {
     parse_request(line).and_then(|req| match req {
         Request::Ping => Ok("OK pong".to_string()),
         Request::Stats => Ok(format!("OK {}", shared.engine.stats_json())),
+        Request::Metrics => Ok(format!("OK {}", shared.engine.metrics_json())),
         Request::Health => {
             let model = shared.engine.model();
             Ok(format!(
@@ -303,7 +326,12 @@ mod tests {
             Triple::new(2u32, 2u32, 0u32),
         ]);
         let model = RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, 4, 0);
-        Arc::new(Engine::new(model, graph, EngineConfig { seed: 3, cache_capacity: 32, threads: 1 }))
+        Arc::new(Engine::with_registry(
+            model,
+            graph,
+            EngineConfig { seed: 3, cache_capacity: 32, threads: 1 },
+            Arc::new(rmpi_obs::MetricsRegistry::new()),
+        ))
     }
 
     fn query(addr: SocketAddr, line: &str) -> String {
@@ -338,6 +366,12 @@ mod tests {
         let stats = query(addr, "STATS");
         assert!(stats.starts_with("OK {"), "{stats}");
         assert!(stats.contains("\"wire_requests\""), "{stats}");
+
+        let metrics = query(addr, "METRICS");
+        assert!(metrics.starts_with("OK {"), "{metrics}");
+        assert!(metrics.contains("\"serve.wire.score.us\""), "{metrics}");
+        assert!(metrics.contains("\"serve.queue_wait.us\""), "{metrics}");
+        assert!(metrics.contains("\"subgraph.cache_entries.count\""), "{metrics}");
 
         assert!(query(addr, "NOPE").starts_with("ERR bad request"));
         server.shutdown();
@@ -388,7 +422,7 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).expect("recv");
         assert_eq!(line.trim_end(), "ERR server overloaded");
-        assert!(engine.stats().rejected_overload.load(Ordering::Relaxed) >= 1);
+        assert!(engine.stats().rejected_overload.get() >= 1);
 
         drop(wedge);
         server.shutdown();

@@ -1,85 +1,150 @@
-//! Lock-free serving counters, exported as JSON.
+//! Serving metrics: registry-backed counters and latency histograms shared
+//! by the engine and the TCP front end.
 //!
-//! Every counter is a relaxed atomic: stats recording must never contend
-//! with the scoring hot path, and exact cross-counter consistency is not a
-//! requirement for monitoring output.
+//! Each [`ServeStats`] is a bundle of handles into one
+//! [`MetricsRegistry`] — by default the process-global registry, so a
+//! `METRICS` dump shows serving counters next to trainer, pool and cache
+//! metrics. Recording stays what it always was on the hot path: a handful of
+//! relaxed atomic operations, never a lock. The legacy `STATS` JSON wire
+//! shape is preserved byte for byte by [`ServeStats::to_json`], now routed
+//! through the shared [`rmpi_obs::json`] writer.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use rmpi_obs::json::JsonObject;
+use rmpi_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Counters shared by the engine and the TCP front end.
-#[derive(Debug, Default)]
+/// Counters and histograms shared by the engine and the TCP front end.
+/// Clones share the same underlying storage.
+#[derive(Clone, Debug)]
 pub struct ServeStats {
-    /// Individual triple scores computed (cache hit or miss).
-    pub scores: AtomicU64,
-    /// `score`/`score_batch` engine calls.
-    pub score_requests: AtomicU64,
-    /// `rank_tails` engine calls.
-    pub rank_requests: AtomicU64,
-    /// Protocol requests answered by the TCP front end.
-    pub wire_requests: AtomicU64,
-    /// Connections rejected because the bounded queue was full.
-    pub rejected_overload: AtomicU64,
-    /// Requests dropped because their deadline expired in the queue.
-    pub rejected_deadline: AtomicU64,
-    /// Malformed protocol lines answered with `ERR`.
-    pub bad_requests: AtomicU64,
-    /// Successful hot bundle reloads (model swaps).
-    pub reloads: AtomicU64,
-    /// Reload attempts rejected before the swap (bad bundle or validation).
-    pub reload_failures: AtomicU64,
-    /// Requests that panicked and were answered `ERR internal`.
-    pub internal_errors: AtomicU64,
-    /// Total scoring latency in microseconds (per engine call).
-    pub latency_us_sum: AtomicU64,
-    /// Worst single engine-call latency in microseconds.
-    pub latency_us_max: AtomicU64,
+    registry: Arc<MetricsRegistry>,
+    /// `serve.scores.count` — individual triple scores computed.
+    pub scores: Counter,
+    /// `serve.score_requests.count` — `score`/`score_batch` engine calls.
+    pub score_requests: Counter,
+    /// `serve.rank_requests.count` — `rank_tails` engine calls.
+    pub rank_requests: Counter,
+    /// `serve.wire_requests.count` — protocol requests answered.
+    pub wire_requests: Counter,
+    /// `serve.rejected_overload.count` — connections shed at a full queue.
+    pub rejected_overload: Counter,
+    /// `serve.rejected_deadline.count` — requests shed after queue-wait
+    /// exceeded the deadline.
+    pub rejected_deadline: Counter,
+    /// `serve.bad_requests.count` — malformed lines answered `ERR`.
+    pub bad_requests: Counter,
+    /// `serve.reloads.count` — successful hot bundle reloads.
+    pub reloads: Counter,
+    /// `serve.reload_failures.count` — reloads rejected before the swap.
+    pub reload_failures: Counter,
+    /// `serve.internal_errors.count` — panicking requests answered
+    /// `ERR internal`.
+    pub internal_errors: Counter,
+    /// `serve.score.us` — per-call scoring latency (`score`/`score_batch`).
+    pub score_latency: Histogram,
+    /// `serve.rank.us` — per-call ranking latency.
+    pub rank_latency: Histogram,
+    /// `serve.queue_wait.us` — time jobs sat in the connection queue.
+    pub queue_wait: Histogram,
+    /// `serve.queue_depth.count` — connection-queue depth after the last
+    /// enqueue/dequeue.
+    pub queue_depth: Gauge,
 }
 
 impl ServeStats {
-    /// Fresh zeroed counters.
+    /// Handles into the process-global registry (production default: one
+    /// `METRICS` dump covers every subsystem).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(Arc::clone(rmpi_obs::global()))
     }
 
-    /// Record one engine call that scored `scored` triples in `elapsed`.
-    pub fn record_call(&self, counter: &AtomicU64, scored: u64, elapsed: Duration) {
-        counter.fetch_add(1, Ordering::Relaxed);
-        self.scores.fetch_add(scored, Ordering::Relaxed);
-        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
-        self.latency_us_sum.fetch_add(us, Ordering::Relaxed);
-        self.latency_us_max.fetch_max(us, Ordering::Relaxed);
+    /// Handles into an explicit registry — tests pass a fresh one so
+    /// per-engine counts stay exact under concurrent test execution.
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        ServeStats {
+            scores: registry.counter("serve.scores.count"),
+            score_requests: registry.counter("serve.score_requests.count"),
+            rank_requests: registry.counter("serve.rank_requests.count"),
+            wire_requests: registry.counter("serve.wire_requests.count"),
+            rejected_overload: registry.counter("serve.rejected_overload.count"),
+            rejected_deadline: registry.counter("serve.rejected_deadline.count"),
+            bad_requests: registry.counter("serve.bad_requests.count"),
+            reloads: registry.counter("serve.reloads.count"),
+            reload_failures: registry.counter("serve.reload_failures.count"),
+            internal_errors: registry.counter("serve.internal_errors.count"),
+            score_latency: registry.histogram("serve.score.us"),
+            rank_latency: registry.histogram("serve.rank.us"),
+            queue_wait: registry.histogram("serve.queue_wait.us"),
+            queue_depth: registry.gauge("serve.queue_depth.count"),
+            registry,
+        }
+    }
+
+    /// The registry these handles record into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Per-verb wire latency histogram: `serve.wire.<verb>.us`.
+    pub fn wire_latency(&self, verb: &str) -> Histogram {
+        self.registry.histogram(&format!("serve.wire.{verb}.us"))
+    }
+
+    /// Record one `score`/`score_batch` engine call that scored `scored`
+    /// triples in `elapsed`.
+    pub fn record_score_call(&self, scored: u64, elapsed: Duration) {
+        self.score_requests.inc();
+        self.scores.add(scored);
+        self.score_latency.record_duration(elapsed);
+    }
+
+    /// Record one `rank_tails` engine call that scored `scored` candidates
+    /// in `elapsed`.
+    pub fn record_rank_call(&self, scored: u64, elapsed: Duration) {
+        self.rank_requests.inc();
+        self.scores.add(scored);
+        self.rank_latency.record_duration(elapsed);
     }
 
     /// Render every counter (plus derived means and cache state) as one JSON
-    /// object. `cache_hits`/`cache_misses`/`cache_len` come from the engine's
-    /// cache, which lives behind its own lock.
+    /// object — the `STATS` wire payload, identical in shape to what the
+    /// pre-registry implementation emitted. `cache_hits`/`cache_misses`/
+    /// `cache_len` come from the engine's cache, which lives behind its own
+    /// lock.
     pub fn to_json(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
-        let scores = self.scores.load(Ordering::Relaxed);
-        let calls = self.score_requests.load(Ordering::Relaxed) + self.rank_requests.load(Ordering::Relaxed);
-        let sum_us = self.latency_us_sum.load(Ordering::Relaxed);
+        let score = self.score_latency.summary();
+        let rank = self.rank_latency.summary();
+        let calls = score.count + rank.count;
+        let sum_us = score.sum + rank.sum;
         let mean_us = if calls > 0 { sum_us as f64 / calls as f64 } else { 0.0 };
         let lookups = cache_hits + cache_misses;
         let hit_rate = if lookups > 0 { cache_hits as f64 / lookups as f64 } else { 0.0 };
-        format!(
-            "{{\"scores\": {scores}, \"score_requests\": {}, \"rank_requests\": {}, \
-             \"wire_requests\": {}, \"rejected_overload\": {}, \"rejected_deadline\": {}, \
-             \"bad_requests\": {}, \"reloads\": {}, \"reload_failures\": {}, \
-             \"internal_errors\": {}, \"latency_us_sum\": {sum_us}, \"latency_us_max\": {}, \
-             \"latency_us_mean\": {mean_us:.1}, \"cache_hits\": {cache_hits}, \
-             \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.4}, \
-             \"cache_len\": {cache_len}}}",
-            self.score_requests.load(Ordering::Relaxed),
-            self.rank_requests.load(Ordering::Relaxed),
-            self.wire_requests.load(Ordering::Relaxed),
-            self.rejected_overload.load(Ordering::Relaxed),
-            self.rejected_deadline.load(Ordering::Relaxed),
-            self.bad_requests.load(Ordering::Relaxed),
-            self.reloads.load(Ordering::Relaxed),
-            self.reload_failures.load(Ordering::Relaxed),
-            self.internal_errors.load(Ordering::Relaxed),
-            self.latency_us_max.load(Ordering::Relaxed),
-        )
+        let mut o = JsonObject::new();
+        o.field_u64("scores", self.scores.get());
+        o.field_u64("score_requests", self.score_requests.get());
+        o.field_u64("rank_requests", self.rank_requests.get());
+        o.field_u64("wire_requests", self.wire_requests.get());
+        o.field_u64("rejected_overload", self.rejected_overload.get());
+        o.field_u64("rejected_deadline", self.rejected_deadline.get());
+        o.field_u64("bad_requests", self.bad_requests.get());
+        o.field_u64("reloads", self.reloads.get());
+        o.field_u64("reload_failures", self.reload_failures.get());
+        o.field_u64("internal_errors", self.internal_errors.get());
+        o.field_u64("latency_us_sum", sum_us);
+        o.field_u64("latency_us_max", score.max.max(rank.max));
+        o.field_f64("latency_us_mean", mean_us, 1);
+        o.field_u64("cache_hits", cache_hits);
+        o.field_u64("cache_misses", cache_misses);
+        o.field_f64("cache_hit_rate", hit_rate, 4);
+        o.field_u64("cache_len", cache_len as u64);
+        o.finish()
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
     }
 }
 
@@ -87,21 +152,25 @@ impl ServeStats {
 mod tests {
     use super::*;
 
+    fn fresh() -> ServeStats {
+        ServeStats::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
     #[test]
     fn record_accumulates_and_tracks_max() {
-        let s = ServeStats::new();
-        s.record_call(&s.score_requests, 3, Duration::from_micros(100));
-        s.record_call(&s.score_requests, 1, Duration::from_micros(50));
-        assert_eq!(s.scores.load(Ordering::Relaxed), 4);
-        assert_eq!(s.score_requests.load(Ordering::Relaxed), 2);
-        assert_eq!(s.latency_us_sum.load(Ordering::Relaxed), 150);
-        assert_eq!(s.latency_us_max.load(Ordering::Relaxed), 100);
+        let s = fresh();
+        s.record_score_call(3, Duration::from_micros(100));
+        s.record_score_call(1, Duration::from_micros(50));
+        assert_eq!(s.scores.get(), 4);
+        assert_eq!(s.score_requests.get(), 2);
+        assert_eq!(s.score_latency.sum(), 150);
+        assert_eq!(s.score_latency.max(), 100);
     }
 
     #[test]
     fn json_has_every_field_and_derived_rates() {
-        let s = ServeStats::new();
-        s.record_call(&s.rank_requests, 10, Duration::from_micros(200));
+        let s = fresh();
+        s.record_rank_call(10, Duration::from_micros(200));
         let json = s.to_json(3, 1, 2);
         for field in [
             "\"scores\": 10",
@@ -111,6 +180,8 @@ mod tests {
             "\"cache_hit_rate\": 0.7500",
             "\"cache_len\": 2",
             "\"latency_us_mean\": 200.0",
+            "\"latency_us_sum\": 200",
+            "\"latency_us_max\": 200",
             "\"reloads\": 0",
             "\"reload_failures\": 0",
             "\"internal_errors\": 0",
@@ -123,8 +194,27 @@ mod tests {
 
     #[test]
     fn empty_stats_have_zero_rates() {
-        let json = ServeStats::new().to_json(0, 0, 0);
+        let json = fresh().to_json(0, 0, 0);
         assert!(json.contains("\"cache_hit_rate\": 0.0000"));
         assert!(json.contains("\"latency_us_mean\": 0.0"));
+    }
+
+    #[test]
+    fn clones_share_storage_and_registry_sees_metrics() {
+        let s = fresh();
+        let clone = s.clone();
+        clone.wire_requests.inc();
+        assert_eq!(s.wire_requests.get(), 1);
+        let dump = s.registry().to_json();
+        assert!(dump.contains("\"serve.wire_requests.count\": 1"), "{dump}");
+        assert!(dump.contains("\"serve.score.us\""), "{dump}");
+    }
+
+    #[test]
+    fn per_verb_wire_histograms_register_on_demand() {
+        let s = fresh();
+        s.wire_latency("ping").record(7);
+        assert!(s.registry().contains("serve.wire.ping.us"));
+        assert_eq!(s.wire_latency("ping").count(), 1);
     }
 }

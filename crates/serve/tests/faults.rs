@@ -40,7 +40,14 @@ fn tmp_dir(tag: &str) -> PathBuf {
 
 fn engine_for_bundle(path: &Path) -> Engine {
     let bundle = load_bundle_file(path).unwrap();
-    Engine::new(bundle.model, toy_graph(), EngineConfig { seed: 9, cache_capacity: 64, threads: 2 })
+    // a fresh registry per engine: these tests assert exact counter values,
+    // and the process-global registry is shared across the whole binary
+    Engine::with_registry(
+        bundle.model,
+        toy_graph(),
+        EngineConfig { seed: 9, cache_capacity: 64, threads: 2 },
+        Arc::new(rmpi_obs::MetricsRegistry::new()),
+    )
 }
 
 /// The two probe triples scored as one batch everywhere below: a batch is
@@ -94,8 +101,8 @@ fn concurrent_reload_and_score_never_serves_a_torn_model() {
             "batch {i} mixed weights across a reload: {batch:?}\n a={expect_a:?}\n b={expect_b:?}"
         );
     }
-    assert_eq!(engine.stats().reloads.load(Ordering::Relaxed), RELOADS);
-    assert_eq!(engine.stats().reload_failures.load(Ordering::Relaxed), 0);
+    assert_eq!(engine.stats().reloads.get(), RELOADS);
+    assert_eq!(engine.stats().reload_failures.get(), 0);
     assert!(engine.stats_json().contains(&format!("\"reloads\": {RELOADS}")));
     std::fs::remove_dir_all(&dir).unwrap();
 }

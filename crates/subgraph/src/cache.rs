@@ -54,6 +54,7 @@ pub struct LruCache<V> {
     recency: BTreeMap<u64, SubgraphKey>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<V> LruCache<V> {
@@ -66,6 +67,7 @@ impl<V> LruCache<V> {
             recency: BTreeMap::new(),
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -101,6 +103,7 @@ impl<V> LruCache<V> {
             let (&oldest, &victim) = self.recency.iter().next().expect("non-empty recency index");
             self.recency.remove(&oldest);
             self.entries.remove(&victim);
+            self.evictions += 1;
         }
     }
 
@@ -127,6 +130,11 @@ impl<V> LruCache<V> {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries dropped to make room (capacity evictions, not `clear`).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Drop every entry (counters are kept).
@@ -210,12 +218,28 @@ mod tests {
     }
 
     #[test]
+    fn eviction_counter_tracks_capacity_pressure() {
+        let mut c: LruCache<u32> = LruCache::new(2);
+        c.insert(key(1, 0, 0), 1);
+        c.insert(key(2, 0, 0), 2);
+        assert_eq!(c.evictions(), 0);
+        c.insert(key(3, 0, 0), 3);
+        c.insert(key(4, 0, 0), 4);
+        assert_eq!(c.evictions(), 2);
+        c.insert(key(4, 0, 0), 40); // refresh, not an eviction
+        assert_eq!(c.evictions(), 2);
+        c.clear(); // clear is not an eviction either
+        assert_eq!(c.evictions(), 2);
+    }
+
+    #[test]
     fn heavy_churn_stays_within_capacity() {
         let mut c: LruCache<u32> = LruCache::new(8);
         for i in 0..1000u32 {
             c.insert(key(i, i % 7, i % 13), i);
             assert!(c.len() <= 8);
         }
+        assert_eq!(c.evictions(), 1000 - 8);
         // the 8 most recent keys are present
         for i in 992..1000u32 {
             assert_eq!(c.get(&key(i, i % 7, i % 13)), Some(&i));

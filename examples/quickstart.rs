@@ -4,9 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rmpi::core::{train_model, RmpiConfig, RmpiModel, TrainConfig};
-use rmpi::datasets::{build_benchmark, Scale};
-use rmpi::eval::protocol::{evaluate, EvalConfig};
+use rmpi::prelude::*;
 
 fn main() {
     // 1. A benchmark from the catalogue: NELL-995-like inductive split v1.
@@ -24,7 +22,7 @@ fn main() {
     // 2. An RMPI model: relational message passing with the NE module.
     let cfg = RmpiConfig { dim: 16, ne: true, ..Default::default() };
     let mut model = RmpiModel::new(cfg, benchmark.num_relations(), 0);
-    println!("model: {} ({} weights)", rmpi::core::ScoringModel::name(&model), rmpi::autograd::ParamStore::num_weights(rmpi::core::ScoringModel::param_store(&model)));
+    println!("model: {} ({} weights)", ScoringModel::name(&model), model.param_store().num_weights());
 
     // 3. Train with the paper's margin ranking loss and Adam.
     let train_cfg = TrainConfig { epochs: 3, max_samples_per_epoch: 400, ..Default::default() };

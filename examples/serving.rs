@@ -5,9 +5,7 @@
 //! cargo run --release --example serving
 //! ```
 
-use rmpi::core::{train_model, RmpiConfig, RmpiModel, TrainConfig};
-use rmpi::datasets::{build_benchmark, Scale};
-use rmpi::serve::{load_bundle_file, save_bundle_file, Engine, EngineConfig};
+use rmpi::prelude::*;
 
 fn main() {
     // 1. Train a small model on an inductive benchmark.
@@ -50,7 +48,7 @@ fn main() {
     let engine = Engine::new(
         bundle.model,
         test.graph.clone(),
-        EngineConfig { seed: 7, cache_capacity: 4096, threads: 0 },
+        EngineConfig::default().with_seed(7).with_cache_capacity(4096).with_threads(0),
     );
 
     for &target in test.targets.iter().take(3) {
@@ -73,5 +71,9 @@ fn main() {
         engine.rank_tails(target.head, target.relation, 5).expect("rank");
     }
     println!("stats: {}", engine.stats_json());
+
+    // 6. The full metrics registry — per-verb latency percentiles, cache
+    //    gauges, and (in a combined process) trainer/pool metrics too.
+    println!("metrics: {}", engine.metrics_json());
     std::fs::remove_file(&path).ok();
 }

@@ -34,6 +34,9 @@ cargo test -q -p rmpi-core --test crash_resume
 echo "== serve fault suite: hot reload atomicity, panic isolation, byte-offset diagnostics =="
 cargo test -q -p rmpi-serve --test faults
 
+echo "== observability: instrumented train + serve, mandatory metrics present and nonzero =="
+cargo test -q --test observability
+
 echo "== crash-recovery smoke: train -> SIGKILL mid-epoch -> resume -> metrics bit-identical =="
 cargo run --release -q -p rmpi-bench --bin bench_resume
 

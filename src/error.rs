@@ -1,0 +1,143 @@
+//! A unified error type for the facade.
+//!
+//! Each workspace crate keeps its own focused error enum; [`Error`] wraps
+//! them so an application that trains, checkpoints, bundles and serves in one
+//! binary can use a single `Result<T, rmpi::Error>` with `?` throughout.
+//! Every variant preserves the underlying error as `source()`, so chains
+//! print fully with e.g. `anyhow`-style error walkers or a manual loop over
+//! `std::error::Error::source`.
+
+use rmpi_autograd::io::CheckpointError;
+use rmpi_core::ModelAssemblyError;
+use rmpi_runtime::PoolError;
+use rmpi_serve::ServeError;
+use std::fmt;
+
+/// Any error the RMPI workspace can produce, unified for application code.
+#[derive(Debug)]
+pub enum Error {
+    /// Checkpoint / parameter-stream parse or write failure
+    /// (`rmpi-autograd`'s `rmpi-params v1` format).
+    Checkpoint(CheckpointError),
+    /// A parameter set that does not assemble into a model of the stated
+    /// configuration.
+    Assembly(ModelAssemblyError),
+    /// A worker in the data-parallel thread pool panicked.
+    Pool(PoolError),
+    /// Bundle IO, engine query or TCP front-end failure (`rmpi-serve`) —
+    /// including bundle parse errors with byte offsets.
+    Serve(ServeError),
+    /// Underlying I/O failure outside any of the layers above.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            Error::Assembly(e) => write!(f, "model assembly: {e}"),
+            Error::Pool(e) => write!(f, "thread pool: {e}"),
+            Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Checkpoint(e) => Some(e),
+            Error::Assembly(e) => Some(e),
+            Error::Pool(e) => Some(e),
+            Error::Serve(e) => Some(e),
+            Error::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        // an Io failure mid-checkpoint is an Io failure, not a format problem
+        match e {
+            CheckpointError::Io(io) => Error::Io(io),
+            other => Error::Checkpoint(other),
+        }
+    }
+}
+
+impl From<ModelAssemblyError> for Error {
+    fn from(e: ModelAssemblyError) -> Self {
+        Error::Assembly(e)
+    }
+}
+
+impl From<PoolError> for Error {
+    fn from(e: PoolError) -> Self {
+        Error::Pool(e)
+    }
+}
+
+impl From<ServeError> for Error {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Io(io) => Error::Io(io),
+            other => Error::Serve(other),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias: `rmpi::Result<T>` = `Result<T, rmpi::Error>`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take(r: std::result::Result<(), Error>) -> Error {
+        r.unwrap_err()
+    }
+
+    #[test]
+    fn from_impls_route_to_the_right_variant() {
+        let e = take(Err(CheckpointError::BadMagic("x".into()).into()));
+        assert!(matches!(e, Error::Checkpoint(_)), "{e:?}");
+        assert!(e.to_string().starts_with("checkpoint: "), "{e}");
+
+        let e = take(Err(PoolError::WorkerPanicked { index: 1, message: "boom".into() }.into()));
+        assert!(matches!(e, Error::Pool(_)), "{e:?}");
+
+        let e = take(Err(ServeError::Overloaded.into()));
+        assert!(matches!(e, Error::Serve(_)), "{e:?}");
+        assert_eq!(e.to_string(), "serve: server overloaded");
+
+        let e = take(Err(std::io::Error::new(std::io::ErrorKind::Other, "disk").into()));
+        assert!(matches!(e, Error::Io(_)), "{e:?}");
+    }
+
+    #[test]
+    fn io_flattens_from_nested_wrappers() {
+        let io = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert!(matches!(Error::from(CheckpointError::Io(io())), Error::Io(_)));
+        assert!(matches!(Error::from(ServeError::Io(io())), Error::Io(_)));
+    }
+
+    #[test]
+    fn every_variant_reports_a_source() {
+        use std::error::Error as _;
+        let all: Vec<Error> = vec![
+            CheckpointError::BadMagic("x".into()).into(),
+            PoolError::WorkerPanicked { index: 0, message: "p".into() }.into(),
+            ServeError::UnknownRelation(9).into(),
+            std::io::Error::new(std::io::ErrorKind::Other, "disk").into(),
+        ];
+        for e in &all {
+            assert!(e.source().is_some(), "{e} must preserve its source");
+        }
+    }
+}

@@ -13,10 +13,25 @@
 //! * [`baselines`] — GraIL, TACT(-base), CoMPILE and MaKEr-lite;
 //! * [`eval`] — metrics, protocols and the experiment runner;
 //! * [`serve`] — model bundles and the batched, subgraph-caching inference
-//!   service (in-process engine + TCP front end).
+//!   service (in-process engine + TCP front end);
+//! * [`obs`] — the observability layer: process-wide metrics registry
+//!   (counters, gauges, latency histograms with percentiles), scoped timing
+//!   spans, and a manual clock for deterministic tests;
+//! * [`runtime`] — the scoped data-parallel thread pool.
+//!
+//! Two facade conveniences tie the workspace together:
+//!
+//! * [`prelude`] re-exports the everyday types (`use rmpi::prelude::*;`);
+//! * [`Error`] unifies the per-crate error enums behind one `?`-friendly
+//!   type with full `source()` chains.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and
 //! `examples/serving.rs` for the train → bundle → serve pipeline.
+
+pub mod error;
+pub mod prelude;
+
+pub use error::{Error, Result};
 
 pub use rmpi_autograd as autograd;
 pub use rmpi_baselines as baselines;
@@ -24,6 +39,8 @@ pub use rmpi_core as core;
 pub use rmpi_datasets as datasets;
 pub use rmpi_eval as eval;
 pub use rmpi_kg as kg;
+pub use rmpi_obs as obs;
+pub use rmpi_runtime as runtime;
 pub use rmpi_schema as schema;
 pub use rmpi_serve as serve;
 pub use rmpi_subgraph as subgraph;

@@ -1,0 +1,47 @@
+//! The everyday-imports prelude: `use rmpi::prelude::*;` pulls in the types
+//! that nearly every program touching RMPI needs — graph primitives, the
+//! model and trainer, evaluation, benchmark construction, serving, and
+//! observability — without reaching into individual sub-crates.
+//!
+//! ```no_run
+//! use rmpi::prelude::*;
+//!
+//! let benchmark = build_benchmark("nell.v1", Scale::Quick);
+//! let mut model = RmpiModel::new(RmpiConfig::default(), benchmark.num_relations(), 0);
+//! let report = train_model(
+//!     &mut model,
+//!     &benchmark.train.graph,
+//!     &benchmark.train.targets,
+//!     &benchmark.train.valid,
+//!     &TrainConfig { epochs: 1, ..Default::default() },
+//! );
+//! let _ = report.best_accuracy();
+//! ```
+
+pub use crate::error::{Error, Result};
+
+// graph primitives
+pub use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
+
+// model + training
+pub use rmpi_core::{
+    train_model, CheckpointConfig, RmpiConfig, RmpiModel, ScoringModel, TrainConfig, TrainReport,
+    Trainer,
+};
+
+// benchmarks
+pub use rmpi_datasets::{build_benchmark, Benchmark, Scale};
+
+// evaluation
+pub use rmpi_eval::protocol::evaluate;
+pub use rmpi_eval::{EvalConfig, EvalMetrics};
+
+// serving
+pub use rmpi_serve::{
+    load_bundle_file, save_bundle_file, Bundle, Engine, EngineConfig, ServeStats,
+};
+
+// observability
+pub use rmpi_obs::MetricsRegistry;
+/// The process-wide metrics registry (see [`rmpi_obs::global`]).
+pub use rmpi_obs::global as metrics;

@@ -1,0 +1,136 @@
+//! End-to-end observability: a short instrumented training run followed by a
+//! serve session, all recording into the process-global metrics registry, then
+//! assertions that every mandatory metric is present and nonzero — trainer
+//! phase timings, pool utilisation, cache hit rate, and per-verb latency
+//! percentiles — through both `METRICS` and the backward-compatible `STATS`
+//! wire commands. `scripts/verify.sh` runs this test as its observability
+//! gate.
+
+use rmpi::prelude::*;
+use rmpi::serve::{serve, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Pull the integer value of `"key": <n>` out of a single-line JSON dump.
+fn field_u64(json: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let at = json.find(&pat).unwrap_or_else(|| panic!("metric {key:?} missing from {json}"));
+    json[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("metric {key:?} is not an integer in {json}"))
+}
+
+fn query(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    response.trim_end().to_string()
+}
+
+#[test]
+fn train_and_serve_populate_the_global_registry() {
+    let registry = metrics();
+
+    // --- a short data-parallel training run -------------------------------
+    let b = build_benchmark("nell.v1", Scale::Quick);
+    let mut model =
+        RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, b.num_relations(), 1);
+    let cfg = TrainConfig {
+        epochs: 1,
+        batch_size: 16,
+        max_samples_per_epoch: 32,
+        max_valid_samples: 4,
+        patience: 0,
+        seed: 3,
+        threads: 2,
+        ..Default::default()
+    };
+    train_model(&mut model, &b.train.graph, &b.train.targets, &b.train.valid, &cfg);
+
+    // trainer phase timings: every phase must have fired
+    for phase in [
+        "core.extract.us",
+        "trainer.forward.us",
+        "trainer.backward.us",
+        "trainer.optim_step.us",
+        "trainer.epoch.us",
+    ] {
+        let s = registry.histogram(phase).summary();
+        assert!(s.count > 0, "{phase} never recorded");
+    }
+    assert!(
+        registry.histogram("trainer.epoch.us").summary().sum > 0,
+        "an epoch cannot take zero microseconds"
+    );
+    assert!(registry.counter("trainer.epochs.count").get() >= 1);
+    assert!(registry.counter("trainer.batches.count").get() >= 1);
+    assert!(registry.counter("trainer.samples.count").get() >= 32);
+
+    // pool utilisation: threads=2 must have gone through the worker pool
+    assert!(registry.counter("pool.maps.count").get() >= 1, "pool never dispatched");
+    assert!(registry.counter("pool.items.count").get() >= 32);
+    assert!(registry.histogram("pool.shard_busy.us").summary().count > 0);
+
+    // --- a serve session against the same registry ------------------------
+    let test = b.test("TE").expect("TE split");
+    let engine = Arc::new(Engine::new(
+        model,
+        test.graph.clone(),
+        EngineConfig::default().with_seed(5).with_cache_capacity(256).with_threads(1),
+    ));
+    let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("serve");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    let t = test.targets[0];
+    let score_line = format!("SCORE {} {} {}", t.head.0, t.relation.0, t.tail.0);
+    assert!(query(&mut stream, &mut reader, &score_line).starts_with("OK "));
+    // the same triple again: this one is a guaranteed cache hit
+    assert!(query(&mut stream, &mut reader, &score_line).starts_with("OK "));
+    let rank_line = format!("RANK {} {} 3", t.head.0, t.relation.0);
+    assert!(query(&mut stream, &mut reader, &rank_line).starts_with("OK "));
+
+    // STATS keeps the legacy single-line wire shape
+    let stats = query(&mut stream, &mut reader, "STATS");
+    assert!(stats.starts_with("OK {"), "{stats}");
+    for legacy in ["\"scores\": ", "\"cache_hit_rate\": ", "\"latency_us_mean\": "] {
+        assert!(stats.contains(legacy), "STATS lost legacy field {legacy}: {stats}");
+    }
+    assert!(field_u64(&stats[3..], "scores") >= 2);
+
+    // METRICS dumps the whole registry: serve, trainer and pool together
+    let line = query(&mut stream, &mut reader, "METRICS");
+    assert!(line.starts_with("OK {"), "{line}");
+    let metrics_json = &line[3..];
+    for name in [
+        "serve.wire.score.us",
+        "serve.wire.rank.us",
+        "serve.queue_wait.us",
+        "serve.score.us",
+        "trainer.forward.us",
+        "pool.shard_busy.us",
+    ] {
+        assert!(metrics_json.contains(&format!("\"{name}\"")), "METRICS missing {name}: {line}");
+    }
+    // per-verb latency percentiles are in the dump
+    let wire_score = metrics_json
+        .split("\"serve.wire.score.us\": ")
+        .nth(1)
+        .expect("serve.wire.score.us object");
+    for pct in ["\"p50\"", "\"p90\"", "\"p99\""] {
+        assert!(wire_score.starts_with('{') && wire_score.contains(pct), "{wire_score}");
+    }
+    // a nonzero cache hit rate: the repeated SCORE hit the LRU
+    assert!(field_u64(metrics_json, "subgraph.cache_hits.count") >= 1, "{metrics_json}");
+    assert!(field_u64(metrics_json, "subgraph.cache_entries.count") >= 1, "{metrics_json}");
+
+    server.shutdown();
+
+    // the in-process dump matches what came over the wire (modulo the
+    // metrics that kept ticking during the dump itself)
+    assert!(engine.metrics_json().contains("\"serve.wire.metrics.us\""));
+}
