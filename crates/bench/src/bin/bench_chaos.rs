@@ -1,0 +1,212 @@
+//! Availability and tail latency of the resilient client under injected
+//! network faults.
+//!
+//! Spins up one inference server per fault rate, puts a seeded
+//! [`ChaosProxy`] in front of it, and drives `SCORE` requests through an
+//! `rmpi-client` with retries enabled. Reports, per fault rate: availability
+//! (fraction of logical requests that succeeded), p50/p99 request latency
+//! (retries and backoff included), and the retry count. A final section puts
+//! a two-replica `FailoverClient` in front of one replica degraded at the
+//! worst fault rate and one healthy replica, to show what failover buys when
+//! a replica goes bad. Writes `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_chaos [--requests 120] [--rates 0.0,0.1,0.25,0.5]
+//! ```
+
+use rmpi_client::{
+    BackoffConfig, BudgetConfig, Client, ClientConfig, FailoverClient, FailoverConfig,
+    ProtocolClient,
+};
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_datasets::{build_benchmark, Scale};
+use rmpi_kg::Triple;
+use rmpi_obs::json::{array, JsonObject};
+use rmpi_obs::MetricsRegistry;
+use rmpi_serve::{serve, Engine, EngineConfig, ServerConfig, ServerHandle};
+use rmpi_testutil::chaos::{ChaosConfig, ChaosProxy};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 17;
+
+fn client_config(seed: u64) -> ClientConfig {
+    ClientConfig {
+        max_retries: 4,
+        backoff: BackoffConfig {
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(50),
+            seed,
+            ..BackoffConfig::default()
+        },
+        // the bench measures transport resilience, not budget policy
+        budget: BudgetConfig { min_reserve: 1e6, deposit_per_success: 1.0, max_balance: 1e6 },
+        ..ClientConfig::default()
+    }
+}
+
+fn replica(engine: &Arc<Engine>) -> ServerHandle {
+    serve(
+        Arc::clone(engine),
+        ServerConfig {
+            workers: 4,
+            idle_timeout: Duration::from_millis(200),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server")
+}
+
+struct RunStats {
+    ok: u64,
+    failed: u64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Drive `targets` through `client`, one `SCORE` per request.
+fn drive(client: &mut impl ProtocolClient, targets: &[Triple]) -> RunStats {
+    let (mut ok, mut failed) = (0u64, 0u64);
+    let mut lat_us: Vec<u64> = Vec::with_capacity(targets.len());
+    for t in targets {
+        let t0 = Instant::now();
+        match client.score(t.head.0, t.relation.0, t.tail.0) {
+            Ok(_) => {
+                ok += 1;
+                lat_us.push(t0.elapsed().as_micros() as u64);
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    lat_us.sort_unstable();
+    RunStats {
+        ok,
+        failed,
+        p50_us: percentile(&lat_us, 0.50),
+        p99_us: percentile(&lat_us, 0.99),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let requests: usize = match args.iter().position(|a| a == "--requests") {
+        Some(i) => args[i + 1].parse().expect("--requests takes a count"),
+        None => 120,
+    };
+    let rates: Vec<f64> = match args.iter().position(|a| a == "--rates") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("--rates takes a comma-separated list"))
+            .collect(),
+        None => vec![0.0, 0.1, 0.25, 0.5],
+    };
+
+    let b = build_benchmark("nell.v1", Scale::Quick);
+    let test = b.test("TE").expect("TE split");
+    let model =
+        RmpiModel::new(RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() }, b.num_relations(), 1);
+    let targets: Vec<Triple> = test.targets.iter().copied().cycle().take(requests).collect();
+    let engine = Arc::new(Engine::new(
+        model,
+        test.graph.clone(),
+        EngineConfig { seed: SEED, cache_capacity: 8192, threads: 2 },
+    ));
+    engine.score_batch(&targets).expect("warmup");
+
+    println!("chaos bench: {requests} SCORE requests per fault rate, retries ≤ 4");
+    let mut rows = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let server = replica(&engine);
+        let proxy = ChaosProxy::spawn(
+            server.addr(),
+            ChaosConfig { seed: SEED + i as u64, fault_rate: rate, ..Default::default() },
+        )
+        .expect("proxy");
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut client = Client::with_registry(proxy.addr(), client_config(SEED), registry);
+        let run = drive(&mut client, &targets);
+        let retries = client.stats().retries.get();
+        let availability = run.ok as f64 / (run.ok + run.failed) as f64;
+        println!(
+            "  rate={rate:<5} availability={:6.2}%  p50={:6}us  p99={:7}us  retries={retries}",
+            availability * 100.0,
+            run.p50_us,
+            run.p99_us,
+        );
+        let mut row = JsonObject::new();
+        row.field_f64("fault_rate", rate, 3);
+        row.field_f64("availability", availability, 5);
+        row.field_u64("ok", run.ok);
+        row.field_u64("failed", run.failed);
+        row.field_u64("p50_us", run.p50_us);
+        row.field_u64("p99_us", run.p99_us);
+        row.field_u64("retries", retries);
+        row.field_u64("proxy_connections", proxy.stats().connections());
+        row.field_u64("proxy_faults", proxy.stats().faults_injected());
+        rows.push(row.finish());
+    }
+
+    // one replica degraded at the worst fault rate, one healthy replica to
+    // fail over to: availability should recover toward 100% as the breaker
+    // steers traffic off the bad replica
+    let worst = rates.iter().copied().fold(0.0f64, f64::max);
+    let (server_a, server_b) = (replica(&engine), replica(&engine));
+    let proxy_a = ChaosProxy::spawn(
+        server_a.addr(),
+        ChaosConfig { seed: SEED + 100, fault_rate: worst, ..Default::default() },
+    )
+    .expect("proxy a");
+    let proxy_b = ChaosProxy::spawn(
+        server_b.addr(),
+        ChaosConfig { seed: SEED + 101, fault_rate: 0.0, ..Default::default() },
+    )
+    .expect("proxy b");
+    let registry = Arc::new(MetricsRegistry::new());
+    // breaker cooldown must be coverable by the retry policy's waits
+    // (max_retries × backoff.max), or a double-trip turns into fail-fast
+    // errors instead of a short latency bump
+    let mut failover = FailoverClient::with_registry(
+        vec![proxy_a.addr(), proxy_b.addr()],
+        FailoverConfig {
+            client: client_config(SEED),
+            breaker: rmpi_client::BreakerConfig {
+                trip_after: 3,
+                cooldown: Duration::from_millis(100),
+            },
+        },
+        registry,
+    );
+    let run = drive(&mut failover, &targets);
+    let availability = run.ok as f64 / (run.ok + run.failed) as f64;
+    println!(
+        "  failover (bad replica rate={worst}, healthy standby) availability={:6.2}%  p50={:6}us  p99={:7}us  failovers={}",
+        availability * 100.0,
+        run.p50_us,
+        run.p99_us,
+        failover.stats().failovers.get(),
+    );
+    let mut fo = JsonObject::new();
+    fo.field_f64("fault_rate", worst, 3);
+    fo.field_f64("availability", availability, 5);
+    fo.field_u64("p50_us", run.p50_us);
+    fo.field_u64("p99_us", run.p99_us);
+    fo.field_u64("failovers", failover.stats().failovers.get());
+    fo.field_u64("breaker_trips", failover.stats().breaker_open.get());
+
+    let mut out = JsonObject::new();
+    out.field_str("bench", "chaos");
+    out.field_u64("requests", requests as u64);
+    out.field_raw("by_fault_rate", &array(&rows));
+    out.field_raw("failover_two_replicas", &fo.finish());
+    let json = format!("{}\n", out.finish());
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}

@@ -1,0 +1,198 @@
+//! Per-endpoint circuit breaker: consecutive-failure trip, timed cooldown,
+//! half-open probe.
+//!
+//! State machine:
+//!
+//! ```text
+//!            trip_after consecutive failures
+//!   Closed ────────────────────────────────────▶ Open { until }
+//!     ▲                                            │ cooldown elapses
+//!     │ probe succeeds                             ▼
+//!     └──────────────────────────────────────── HalfOpen
+//!                        probe fails: back to Open (fresh cooldown)
+//! ```
+//!
+//! `Closed` admits traffic and counts consecutive failures (any success
+//! resets the count). `Open` rejects without touching the network until its
+//! deadline. `HalfOpen` admits exactly one probe — the [`FailoverClient`]
+//! sends `HEALTH` — and the probe's outcome decides between `Closed` and a
+//! fresh `Open`. Time is passed in by the caller (`Instant::now()` in
+//! production), which keeps transitions unit-testable without sleeping.
+//!
+//! [`FailoverClient`]: crate::FailoverClient
+
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Clone, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures (no intervening success) that trip the breaker.
+    pub trip_after: u32,
+    /// How long an open breaker rejects before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 3, cooldown: Duration::from_millis(250) }
+    }
+}
+
+/// Observable breaker state (for metrics, logs and tests).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Admitting traffic.
+    Closed,
+    /// Rejecting until the cooldown deadline.
+    Open,
+    /// Admitting one probe.
+    HalfOpen,
+}
+
+#[derive(Clone, Debug)]
+enum Inner {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// One endpoint's breaker. Not thread-safe (owned by a `&mut self` client).
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Inner,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        CircuitBreaker { cfg, inner: Inner::Closed { consecutive_failures: 0 } }
+    }
+
+    /// Whether a request may be sent now. An `Open` breaker whose cooldown
+    /// has elapsed transitions to `HalfOpen` and admits (the admitted
+    /// request is the probe).
+    pub fn allows(&mut self, now: Instant) -> bool {
+        match self.inner {
+            Inner::Closed { .. } | Inner::HalfOpen => true,
+            Inner::Open { until } => {
+                if now >= until {
+                    self.inner = Inner::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful request (or probe): the breaker closes and the
+    /// failure streak resets.
+    pub fn record_success(&mut self) {
+        self.inner = Inner::Closed { consecutive_failures: 0 };
+    }
+
+    /// Record a failed request. Returns `true` when this failure *trips* the
+    /// breaker (a Closed→Open or HalfOpen→Open edge) so the caller can count
+    /// trip events rather than rejected requests.
+    pub fn record_failure(&mut self, now: Instant) -> bool {
+        match &mut self.inner {
+            Inner::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.cfg.trip_after {
+                    self.inner = Inner::Open { until: now + self.cfg.cooldown };
+                    true
+                } else {
+                    false
+                }
+            }
+            Inner::HalfOpen => {
+                self.inner = Inner::Open { until: now + self.cfg.cooldown };
+                true
+            }
+            // failures reported while already open (e.g. from a request that
+            // was in flight when the breaker tripped) extend nothing
+            Inner::Open { .. } => false,
+        }
+    }
+
+    /// When an `Open` breaker will next admit a probe (`None` unless open).
+    /// Lets a caller with every endpoint open *wait out* the shortest
+    /// cooldown instead of failing fast.
+    pub fn retry_at(&self) -> Option<Instant> {
+        match self.inner {
+            Inner::Open { until } => Some(until),
+            _ => None,
+        }
+    }
+
+    /// Current state, `Open`'s cooldown evaluated against `now`.
+    pub fn state(&self, now: Instant) -> BreakerState {
+        match self.inner {
+            Inner::Closed { .. } => BreakerState::Closed,
+            Inner::HalfOpen => BreakerState::HalfOpen,
+            Inner::Open { until } => {
+                if now >= until {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(trip_after: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let now = Instant::now();
+        let mut b = breaker(3, 100);
+        assert!(!b.record_failure(now));
+        assert!(!b.record_failure(now));
+        b.record_success(); // streak broken
+        assert!(!b.record_failure(now));
+        assert!(!b.record_failure(now));
+        assert!(b.record_failure(now), "third consecutive failure trips");
+        assert_eq!(b.state(now), BreakerState::Open);
+        assert!(!b.allows(now));
+    }
+
+    #[test]
+    fn cooldown_leads_to_half_open_probe_then_close_or_reopen() {
+        let now = Instant::now();
+        let mut b = breaker(1, 100);
+        assert!(b.record_failure(now));
+        assert!(!b.allows(now + Duration::from_millis(50)), "still cooling down");
+        let later = now + Duration::from_millis(100);
+        assert!(b.allows(later), "cooldown elapsed: one probe admitted");
+        assert_eq!(b.state(later), BreakerState::HalfOpen);
+
+        // failed probe: straight back to open with a fresh cooldown
+        assert!(b.record_failure(later));
+        assert!(!b.allows(later + Duration::from_millis(99)));
+        let probe2 = later + Duration::from_millis(100);
+        assert!(b.allows(probe2));
+        b.record_success();
+        assert_eq!(b.state(probe2), BreakerState::Closed);
+        assert!(b.allows(probe2));
+    }
+
+    #[test]
+    fn failures_while_open_do_not_extend_the_cooldown() {
+        let now = Instant::now();
+        let mut b = breaker(1, 100);
+        assert!(b.record_failure(now));
+        assert!(!b.record_failure(now + Duration::from_millis(90)), "no re-trip while open");
+        assert!(b.allows(now + Duration::from_millis(100)), "original deadline stands");
+    }
+}

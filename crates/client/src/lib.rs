@@ -1,0 +1,45 @@
+//! `rmpi-client` — a resilient, dependency-light blocking client for the
+//! `rmpi-serve` line protocol.
+//!
+//! The serving layer's determinism contract (served scores are bit-identical
+//! to offline `RmpiModel::score`) makes `SCORE` and `RANK` pure: any attempt
+//! whose response was lost can be retried without changing the answer. This
+//! crate builds the retry stack on that fact, in layers that are each
+//! independently testable:
+//!
+//! - [`error`]: failures classified **retryable vs fatal** — transport
+//!   damage and server load shedding retry; definitive server rejections do
+//!   not. A response missing its trailing newline is always treated as
+//!   damage ([`ClientError::TruncatedResponse`]), which is what guarantees a
+//!   chaos-disturbed reply is *retried*, never misparsed.
+//! - [`backoff`]: deterministic seeded exponential backoff with downward
+//!   jitter — a fixed seed reproduces the exact delay sequence.
+//! - [`budget`]: a Finagle-style retry budget (token bucket) so retries are
+//!   capped as a fraction of successful traffic, not just per request.
+//! - [`breaker`]: a per-endpoint circuit breaker — consecutive-failure trip,
+//!   timed cooldown, half-open probe.
+//! - [`Client`]: one endpoint, timeouts on connect/read/write, retry loop.
+//! - [`FailoverClient`]: a replica set with sticky endpoint preference,
+//!   breaker-gated failover and `HEALTH`-probed readmission.
+//!
+//! Both clients expose the protocol verbs through [`ProtocolClient`]
+//! (`ping` / `health` / `score` / `score_batch` / `rank_tails` /
+//! `stats_json` / `metrics_json` / `reload`), and record `client.*` counters
+//! ([`ClientStats`]) into an `rmpi-obs` registry: `client.retries.count`,
+//! `client.failovers.count`, `client.breaker_open.count`, and friends.
+
+pub mod backoff;
+pub mod breaker;
+pub mod budget;
+pub mod client;
+pub mod error;
+pub mod failover;
+pub mod stats;
+
+pub use backoff::{Backoff, BackoffConfig};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use budget::{BudgetConfig, RetryBudget};
+pub use client::{Client, ClientConfig, ProtocolClient};
+pub use error::ClientError;
+pub use failover::{FailoverClient, FailoverConfig};
+pub use stats::ClientStats;

@@ -44,6 +44,7 @@ use crate::error::{checkpoint_at, ServeError};
 use rmpi_autograd::io::{atomic_write_bytes, load_params, save_params};
 use rmpi_autograd::Tensor;
 use rmpi_core::{Fusion, RelationInit, RmpiConfig, RmpiModel, ScoringModel};
+use crate::lineio::LineRead;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -162,6 +163,12 @@ impl At {
     }
 }
 
+/// Longest manifest line [`load_bundle`] will buffer. Vocabulary lines carry
+/// one relation name each, so even generous names fit in a fraction of this;
+/// a "line" longer than 4 MiB is a corrupt or hostile artifact and is
+/// rejected with a manifest error instead of buffering it unbounded.
+pub const MAX_MANIFEST_LINE: usize = 1 << 22;
+
 /// Parse a bundle and reassemble the model.
 pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
     let mut reader = CountingReader::new(r);
@@ -170,13 +177,17 @@ pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
     let mut next_line =
         |reader: &mut CountingReader<R>, at: &mut At| -> Result<Option<String>, ServeError> {
             at.offset = reader.consumed;
-            line.clear();
-            let n = reader.read_line(&mut line)?;
-            if n == 0 {
-                return Ok(None);
-            }
             at.line += 1;
-            Ok(Some(line.trim_end_matches(['\n', '\r']).to_owned()))
+            match crate::lineio::read_line_bounded(reader, &mut line, MAX_MANIFEST_LINE)? {
+                LineRead::Eof => {
+                    at.line -= 1;
+                    Ok(None)
+                }
+                // a file's unterminated last line is still a line
+                LineRead::Line | LineRead::Partial => Ok(Some(line.clone())),
+                LineRead::TooLong => Err(at
+                    .err(format!("manifest line longer than {MAX_MANIFEST_LINE} bytes"))),
+            }
         };
 
     let header = next_line(&mut reader, &mut at)?.unwrap_or_default();
@@ -400,6 +411,22 @@ mod tests {
     fn rejects_bad_header() {
         let err = load_bundle(Cursor::new("not-a-bundle\n")).unwrap_err();
         assert!(matches!(err, ServeError::Manifest { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_overlong_manifest_line_without_buffering_it() {
+        // a hostile "bundle" whose second line never ends must fail with a
+        // manifest error at that line, not grow a multi-gigabyte String
+        let mut bytes = format!("{MAGIC}\n").into_bytes();
+        bytes.extend(std::iter::repeat(b'x').take(MAX_MANIFEST_LINE + 1));
+        let err = load_bundle(Cursor::new(bytes)).unwrap_err();
+        match err {
+            ServeError::Manifest { line, message, .. } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("longer than"), "{message}");
+            }
+            other => panic!("expected manifest error, got {other}"),
+        }
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub enum ServeError {
     Overloaded,
     /// The request's deadline expired before it was processed.
     DeadlineExpired,
+    /// A request line exceeded the server's maximum length; the connection
+    /// is closed (the stream cannot be resynchronised mid-line).
+    OverlongRequest {
+        /// The configured per-line byte cap.
+        limit: usize,
+    },
+    /// The server is at its concurrent-connection cap.
+    ConnLimit,
     /// A hot-reload candidate bundle failed validation; the previous model
     /// keeps serving.
     Reload(String),
@@ -61,6 +69,10 @@ impl fmt::Display for ServeError {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Overloaded => write!(f, "server overloaded"),
             ServeError::DeadlineExpired => write!(f, "deadline expired"),
+            ServeError::OverlongRequest { limit } => {
+                write!(f, "request too long (over {limit} bytes)")
+            }
+            ServeError::ConnLimit => write!(f, "too many connections"),
             ServeError::Reload(msg) => write!(f, "reload rejected: {msg}"),
             ServeError::Internal(msg) => write!(f, "internal: {msg}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),

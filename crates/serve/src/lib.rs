@@ -14,7 +14,10 @@
 //!   are bit-identical to offline `RmpiModel::score` with the same seed.
 //! - [`server`]: a dependency-free TCP front end speaking a line-delimited
 //!   protocol ([`protocol`]), with a bounded queue (backpressure via
-//!   `ERR server overloaded`), per-request deadlines, and graceful shutdown.
+//!   `ERR server overloaded`), per-request deadlines, graceful shutdown, and
+//!   hardened connection handling — bounded request lines ([`lineio`]),
+//!   read/write socket timeouts, idle-connection reaping and a
+//!   concurrent-connection cap.
 //!
 //! Throughput, latency and cache-hit metrics are registry-backed
 //! ([`ServeStats`] holds `rmpi-obs` counter/histogram handles): the legacy
@@ -33,6 +36,7 @@
 pub mod bundle;
 pub mod engine;
 pub mod error;
+pub mod lineio;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -40,6 +44,6 @@ pub mod stats;
 pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
 pub use engine::{Engine, EngineConfig, ModelSnapshot, SCORE_FAILPOINT};
 pub use error::ServeError;
-pub use protocol::Request;
+pub use protocol::{parse_request, Request};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::ServeStats;

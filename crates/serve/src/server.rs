@@ -35,14 +35,31 @@
 //! probe; `RELOAD <path>` hot-swaps the served bundle through
 //! [`Engine::reload_from`], which validates before swapping and keeps the
 //! old model on rejection.
+//!
+//! # Connection hardening
+//!
+//! A misbehaving or hostile peer cannot pin resources:
+//!
+//! - request lines are read through [`crate::lineio::read_line_bounded`], so
+//!   a line over `max_line_len` is answered `ERR request too long` and the
+//!   connection closed (counted in `serve.rejected_overlong`) instead of
+//!   buffering without bound;
+//! - every accepted socket gets read **and write** timeouts; if either
+//!   cannot be set the connection is shed (`serve.sock_config_failures`)
+//!   rather than served unbounded;
+//! - a connection that sends nothing for `idle_timeout` is closed
+//!   (`serve.idle_closed`), releasing its worker;
+//! - at most `max_connections` connections are admitted at once; the rest
+//!   are answered `ERR too many connections` (`serve.rejected_conn_limit`).
 
 use crate::engine::Engine;
 use crate::error::ServeError;
+use crate::lineio::{read_line_bounded, LineRead};
 use crate::protocol::{format_error, format_ranked, format_scores, parse_request, Request};
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -57,8 +74,20 @@ pub struct ServerConfig {
     /// Bounded queue capacity; connections beyond it are rejected with
     /// `ERR server overloaded`.
     pub queue_capacity: usize,
-    /// Queue-wait deadline and socket read timeout per connection.
+    /// Queue-wait deadline per connection.
     pub request_timeout: Duration,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// `ERR request too long` and the connection is closed.
+    pub max_line_len: usize,
+    /// Socket read timeout: a connection that sends nothing for this long is
+    /// closed and counted in `serve.idle_closed`.
+    pub idle_timeout: Duration,
+    /// Socket write timeout: a peer that stops draining responses for this
+    /// long has its connection closed.
+    pub write_timeout: Duration,
+    /// Concurrent-connection cap (queued + being served). Connections beyond
+    /// it are answered `ERR too many connections`.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -68,6 +97,10 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             request_timeout: Duration::from_secs(5),
+            max_line_len: 64 * 1024,
+            idle_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_connections: 256,
         }
     }
 }
@@ -75,6 +108,19 @@ impl Default for ServerConfig {
 struct Job {
     stream: TcpStream,
     enqueued: Instant,
+    /// Decrements the active-connection count when the job is done or shed.
+    _guard: ConnGuard,
+}
+
+/// RAII active-connection slot: one per admitted connection, released on
+/// drop whether the connection was served, shed at the deadline, or its
+/// worker bailed out.
+struct ConnGuard(Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 struct Shared {
@@ -83,6 +129,12 @@ struct Shared {
     available: Condvar,
     stop: AtomicBool,
     timeout: Duration,
+    max_line_len: usize,
+    idle_timeout: Duration,
+    write_timeout: Duration,
+    max_connections: usize,
+    /// Admitted connections (queued + in service).
+    active: AtomicUsize,
 }
 
 /// A running server; owns its threads. [`ServerHandle::shutdown`] (or drop)
@@ -103,6 +155,11 @@ pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, Ser
         available: Condvar::new(),
         stop: AtomicBool::new(false),
         timeout: cfg.request_timeout,
+        max_line_len: cfg.max_line_len.max(16),
+        idle_timeout: cfg.idle_timeout,
+        write_timeout: cfg.write_timeout,
+        max_connections: cfg.max_connections.max(1),
+        active: AtomicUsize::new(0),
     });
 
     let mut threads = Vec::with_capacity(cfg.workers + 1);
@@ -160,7 +217,7 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(shared: &Shared, listener: TcpListener, capacity: usize) {
+fn accept_loop(shared: &Arc<Shared>, listener: TcpListener, capacity: usize) {
     for stream in listener.incoming() {
         if shared.stop.load(Ordering::SeqCst) {
             return;
@@ -169,6 +226,14 @@ fn accept_loop(shared: &Shared, listener: TcpListener, capacity: usize) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        // connection cap first: it bounds total sockets held open, which the
+        // queue cap alone does not (conns being served are off the queue)
+        if shared.active.load(Ordering::SeqCst) >= shared.max_connections {
+            shared.engine.stats().rejected_conn_limit.inc();
+            let mut s = stream;
+            let _ = writeln!(s, "{}", format_error(&ServeError::ConnLimit));
+            continue;
+        }
         let mut queue = shared.queue.lock().expect("serve queue lock");
         if queue.len() >= capacity {
             drop(queue);
@@ -177,7 +242,9 @@ fn accept_loop(shared: &Shared, listener: TcpListener, capacity: usize) {
             let _ = writeln!(s, "{}", format_error(&ServeError::Overloaded));
             continue; // dropping `s` closes the connection: explicit load shedding
         }
-        queue.push_back(Job { stream, enqueued: Instant::now() });
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let guard = ConnGuard(Arc::clone(shared));
+        queue.push_back(Job { stream, enqueued: Instant::now(), _guard: guard });
         shared.engine.stats().queue_depth.set(queue.len() as i64);
         drop(queue);
         shared.available.notify_one();
@@ -217,20 +284,45 @@ fn handle_connection(shared: &Shared, job: Job) {
         let _ = writeln!(stream, "{}", format_error(&ServeError::DeadlineExpired));
         return;
     }
-    let _ = stream.set_read_timeout(Some(shared.timeout));
+    // Surfacing these failures matters: serving a socket whose reads or
+    // writes can block forever would pin a worker, so the connection is shed
+    // instead (and counted, so the condition is visible in METRICS).
+    if stream
+        .set_read_timeout(Some(shared.idle_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(shared.write_timeout)))
+        .is_err()
+    {
+        shared.engine.stats().sock_config_failures.inc();
+        return;
+    }
     let _ = stream.set_nodelay(true);
-    let reader = match stream.try_clone() {
+    let mut reader = match stream.try_clone() {
         Ok(s) => BufReader::new(s),
         Err(_) => return,
     };
-    for line in reader.lines() {
+    let mut line = String::new();
+    loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => return, // read timeout or disconnect
-        };
+        match read_line_bounded(&mut reader, &mut line, shared.max_line_len) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::TooLong) => {
+                shared.engine.stats().rejected_overlong.inc();
+                let err = ServeError::OverlongRequest { limit: shared.max_line_len };
+                let _ = writeln!(stream, "{}", format_error(&err));
+                return; // can't resync mid-line reliably from a hostile peer
+            }
+            // clean disconnect, or a cut connection mid-line: nothing to answer
+            Ok(LineRead::Eof) | Ok(LineRead::Partial) => return,
+            Err(e) => {
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+                {
+                    shared.engine.stats().idle_closed.inc();
+                }
+                return;
+            }
+        }
         if line.trim().is_empty() {
             continue;
         }
@@ -318,6 +410,7 @@ mod tests {
     use crate::engine::EngineConfig;
     use rmpi_core::{RmpiConfig, RmpiModel};
     use rmpi_kg::{KnowledgeGraph, Triple};
+    use std::io::BufRead;
 
     fn test_engine() -> Arc<Engine> {
         let graph = KnowledgeGraph::from_triples(vec![
@@ -425,6 +518,72 @@ mod tests {
         assert!(engine.stats().rejected_overload.get() >= 1);
 
         drop(wedge);
+        server.shutdown();
+    }
+
+    #[test]
+    fn overlong_line_is_rejected_and_counted() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig { max_line_len: 64, ..ServerConfig::default() },
+        )
+        .expect("serve");
+        let long = format!("SCORE {}", "0 1 2 ".repeat(64));
+        let reply = query(server.addr(), &long);
+        assert_eq!(reply, "ERR request too long (over 64 bytes)");
+        assert_eq!(engine.stats().rejected_overlong.get(), 1);
+        // a line exactly at the cap still parses (and gets a normal answer)
+        assert_eq!(query(server.addr(), "PING"), "OK pong");
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connection_is_closed_and_counted() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig { idle_timeout: Duration::from_millis(100), ..ServerConfig::default() },
+        )
+        .expect("serve");
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream);
+        // send nothing: the server must hang up after idle_timeout
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read to eof");
+        assert_eq!(n, 0, "server should close the idle connection, got {line:?}");
+        assert_eq!(engine.stats().idle_closed.get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_err_too_many_connections() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig {
+                workers: 1,
+                max_connections: 1,
+                idle_timeout: Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("serve");
+        let addr = server.addr();
+        // occupy the single admitted slot with a held-open idle connection
+        let wedge = TcpStream::connect(addr).expect("wedge connect");
+        std::thread::sleep(Duration::from_millis(50));
+        // the rejection is written (and the socket closed) before any request
+        // arrives, so just read — writing could race a broken pipe
+        let shed = TcpStream::connect(addr).expect("shed connect");
+        let mut reply = String::new();
+        BufReader::new(shed).read_line(&mut reply).expect("recv");
+        assert_eq!(reply.trim_end(), "ERR too many connections");
+        assert!(engine.stats().rejected_conn_limit.get() >= 1);
+        drop(wedge);
+        // slot released after the wedge closes: service resumes
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(query(addr, "PING"), "OK pong");
         server.shutdown();
     }
 

@@ -41,6 +41,19 @@ pub struct ServeStats {
     /// `serve.internal_errors.count` — panicking requests answered
     /// `ERR internal`.
     pub internal_errors: Counter,
+    /// `serve.rejected_overlong.count` — request lines over the configured
+    /// byte cap, answered `ERR request too long` and disconnected.
+    pub rejected_overlong: Counter,
+    /// `serve.idle_closed.count` — connections closed because the peer sent
+    /// nothing for the idle timeout.
+    pub idle_closed: Counter,
+    /// `serve.rejected_conn_limit.count` — connections shed at the
+    /// concurrent-connection cap.
+    pub rejected_conn_limit: Counter,
+    /// `serve.sock_config_failures.count` — accepted sockets dropped because
+    /// their read/write timeouts could not be set (serving an unbounded
+    /// socket is worse than shedding the connection).
+    pub sock_config_failures: Counter,
     /// `serve.score.us` — per-call scoring latency (`score`/`score_batch`).
     pub score_latency: Histogram,
     /// `serve.rank.us` — per-call ranking latency.
@@ -73,6 +86,10 @@ impl ServeStats {
             reloads: registry.counter("serve.reloads.count"),
             reload_failures: registry.counter("serve.reload_failures.count"),
             internal_errors: registry.counter("serve.internal_errors.count"),
+            rejected_overlong: registry.counter("serve.rejected_overlong.count"),
+            idle_closed: registry.counter("serve.idle_closed.count"),
+            rejected_conn_limit: registry.counter("serve.rejected_conn_limit.count"),
+            sock_config_failures: registry.counter("serve.sock_config_failures.count"),
             score_latency: registry.histogram("serve.score.us"),
             rank_latency: registry.histogram("serve.rank.us"),
             queue_wait: registry.histogram("serve.queue_wait.us"),
@@ -131,6 +148,9 @@ impl ServeStats {
         o.field_u64("reloads", self.reloads.get());
         o.field_u64("reload_failures", self.reload_failures.get());
         o.field_u64("internal_errors", self.internal_errors.get());
+        o.field_u64("rejected_overlong", self.rejected_overlong.get());
+        o.field_u64("idle_closed", self.idle_closed.get());
+        o.field_u64("rejected_conn_limit", self.rejected_conn_limit.get());
         o.field_u64("latency_us_sum", sum_us);
         o.field_u64("latency_us_max", score.max.max(rank.max));
         o.field_f64("latency_us_mean", mean_us, 1);
@@ -185,6 +205,9 @@ mod tests {
             "\"reloads\": 0",
             "\"reload_failures\": 0",
             "\"internal_errors\": 0",
+            "\"rejected_overlong\": 0",
+            "\"idle_closed\": 0",
+            "\"rejected_conn_limit\": 0",
         ] {
             assert!(json.contains(field), "missing {field} in {json}");
         }

@@ -1,0 +1,163 @@
+//! Property-style fuzz of the wire protocol: random printable garbage,
+//! random binary bytes and overlong lines thrown at a live server.
+//!
+//! The invariant under test is the server's whole hostile-input posture:
+//! every non-blank request line — whatever its bytes — is answered with
+//! exactly one single-line `OK ...`/`ERR ...` response (or, for overlong
+//! lines, `ERR request too long` followed by a close), and the server keeps
+//! serving afterwards. Nothing a peer sends may panic a worker, wedge a
+//! connection or produce an unframed response.
+
+use proptest::prelude::*;
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_serve::{parse_request, serve, Engine, EngineConfig, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+fn test_engine() -> Arc<Engine> {
+    let graph = KnowledgeGraph::from_triples(vec![
+        Triple::new(0u32, 0u32, 1u32),
+        Triple::new(1u32, 1u32, 2u32),
+        Triple::new(2u32, 2u32, 0u32),
+    ]);
+    let model = RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, 4, 0);
+    Arc::new(Engine::with_registry(
+        model,
+        graph,
+        EngineConfig { seed: 3, cache_capacity: 32, threads: 1 },
+        Arc::new(rmpi_obs::MetricsRegistry::new()),
+    ))
+}
+
+/// One long-lived fuzz server per shape, shared by all cases (proptest
+/// bodies are plain fns, so the address lives in a `OnceLock`; the handle is
+/// forgotten — its threads serve until the test process exits).
+fn fuzz_server(cell: &'static OnceLock<SocketAddr>, cfg: ServerConfig) -> SocketAddr {
+    *cell.get_or_init(|| {
+        let server = serve(test_engine(), cfg).expect("fuzz server");
+        let addr = server.addr();
+        std::mem::forget(server);
+        addr
+    })
+}
+
+static GARBAGE_SERVER: OnceLock<SocketAddr> = OnceLock::new();
+static TINY_LINE_SERVER: OnceLock<SocketAddr> = OnceLock::new();
+
+fn garbage_server() -> SocketAddr {
+    fuzz_server(&GARBAGE_SERVER, ServerConfig { workers: 2, ..ServerConfig::default() })
+}
+
+fn tiny_line_server() -> SocketAddr {
+    fuzz_server(
+        &TINY_LINE_SERVER,
+        ServerConfig { workers: 2, max_line_len: 64, ..ServerConfig::default() },
+    )
+}
+
+/// Send raw bytes (newline appended) followed by `PING`, and return every
+/// response line received. The trailing `PING` both proves the server is
+/// still alive on the *same* connection and unblocks the read when the fuzz
+/// line was blank (blank lines are skipped without an answer).
+fn exchange(addr: SocketAddr, payload: &[u8]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    stream.write_all(payload).expect("send payload");
+    stream.write_all(b"\nPING\n").expect("send ping");
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                assert!(line.ends_with('\n'), "unframed response {line:?}");
+                responses.push(line.trim_end().to_string());
+                if line.starts_with("OK pong") {
+                    break; // the PING answer is always last
+                }
+            }
+            Err(e) => panic!("read failed before the PING answer: {e}"),
+        }
+    }
+    responses
+}
+
+/// Whether the server will consider `bytes` (pre-newline) a blank line:
+/// trailing `\r` stripped, lossy UTF-8, then whitespace-only.
+fn is_blank(bytes: &[u8]) -> bool {
+    let mut bytes = bytes.to_vec();
+    while bytes.last() == Some(&b'\r') {
+        bytes.pop();
+    }
+    String::from_utf8_lossy(&bytes).trim().is_empty()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parse_request_never_panics_on_printable_garbage(line in "[ -~]{0,200}") {
+        // pure-parser fuzz: any outcome is fine, panicking is not
+        let _ = parse_request(&line);
+    }
+
+    #[test]
+    fn printable_garbage_gets_one_framed_answer_and_the_server_survives(line in "[ -~]{0,120}") {
+        let responses = exchange(garbage_server(), line.as_bytes());
+        let expected = if is_blank(line.as_bytes()) { 1 } else { 2 };
+        prop_assert_eq!(responses.len(), expected, "line {:?} -> {:?}", line, &responses);
+        for r in &responses {
+            prop_assert!(
+                r.starts_with("OK") || r.starts_with("ERR "),
+                "unprefixed response {:?} to {:?}", r, line
+            );
+        }
+        prop_assert_eq!(responses.last().map(String::as_str), Some("OK pong"));
+    }
+
+    #[test]
+    fn binary_garbage_gets_one_framed_answer_and_the_server_survives(
+        bytes in prop::collection::vec(0u8..255, 0..160),
+    ) {
+        // a newline inside the payload would legitimately split it into two
+        // requests; everything else (nulls, invalid UTF-8, control bytes)
+        // must be handled as one line
+        let mut bytes = bytes;
+        bytes.retain(|&b| b != b'\n');
+        let responses = exchange(garbage_server(), &bytes);
+        let expected = if is_blank(&bytes) { 1 } else { 2 };
+        prop_assert_eq!(responses.len(), expected, "bytes {:?} -> {:?}", &bytes, &responses);
+        for r in &responses {
+            prop_assert!(
+                r.starts_with("OK") || r.starts_with("ERR "),
+                "unprefixed response {:?} to {:?}", r, &bytes
+            );
+        }
+        prop_assert_eq!(responses.last().map(String::as_str), Some("OK pong"));
+    }
+
+    #[test]
+    fn overlong_lines_are_rejected_and_the_connection_closed(extra in 1usize..400) {
+        let addr = tiny_line_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let line = vec![b'A'; 64 + extra];
+        stream.write_all(&line).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read rejection");
+        prop_assert_eq!(response.trim_end(), "ERR request too long (over 64 bytes)");
+        // and the server hangs up: no further bytes arrive
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("read to close");
+        prop_assert!(rest.is_empty(), "bytes after the rejection: {:?}", rest);
+        // the server itself keeps serving new connections
+        let responses = exchange(addr, b"PING");
+        prop_assert_eq!(responses.last().map(String::as_str), Some("OK pong"));
+    }
+}

@@ -30,6 +30,14 @@
 //! earlier hits pass through untouched. Supported actions: `off`,
 //! `io_error[(msg)]`, `truncate(bytes)`, `panic[(msg)]`, `delay(ms)`, `nan`,
 //! `abort`.
+//!
+//! The crate's second facility is the [`chaos`] module: a seeded in-process
+//! TCP proxy that injects *network* faults (refused connections, latency,
+//! truncated or cut responses) between a client and a server — failpoints
+//! break the process from the inside, the chaos proxy breaks the wire from
+//! the outside.
+
+pub mod chaos;
 
 pub mod failpoint {
     use std::collections::HashMap;

@@ -34,10 +34,22 @@ cargo test -q -p rmpi-core --test crash_resume
 echo "== serve fault suite: hot reload atomicity, panic isolation, byte-offset diagnostics =="
 cargo test -q -p rmpi-serve --test faults
 
-echo "== observability: instrumented train + serve, mandatory metrics present and nonzero =="
+echo "== protocol fuzz: garbage, binary and overlong lines always get one framed answer =="
+cargo test -q -p rmpi-serve --test fuzz_protocol
+
+echo "== resilient client unit tests: retry classification, backoff, budget, breaker, failover =="
+cargo test -q -p rmpi-client --lib
+
+echo "== chaos soak: two faulty replicas, concurrent clients, replica kill, zero wrong scores =="
+cargo test -q -p rmpi-client --test soak
+
+echo "== observability: instrumented train + serve + resilience counters, present and nonzero =="
 cargo test -q --test observability
 
 echo "== crash-recovery smoke: train -> SIGKILL mid-epoch -> resume -> metrics bit-identical =="
 cargo run --release -q -p rmpi-bench --bin bench_resume
+
+echo "== chaos smoke: availability under injected faults, failover to a healthy standby =="
+cargo run --release -q -p rmpi-bench --bin bench_chaos -- --requests 30 --rates 0.0,0.25
 
 echo "verify.sh: all checks passed"

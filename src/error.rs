@@ -8,6 +8,7 @@
 //! `std::error::Error::source`.
 
 use rmpi_autograd::io::CheckpointError;
+use rmpi_client::ClientError;
 use rmpi_core::ModelAssemblyError;
 use rmpi_runtime::PoolError;
 use rmpi_serve::ServeError;
@@ -27,6 +28,10 @@ pub enum Error {
     /// Bundle IO, engine query or TCP front-end failure (`rmpi-serve`) —
     /// including bundle parse errors with byte offsets.
     Serve(ServeError),
+    /// A serving-client request failed (`rmpi-client`). Kept whole — the
+    /// variant (connect vs truncated vs server-rejected, transient vs
+    /// fatal) carries the retryability classification the caller may act on.
+    Client(ClientError),
     /// Underlying I/O failure outside any of the layers above.
     Io(std::io::Error),
 }
@@ -38,6 +43,7 @@ impl fmt::Display for Error {
             Error::Assembly(e) => write!(f, "model assembly: {e}"),
             Error::Pool(e) => write!(f, "thread pool: {e}"),
             Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Client(e) => write!(f, "client: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -50,6 +56,7 @@ impl std::error::Error for Error {
             Error::Assembly(e) => Some(e),
             Error::Pool(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Client(e) => Some(e),
             Error::Io(e) => Some(e),
         }
     }
@@ -86,6 +93,12 @@ impl From<ServeError> for Error {
     }
 }
 
+impl From<ClientError> for Error {
+    fn from(e: ClientError) -> Self {
+        Error::Client(e)
+    }
+}
+
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
@@ -116,6 +129,10 @@ mod tests {
         assert!(matches!(e, Error::Serve(_)), "{e:?}");
         assert_eq!(e.to_string(), "serve: server overloaded");
 
+        let e = take(Err(ClientError::TruncatedResponse.into()));
+        assert!(matches!(e, Error::Client(_)), "{e:?}");
+        assert!(e.to_string().starts_with("client: "), "{e}");
+
         let e = take(Err(std::io::Error::new(std::io::ErrorKind::Other, "disk").into()));
         assert!(matches!(e, Error::Io(_)), "{e:?}");
     }
@@ -134,6 +151,7 @@ mod tests {
             CheckpointError::BadMagic("x".into()).into(),
             PoolError::WorkerPanicked { index: 0, message: "p".into() }.into(),
             ServeError::UnknownRelation(9).into(),
+            ClientError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t")).into(),
             std::io::Error::new(std::io::ErrorKind::Other, "disk").into(),
         ];
         for e in &all {

@@ -14,6 +14,9 @@
 //! * [`eval`] — metrics, protocols and the experiment runner;
 //! * [`serve`] — model bundles and the batched, subgraph-caching inference
 //!   service (in-process engine + TCP front end);
+//! * [`client`] — the resilient serving client: timeouts, classified
+//!   retryable-vs-fatal errors, seeded exponential backoff, retry budgets,
+//!   and multi-replica failover behind per-endpoint circuit breakers;
 //! * [`obs`] — the observability layer: process-wide metrics registry
 //!   (counters, gauges, latency histograms with percentiles), scoped timing
 //!   spans, and a manual clock for deterministic tests;
@@ -25,8 +28,10 @@
 //! * [`Error`] unifies the per-crate error enums behind one `?`-friendly
 //!   type with full `source()` chains.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour and
-//! `examples/serving.rs` for the train → bundle → serve pipeline.
+//! See `examples/quickstart.rs` for an end-to-end tour,
+//! `examples/serving.rs` for the train → bundle → serve pipeline, and
+//! `examples/resilient_client.rs` for retrying + failover against live
+//! servers.
 
 pub mod error;
 pub mod prelude;
@@ -35,6 +40,7 @@ pub use error::{Error, Result};
 
 pub use rmpi_autograd as autograd;
 pub use rmpi_baselines as baselines;
+pub use rmpi_client as client;
 pub use rmpi_core as core;
 pub use rmpi_datasets as datasets;
 pub use rmpi_eval as eval;

@@ -41,6 +41,12 @@ pub use rmpi_serve::{
     load_bundle_file, save_bundle_file, Bundle, Engine, EngineConfig, ServeStats,
 };
 
+// the resilient serving client (retries, backoff, replica failover);
+// `ProtocolClient` carries the verb methods for both client flavours
+pub use rmpi_client::{
+    Client, ClientConfig, ClientError, FailoverClient, FailoverConfig, ProtocolClient,
+};
+
 // observability
 pub use rmpi_obs::MetricsRegistry;
 /// The process-wide metrics registry (see [`rmpi_obs::global`]).

@@ -5,12 +5,19 @@
 //! percentiles — through both `METRICS` and the backward-compatible `STATS`
 //! wire commands. `scripts/verify.sh` runs this test as its observability
 //! gate.
+//!
+//! A second test exercises the resilience counters end to end: the server's
+//! connection-hardening counters (overlong lines, idle reaping, the
+//! connection cap) and the client's retry-layer counters (retries,
+//! failovers, breaker trips), all recording into the same global registry.
 
+use rmpi::client::{BackoffConfig, BreakerConfig};
 use rmpi::prelude::*;
 use rmpi::serve::{serve, ServerConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Pull the integer value of `"key": <n>` out of a single-line JSON dump.
 fn field_u64(json: &str, key: &str) -> u64 {
@@ -133,4 +140,154 @@ fn train_and_serve_populate_the_global_registry() {
     // the in-process dump matches what came over the wire (modulo the
     // metrics that kept ticking during the dump itself)
     assert!(engine.metrics_json().contains("\"serve.wire.metrics.us\""));
+}
+
+/// Wait (bounded) for a counter that a server thread increments
+/// asynchronously after the client-visible effect.
+fn await_counter(name: &str, floor: u64) -> u64 {
+    let registry = metrics();
+    for _ in 0..100 {
+        let v = registry.counter(name).get();
+        if v >= floor {
+            return v;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("counter {name} never reached {floor} (at {})", registry.counter(name).get());
+}
+
+#[test]
+fn hardening_and_retry_layers_populate_the_resilience_counters() {
+    let registry = metrics();
+    let graph = KnowledgeGraph::from_triples(vec![
+        Triple::new(0u32, 0u32, 1u32),
+        Triple::new(1u32, 1u32, 2u32),
+        Triple::new(2u32, 2u32, 0u32),
+    ]);
+    let model = RmpiModel::new(RmpiConfig { dim: 8, ..RmpiConfig::base() }, 4, 0);
+    let engine = || {
+        Arc::new(Engine::new(
+            model.clone(),
+            graph.clone(),
+            EngineConfig::default().with_seed(11).with_cache_capacity(32).with_threads(1),
+        ))
+    };
+
+    // --- server hardening counters ----------------------------------------
+    let mut hardened = serve(
+        engine(),
+        ServerConfig {
+            workers: 2,
+            max_line_len: 64,
+            idle_timeout: Duration::from_millis(150),
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("hardened server");
+
+    // the connection cap: one held connection, then a second that must be
+    // shed with `ERR too many connections`
+    let base = registry.counter("serve.rejected_conn_limit.count").get();
+    let held = TcpStream::connect(hardened.addr()).expect("held connection");
+    let mut rejections = 0;
+    while rejections == 0 {
+        let shed = TcpStream::connect(hardened.addr()).expect("shed connection");
+        let mut line = String::new();
+        // the held connection races its way from the accept queue to a
+        // worker; until it counts as active, extra connections are admitted
+        // (and closed unanswered when dropped) rather than shed
+        if BufReader::new(shed).read_line(&mut line).unwrap_or(0) > 0 {
+            assert_eq!(line.trim_end(), "ERR too many connections");
+            rejections += 1;
+        }
+    }
+    assert!(await_counter("serve.rejected_conn_limit.count", base + 1) > base);
+    drop(held);
+
+    // an overlong request line: rejected, counted, connection closed (the
+    // dropped held connection releases its slot asynchronously, so a few
+    // early attempts may still be shed by the cap — retry those)
+    let base = registry.counter("serve.rejected_overlong.count").get();
+    let response = loop {
+        let mut stream = TcpStream::connect(hardened.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        stream.write_all(&[b'A'; 200]).expect("send overlong");
+        stream.write_all(b"\n").expect("send newline");
+        let mut response = String::new();
+        BufReader::new(stream).read_line(&mut response).expect("read rejection");
+        if response.trim_end() != "ERR too many connections" {
+            break response;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(response.trim_end(), "ERR request too long (over 64 bytes)");
+    assert!(await_counter("serve.rejected_overlong.count", base + 1) > base);
+
+    // an idle connection: reaped by the read timeout, counted, EOF for us
+    // (a shed connection is told `ERR too many connections` first; an
+    // admitted-then-reaped one sees EOF with no bytes at all)
+    let base = registry.counter("serve.idle_closed.count").get();
+    loop {
+        let idle = TcpStream::connect(hardened.addr()).expect("idle connection");
+        idle.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        let mut buf = [0u8; 64];
+        if (&idle).read(&mut buf).expect("read on idle connection") == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(await_counter("serve.idle_closed.count", base + 1) > base);
+    hardened.shutdown();
+
+    // --- client retry-layer counters ---------------------------------------
+    // a dead endpoint (bound then dropped: connections are refused) first in
+    // the list, a live replica second: the first request must retry, fail
+    // over, and trip the dead endpoint's breaker — one event on each counter
+    let dead = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.local_addr().expect("addr")
+    };
+    let mut live = serve(engine(), ServerConfig::default()).expect("live server");
+    let (retries, failovers, trips) = (
+        registry.counter("client.retries.count").get(),
+        registry.counter("client.failovers.count").get(),
+        registry.counter("client.breaker_open.count").get(),
+    );
+    let mut client = FailoverClient::new(
+        vec![dead, live.addr()],
+        FailoverConfig {
+            client: ClientConfig {
+                max_retries: 4,
+                backoff: BackoffConfig {
+                    base: Duration::from_millis(1),
+                    max: Duration::from_millis(10),
+                    ..Default::default()
+                },
+                ..Default::default()
+            }
+            .with_seed(23),
+            breaker: BreakerConfig { trip_after: 1, cooldown: Duration::from_secs(60) },
+        },
+    );
+    let score = client.score(0, 0, 1).expect("the live replica must answer");
+    assert!(score.is_finite());
+    assert!(registry.counter("client.retries.count").get() > retries);
+    assert!(registry.counter("client.failovers.count").get() > failovers);
+    assert!(registry.counter("client.breaker_open.count").get() > trips);
+    assert!(registry.counter("client.requests.count").get() >= 1);
+
+    // everything above is one registry dump away
+    let dump = registry.to_json();
+    for name in [
+        "serve.rejected_overlong.count",
+        "serve.idle_closed.count",
+        "serve.rejected_conn_limit.count",
+        "client.retries.count",
+        "client.failovers.count",
+        "client.breaker_open.count",
+    ] {
+        assert!(dump.contains(&format!("\"{name}\"")), "dump lost {name}");
+    }
+    live.shutdown();
 }
