@@ -40,6 +40,7 @@
 //! assert!((store.value(x).item() - 3.0).abs() < 1e-3);
 //! ```
 
+pub mod counters;
 pub mod grad;
 pub mod gradcheck;
 pub mod io;
@@ -56,5 +57,5 @@ pub use io::{
     CheckpointError,
 };
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
+pub use tape::{BackwardScratch, Tape, Var};
 pub use tensor::Tensor;

@@ -328,9 +328,31 @@ impl Tape {
     /// this needs no mutable access to shared state: worker threads run
     /// forward + `backward_into` against `&ParamStore` and hand their buffers
     /// back for a deterministic ordered reduce (see [`GradBuffer`]).
+    ///
+    /// Allocates a fresh node-gradient table per call; hot loops should hold
+    /// a [`BackwardScratch`] and use [`Tape::backward_into_with`] instead.
     pub fn backward_into(&self, loss: Var, out: &mut GradBuffer) {
+        let mut scratch = BackwardScratch::new();
+        self.backward_into_with(loss, &mut scratch, out);
+    }
+
+    /// [`Tape::backward_into`] with a caller-owned node-gradient table.
+    ///
+    /// The scratch's backing vector is reused across calls (a backward pass
+    /// leaves every slot empty), so repeated passes over same-sized tapes
+    /// skip the per-call table allocation. The gradient values produced are
+    /// bit-identical to [`Tape::backward_into`]: the walk order and the
+    /// accumulation order do not depend on the scratch's history.
+    pub fn backward_into_with(
+        &self,
+        loss: Var,
+        scratch: &mut BackwardScratch,
+        out: &mut GradBuffer,
+    ) {
         assert_eq!(self.value(loss).len(), 1, "backward seed must be a one-element tensor");
-        let mut grads: Vec<Option<Tensor>> = (0..=loss.0).map(|_| None).collect();
+        let mut grads = std::mem::take(&mut scratch.grads);
+        grads.clear();
+        grads.resize_with(loss.0 + 1, || None);
         grads[loss.0] = Some(Tensor::scalar(1.0));
 
         for i in (0..=loss.0).rev() {
@@ -491,6 +513,8 @@ impl Tape {
                 }
             }
         }
+        // Hand the (now all-None) table back for the next pass.
+        scratch.grads = grads;
     }
 
     /// Accumulate `g * sign` into `target`'s gradient slot, collapsing a
@@ -503,6 +527,29 @@ impl Tape {
         let vt = self.value(target);
         let g = if vt.len() == 1 && g.len() != 1 { Tensor::scalar(g.sum()) } else { g };
         accumulate(grads, target, g);
+    }
+}
+
+/// Reusable node-gradient table for [`Tape::backward_into_with`].
+///
+/// Holds the per-node `Option<Tensor>` slots a backward pass walks; keeping
+/// one of these per worker thread (or per training loop) amortises the table
+/// allocation across samples. The pass drains every slot, so reuse carries no
+/// state between calls — only capacity.
+#[derive(Debug, Default)]
+pub struct BackwardScratch {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl BackwardScratch {
+    /// An empty scratch; the table grows to the tape's size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of node slots currently allocated (capacity metric for tests).
+    pub fn capacity(&self) -> usize {
+        self.grads.capacity()
     }
 }
 

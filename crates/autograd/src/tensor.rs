@@ -4,6 +4,8 @@
 //! mismatch is a programming error, never data-dependent, so failing fast is
 //! the right contract (matching ndarray/PyTorch semantics).
 
+use crate::counters;
+use crate::kernels::dot_chunked;
 use std::fmt;
 
 /// A dense tensor: `shape` (rank 1 or 2) and row-major `data`.
@@ -108,6 +110,7 @@ impl Tensor {
     /// Elementwise addition (shapes must match).
     pub fn add(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.shape, other.shape, "add shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        counters::record(self.len() as u64, 12 * self.len() as u64);
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
         Tensor { shape: self.shape.clone(), data }
     }
@@ -115,6 +118,7 @@ impl Tensor {
     /// In-place elementwise `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        counters::record(2 * self.len() as u64, 12 * self.len() as u64);
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -183,15 +187,20 @@ impl Tensor {
     }
 
     /// Matrix-vector product: `(m,k) x [k] -> [m]`.
+    ///
+    /// Each output element is a multi-accumulator chunked dot of a contiguous
+    /// matrix row against `x`.
     pub fn matvec(&self, x: &Tensor) -> Tensor {
         assert_eq!(self.shape.len(), 2);
         assert_eq!(x.shape.len(), 1);
         let (m, k) = (self.shape[0], self.shape[1]);
         assert_eq!(k, x.shape[0], "matvec inner dims {k} vs {}", x.shape[0]);
+        counters::record(2 * (m * k) as u64, 4 * (m * k + k + m) as u64);
         let mut out = vec![0.0f32; m];
-        for (i, o) in out.iter_mut().enumerate() {
-            let row = &self.data[i * k..(i + 1) * k];
-            *o = row.iter().zip(&x.data).map(|(a, b)| a * b).sum();
+        if k > 0 {
+            for (o, row) in out.iter_mut().zip(self.data.chunks_exact(k)) {
+                *o = dot_chunked(row, &x.data);
+            }
         }
         Tensor::vector(out)
     }
@@ -203,25 +212,29 @@ impl Tensor {
         let k = self.shape[0];
         assert_eq!(k, m.shape[0], "vecmat inner dims {k} vs {}", m.shape[0]);
         let n = m.shape[1];
+        counters::record(2 * (k * n) as u64, 4 * (k * n + k + n) as u64);
         let mut out = vec![0.0f32; n];
-        for p in 0..k {
-            let a = self.data[p];
-            if a == 0.0 {
-                continue;
-            }
-            let brow = &m.data[p * n..(p + 1) * n];
-            for (o, b) in out.iter_mut().zip(brow) {
-                *o += a * b;
+        if n > 0 {
+            for (&a, brow) in self.data.iter().zip(m.data.chunks_exact(n)) {
+                if a == 0.0 {
+                    continue;
+                }
+                for (o, b) in out.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
             }
         }
         Tensor::vector(out)
     }
 
-    /// Dot product of two rank-1 tensors.
+    /// Dot product of two rank-1 tensors (multi-accumulator chunked
+    /// reduction: deterministic, reassociated relative to a strict left
+    /// fold).
     pub fn dot(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape.len(), 1);
         assert_eq!(self.shape, other.shape, "dot shape mismatch");
-        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
+        counters::record(2 * self.len() as u64, 8 * self.len() as u64);
+        dot_chunked(&self.data, &other.data)
     }
 
     /// Transpose of a rank-2 tensor.
@@ -237,14 +250,42 @@ impl Tensor {
         Tensor { shape: vec![n, m], data: out }
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements (chunked 8-lane reduction; deterministic,
+    /// reassociated relative to a strict left fold).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        let mut acc = [0.0f32; 8];
+        let chunks = self.data.chunks_exact(8);
+        let rem = chunks.remainder();
+        for c in chunks {
+            let c: &[f32; 8] = c.try_into().unwrap();
+            for l in 0..8 {
+                acc[l] += c[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for &v in rem {
+            tail += v;
+        }
+        ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail
     }
 
-    /// Euclidean norm of all elements.
+    /// Euclidean norm of all elements (same chunked reduction as [`Tensor::sum`]).
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+        let mut acc = [0.0f32; 8];
+        let chunks = self.data.chunks_exact(8);
+        let rem = chunks.remainder();
+        for c in chunks {
+            let c: &[f32; 8] = c.try_into().unwrap();
+            for l in 0..8 {
+                acc[l] += c[l] * c[l];
+            }
+        }
+        let mut tail = 0.0f32;
+        for &v in rem {
+            tail += v * v;
+        }
+        (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7])) + tail)
+            .sqrt()
     }
 
     /// Set all elements to zero (reuse allocation).

@@ -4,7 +4,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use rmpi_core::Mode;
-use rmpi_kg::{EntityId, KnowledgeGraph, Triple};
+use rmpi_kg::{EntityId, GraphAccess, Triple};
 use rmpi_subgraph::{double_radius_labels, enclosing_subgraph, NodeLabel, Subgraph};
 use std::collections::HashMap;
 
@@ -96,8 +96,8 @@ pub struct EntitySample {
 }
 
 /// Extract and label the enclosing subgraph for `target`.
-pub fn prepare_entity_sample(
-    graph: &KnowledgeGraph,
+pub fn prepare_entity_sample<G: GraphAccess + ?Sized>(
+    graph: &G,
     target: Triple,
     cfg: &BaselineConfig,
     mode: Mode,
@@ -132,6 +132,7 @@ pub fn prepare_entity_sample(
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rmpi_core::{Mode, ScoringModel};
-use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_kg::{GraphAccess, Triple};
 
 /// The CoMPILE-style model.
 #[derive(Clone, Debug)]
@@ -63,7 +63,7 @@ impl ScoringModel for CompileModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -136,6 +136,7 @@ impl ScoringModel for CompileModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rmpi_core::{Mode, ScoringModel};
-use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_kg::{GraphAccess, Triple};
 
 /// The parameters of GraIL's entity encoder (Eq. 1–3), reusable by TACT.
 #[derive(Clone, Debug)]
@@ -183,7 +183,7 @@ impl ScoringModel for GrailModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -206,6 +206,7 @@ impl ScoringModel for GrailModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

@@ -22,7 +22,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
 use rmpi_core::{Mode, ScoringModel};
-use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{GraphAccess, RelationId, Triple};
 use rmpi_subgraph::relview::{RelViewGraph, NUM_EDGE_TYPES, TARGET_NODE};
 use std::collections::HashSet;
 
@@ -212,7 +212,7 @@ impl ScoringModel for MakerLiteModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -231,6 +231,7 @@ impl ScoringModel for MakerLiteModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

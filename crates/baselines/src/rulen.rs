@@ -17,7 +17,7 @@
 use rand::rngs::StdRng;
 use rmpi_autograd::{ParamStore, Tape, Tensor, Var};
 use rmpi_core::{Mode, ScoringModel};
-use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{GraphAccess, KnowledgeGraph, RelationId, Triple};
 use std::collections::HashMap;
 
 /// A mined rule with its empirical confidence.
@@ -183,7 +183,7 @@ impl RuleNModel {
 
     /// Noisy-or combined confidence of the rules firing for `target` in
     /// `graph`: `1 - Π (1 - conf_i)` over matching rules.
-    pub fn rule_score(&self, graph: &KnowledgeGraph, target: Triple) -> f32 {
+    pub fn rule_score<G: GraphAccess + ?Sized>(&self, graph: &G, target: Triple) -> f32 {
         let mut miss_prob = 1.0f32;
         let mut any = false;
         for rule in self.rules_for(target.relation) {
@@ -228,7 +228,7 @@ impl ScoringModel for RuleNModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         _mode: Mode,
         _rng: &mut StdRng,

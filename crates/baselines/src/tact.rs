@@ -21,7 +21,7 @@ use rmpi_core::config::{RelationInit, RmpiConfig};
 use rmpi_core::encode::RelationEncoder;
 use rmpi_core::sample::prepare_sample;
 use rmpi_core::{Mode, ScoringModel};
-use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{GraphAccess, RelationId, Triple};
 use rmpi_subgraph::relview::{RelViewGraph, NUM_EDGE_TYPES, TARGET_NODE};
 
 /// The shared correlation-module parameters: one transform per topological
@@ -134,7 +134,7 @@ impl ScoringModel for TactBaseModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -202,7 +202,7 @@ impl ScoringModel for TactModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -232,6 +232,7 @@ impl ScoringModel for TactModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

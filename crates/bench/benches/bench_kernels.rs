@@ -1,0 +1,173 @@
+//! Criterion bench: raw dense-kernel throughput with FLOP and bandwidth
+//! reporting.
+//!
+//! Covers the three matmul variants at the shapes the RMPI forward/backward
+//! passes actually hit (relation-view node batches × hidden dim), the
+//! matvec/vecmat/dot building blocks, and the scratch-backed backward pass.
+//! After each timed case the kernel-counter delta is converted to achieved
+//! GFLOP/s and GB/s — `time got smaller` is only meaningful next to `work
+//! stayed the same`.
+//!
+//! Window: `RMPI_BENCH_MS` (default 300 ms per case; `verify.sh` smokes the
+//! suite at 10 ms).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rmpi_autograd::counters;
+use rmpi_autograd::kernels::{matmul_nn, matmul_nt, matmul_tn};
+use rmpi_autograd::{init, BackwardScratch, GradBuffer, ParamStore, Tape, Tensor};
+use std::time::Instant;
+
+/// Time `f` once outside criterion to derive achieved FLOP/s and bytes/s
+/// from the counter delta, then print them alongside criterion's ns/iter.
+fn report_traffic(label: &str, mut f: impl FnMut()) {
+    let before = counters::snapshot();
+    let start = Instant::now();
+    let reps = 10;
+    for _ in 0..reps {
+        f();
+    }
+    let dt = start.elapsed().as_secs_f64();
+    let after = counters::snapshot();
+    let flops = (after.flops - before.flops) as f64;
+    let bytes = (after.bytes - before.bytes) as f64;
+    println!(
+        "{label:<48} work: {:>8.3} GFLOP/s  {:>8.3} GB/s  ({:.0} flop, {:.0} B per iter)",
+        flops / dt / 1e9,
+        bytes / dt / 1e9,
+        flops / reps as f64,
+        bytes / reps as f64,
+    );
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_matmuls(c: &mut Criterion) {
+    // (m, k, n): relation-view batch sizes × hidden dims seen in training
+    for &(m, k, n) in &[(64usize, 32usize, 32usize), (256, 64, 64), (512, 32, 32)] {
+        let a = fill(m * k, 1);
+        let b_nn = fill(k * n, 2);
+        let b_nt = fill(n * k, 3);
+        let a_tn = fill(k * m, 4);
+        let mut out = vec![0.0f32; m * n];
+
+        c.bench_function(&format!("matmul_nn_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                out.iter_mut().for_each(|o| *o = 0.0);
+                matmul_nn(m, k, n, black_box(&a), black_box(&b_nn), &mut out);
+                out[0]
+            })
+        });
+        report_traffic(&format!("matmul_nn_{m}x{k}x{n}"), || {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            matmul_nn(m, k, n, black_box(&a), black_box(&b_nn), &mut out);
+        });
+
+        c.bench_function(&format!("matmul_nt_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                out.iter_mut().for_each(|o| *o = 0.0);
+                matmul_nt(m, k, n, black_box(&a), black_box(&b_nt), &mut out);
+                out[0]
+            })
+        });
+        report_traffic(&format!("matmul_nt_{m}x{k}x{n}"), || {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            matmul_nt(m, k, n, black_box(&a), black_box(&b_nt), &mut out);
+        });
+
+        c.bench_function(&format!("matmul_tn_{m}x{k}x{n}"), |bench| {
+            bench.iter(|| {
+                out.iter_mut().for_each(|o| *o = 0.0);
+                matmul_tn(m, k, n, black_box(&a_tn), black_box(&b_nn), &mut out);
+                out[0]
+            })
+        });
+        report_traffic(&format!("matmul_tn_{m}x{k}x{n}"), || {
+            out.iter_mut().for_each(|o| *o = 0.0);
+            matmul_tn(m, k, n, black_box(&a_tn), black_box(&b_nn), &mut out);
+        });
+    }
+}
+
+fn bench_vector_ops(c: &mut Criterion) {
+    let m = Tensor::matrix(256, 64, fill(256 * 64, 5));
+    let x = Tensor::vector(fill(64, 6));
+    let y = Tensor::vector(fill(256, 7));
+    let u = Tensor::vector(fill(4096, 8));
+    let v = Tensor::vector(fill(4096, 9));
+
+    c.bench_function("matvec_256x64", |bench| bench.iter(|| black_box(&m).matvec(&x).data()[0]));
+    report_traffic("matvec_256x64", || {
+        black_box(m.matvec(&x));
+    });
+
+    c.bench_function("vecmat_256x64", |bench| bench.iter(|| black_box(&y).vecmat(&m).data()[0]));
+    report_traffic("vecmat_256x64", || {
+        black_box(y.vecmat(&m));
+    });
+
+    c.bench_function("dot_4096", |bench| bench.iter(|| black_box(&u).dot(&v)));
+    report_traffic("dot_4096", || {
+        black_box(u.dot(&v));
+    });
+
+    c.bench_function("sum_4096", |bench| bench.iter(|| black_box(&u).sum()));
+    c.bench_function("axpy_4096", |bench| {
+        let mut acc = u.clone();
+        bench.iter(|| {
+            acc.axpy(0.5, black_box(&v));
+            acc.data()[0]
+        })
+    });
+}
+
+fn bench_backward_scratch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let a = store.create("a", init::xavier_uniform(&[64, 64], &mut rng));
+    let x = store.create("x", init::xavier_uniform(&[64], &mut rng));
+
+    let run_forward = |tape: &mut Tape| {
+        let av = tape.param(&store, a);
+        let xv = tape.param(&store, x);
+        let h = tape.matvec(av, xv);
+        let r = tape.relu(h);
+        let s = tape.sum(r);
+        tape.mul(s, s)
+    };
+
+    c.bench_function("backward_fresh_table", |bench| {
+        let mut tape = Tape::new();
+        bench.iter(|| {
+            tape.reset();
+            let loss = run_forward(&mut tape);
+            let mut buf = GradBuffer::new();
+            tape.backward_into(loss, &mut buf);
+            buf.is_empty()
+        })
+    });
+
+    c.bench_function("backward_scratch_table", |bench| {
+        let mut tape = Tape::new();
+        let mut scratch = BackwardScratch::new();
+        bench.iter(|| {
+            tape.reset();
+            let loss = run_forward(&mut tape);
+            let mut buf = GradBuffer::new();
+            tape.backward_into_with(loss, &mut scratch, &mut buf);
+            buf.is_empty()
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmuls, bench_vector_ops, bench_backward_scratch);
+criterion_main!(benches);

@@ -1,10 +1,16 @@
 //! Throughput report for the data-parallel training engine.
 //!
 //! Trains one epoch of the base RMPI model at each thread count and reports
-//! training throughput (samples/sec) plus the speedup over the single-thread
-//! run, and the per-phase timing breakdown (subgraph extraction, forward,
-//! backward, optimiser step) read back from the `rmpi-obs` metrics registry.
-//! Writes `BENCH_parallel.json` in the working directory.
+//! training throughput (samples/sec), the speedup over the single-thread run
+//! and the **per-core efficiency** (speedup divided by the parallelism the
+//! host can actually grant — `min(threads, cores)`), plus the per-phase
+//! timing breakdown (subgraph extraction, forward, backward, optimiser step)
+//! read back from the `rmpi-obs` metrics registry and the kernel FLOP/byte
+//! traffic from `rmpi_autograd::counters`. Thread counts above the core
+//! count are flagged as oversubscribed rather than reported as a scaling
+//! regression: on a 1-core host, 8 threads at 0.9x is the scheduler tax of
+//! oversubscription, not a parallel slowdown. Writes `BENCH_parallel.json`
+//! in the working directory.
 //!
 //! ```text
 //! cargo run --release -p rmpi-bench --bin bench_parallel [--threads 1,2,4,8]
@@ -67,11 +73,26 @@ fn main() {
         // phase metrics come from the registry; zero it so each config's
         // breakdown covers exactly its own reps
         registry.reset();
+        rmpi_autograd::counters::reset();
         let secs = time_epoch(&b, threads);
+        let kc = rmpi_autograd::counters::snapshot();
         let rate = SAMPLES_PER_EPOCH as f64 / secs;
         let base = *base_rate.get_or_insert(rate);
         let speedup = rate / base;
-        println!("  threads={threads:<2} {rate:8.1} samples/sec  ({speedup:.2}x)");
+        // speedup is measured against what the host can grant, not against
+        // the requested thread count: 8 threads on 1 core is 1 effective lane
+        let effective = threads.min(cores).max(1);
+        let efficiency = speedup / effective as f64;
+        let oversubscribed = threads > cores;
+        let note = if oversubscribed {
+            format!("  [oversubscribed: {threads} threads on {cores} core(s)]")
+        } else {
+            String::new()
+        };
+        println!(
+            "  threads={threads:<2} {rate:8.1} samples/sec  {speedup:.2}x vs 1 thread,              {:.0}% per-core efficiency{note}",
+            efficiency * 100.0
+        );
 
         let mut phases = JsonObject::new();
         for (label, metric) in [
@@ -88,7 +109,18 @@ fn main() {
         row.field_f64("seconds", secs, 4);
         row.field_f64("samples_per_sec", rate, 1);
         row.field_f64("speedup", speedup, 3);
+        row.field_u64("effective_parallelism", effective as u64);
+        row.field_f64("per_core_efficiency", efficiency, 3);
+        row.field_bool("oversubscribed", oversubscribed);
         row.field_u64("samples_counted", registry.counter("trainer.samples.count").get());
+        // work accounting: constant across thread counts (same samples, same
+        // kernels) — a drift here means the configs did different work
+        let mut ops = JsonObject::new();
+        ops.field_u64("extract_edges", registry.counter("core.extract.edges").get());
+        ops.field_u64("extract_entities", registry.counter("core.extract.entities").get());
+        ops.field_u64("kernel_flops", kc.flops);
+        ops.field_u64("kernel_bytes", kc.bytes);
+        row.field_raw("work", &ops.finish());
         row.field_raw("phases_us", &phases.finish());
         rows.push(row.finish());
     }

@@ -4,8 +4,11 @@
 //! cold-cache batch latency (every subgraph freshly extracted), warm-cache
 //! batch latency (every subgraph served from the LRU), uncached batch
 //! latency (cache disabled — the steady-state cost without the cache), and
-//! warm-cache throughput at each thread count. Writes `BENCH_serve.json`
-//! in the working directory.
+//! warm-cache throughput at each thread count, plus the work a cold batch
+//! actually does (extraction edges/entities from the `rmpi-obs` counters,
+//! kernel FLOPs/bytes from `rmpi_autograd::counters`) so latency deltas can
+//! be checked against constant work. Writes `BENCH_serve.json` in the
+//! working directory.
 //!
 //! ```text
 //! cargo run --release -p rmpi-bench --bin bench_serve [--threads 1,2,4,8]
@@ -70,12 +73,29 @@ fn main() {
     engine.score_batch(&targets).expect("cache warmup");
     let warm = time_batch(&engine, &targets, |_| {});
     let uncached = time_batch(&make(0, 1), &targets, |_| {});
+
+    // work accounting for exactly one cold batch: extraction size from the
+    // global obs counters, kernel traffic from the autograd counters
+    engine.clear_cache();
+    rmpi_obs::global().reset();
+    rmpi_autograd::counters::reset();
+    engine.score_batch(&targets).expect("instrumented cold batch");
+    let kc = rmpi_autograd::counters::snapshot();
+    let extract_edges = rmpi_obs::global().counter("core.extract.edges").get();
+    let extract_entities = rmpi_obs::global().counter("core.extract.entities").get();
+
     let cold_ms = cold * 1e3;
     let warm_ms = warm * 1e3;
     let uncached_ms = uncached * 1e3;
     println!("  cold-cache  {cold_ms:8.1} ms/batch");
     println!("  warm-cache  {warm_ms:8.1} ms/batch  ({:.2}x vs cold)", cold / warm);
     println!("  uncached    {uncached_ms:8.1} ms/batch");
+    println!(
+        "  cold batch work: {extract_edges} edges, {extract_entities} entities, \
+         {:.1} MFLOP, {:.1} MB",
+        kc.flops as f64 / 1e6,
+        kc.bytes as f64 / 1e6
+    );
 
     // warm-cache throughput vs thread count; per-call latency percentiles
     // come from each engine's own metrics registry
@@ -106,6 +126,12 @@ fn main() {
     out.field_f64("warm_ms", warm_ms, 3);
     out.field_f64("uncached_ms", uncached_ms, 3);
     out.field_f64("warm_speedup_vs_cold", cold / warm, 3);
+    let mut work = JsonObject::new();
+    work.field_u64("extract_edges", extract_edges);
+    work.field_u64("extract_entities", extract_entities);
+    work.field_u64("kernel_flops", kc.flops);
+    work.field_u64("kernel_bytes", kc.bytes);
+    out.field_raw("cold_batch_work", &work.finish());
     out.field_raw("warm_throughput", &array(&rows));
     let json = format!("{}\n", out.finish());
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");

@@ -9,7 +9,7 @@ use crate::traits::{Mode, ScoringModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_autograd::{init, ParamId, ParamStore, Tape, Tensor, Var};
-use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{GraphAccess, RelationId, Triple};
 use rmpi_subgraph::relview::NUM_EDGE_TYPES;
 use std::fmt;
 
@@ -196,7 +196,12 @@ impl RmpiModel {
     /// [`RmpiModel::score_sample`] is bit-identical to
     /// `self.score(graph, target, &mut StdRng::seed_from_u64(seed))` — which
     /// is what lets a serving cache store the sample and replay it later.
-    pub fn prepare_eval_sample(&self, graph: &KnowledgeGraph, target: Triple, seed: u64) -> SampleInput {
+    pub fn prepare_eval_sample<G: GraphAccess + ?Sized>(
+        &self,
+        graph: &G,
+        target: Triple,
+        seed: u64,
+    ) -> SampleInput {
         let mut rng = StdRng::seed_from_u64(seed);
         prepare_sample(graph, target, &self.cfg, Mode::Eval, &mut rng)
     }
@@ -350,7 +355,7 @@ impl ScoringModel for RmpiModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
@@ -368,6 +373,7 @@ impl ScoringModel for RmpiModel {
 mod tests {
     use super::*;
     use crate::config::RmpiConfig;
+    use rmpi_kg::KnowledgeGraph;
 
     fn toy_graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

@@ -6,10 +6,9 @@ use crate::traits::Mode;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rmpi_kg::{KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{GraphAccess, RelationId, Triple};
 use rmpi_subgraph::{
-    disclosing_subgraph, double_radius_labels, enclosing_subgraph, PruningSchedule, RelViewGraph,
-    Subgraph,
+    double_radius_labels, enclosing_subgraph, PruningSchedule, RelViewGraph, Subgraph,
 };
 
 /// Everything the RMPI forward pass needs for one target triple.
@@ -37,8 +36,8 @@ pub struct SampleInput {
 /// probability `cfg.edge_dropout` (the paper's edge dropout); oversized
 /// subgraphs are uniformly downsampled to `cfg.max_subgraph_edges` in both
 /// modes.
-pub fn prepare_sample(
-    graph: &KnowledgeGraph,
+pub fn prepare_sample<G: GraphAccess + ?Sized>(
+    graph: &G,
     target: Triple,
     cfg: &RmpiConfig,
     mode: Mode,
@@ -49,9 +48,17 @@ pub fn prepare_sample(
     // analysis singles out. Handle cached per process; recording is a few
     // relaxed atomics.
     static EXTRACT_US: std::sync::OnceLock<rmpi_obs::Histogram> = std::sync::OnceLock::new();
+    static EXTRACT_EDGES: std::sync::OnceLock<rmpi_obs::Counter> = std::sync::OnceLock::new();
+    static EXTRACT_ENTITIES: std::sync::OnceLock<rmpi_obs::Counter> = std::sync::OnceLock::new();
     let extract_us = EXTRACT_US.get_or_init(|| rmpi_obs::global().histogram("core.extract.us"));
     let extract_start = std::time::Instant::now();
     let mut sg = enclosing_subgraph(graph, target, cfg.hop);
+    EXTRACT_EDGES
+        .get_or_init(|| rmpi_obs::global().counter("core.extract.edges"))
+        .add(sg.num_edges() as u64);
+    EXTRACT_ENTITIES
+        .get_or_init(|| rmpi_obs::global().counter("core.extract.entities"))
+        .add(sg.num_entities() as u64);
     let enclosing_empty = sg.is_empty();
     apply_edge_budget(&mut sg, cfg, mode, rng);
     let relview = RelViewGraph::from_subgraph(&sg);
@@ -108,19 +115,33 @@ fn apply_edge_budget(sg: &mut Subgraph, cfg: &RmpiConfig, mode: Mode, rng: &mut 
 /// edges incident to the target head or tail (§III-F samples the one-hop
 /// neighbours of the target relation node in the disclosing relation view —
 /// which are exactly the edges sharing an entity with the target).
-pub fn disclosing_one_hop_relations(graph: &KnowledgeGraph, target: Triple, hop: usize) -> Vec<RelationId> {
-    // One-hop neighbours of the target node do not depend on the disclosing
-    // subgraph's depth, but we go through the extraction for exactness: the
-    // target edge itself is excluded there.
-    let dg = disclosing_subgraph(graph, target, hop);
-    let mut rels: Vec<RelationId> = dg
-        .triples
-        .iter()
-        .filter(|t| {
-            t.head == target.head || t.tail == target.head || t.head == target.tail || t.tail == target.tail
-        })
-        .map(|t| t.relation)
-        .collect();
+///
+/// Computed by scanning the four adjacency lists of the endpoints directly —
+/// for `hop >= 1` that set equals "edges of the disclosing subgraph incident
+/// to an endpoint" (an edge touching an endpoint always has its other end
+/// within one hop, hence inside the subgraph), without paying for a full
+/// K-hop extraction. At `hop == 0` the disclosing subgraph retains only the
+/// endpoints themselves, so edges leaving the pair are excluded.
+pub fn disclosing_one_hop_relations<G: GraphAccess + ?Sized>(
+    graph: &G,
+    target: Triple,
+    hop: usize,
+) -> Vec<RelationId> {
+    let (u, v) = (target.head, target.tail);
+    let mut rels: Vec<RelationId> = Vec::new();
+    let endpoints = if u == v { &[u][..] } else { &[u, v][..] };
+    for &e in endpoints {
+        for edge in graph.out_edges(e).iter().chain(graph.in_edges(e)) {
+            if hop == 0 && edge.neighbor != u && edge.neighbor != v {
+                continue;
+            }
+            let t = graph.triple(edge.triple_idx);
+            if t == target {
+                continue;
+            }
+            rels.push(t.relation);
+        }
+    }
     rels.sort_unstable();
     rels.dedup();
     rels
@@ -130,6 +151,7 @@ pub fn disclosing_one_hop_relations(graph: &KnowledgeGraph, target: Triple, hop:
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use rmpi_kg::KnowledgeGraph;
 
     fn graph() -> KnowledgeGraph {
         KnowledgeGraph::from_triples(vec![

@@ -48,8 +48,8 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rmpi_autograd::io::CheckpointError;
 use rmpi_autograd::optim::{Adam, AdamState};
-use rmpi_autograd::{GradBuffer, ParamStore, Tape, Tensor};
-use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_autograd::{BackwardScratch, GradBuffer, ParamStore, Tape, Tensor};
+use rmpi_kg::{CsrGraph, KnowledgeGraph, Triple};
 use rmpi_runtime::{mix_seed, PoolError, ThreadPool};
 use rmpi_obs::{Counter, Histogram};
 use rmpi_subgraph::NegativeSampler;
@@ -483,6 +483,9 @@ impl<'cb> Trainer<'cb> {
         assert!(!targets.is_empty(), "no training targets");
         assert!(cfg.batch_size > 0, "batch_size must be positive");
         let sampler = NegativeSampler::from_graph(graph);
+        // All per-sample scoring walks adjacency through the CSR arenas
+        // (contiguous, no per-entity Vec indirection); built once per run.
+        let csr = CsrGraph::from_graph(graph);
         let pool = ThreadPool::new(cfg.threads);
         let mut adam = Adam::new(cfg.lr);
         let mut report = TrainReport::default();
@@ -567,13 +570,15 @@ impl<'cb> Trainer<'cb> {
                         let neg = sampler.corrupt(pos, graph, &mut rng);
                         tape.reset();
                         let forward_start = Instant::now();
-                        let sp = model.score_on_tape(tape, graph, pos, Mode::Train, &mut rng);
-                        let sn = model.score_on_tape(tape, graph, neg, Mode::Train, &mut rng);
+                        let sp = model.score_on_tape(tape, &csr, pos, Mode::Train, &mut rng);
+                        let sn = model.score_on_tape(tape, &csr, neg, Mode::Train, &mut rng);
                         let loss = margin_ranking_loss(tape, sp, sn, cfg.margin);
                         metrics.forward.record_duration(forward_start.elapsed());
                         let mut buf = GradBuffer::new();
                         let backward_start = Instant::now();
-                        tape.backward_into(loss, &mut buf);
+                        rmpi_runtime::with_scratch(|scratch: &mut BackwardScratch| {
+                            tape.backward_into_with(loss, scratch, &mut buf);
+                        });
                         metrics.backward.record_duration(backward_start.elapsed());
                         (failpoint::nan32(LOSS_FAILPOINT, tape.value(loss).item()), buf)
                     })
@@ -673,7 +678,7 @@ impl<'cb> Trainer<'cb> {
             report.epoch_losses.push(mean_loss);
 
             let validation_start = Instant::now();
-            let acc = match try_validation_accuracy(model, graph, valid, &cfg, &pool, epoch as u64)
+            let acc = match try_validation_accuracy(model, graph, &csr, valid, &cfg, &pool, epoch as u64)
             {
                 Ok(acc) => acc,
                 Err(e) => {
@@ -818,6 +823,7 @@ fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batc
 fn try_validation_accuracy<M: ScoringModel + Sync>(
     model: &M,
     graph: &KnowledgeGraph,
+    csr: &CsrGraph,
     valid: &[Triple],
     cfg: &TrainConfig,
     pool: &ThreadPool,
@@ -839,7 +845,7 @@ fn try_validation_accuracy<M: ScoringModel + Sync>(
             let mut rng =
                 StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID, sample_key(epoch as usize, i)));
             let neg = sampler.corrupt(pos, graph, &mut rng);
-            u32::from(model.score(graph, pos, &mut rng) > model.score(graph, neg, &mut rng))
+            u32::from(model.score(csr, pos, &mut rng) > model.score(csr, neg, &mut rng))
         })?
         .iter()
         .sum();
@@ -935,8 +941,9 @@ mod tests {
         };
         let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
         // re-evaluating with restored params reproduces the best epoch's accuracy signal
+        let csr = CsrGraph::from_graph(&graph);
         let acc =
-            try_validation_accuracy(&model, &graph, &valid, &cfg, &ThreadPool::sequential(), 99)
+            try_validation_accuracy(&model, &graph, &csr, &valid, &cfg, &ThreadPool::sequential(), 99)
                 .unwrap();
         assert!(
             acc >= report.best_accuracy() - 0.25,

@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rmpi_autograd::{ParamStore, Tape, Var};
-use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_kg::{GraphAccess, Triple};
 
 /// Whether a forward pass is a training pass (dropout active) or an
 /// evaluation pass (deterministic).
@@ -29,14 +29,14 @@ pub trait ScoringModel {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,
     ) -> Var;
 
     /// Convenience: evaluate the score eagerly.
-    fn score(&self, graph: &KnowledgeGraph, target: Triple, rng: &mut StdRng) -> f32 {
+    fn score(&self, graph: &dyn GraphAccess, target: Triple, rng: &mut StdRng) -> f32 {
         let mut tape = Tape::new();
         let v = self.score_on_tape(&mut tape, graph, target, Mode::Eval, rng);
         tape.value(v).item()
@@ -58,7 +58,7 @@ impl<M: ScoringModel + ?Sized> ScoringModel for Box<M> {
     fn score_on_tape(
         &self,
         tape: &mut Tape,
-        graph: &KnowledgeGraph,
+        graph: &dyn GraphAccess,
         target: Triple,
         mode: Mode,
         rng: &mut StdRng,

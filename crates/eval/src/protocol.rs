@@ -242,7 +242,7 @@ mod tests {
     use super::*;
     use rmpi_autograd::{ParamStore, Tape, Var};
     use rmpi_core::Mode;
-    use rmpi_kg::{KnowledgeGraph, Triple};
+    use rmpi_kg::{GraphAccess, KnowledgeGraph, Triple};
 
     /// An oracle that scores known facts high and everything else low.
     struct Oracle {
@@ -260,7 +260,7 @@ mod tests {
         fn score_on_tape(
             &self,
             tape: &mut Tape,
-            _graph: &KnowledgeGraph,
+            _graph: &dyn GraphAccess,
             target: Triple,
             _mode: Mode,
             _rng: &mut StdRng,
@@ -308,7 +308,7 @@ mod tests {
             fn score_on_tape(
                 &self,
                 tape: &mut Tape,
-                g: &KnowledgeGraph,
+                g: &dyn GraphAccess,
                 t: Triple,
                 m: Mode,
                 r: &mut StdRng,
@@ -368,7 +368,7 @@ mod tests {
             fn score_on_tape(
                 &self,
                 tape: &mut Tape,
-                _g: &KnowledgeGraph,
+                _g: &dyn GraphAccess,
                 _t: Triple,
                 _m: Mode,
                 _r: &mut StdRng,

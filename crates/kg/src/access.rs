@@ -1,0 +1,150 @@
+//! Read-only graph access shared by [`KnowledgeGraph`] and [`CsrGraph`].
+//!
+//! Subgraph extraction, sampling, and scoring only ever *read* adjacency:
+//! out-edge / in-edge scans, triple lookups by index, and membership tests.
+//! [`GraphAccess`] captures exactly that surface so the hot paths can run
+//! over the CSR arenas while tests, tooling, and graph construction keep the
+//! flexible Vec-of-Vecs representation. The trait is object-safe on purpose:
+//! model scoring is dispatched through `&dyn ScoringModel`, which forces the
+//! graph parameter to be a trait object as well.
+//!
+//! Both implementations enumerate a given entity's edges in the same order —
+//! ascending triple index — so code routed over either backend sees
+//! identical iteration order, not merely identical sets.
+
+use crate::csr::CsrGraph;
+use crate::graph::{Edge, KnowledgeGraph};
+use crate::ids::EntityId;
+use crate::triple::Triple;
+
+/// Read-only adjacency and membership queries over an indexed triple set.
+pub trait GraphAccess {
+    /// Outgoing edges of `e` (edges where `e` is the head), ascending by
+    /// triple index. Out-of-range ids yield an empty slice.
+    fn out_edges(&self, e: EntityId) -> &[Edge];
+
+    /// Incoming edges of `e` (edges where `e` is the tail), ascending by
+    /// triple index. Out-of-range ids yield an empty slice.
+    fn in_edges(&self, e: EntityId) -> &[Edge];
+
+    /// The triple at `idx`.
+    fn triple(&self, idx: usize) -> Triple;
+
+    /// All triples, insertion order.
+    fn triples(&self) -> &[Triple];
+
+    /// Entity id-space capacity (max id + 1).
+    fn num_entities(&self) -> usize;
+
+    /// Number of triples (duplicates included).
+    fn num_triples(&self) -> usize;
+
+    /// Relation id-space capacity (max id + 1).
+    fn num_relations(&self) -> usize;
+
+    /// O(1) membership test.
+    fn contains(&self, t: &Triple) -> bool;
+
+    /// Out-degree plus in-degree of `e`.
+    fn degree(&self, e: EntityId) -> usize {
+        self.out_edges(e).len() + self.in_edges(e).len()
+    }
+}
+
+impl GraphAccess for KnowledgeGraph {
+    fn out_edges(&self, e: EntityId) -> &[Edge] {
+        KnowledgeGraph::out_edges(self, e)
+    }
+    fn in_edges(&self, e: EntityId) -> &[Edge] {
+        KnowledgeGraph::in_edges(self, e)
+    }
+    fn triple(&self, idx: usize) -> Triple {
+        KnowledgeGraph::triple(self, idx)
+    }
+    fn triples(&self) -> &[Triple] {
+        KnowledgeGraph::triples(self)
+    }
+    fn num_entities(&self) -> usize {
+        KnowledgeGraph::num_entities(self)
+    }
+    fn num_triples(&self) -> usize {
+        KnowledgeGraph::num_triples(self)
+    }
+    fn num_relations(&self) -> usize {
+        KnowledgeGraph::num_relations(self)
+    }
+    fn contains(&self, t: &Triple) -> bool {
+        KnowledgeGraph::contains(self, t)
+    }
+}
+
+impl GraphAccess for CsrGraph {
+    fn out_edges(&self, e: EntityId) -> &[Edge] {
+        CsrGraph::out_edges(self, e)
+    }
+    fn in_edges(&self, e: EntityId) -> &[Edge] {
+        CsrGraph::in_edges(self, e)
+    }
+    fn triple(&self, idx: usize) -> Triple {
+        CsrGraph::triple(self, idx)
+    }
+    fn triples(&self) -> &[Triple] {
+        CsrGraph::triples(self)
+    }
+    fn num_entities(&self) -> usize {
+        CsrGraph::num_entities(self)
+    }
+    fn num_triples(&self) -> usize {
+        CsrGraph::num_triples(self)
+    }
+    fn num_relations(&self) -> usize {
+        CsrGraph::num_relations(self)
+    }
+    fn contains(&self, t: &Triple) -> bool {
+        CsrGraph::contains(self, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Vec<Triple> {
+        vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 2u32),
+            Triple::new(2u32, 0u32, 0u32),
+            Triple::new(0u32, 1u32, 2u32),
+        ]
+    }
+
+    /// Exercises dynamic dispatch: both backends must answer identically
+    /// through `&dyn GraphAccess`, including edge *order*.
+    #[test]
+    fn backends_agree_through_trait_object() {
+        let vec_graph = KnowledgeGraph::from_triples(toy());
+        let csr_graph = CsrGraph::from_graph(&vec_graph);
+        let backends: [&dyn GraphAccess; 2] = [&vec_graph, &csr_graph];
+        for g in backends {
+            assert_eq!(g.num_triples(), 4);
+            assert_eq!(g.num_entities(), 3);
+            assert_eq!(g.num_relations(), 2);
+            assert!(g.contains(&Triple::new(0u32, 0u32, 1u32)));
+            assert!(!g.contains(&Triple::new(2u32, 1u32, 0u32)));
+        }
+        for e in 0..3u32 {
+            let e = EntityId(e);
+            assert_eq!(GraphAccess::out_edges(&vec_graph, e), GraphAccess::out_edges(&csr_graph, e));
+            assert_eq!(GraphAccess::in_edges(&vec_graph, e), GraphAccess::in_edges(&csr_graph, e));
+        }
+    }
+
+    #[test]
+    fn edge_order_is_ascending_triple_index() {
+        let csr_graph = CsrGraph::from_triples(toy());
+        for e in 0..csr_graph.num_entities() as u32 {
+            let edges = GraphAccess::out_edges(&csr_graph, EntityId(e));
+            assert!(edges.windows(2).all(|w| w[0].triple_idx < w[1].triple_idx));
+        }
+    }
+}

@@ -32,6 +32,7 @@
 //! assert_eq!(reach[&EntityId(2)], 2); // two undirected hops away
 //! ```
 
+pub mod access;
 pub mod analysis;
 pub mod csr;
 pub mod error;
@@ -44,6 +45,7 @@ pub mod split;
 pub mod stats;
 pub mod triple;
 
+pub use access::GraphAccess;
 pub use csr::CsrGraph;
 pub use error::KgError;
 pub use graph::{Edge, KnowledgeGraph};

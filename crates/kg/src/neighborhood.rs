@@ -5,7 +5,7 @@
 //! collects "incoming and outgoing neighbors". [`khop_distances`] returns the
 //! hop distance of every such entity; [`khop_neighborhood`] just the set.
 
-use crate::graph::KnowledgeGraph;
+use crate::access::GraphAccess;
 use crate::ids::EntityId;
 use std::collections::{HashMap, VecDeque};
 
@@ -15,8 +15,8 @@ use std::collections::{HashMap, VecDeque};
 /// `excluded` is an optional entity that must not be traversed *through* nor
 /// included — used by double-radius labelling, where `d(i, u)` is computed
 /// "without counting any path through v".
-pub fn khop_distances(
-    g: &KnowledgeGraph,
+pub fn khop_distances<G: GraphAccess + ?Sized>(
+    g: &G,
     start: EntityId,
     k: usize,
     excluded: Option<EntityId>,
@@ -50,13 +50,18 @@ pub fn khop_distances(
 }
 
 /// The set of entities within `k` undirected hops of `start` (inclusive).
-pub fn khop_neighborhood(g: &KnowledgeGraph, start: EntityId, k: usize) -> HashMap<EntityId, usize> {
+pub fn khop_neighborhood<G: GraphAccess + ?Sized>(
+    g: &G,
+    start: EntityId,
+    k: usize,
+) -> HashMap<EntityId, usize> {
     khop_distances(g, start, k, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::KnowledgeGraph;
     use crate::triple::Triple;
 
     /// Path 0 -> 1 -> 2 -> 3 plus a shortcut 0 -> 3.

@@ -18,8 +18,10 @@
 //!   binaries.
 
 pub mod pool;
+pub mod scratch;
 
 pub use pool::{panic_message, PoolError, ThreadPool};
+pub use scratch::with_scratch;
 
 /// Resolve a thread-count knob: `0` means one worker per available core.
 pub fn resolve_threads(threads: usize) -> usize {

@@ -32,7 +32,7 @@ use crate::error::ServeError;
 use crate::stats::ServeStats;
 use rmpi_autograd::Tape;
 use rmpi_core::{RmpiModel, SampleInput};
-use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
+use rmpi_kg::{CsrGraph, EntityId, KnowledgeGraph, RelationId, Triple};
 use rmpi_obs::MetricsRegistry;
 use rmpi_runtime::{panic_message, ThreadPool};
 use rmpi_subgraph::{LruCache, SubgraphKey};
@@ -116,6 +116,10 @@ impl Deref for ModelSnapshot {
 pub struct Engine {
     state: RwLock<Arc<ModelState>>,
     graph: KnowledgeGraph,
+    /// CSR mirror of `graph`: the adjacency layout every scoring query walks.
+    /// Built once at bind time — sound for the same reason the cache is
+    /// (the context graph is immutable).
+    csr: CsrGraph,
     pool: ThreadPool,
     stats: ServeStats,
     /// Ranking candidates: every entity present in the context graph.
@@ -143,9 +147,11 @@ impl Engine {
         registry: Arc<MetricsRegistry>,
     ) -> Self {
         let candidates = graph.present_entities();
+        let csr = CsrGraph::from_graph(&graph);
         Engine {
             state: RwLock::new(ModelState::new(model, cfg.cache_capacity)),
             graph,
+            csr,
             pool: ThreadPool::new(cfg.threads),
             stats: ServeStats::with_registry(registry),
             candidates,
@@ -257,7 +263,7 @@ impl Engine {
         }
         if let Some(&probe) = self.graph.triples().first() {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let sample = model.prepare_eval_sample(&self.graph, probe, self.seed);
+                let sample = model.prepare_eval_sample(&self.csr, probe, self.seed);
                 model.score_sample(&sample)
             }));
             match outcome {
@@ -290,7 +296,7 @@ impl Engine {
         // extraction happens outside the lock: concurrent misses on the same
         // key duplicate work but produce identical samples, so correctness
         // (and bit-parity) is unaffected
-        let sample = state.model.prepare_eval_sample(&self.graph, target, self.seed);
+        let sample = state.model.prepare_eval_sample(&self.csr, target, self.seed);
         state.cache.lock().expect("cache lock").insert(key, sample.clone());
         sample
     }

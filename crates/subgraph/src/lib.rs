@@ -22,10 +22,15 @@ pub mod labeling;
 pub mod negative;
 pub mod pruning;
 pub mod relview;
+pub mod scratch;
 pub mod viz;
 
 pub use cache::{LruCache, SubgraphKey};
-pub use extraction::{disclosing_subgraph, enclosing_subgraph, Subgraph};
+pub use extraction::{
+    disclosing_subgraph, disclosing_subgraph_into, enclosing_subgraph, enclosing_subgraph_into,
+    with_thread_scratch, Subgraph,
+};
+pub use scratch::ExtractScratch;
 pub use labeling::{double_radius_labels, NodeLabel};
 pub use negative::NegativeSampler;
 pub use pruning::PruningSchedule;

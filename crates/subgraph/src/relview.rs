@@ -21,8 +21,7 @@
 //! the model reads out.
 
 use crate::extraction::Subgraph;
-use rmpi_kg::{RelationId, Triple};
-use std::collections::BTreeMap;
+use rmpi_kg::{EntityId, RelationId, Triple};
 
 /// Number of distinct relation-view edge types.
 pub const NUM_EDGE_TYPES: usize = 6;
@@ -65,30 +64,49 @@ impl RelEdgeType {
     /// Classify the directed connection `a → b`, or `None` when the edges
     /// share no entity.
     pub fn classify(a: Triple, b: Triple) -> Vec<RelEdgeType> {
+        let (types, n) = Self::classify_packed(a, b);
+        types[..n].to_vec()
+    }
+
+    /// Allocation-free [`Self::classify`]: the (at most two) applicable types
+    /// in a fixed array plus the valid count. This is the form the relation
+    /// view transform calls once per co-incident edge pair — the quadratic
+    /// inner loop of the build.
+    #[inline]
+    pub fn classify_packed(a: Triple, b: Triple) -> ([RelEdgeType; 2], usize) {
         let hh = a.head == b.head;
         let ht = a.head == b.tail;
         let th = a.tail == b.head;
         let tt = a.tail == b.tail;
-        let mut out = Vec::new();
+        let mut out = [RelEdgeType::HH; 2];
+        let mut n = 0;
         if hh && tt {
-            out.push(RelEdgeType::Para);
+            out[0] = RelEdgeType::Para;
+            n = 1;
         } else if ht && th {
-            out.push(RelEdgeType::Loop);
+            out[0] = RelEdgeType::Loop;
+            n = 1;
         } else {
+            // at most two basics can hold once Para/Loop are excluded: three
+            // of {hh, ht, th, tt} force the fourth, which is the Para case
             if hh {
-                out.push(RelEdgeType::HH);
+                out[n] = RelEdgeType::HH;
+                n += 1;
             }
             if ht {
-                out.push(RelEdgeType::HT);
+                out[n] = RelEdgeType::HT;
+                n += 1;
             }
             if th {
-                out.push(RelEdgeType::TH);
+                out[n] = RelEdgeType::TH;
+                n += 1;
             }
             if tt {
-                out.push(RelEdgeType::TT);
+                out[n] = RelEdgeType::TT;
+                n += 1;
             }
         }
-        out
+        (out, n)
     }
 }
 
@@ -112,16 +130,37 @@ pub struct RelInEdge {
 
 /// The relation-view graph R(G) of a subgraph, with the target triple as
 /// node 0.
+///
+/// Incoming adjacency is stored CSR-style — one flat edge array plus one
+/// offset array — rather than a `Vec<Vec<_>>`: building the view costs a
+/// constant number of allocations instead of one per relation node, and a
+/// node's incoming slice is a contiguous read.
 #[derive(Clone, Debug)]
 pub struct RelViewGraph {
     /// Nodes (target first, then the subgraph edges in sorted order).
     pub nodes: Vec<RelNode>,
-    /// Incoming adjacency per node.
-    pub in_edges: Vec<Vec<RelInEdge>>,
+    /// All incoming edges, grouped by destination node, each group sorted by
+    /// `(src, etype)`.
+    edges: Vec<RelInEdge>,
+    /// `edges[offsets[i]..offsets[i + 1]]` are node `i`'s incoming edges.
+    offsets: Vec<usize>,
 }
 
 /// Index of the target relation node.
 pub const TARGET_NODE: usize = 0;
+
+/// Smallest entity shared by both triples' endpoint sets (the triples are
+/// known to share at least one).
+#[inline]
+fn first_shared_entity(a: Triple, b: Triple) -> EntityId {
+    let mut min: Option<EntityId> = None;
+    for x in [a.head, a.tail] {
+        if (x == b.head || x == b.tail) && min.map_or(true, |m| x < m) {
+            min = Some(x);
+        }
+    }
+    min.expect("triples from one incidence group share an entity")
+}
 
 impl RelViewGraph {
     /// Build R(G) for `sg`, inserting the target triple as node 0.
@@ -131,41 +170,72 @@ impl RelViewGraph {
         for &t in &sg.triples {
             nodes.push(RelNode { triple: t, relation: t.relation });
         }
-        let mut in_edges = vec![Vec::new(); nodes.len()];
+        // (dst, edge) pairs, flattened; sorted into CSR form at the end
+        let mut flat: Vec<(u32, RelInEdge)> = Vec::new();
 
-        // index nodes by incident entity so we only examine co-incident
-        // pairs; BTreeMap keeps construction order deterministic, which keeps
-        // f32 aggregation order (and therefore scores) reproducible
-        let mut by_entity: BTreeMap<rmpi_kg::EntityId, Vec<usize>> = BTreeMap::new();
+        // group nodes by incident entity so we only examine co-incident
+        // pairs. A flat (entity, node) incidence list sorted once replaces
+        // the per-entity map: groups are contiguous runs, iterated in
+        // ascending entity order, with zero per-entity allocations.
+        let mut incidence: Vec<(EntityId, u32)> = Vec::with_capacity(2 * nodes.len());
         for (i, n) in nodes.iter().enumerate() {
-            by_entity.entry(n.triple.head).or_default().push(i);
+            incidence.push((n.triple.head, i as u32));
             if n.triple.tail != n.triple.head {
-                by_entity.entry(n.triple.tail).or_default().push(i);
+                incidence.push((n.triple.tail, i as u32));
             }
         }
-        let mut seen_pairs = std::collections::HashSet::new();
-        for ids in by_entity.values() {
-            for (pos, &i) in ids.iter().enumerate() {
-                for &j in &ids[pos + 1..] {
-                    let (a, b) = (i.min(j), i.max(j));
-                    if !seen_pairs.insert((a, b)) {
+        incidence.sort_unstable();
+
+        let mut g0 = 0;
+        while g0 < incidence.len() {
+            let entity = incidence[g0].0;
+            let g1 = g0 + incidence[g0..].iter().take_while(|p| p.0 == entity).count();
+            let group = &incidence[g0..g1];
+            for (pos, &(_, i)) in group.iter().enumerate() {
+                for &(_, j) in &group[pos + 1..] {
+                    let (a, b) = ((i.min(j)) as usize, (i.max(j)) as usize);
+                    let (ta, tb) = (nodes[a].triple, nodes[b].triple);
+                    // a pair sharing two entities shows up in two groups;
+                    // process it only in the group of its smallest shared
+                    // entity (exact dedup without a seen-pairs set)
+                    if first_shared_entity(ta, tb) != entity {
                         continue;
                     }
-                    for et in RelEdgeType::classify(nodes[a].triple, nodes[b].triple) {
-                        // edge a -> b of type et means messages flow a -> b:
-                        // record as incoming edge of b
-                        in_edges[b].push(RelInEdge { src: a, etype: et });
+                    // edge a -> b of type et means messages flow a -> b:
+                    // record as incoming edge of b
+                    let (types, n) = RelEdgeType::classify_packed(ta, tb);
+                    for &et in &types[..n] {
+                        flat.push((b as u32, RelInEdge { src: a, etype: et }));
                     }
-                    for et in RelEdgeType::classify(nodes[b].triple, nodes[a].triple) {
-                        in_edges[a].push(RelInEdge { src: b, etype: et });
+                    let (types, n) = RelEdgeType::classify_packed(tb, ta);
+                    for &et in &types[..n] {
+                        flat.push((a as u32, RelInEdge { src: b, etype: et }));
                     }
                 }
             }
+            g0 = g1;
         }
-        for ins in &mut in_edges {
-            ins.sort_by_key(|e| (e.src, e.etype.index()));
+        // counting-sort scatter groups edges by destination in O(E); the
+        // per-node sort then fixes message order regardless of discovery
+        // order, which keeps f32 aggregation (and therefore scores)
+        // bit-reproducible
+        let mut offsets = vec![0usize; nodes.len() + 1];
+        for (dst, _) in &flat {
+            offsets[*dst as usize + 1] += 1;
         }
-        RelViewGraph { nodes, in_edges }
+        for i in 0..nodes.len() {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![RelInEdge { src: 0, etype: RelEdgeType::HH }; flat.len()];
+        for &(dst, e) in &flat {
+            edges[cursor[dst as usize]] = e;
+            cursor[dst as usize] += 1;
+        }
+        for i in 0..nodes.len() {
+            edges[offsets[i]..offsets[i + 1]].sort_unstable_by_key(|e| (e.src, e.etype.index()));
+        }
+        RelViewGraph { nodes, edges, offsets }
     }
 
     /// Number of relation nodes (entity-view edges + target).
@@ -175,19 +245,24 @@ impl RelViewGraph {
 
     /// Total number of directed typed edges.
     pub fn num_edges(&self) -> usize {
-        self.in_edges.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 
     /// Incoming neighbours of `node`.
     pub fn incoming(&self, node: usize) -> &[RelInEdge] {
-        &self.in_edges[node]
+        &self.edges[self.offsets[node]..self.offsets[node + 1]]
+    }
+
+    /// All `(dst, incoming edge)` pairs, grouped by destination.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, &RelInEdge)> {
+        (0..self.num_nodes()).flat_map(move |dst| self.incoming(dst).iter().map(move |e| (dst, e)))
     }
 
     /// The distinct relations labelling the one-hop incoming neighbourhood of
     /// the target node.
     pub fn target_neighbor_relations(&self) -> Vec<RelationId> {
         let mut rels: Vec<RelationId> =
-            self.in_edges[TARGET_NODE].iter().map(|e| self.nodes[e.src].relation).collect();
+            self.incoming(TARGET_NODE).iter().map(|e| self.nodes[e.src].relation).collect();
         rels.sort_unstable();
         rels.dedup();
         rels
@@ -246,8 +321,8 @@ mod tests {
         ]);
         let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 3u32), 2);
         let rv = RelViewGraph::from_subgraph(&sg);
-        for (dst, ins) in rv.in_edges.iter().enumerate() {
-            for e in ins {
+        for dst in 0..rv.num_nodes() {
+            for e in rv.incoming(dst) {
                 let a = rv.nodes[e.src].triple;
                 let b = rv.nodes[dst].triple;
                 let shared = a.head == b.head || a.head == b.tail || a.tail == b.head || a.tail == b.tail;
@@ -299,15 +374,12 @@ mod tests {
         let sg = enclosing_subgraph(&g, Triple::new(0u32, 9u32, 1u32), 1);
         let rv = RelViewGraph::from_subgraph(&sg);
         // find the two para nodes
-        let para_edges: usize = rv
-            .in_edges
-            .iter()
-            .flatten()
-            .filter(|e| e.etype == RelEdgeType::Para)
-            .count();
+        let para_edges: usize =
+            rv.iter_edges().filter(|(_, e)| e.etype == RelEdgeType::Para).count();
         // r0<->r1 are parallel; target (0,9,1) is also parallel to both.
         assert!(para_edges >= 2, "para edges: {para_edges}");
-        let loop_edges: usize = rv.in_edges.iter().flatten().filter(|e| e.etype == RelEdgeType::Loop).count();
+        let loop_edges: usize =
+            rv.iter_edges().filter(|(_, e)| e.etype == RelEdgeType::Loop).count();
         assert!(loop_edges >= 2, "loop edges from the reversed r2: {loop_edges}");
     }
 }

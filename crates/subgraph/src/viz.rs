@@ -38,10 +38,8 @@ pub fn relview_to_dot(rv: &RelViewGraph) -> String {
         let style = if i == TARGET_NODE { " style=filled fillcolor=tomato" } else { "" };
         let _ = writeln!(out, "  n{i} [label=\"{} {}\"{style}];", n.relation, n.triple);
     }
-    for (dst, ins) in rv.in_edges.iter().enumerate() {
-        for e in ins {
-            let _ = writeln!(out, "  n{} -> n{dst} [label=\"{:?}\"];", e.src, e.etype);
-        }
+    for (dst, e) in rv.iter_edges() {
+        let _ = writeln!(out, "  n{} -> n{dst} [label=\"{:?}\"];", e.src, e.etype);
     }
     out.push_str("}\n");
     out

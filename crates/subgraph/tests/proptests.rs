@@ -116,3 +116,42 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------- CSR/dense-
+// scratch extraction vs the legacy HashMap/HashSet reference. The rewrite
+// must be observationally identical: same retained triples, same entities,
+// same (entity, dist_u, dist_v) rows — on the Vec-of-Vecs backend AND on the
+// CSR arenas, across random graphs, targets and hop counts. `k in 0..4`
+// deliberately includes the hop-0 degenerate case.
+proptest! {
+    #[test]
+    fn dense_extraction_matches_reference(
+        (g, target) in arb_graph_and_target(),
+        k in 0usize..4,
+        include_target in any::<bool>(),
+    ) {
+        let g = if include_target { g.with_extra_triples(&[target]) } else { g };
+        let csr = rmpi_kg::CsrGraph::from_graph(&g);
+
+        let want_en = rmpi_subgraph::extraction::reference::enclosing_subgraph(&g, target, k);
+        let want_di = rmpi_subgraph::extraction::reference::disclosing_subgraph(&g, target, k);
+
+        for (label, got_en, got_di) in [
+            ("vec", enclosing_subgraph(&g, target, k), disclosing_subgraph(&g, target, k)),
+            ("csr", enclosing_subgraph(&csr, target, k), disclosing_subgraph(&csr, target, k)),
+        ] {
+            prop_assert_eq!(&got_en.triples, &want_en.triples, "enclosing triples ({})", label);
+            prop_assert_eq!(&got_en.entities, &want_en.entities, "enclosing entities ({})", label);
+            prop_assert_eq!(
+                got_en.distance_rows(), want_en.distance_rows(),
+                "enclosing distances ({})", label
+            );
+            prop_assert_eq!(&got_di.triples, &want_di.triples, "disclosing triples ({})", label);
+            prop_assert_eq!(&got_di.entities, &want_di.entities, "disclosing entities ({})", label);
+            prop_assert_eq!(
+                got_di.distance_rows(), want_di.distance_rows(),
+                "disclosing distances ({})", label
+            );
+        }
+    }
+}

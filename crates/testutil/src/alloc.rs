@@ -1,0 +1,80 @@
+//! A counting global allocator for zero-allocation assertions.
+//!
+//! Perf-critical paths in this workspace (steady-state subgraph extraction,
+//! scratch-backed backward passes) promise *zero heap allocations* once their
+//! buffers are warm. That promise is easy to regress silently — a stray
+//! `collect()` or format string compiles fine and shows up only as a
+//! throughput dip months later. [`CountingAllocator`] turns it into a test:
+//!
+//! ```ignore
+//! // in a dedicated test binary (never in a library — a global allocator
+//! // applies to every binary that links it):
+//! #[global_allocator]
+//! static ALLOC: rmpi_testutil::CountingAllocator = rmpi_testutil::CountingAllocator::new();
+//!
+//! #[test]
+//! fn steady_state_is_allocation_free() {
+//!     warm_up();
+//!     let before = ALLOC.allocations();
+//!     hot_path();
+//!     assert_eq!(ALLOC.allocations() - before, 0);
+//! }
+//! ```
+//!
+//! The counter is a relaxed atomic increment per `alloc`/`realloc` call on
+//! top of the system allocator — cheap enough to leave on for a whole test
+//! binary, precise enough to catch a single stray allocation. Note that the
+//! count is process-global: run zero-allocation tests on a single thread (or
+//! in their own binary) so unrelated test threads don't inflate it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocation events.
+///
+/// `alloc`, `alloc_zeroed` and `realloc` each bump the counter by one;
+/// `dealloc` does not (freeing is not the regression being hunted).
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter around the system allocator.
+    pub const fn new() -> Self {
+        CountingAllocator { allocations: AtomicU64::new(0) }
+    }
+
+    /// Allocation events since process start.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates every operation unchanged to `System`; the counter is a
+// relaxed atomic with no effect on returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}

@@ -37,7 +37,10 @@
 //! break the process from the inside, the chaos proxy breaks the wire from
 //! the outside.
 
+pub mod alloc;
 pub mod chaos;
+
+pub use alloc::CountingAllocator;
 
 pub mod failpoint {
     use std::collections::HashMap;

@@ -16,6 +16,15 @@ cargo test -q
 echo "== determinism: threads=1 vs threads=4 vs threads=0 =="
 cargo test -q -p rmpi-core --test parallel_determinism
 
+echo "== extraction equivalence: CSR + dense-scratch path vs reference (proptest) =="
+cargo test -q -p rmpi-subgraph --test proptests
+
+echo "== zero-allocation steady state: counting allocator over warm extraction =="
+cargo test -q -p rmpi-subgraph --test zero_alloc
+
+echo "== kernel micro-bench smoke: matmuls, reductions, scratch backward (10 ms window) =="
+RMPI_BENCH_MS=10 cargo bench -q -p rmpi-bench --bench bench_kernels >/dev/null
+
 echo "== worker pool unit tests =="
 cargo test -q -p rmpi-runtime
 
