@@ -128,6 +128,10 @@ impl ScoringModel for CompileModel {
         tape.dot(w, cat)
     }
 
+    fn context_radius(&self) -> usize {
+        self.cfg.hop
+    }
+
     fn name(&self) -> String {
         "CoMPILE".to_owned()
     }

@@ -198,6 +198,10 @@ impl ScoringModel for GrailModel {
         tape.dot(w, cat)
     }
 
+    fn context_radius(&self) -> usize {
+        self.cfg.hop
+    }
+
     fn name(&self) -> String {
         "GraIL".to_owned()
     }

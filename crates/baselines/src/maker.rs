@@ -223,6 +223,10 @@ impl ScoringModel for MakerLiteModel {
         self.encode_and_score(tape, &sample, target, mask)
     }
 
+    fn context_radius(&self) -> usize {
+        self.cfg.hop
+    }
+
     fn name(&self) -> String {
         "MaKEr".to_owned()
     }

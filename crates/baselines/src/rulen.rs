@@ -236,6 +236,12 @@ impl ScoringModel for RuleNModel {
         tape.constant(Tensor::scalar(self.rule_score(graph, target)))
     }
 
+    fn context_radius(&self) -> usize {
+        // Composition probing walks out-edges of the head's neighbours:
+        // two hops from an endpoint at most.
+        2
+    }
+
     fn name(&self) -> String {
         "RuleN".to_owned()
     }

@@ -149,6 +149,10 @@ impl ScoringModel for TactBaseModel {
         tape.dot(w, h)
     }
 
+    fn context_radius(&self) -> usize {
+        self.cfg.hop
+    }
+
     fn name(&self) -> String {
         match self.cfg.init {
             RelationInit::Random => "TACT-base".to_owned(),
@@ -222,6 +226,12 @@ impl ScoringModel for TactModel {
         let cat = tape.concat(&[enc.h_graph, enc.h_u, enc.h_v, rt_corr]);
         let w = tape.param(&self.store, self.score_w);
         tape.dot(w, cat)
+    }
+
+    fn context_radius(&self) -> usize {
+        // Both the entity-view and relation-view halves extract at cfg.hop
+        // (rmpi_cfg.hop mirrors it).
+        self.cfg.hop
     }
 
     fn name(&self) -> String {

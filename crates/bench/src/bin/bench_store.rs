@@ -1,0 +1,217 @@
+//! Out-of-core store benchmark.
+//!
+//! Measures, on a synthetic streamed world written straight to disk:
+//! build throughput (stream-generate → sorted segments, triples/sec and
+//! bytes), point-seek latency (`triple_at` on random indices, p50/p99),
+//! sequential scan bandwidth, per-query subgraph-extraction latency
+//! store-vs-RAM (the same `prepare_eval_sample`, against a pinned
+//! [`rmpi_store::NeighborhoodView`] and against an in-memory
+//! [`rmpi_kg::CsrGraph`]), and peak RSS — with the `store.*` registry
+//! counters (segment reads, bytes scanned, index hits, pins) as the work
+//! ledger. Writes `BENCH_store.json` in the working directory.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_store \
+//!     [--entities 20000] [--chunk 4096] [--seeks 20000] [--extracts 64] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks every knob to a ~10 ms CI sanity pass.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_datasets::world::GraphGenConfig;
+use rmpi_datasets::{StreamingWorld, World, WorldConfig};
+use rmpi_kg::CsrGraph;
+use rmpi_obs::json::JsonObject;
+use rmpi_store::{build_from_sorted, NeighborhoodView, ReadMode, StoreConfig, StoreReader};
+use std::time::Instant;
+
+const SEED: u64 = 17;
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args[i + 1].parse().unwrap_or_else(|_| panic!("{name} takes a number")),
+        None => default,
+    }
+}
+
+/// Peak resident set size in MiB, from `/proc/self/status` (0 where absent).
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let entities = flag(&args, "--entities", if smoke { 300 } else { 20_000 });
+    let chunk = flag(&args, "--chunk", (entities / 8).max(64));
+    let seeks = flag(&args, "--seeks", if smoke { 200 } else { 20_000 });
+    let extracts = flag(&args, "--extracts", if smoke { 8 } else { 64 });
+
+    let dir = std::env::temp_dir().join(format!("rmpi-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let world = World::new(WorldConfig::default());
+    let active: Vec<usize> = (0..world.groups().len()).collect();
+    let gen = GraphGenConfig {
+        num_entities: entities,
+        num_base_triples: entities * 3,
+        max_triples: entities * 12,
+        seed: SEED,
+        ..Default::default()
+    };
+    let sw = StreamingWorld::new(&world, &active, gen, chunk);
+
+    // Build: stream-generate the world and write sorted segments, one chunk
+    // resident at a time. The time covers generation + encode + fsync — the
+    // realistic "synthesize a world to disk" number.
+    let t0 = Instant::now();
+    let summary = build_from_sorted(&dir, StoreConfig::default(), sw.iter()).expect("build store");
+    let build_secs = t0.elapsed().as_secs_f64();
+    let rss_after_build = peak_rss_mib();
+    println!(
+        "build: {} entities, {} triples, {} segment file(s), {:.1} MiB in {build_secs:.2}s \
+         ({:.0} triples/sec), peak RSS {rss_after_build:.1} MiB",
+        summary.num_entities,
+        summary.num_triples,
+        summary.segments,
+        summary.bytes as f64 / (1 << 20) as f64,
+        summary.num_triples as f64 / build_secs,
+    );
+
+    let reader =
+        StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 64 }).expect("open store");
+    let n = reader.num_triples() as u64;
+
+    // Point seeks: random triple_at through the block cache.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut seek_ns: Vec<u64> = Vec::with_capacity(seeks);
+    for _ in 0..seeks {
+        let idx = rng.gen_range(0..n);
+        let t = Instant::now();
+        std::hint::black_box(reader.triple_at(idx).expect("seek"));
+        seek_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    seek_ns.sort_unstable();
+    let seek_p50 = percentile_us(&seek_ns, 0.50);
+    let seek_p99 = percentile_us(&seek_ns, 0.99);
+    println!("seek:  {seeks} random triple_at, p50 {seek_p50:.2} us, p99 {seek_p99:.2} us");
+
+    // Sequential scan: the whole-graph sweep path (negative-pool builds,
+    // verification, emitters all look like this).
+    let t0 = Instant::now();
+    let mut scanned = 0u64;
+    reader.for_each_triple(|_| scanned += 1).expect("scan");
+    let scan_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(scanned, n, "scan must visit every triple");
+    let fwd_bytes: u64 = reader.manifest().fwd.iter().map(|s| s.bytes).sum();
+    let scan_mib_s = fwd_bytes as f64 / (1 << 20) as f64 / scan_secs;
+    println!("scan:  {scanned} triples in {:.1} ms ({scan_mib_s:.0} MiB/s)", scan_secs * 1e3);
+
+    // Extraction store-vs-RAM: identical prepare_eval_sample, once against a
+    // freshly pinned neighbourhood view, once against the in-memory CSR.
+    let model = RmpiModel::new(
+        RmpiConfig { dim: 16, ..RmpiConfig::base() },
+        reader.num_relations(),
+        1,
+    );
+    let radius = rmpi_core::ScoringModel::context_radius(&model);
+    let mut targets = Vec::with_capacity(extracts);
+    for _ in 0..extracts {
+        targets.push(reader.triple_at(rng.gen_range(0..n)).expect("target"));
+    }
+    let mut triples = Vec::with_capacity(reader.num_triples());
+    reader.for_each_triple(|t| triples.push(t)).expect("materialise for RAM baseline");
+    let csr = CsrGraph::from_triples(triples);
+
+    let t0 = Instant::now();
+    let mut store_samples = Vec::with_capacity(extracts);
+    for &t in &targets {
+        let mut view = NeighborhoodView::new(&reader);
+        view.pin(t.head, t.tail, radius).expect("pin");
+        store_samples.push(model.prepare_eval_sample(&view, t, SEED));
+    }
+    let store_us = t0.elapsed().as_secs_f64() * 1e6 / extracts as f64;
+
+    let t0 = Instant::now();
+    let mut ram_samples = Vec::with_capacity(extracts);
+    for &t in &targets {
+        ram_samples.push(model.prepare_eval_sample(&csr, t, SEED));
+    }
+    let ram_us = t0.elapsed().as_secs_f64() * 1e6 / extracts as f64;
+    for (s, r) in store_samples.iter().zip(&ram_samples) {
+        assert_eq!(s.relview.nodes.len(), r.relview.nodes.len(), "store/RAM extraction diverged");
+    }
+    println!(
+        "extract: store {store_us:.0} us/query vs RAM {ram_us:.0} us/query ({:.1}x)",
+        store_us / ram_us.max(1e-9)
+    );
+
+    // Work ledger: everything the run charged to the store.
+    let reg = rmpi_obs::global();
+    let segment_reads = reg.counter("store.segment_reads.count").get();
+    let bytes_scanned = reg.counter("store.bytes_scanned.count").get();
+    let index_hits = reg.counter("store.index_hits.count").get();
+    let pins = reg.counter("store.pins.count").get();
+    let rss_peak = peak_rss_mib();
+    println!(
+        "work: {segment_reads} segment reads, {bytes_scanned} bytes scanned, \
+         {index_hits} index hits, {pins} pins; peak RSS {rss_peak:.1} MiB"
+    );
+
+    let mut out = JsonObject::new();
+    out.field_str("bench", "store");
+    out.field_u64("entities", summary.num_entities as u64);
+    out.field_u64("triples", summary.num_triples as u64);
+    out.field_u64("segments", summary.segments as u64);
+    out.field_u64("bytes", summary.bytes);
+    let mut build = JsonObject::new();
+    build.field_f64("seconds", build_secs, 4);
+    build.field_f64("triples_per_sec", summary.num_triples as f64 / build_secs, 1);
+    build.field_f64("peak_rss_mib", rss_after_build, 1);
+    out.field_raw("build", &build.finish());
+    let mut seek = JsonObject::new();
+    seek.field_u64("ops", seeks as u64);
+    seek.field_f64("p50_us", seek_p50, 3);
+    seek.field_f64("p99_us", seek_p99, 3);
+    out.field_raw("seek", &seek.finish());
+    let mut scan = JsonObject::new();
+    scan.field_f64("seconds", scan_secs, 4);
+    scan.field_u64("bytes", fwd_bytes);
+    scan.field_f64("mib_per_sec", scan_mib_s, 1);
+    out.field_raw("scan", &scan.finish());
+    let mut extract = JsonObject::new();
+    extract.field_u64("queries", extracts as u64);
+    extract.field_f64("store_us_per_query", store_us, 1);
+    extract.field_f64("ram_us_per_query", ram_us, 1);
+    extract.field_f64("store_over_ram", store_us / ram_us.max(1e-9), 3);
+    out.field_raw("extract", &extract.finish());
+    let mut work = JsonObject::new();
+    work.field_u64("segment_reads", segment_reads);
+    work.field_u64("bytes_scanned", bytes_scanned);
+    work.field_u64("index_hits", index_hits);
+    work.field_u64("pins", pins);
+    out.field_raw("work", &work.finish());
+    out.field_f64("peak_rss_mib", rss_peak, 1);
+    let json = format!("{}\n", out.finish());
+    std::fs::write("BENCH_store.json", &json).expect("write BENCH_store.json");
+    println!("wrote BENCH_store.json");
+
+    drop(reader);
+    let _ = std::fs::remove_dir_all(&dir);
+}

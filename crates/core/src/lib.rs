@@ -26,6 +26,7 @@ pub mod loss;
 pub mod model;
 pub mod ne;
 pub mod sample;
+pub mod stream;
 pub mod trainer;
 pub mod traits;
 
@@ -33,6 +34,7 @@ pub use checkpoint::{latest_checkpoint, load_checkpoint, save_checkpoint, TrainC
 pub use config::{Fusion, RelationInit, RmpiConfig};
 pub use model::{ModelAssemblyError, RmpiModel};
 pub use sample::SampleInput;
+pub use stream::{train_streaming, IndexPermutation, StreamReport};
 pub use trainer::{
     train_model, CheckpointConfig, DivergencePolicy, TrainConfig, TrainEvent, TrainReport, Trainer,
 };

@@ -364,6 +364,10 @@ impl ScoringModel for RmpiModel {
         self.score_sample_on_tape(tape, &sample)
     }
 
+    fn context_radius(&self) -> usize {
+        self.cfg.hop
+    }
+
     fn name(&self) -> String {
         self.cfg.variant_name()
     }

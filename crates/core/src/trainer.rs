@@ -66,8 +66,10 @@ pub const LOSS_FAILPOINT: &str = "trainer::loss";
 pub const GRAD_FAILPOINT: &str = "trainer::grad";
 
 /// RNG stream ids for [`mix_seed`] — one per independent use of randomness,
-/// so draws in one stream can never alias draws in another.
-mod stream {
+/// so draws in one stream can never alias draws in another. Shared with the
+/// store-backed loop in [`crate::stream`] so that a sample at the same
+/// `(epoch, position)` draws identically under either backend.
+pub(crate) mod rng_stream {
     /// Per-epoch shuffling of the training targets.
     pub const SHUFFLE: u64 = 1;
     /// Per-sample training randomness (negative sampling + dropout).
@@ -80,7 +82,7 @@ mod stream {
 
 /// Pack `(epoch, position)` into one 64-bit per-sample key. Positions are
 /// bounded by the dataset size, far below 2^40.
-fn sample_key(epoch: usize, pos: usize) -> u64 {
+pub(crate) fn sample_key(epoch: usize, pos: usize) -> u64 {
     ((epoch as u64) << 40) | pos as u64
 }
 
@@ -544,7 +546,7 @@ impl<'cb> Trainer<'cb> {
             }
             let mut order: Vec<Triple> = targets.to_vec();
             let mut shuffle_rng =
-                StdRng::seed_from_u64(mix_seed(cfg.seed, stream::SHUFFLE, epoch as u64));
+                StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::SHUFFLE, epoch as u64));
             order.shuffle(&mut shuffle_rng);
             if cfg.max_samples_per_epoch > 0 {
                 order.truncate(cfg.max_samples_per_epoch);
@@ -564,7 +566,7 @@ impl<'cb> Trainer<'cb> {
                         let pos = batch[i];
                         let mut rng = StdRng::seed_from_u64(mix_seed(
                             cfg.seed,
-                            stream::TRAIN,
+                            rng_stream::TRAIN,
                             sample_key(epoch, base + i),
                         ));
                         let neg = sampler.corrupt(pos, graph, &mut rng);
@@ -796,7 +798,12 @@ fn maybe_poison_grads(store: &mut ParamStore) {
     }
 }
 
-fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batch_len: usize) {
+pub(crate) fn step<M: ScoringModel>(
+    model: &mut M,
+    adam: &mut Adam,
+    cfg: &TrainConfig,
+    batch_len: usize,
+) {
     let step_start = Instant::now();
     let store = model.param_store_mut();
     // average over the batch
@@ -820,7 +827,7 @@ fn step<M: ScoringModel>(model: &mut M, adam: &mut Adam, cfg: &TrainConfig, batc
 ///
 /// Candidate scoring fans out over the pool; each win is an integer, so the
 /// sum is order-independent and the result thread-count-invariant.
-fn try_validation_accuracy<M: ScoringModel + Sync>(
+pub(crate) fn try_validation_accuracy<M: ScoringModel + Sync>(
     model: &M,
     graph: &KnowledgeGraph,
     csr: &CsrGraph,
@@ -834,7 +841,7 @@ fn try_validation_accuracy<M: ScoringModel + Sync>(
     }
     let sampler = NegativeSampler::from_graph(graph);
     let mut subset: Vec<Triple> = valid.to_vec();
-    let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID_SHUFFLE, epoch));
+    let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::VALID_SHUFFLE, epoch));
     subset.shuffle(&mut shuffle_rng);
     if cfg.max_valid_samples > 0 {
         subset.truncate(cfg.max_valid_samples);
@@ -843,7 +850,7 @@ fn try_validation_accuracy<M: ScoringModel + Sync>(
         .try_map_indexed(subset.len(), |i| {
             let pos = subset[i];
             let mut rng =
-                StdRng::seed_from_u64(mix_seed(cfg.seed, stream::VALID, sample_key(epoch as usize, i)));
+                StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::VALID, sample_key(epoch as usize, i)));
             let neg = sampler.corrupt(pos, graph, &mut rng);
             u32::from(model.score(csr, pos, &mut rng) > model.score(csr, neg, &mut rng))
         })?

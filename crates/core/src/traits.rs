@@ -42,6 +42,14 @@ pub trait ScoringModel {
         tape.value(v).item()
     }
 
+    /// Hops of graph context [`ScoringModel::score_on_tape`] reads around the
+    /// target's endpoints (adjacency queries only — membership tests and
+    /// triple lookups are not bounded by it). Out-of-core backends pin
+    /// exactly this neighbourhood in RAM before scoring; in-memory backends
+    /// ignore it. Understating it makes store-backed scoring silently see a
+    /// truncated graph, which the equivalence tests catch in debug builds.
+    fn context_radius(&self) -> usize;
+
     /// A short display name (e.g. `"RMPI-NE"`).
     fn name(&self) -> String;
 }
@@ -64,6 +72,10 @@ impl<M: ScoringModel + ?Sized> ScoringModel for Box<M> {
         rng: &mut StdRng,
     ) -> Var {
         (**self).score_on_tape(tape, graph, target, mode, rng)
+    }
+
+    fn context_radius(&self) -> usize {
+        (**self).context_radius()
     }
 
     fn name(&self) -> String {

@@ -33,9 +33,11 @@ pub mod ext;
 pub mod fully;
 pub mod registry;
 pub mod rules;
+pub mod stream;
 pub mod world;
 
 pub use benchmark::{Benchmark, TestSet, TrainSet};
 pub use registry::{registry_names, build_benchmark, Scale};
 pub use rules::{GroupKind, Role, Rule, RuleGroup};
+pub use stream::StreamingWorld;
 pub use world::{World, WorldConfig};

@@ -268,6 +268,9 @@ mod tests {
             let s = if self.facts.contains(&target) { 10.0 } else { -10.0 };
             tape.constant(rmpi_autograd::Tensor::scalar(s))
         }
+        fn context_radius(&self) -> usize {
+            0
+        }
         fn name(&self) -> String {
             "Oracle".to_owned()
         }
@@ -315,6 +318,9 @@ mod tests {
             ) -> Var {
                 let v = self.0.score_on_tape(tape, g, t, m, r);
                 tape.scale(v, -1.0)
+            }
+            fn context_radius(&self) -> usize {
+                self.0.context_radius()
             }
             fn name(&self) -> String {
                 "Anti".into()
@@ -374,6 +380,9 @@ mod tests {
                 _r: &mut StdRng,
             ) -> Var {
                 tape.constant(rmpi_autograd::Tensor::scalar(0.0))
+            }
+            fn context_radius(&self) -> usize {
+                0
             }
             fn name(&self) -> String {
                 "Flat".into()

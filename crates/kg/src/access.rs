@@ -1,4 +1,5 @@
-//! Read-only graph access shared by [`KnowledgeGraph`] and [`CsrGraph`].
+//! Read-only graph access shared by [`KnowledgeGraph`], [`CsrGraph`] and
+//! out-of-core backends (`rmpi-store`).
 //!
 //! Subgraph extraction, sampling, and scoring only ever *read* adjacency:
 //! out-edge / in-edge scans, triple lookups by index, and membership tests.
@@ -8,9 +9,17 @@
 //! model scoring is dispatched through `&dyn ScoringModel`, which forces the
 //! graph parameter to be a trait object as well.
 //!
-//! Both implementations enumerate a given entity's edges in the same order —
-//! ascending triple index — so code routed over either backend sees
-//! identical iteration order, not merely identical sets.
+//! The trait deliberately has **no** "give me all triples as one slice"
+//! method: a disk-backed graph (`rmpi_store::StoreReader`) answers every
+//! query here from segment files without ever materialising the full triple
+//! set in memory. Whole-graph sweeps go through [`GraphAccess::for_each_triple`],
+//! which a RAM backend serves from its slice and a store backend serves by
+//! streaming segments. Code that genuinely needs the slice (analysis,
+//! serialisation) uses the concrete types' inherent `triples()` methods.
+//!
+//! All implementations enumerate a given entity's edges in the same order —
+//! ascending triple index — so code routed over any backend sees identical
+//! iteration order, not merely identical sets.
 
 use crate::csr::CsrGraph;
 use crate::graph::{Edge, KnowledgeGraph};
@@ -30,8 +39,10 @@ pub trait GraphAccess {
     /// The triple at `idx`.
     fn triple(&self, idx: usize) -> Triple;
 
-    /// All triples, insertion order.
-    fn triples(&self) -> &[Triple];
+    /// Visit every triple in ascending triple-index order. RAM backends walk
+    /// their slice; out-of-core backends stream segments, so callers must not
+    /// assume the triples ever coexist in memory.
+    fn for_each_triple(&self, f: &mut dyn FnMut(Triple));
 
     /// Entity id-space capacity (max id + 1).
     fn num_entities(&self) -> usize;
@@ -61,8 +72,10 @@ impl GraphAccess for KnowledgeGraph {
     fn triple(&self, idx: usize) -> Triple {
         KnowledgeGraph::triple(self, idx)
     }
-    fn triples(&self) -> &[Triple] {
-        KnowledgeGraph::triples(self)
+    fn for_each_triple(&self, f: &mut dyn FnMut(Triple)) {
+        for &t in KnowledgeGraph::triples(self) {
+            f(t);
+        }
     }
     fn num_entities(&self) -> usize {
         KnowledgeGraph::num_entities(self)
@@ -88,8 +101,10 @@ impl GraphAccess for CsrGraph {
     fn triple(&self, idx: usize) -> Triple {
         CsrGraph::triple(self, idx)
     }
-    fn triples(&self) -> &[Triple] {
-        CsrGraph::triples(self)
+    fn for_each_triple(&self, f: &mut dyn FnMut(Triple)) {
+        for &t in CsrGraph::triples(self) {
+            f(t);
+        }
     }
     fn num_entities(&self) -> usize {
         CsrGraph::num_entities(self)
@@ -131,6 +146,9 @@ mod tests {
             assert_eq!(g.num_relations(), 2);
             assert!(g.contains(&Triple::new(0u32, 0u32, 1u32)));
             assert!(!g.contains(&Triple::new(2u32, 1u32, 0u32)));
+            let mut swept = Vec::new();
+            g.for_each_triple(&mut |t| swept.push(t));
+            assert_eq!(swept, toy(), "for_each_triple streams in triple-index order");
         }
         for e in 0..3u32 {
             let e = EntityId(e);

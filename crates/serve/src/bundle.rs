@@ -41,10 +41,11 @@
 //! mid-save never clobbers the bundle a server might reload next.
 
 use crate::error::{checkpoint_at, ServeError};
+use crate::lineio::LineRead;
 use rmpi_autograd::io::{atomic_write_bytes, load_params, save_params};
 use rmpi_autograd::Tensor;
 use rmpi_core::{Fusion, RelationInit, RmpiConfig, RmpiModel, ScoringModel};
-use crate::lineio::LineRead;
+use rmpi_store::{fnv64, Fnv64};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -110,22 +111,37 @@ pub fn save_bundle<W: Write>(
         }
         writeln!(w)?;
     }
+    // The parameter section is serialised first so its FNV-64 can ride in
+    // the manifest; the loader re-hashes the section and refuses a bundle
+    // whose bytes no longer match (detects bit-rot the tensor parser would
+    // happily accept as different-but-valid floats).
+    let mut params = Vec::new();
+    save_params(&mut params, model.param_store())?;
+    writeln!(w, "params_checksum {:016x}", fnv64(&params))?;
     writeln!(w, "{PARAMS_MARKER}")?;
-    save_params(w, model.param_store())?;
+    w.write_all(&params)?;
     Ok(())
 }
 
-/// A [`BufRead`] adapter that counts every byte the parser actually
-/// consumed. `Read` is routed through `fill_buf`/`consume` so the two
-/// interfaces share one tally and nothing is counted twice.
+/// A [`BufRead`] adapter that counts — and FNV-hashes — every byte the
+/// parser actually consumed. `Read` is routed through `fill_buf`/`consume`
+/// so the two interfaces share one tally and nothing is counted (or hashed)
+/// twice. The hash can be reset at a section boundary, after which it covers
+/// exactly that section's bytes.
 struct CountingReader<R> {
     inner: BufReader<R>,
     consumed: u64,
+    hash: Fnv64,
 }
 
 impl<R: Read> CountingReader<R> {
     fn new(r: R) -> Self {
-        CountingReader { inner: BufReader::new(r), consumed: 0 }
+        CountingReader { inner: BufReader::new(r), consumed: 0, hash: Fnv64::new() }
+    }
+
+    /// Start hashing from here (a section boundary).
+    fn reset_hash(&mut self) {
+        self.hash = Fnv64::new();
     }
 }
 
@@ -144,6 +160,14 @@ impl<R: Read> BufRead for CountingReader<R> {
         self.inner.fill_buf()
     }
     fn consume(&mut self, amt: usize) {
+        // `fill_buf` on a non-empty buffer returns that buffer without any
+        // IO, so re-asking for it here sees exactly the bytes about to be
+        // consumed — which is what lets `consume` hash them.
+        if amt > 0 {
+            if let Ok(buf) = self.inner.fill_buf() {
+                self.hash.update(&buf[..amt.min(buf.len())]);
+            }
+        }
         self.consumed += amt as u64;
         self.inner.consume(amt);
     }
@@ -212,8 +236,20 @@ pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
     // Everything past the marker is the parameter section; failures in it
     // are reported against the section's start, which is deterministic
     // regardless of how far the tensor parser read ahead.
+    reader.reset_hash();
     let params_start = reader.consumed;
     let store = load_params(&mut reader).map_err(|e| checkpoint_at(params_start, e))?;
+    if let Some(expected) = manifest.params_checksum {
+        // The tensor parser may stop short of EOF (e.g. at a count it read
+        // from a header); drain the remainder so the hash covers the whole
+        // section exactly as it was saved.
+        let mut sink = [0u8; 8192];
+        while reader.read(&mut sink)? > 0 {}
+        let actual = reader.hash.finish();
+        if actual != expected {
+            return Err(ServeError::Checksum { section: "params".into(), expected, actual });
+        }
+    }
     manifest.finish(store)
 }
 
@@ -244,6 +280,7 @@ struct ManifestBuilder {
     relation_names: Vec<(usize, String)>,
     onto: Option<Tensor>,
     seen_dim: bool,
+    params_checksum: Option<u64>,
 }
 
 impl ManifestBuilder {
@@ -284,6 +321,14 @@ impl ManifestBuilder {
             "max_edges" => self.cfg.max_subgraph_edges = parse(rest, "max_edges", at)?,
             "entity_clues" => self.cfg.entity_clues = parse(rest, "entity_clues", at)?,
             "relations" => self.num_relations = Some(parse(rest, "relations", at)?),
+            // absent in bundles written before the checksum landed — those
+            // still load, they just skip verification
+            "params_checksum" => {
+                self.params_checksum = Some(
+                    u64::from_str_radix(rest, 16)
+                        .map_err(|e| err(format!("bad params_checksum: {e}")))?,
+                )
+            }
             "rel" => {
                 let (id, name) = rest
                     .split_once(char::is_whitespace)
@@ -494,6 +539,47 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("parameter section"), "{msg}");
         assert!(msg.contains(&format!("byte {params_start}")), "{msg}");
+    }
+
+    #[test]
+    fn rejects_tampered_params_via_checksum() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        // flip the last digit of the parameter section: still a valid finite
+        // float of the same shape, so the tensor parser and model assembly
+        // both accept it — only the checksum can catch the tampering
+        let needle = b"rmpi-params v1";
+        let params_at = buf.windows(needle.len()).position(|w| w == needle).unwrap();
+        let idx = (params_at..buf.len()).rev().find(|&i| buf[i].is_ascii_digit()).unwrap();
+        buf[idx] = if buf[idx] == b'9' { b'8' } else { buf[idx] + 1 };
+        let err = load_bundle(Cursor::new(buf)).unwrap_err();
+        match err {
+            ServeError::Checksum { ref section, expected, actual } => {
+                assert_eq!(section, "params");
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected checksum error, got {other}"),
+        }
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn legacy_bundles_without_checksum_still_load() {
+        let model = RmpiModel::new(RmpiConfig { dim: 4, ..RmpiConfig::base() }, 3, 0);
+        let mut buf = Vec::new();
+        save_bundle(&mut buf, &model, &[]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // a bundle written before the checksum existed has no such line;
+        // it must still load (verification is simply skipped)
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("params_checksum"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_ne!(legacy, text, "fixture must actually drop the key");
+        let loaded = load_bundle(Cursor::new(legacy.into_bytes())).unwrap();
+        assert_eq!(loaded.model.num_relations(), 3);
     }
 
     #[test]

@@ -31,10 +31,11 @@
 use crate::error::ServeError;
 use crate::stats::ServeStats;
 use rmpi_autograd::Tape;
-use rmpi_core::{RmpiModel, SampleInput};
+use rmpi_core::{RmpiModel, SampleInput, ScoringModel};
 use rmpi_kg::{CsrGraph, EntityId, KnowledgeGraph, RelationId, Triple};
 use rmpi_obs::MetricsRegistry;
 use rmpi_runtime::{panic_message, ThreadPool};
+use rmpi_store::{NeighborhoodView, StoreReader};
 use rmpi_subgraph::{LruCache, SubgraphKey};
 use rmpi_testutil::failpoint;
 use std::ops::Deref;
@@ -111,15 +112,77 @@ impl Deref for ModelSnapshot {
     }
 }
 
+/// Where the engine's context graph lives. Both backends answer every query
+/// bit-identically — the store backend pins the target's
+/// [`ScoringModel::context_radius`]-hop neighbourhood in RAM before
+/// extraction, which reproduces exactly the adjacency the CSR would serve.
+pub enum GraphBackend {
+    /// The whole graph resident in memory, scored through a CSR mirror.
+    Memory {
+        /// The context graph.
+        graph: KnowledgeGraph,
+        /// CSR mirror of `graph`: the adjacency layout scoring queries walk.
+        /// Built once at bind time — sound because the graph is immutable.
+        csr: CsrGraph,
+    },
+    /// An on-disk `rmpi-store` directory; adjacency is read through the
+    /// reader's block cache and pinned per query. RSS stays bounded by the
+    /// pinned neighbourhood, not the graph.
+    Store(Arc<StoreReader>),
+}
+
+impl GraphBackend {
+    fn num_entities(&self) -> usize {
+        match self {
+            GraphBackend::Memory { graph, .. } => graph.num_entities(),
+            GraphBackend::Store(reader) => reader.num_entities(),
+        }
+    }
+
+    fn num_relations(&self) -> usize {
+        match self {
+            GraphBackend::Memory { graph, .. } => graph.num_relations(),
+            GraphBackend::Store(reader) => reader.num_relations(),
+        }
+    }
+
+    fn present_entities(&self) -> Vec<EntityId> {
+        match self {
+            GraphBackend::Memory { graph, .. } => graph.present_entities(),
+            GraphBackend::Store(reader) => reader.present_entities(),
+        }
+    }
+
+    /// A known triple to validate reload candidates against.
+    fn probe(&self) -> Option<Triple> {
+        match self {
+            GraphBackend::Memory { graph, .. } => graph.triples().first().copied(),
+            GraphBackend::Store(reader) => (reader.num_triples() > 0)
+                .then(|| reader.triple_at(0).expect("store read failed (probe)")),
+        }
+    }
+
+    /// Extract the forward input for `target`. Store IO failures panic and
+    /// are caught by the callers' `catch_unwind`, surfacing as
+    /// [`ServeError::Internal`] rather than a poisoned engine.
+    fn prepare(&self, model: &RmpiModel, target: Triple, seed: u64) -> SampleInput {
+        match self {
+            GraphBackend::Memory { csr, .. } => model.prepare_eval_sample(csr, target, seed),
+            GraphBackend::Store(reader) => {
+                let mut view = NeighborhoodView::new(reader);
+                view.pin(target.head, target.tail, model.context_radius())
+                    .expect("store read failed (pin)");
+                model.prepare_eval_sample(&view, target, seed)
+            }
+        }
+    }
+}
+
 /// A loaded model bound to an immutable context graph, answering scoring and
 /// ranking queries through a subgraph cache.
 pub struct Engine {
     state: RwLock<Arc<ModelState>>,
-    graph: KnowledgeGraph,
-    /// CSR mirror of `graph`: the adjacency layout every scoring query walks.
-    /// Built once at bind time — sound for the same reason the cache is
-    /// (the context graph is immutable).
-    csr: CsrGraph,
+    backend: GraphBackend,
     pool: ThreadPool,
     stats: ServeStats,
     /// Ranking candidates: every entity present in the context graph.
@@ -146,12 +209,34 @@ impl Engine {
         cfg: EngineConfig,
         registry: Arc<MetricsRegistry>,
     ) -> Self {
-        let candidates = graph.present_entities();
         let csr = CsrGraph::from_graph(&graph);
+        Engine::with_backend(model, GraphBackend::Memory { graph, csr }, cfg, registry)
+    }
+
+    /// Bind `model` to an on-disk store: same query surface and bit-identical
+    /// scores as the in-memory engine, with RSS bounded by the pinned
+    /// neighbourhood instead of the graph. Metrics record into the
+    /// process-global registry.
+    pub fn with_store(model: RmpiModel, reader: Arc<StoreReader>, cfg: EngineConfig) -> Self {
+        Engine::with_backend(
+            model,
+            GraphBackend::Store(reader),
+            cfg,
+            Arc::clone(rmpi_obs::global()),
+        )
+    }
+
+    /// The fully explicit constructor: any backend, any registry.
+    pub fn with_backend(
+        model: RmpiModel,
+        backend: GraphBackend,
+        cfg: EngineConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
+        let candidates = backend.present_entities();
         Engine {
             state: RwLock::new(ModelState::new(model, cfg.cache_capacity)),
-            graph,
-            csr,
+            backend,
             pool: ThreadPool::new(cfg.threads),
             stats: ServeStats::with_registry(registry),
             candidates,
@@ -170,9 +255,24 @@ impl Engine {
         ModelSnapshot(self.snapshot())
     }
 
-    /// The immutable context graph.
-    pub fn graph(&self) -> &KnowledgeGraph {
-        &self.graph
+    /// The immutable in-memory context graph, when this engine has one.
+    /// Store-backed engines return `None` — use [`Engine::num_entities`] /
+    /// [`Engine::num_relations`] for the counts either backend answers.
+    pub fn graph(&self) -> Option<&KnowledgeGraph> {
+        match &self.backend {
+            GraphBackend::Memory { graph, .. } => Some(graph),
+            GraphBackend::Store(_) => None,
+        }
+    }
+
+    /// Entities in the context graph's id space.
+    pub fn num_entities(&self) -> usize {
+        self.backend.num_entities()
+    }
+
+    /// Relations in the context graph's id space.
+    pub fn num_relations(&self) -> usize {
+        self.backend.num_relations()
     }
 
     /// The engine's counters (the TCP front end adds its own through this).
@@ -254,16 +354,16 @@ impl Engine {
     /// context graph uses, and must produce a finite score (without
     /// panicking) on a probe triple from the graph.
     fn validate_candidate(&self, model: &RmpiModel) -> Result<(), String> {
-        if model.num_relations() < self.graph.num_relations() {
+        if model.num_relations() < self.backend.num_relations() {
             return Err(format!(
                 "bundle covers {} relations but the context graph uses {}",
                 model.num_relations(),
-                self.graph.num_relations()
+                self.backend.num_relations()
             ));
         }
-        if let Some(&probe) = self.graph.triples().first() {
+        if let Some(probe) = self.backend.probe() {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let sample = model.prepare_eval_sample(&self.csr, probe, self.seed);
+                let sample = self.backend.prepare(model, probe, self.seed);
                 model.score_sample(&sample)
             }));
             match outcome {
@@ -296,7 +396,7 @@ impl Engine {
         // extraction happens outside the lock: concurrent misses on the same
         // key duplicate work but produce identical samples, so correctness
         // (and bit-parity) is unaffected
-        let sample = state.model.prepare_eval_sample(&self.csr, target, self.seed);
+        let sample = self.backend.prepare(&state.model, target, self.seed);
         state.cache.lock().expect("cache lock").insert(key, sample.clone());
         sample
     }
@@ -418,7 +518,8 @@ mod tests {
     fn scores_match_offline_on_miss_and_hit() {
         let engine = setup(1, 16);
         let t = Triple::new(0u32, 5u32, 3u32);
-        let offline = engine.model().score(engine.graph(), t, &mut StdRng::seed_from_u64(9));
+        let offline =
+            engine.model().score(engine.graph().unwrap(), t, &mut StdRng::seed_from_u64(9));
         let miss = engine.score(t).unwrap();
         let hit = engine.score(t).unwrap();
         assert_eq!(miss, offline, "cache miss must equal offline scoring");
@@ -551,9 +652,60 @@ mod tests {
         engine.reload_from(&path).unwrap();
         assert_eq!(engine.stats().reloads.get(), 1);
         let after = engine.score(t).unwrap();
-        let offline = next.score(engine.graph(), t, &mut StdRng::seed_from_u64(9));
+        let offline = next.score(engine.graph().unwrap(), t, &mut StdRng::seed_from_u64(9));
         assert_eq!(after, offline, "post-reload scores come from the new model");
         assert_ne!(before, after, "different weights should score differently");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_backend_scores_bit_identically_to_memory() {
+        use rmpi_store::{build_from_graph, ReadMode, StoreConfig};
+        let graph = KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+        ]);
+        let dir = std::env::temp_dir()
+            .join(format!("rmpi-engine-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
+
+        let mk_model =
+            || RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 0);
+        let cfg = EngineConfig { seed: 9, cache_capacity: 16, threads: 2 };
+        let memory = Engine::with_registry(
+            mk_model(),
+            graph,
+            cfg,
+            Arc::new(rmpi_obs::MetricsRegistry::new()),
+        );
+        for mode in [ReadMode::Resident, ReadMode::Stream { cache_blocks: 4 }] {
+            let reader = Arc::new(rmpi_store::StoreReader::open(&dir, mode).unwrap());
+            let stored = Engine::with_backend(
+                mk_model(),
+                GraphBackend::Store(reader),
+                cfg,
+                Arc::new(rmpi_obs::MetricsRegistry::new()),
+            );
+            assert!(stored.graph().is_none());
+            assert_eq!(stored.num_entities(), memory.num_entities());
+            assert_eq!(stored.num_relations(), memory.num_relations());
+            let targets: Vec<Triple> =
+                (0..12u32).map(|i| Triple::new(i % 5, i % 6, (i + 1) % 5)).collect();
+            assert_eq!(
+                stored.score_batch(&targets).unwrap(),
+                memory.score_batch(&targets).unwrap(),
+                "{mode:?}"
+            );
+            assert_eq!(
+                stored.rank_tails(EntityId(0), RelationId(1), 4).unwrap(),
+                memory.rank_tails(EntityId(0), RelationId(1), 4).unwrap(),
+                "{mode:?}"
+            );
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -30,6 +30,19 @@ pub enum ServeError {
     },
     /// The parameters do not match the manifest's configuration.
     Assembly(ModelAssemblyError),
+    /// A bundle section's bytes do not hash to the checksum its manifest
+    /// recorded — bit-rot or tampering between save and load.
+    Checksum {
+        /// Which section failed (`"params"` for the in-file parameter
+        /// section, or a file's bundle-relative path for directory bundles).
+        section: String,
+        /// The checksum the manifest promised.
+        expected: u64,
+        /// The checksum the bytes actually hash to.
+        actual: u64,
+    },
+    /// An on-disk graph section failed the store's own validation.
+    Store(rmpi_store::StoreError),
     /// A query referenced a relation outside the model's id space.
     UnknownRelation(u32),
     /// A malformed wire-protocol request.
@@ -65,6 +78,12 @@ impl fmt::Display for ServeError {
                 write!(f, "bundle parameter section at byte {offset}: {source}")
             }
             ServeError::Assembly(e) => write!(f, "bundle does not assemble: {e}"),
+            ServeError::Checksum { section, expected, actual } => write!(
+                f,
+                "bundle section {section:?} checksum mismatch: manifest says {expected:016x}, \
+                 bytes hash to {actual:016x}"
+            ),
+            ServeError::Store(e) => write!(f, "bundle graph section: {e}"),
             ServeError::UnknownRelation(r) => write!(f, "unknown relation id {r}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Overloaded => write!(f, "server overloaded"),
@@ -85,6 +104,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Checkpoint { source, .. } => Some(source),
             ServeError::Assembly(e) => Some(e),
+            ServeError::Store(e) => Some(e),
             ServeError::Io(e) => Some(e),
             _ => None,
         }
@@ -94,6 +114,17 @@ impl std::error::Error for ServeError {
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e)
+    }
+}
+
+impl From<rmpi_store::StoreError> for ServeError {
+    fn from(e: rmpi_store::StoreError) -> Self {
+        match e {
+            // an Io failure while reading a graph section is an Io failure
+            // of the bundle, same flattening as checkpoint Io
+            rmpi_store::StoreError::Io(io) => ServeError::Io(io),
+            other => ServeError::Store(other),
+        }
     }
 }
 

@@ -34,6 +34,7 @@
 //! [`ServeError::Checkpoint`]).
 
 pub mod bundle;
+pub mod bundledir;
 pub mod engine;
 pub mod error;
 pub mod lineio;
@@ -42,7 +43,8 @@ pub mod server;
 pub mod stats;
 
 pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
-pub use engine::{Engine, EngineConfig, ModelSnapshot, SCORE_FAILPOINT};
+pub use bundledir::{load_bundle_dir, save_bundle_dir};
+pub use engine::{Engine, EngineConfig, GraphBackend, ModelSnapshot, SCORE_FAILPOINT};
 pub use error::ServeError;
 pub use protocol::{parse_request, Request};
 pub use server::{serve, ServerConfig, ServerHandle};

@@ -389,7 +389,7 @@ fn dispatch(shared: &Shared, line: &str) -> Result<String, ServeError> {
             Ok(format!(
                 "OK healthy relations={} entities={}",
                 model.num_relations(),
-                shared.engine.graph().num_entities()
+                shared.engine.num_entities()
             ))
         }
         Request::Reload { path } => {

@@ -1,0 +1,138 @@
+//! Fixed-width record encodings and the FNV-1a 64 checksum.
+//!
+//! Records are little-endian `u32` fields, no padding, no varints: the
+//! reader computes a record's file offset by multiplication, and a block of
+//! records can be verified by hashing raw bytes. Block sizes elsewhere in
+//! the crate are chosen as multiples of these record sizes so a record
+//! never straddles a block boundary.
+
+use rmpi_kg::{EntityId, RelationId, Triple};
+
+/// Bytes per forward record: `(head, relation, tail)`.
+pub const FWD_RECORD_BYTES: usize = 12;
+
+/// Bytes per inverse record: `(tail, relation, head, fwd_idx)`.
+pub const INV_RECORD_BYTES: usize = 16;
+
+/// Encode a forward record.
+#[inline]
+pub fn encode_fwd(t: Triple, out: &mut [u8; FWD_RECORD_BYTES]) {
+    out[0..4].copy_from_slice(&t.head.0.to_le_bytes());
+    out[4..8].copy_from_slice(&t.relation.0.to_le_bytes());
+    out[8..12].copy_from_slice(&t.tail.0.to_le_bytes());
+}
+
+/// Decode a forward record.
+#[inline]
+pub fn decode_fwd(b: &[u8]) -> Triple {
+    debug_assert!(b.len() >= FWD_RECORD_BYTES);
+    Triple {
+        head: EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        relation: RelationId(u32::from_le_bytes([b[4], b[5], b[6], b[7]])),
+        tail: EntityId(u32::from_le_bytes([b[8], b[9], b[10], b[11]])),
+    }
+}
+
+/// Encode an inverse record. `fwd_idx` is the global index of the forward
+/// record this edge mirrors (the triple index).
+#[inline]
+pub fn encode_inv(tail: EntityId, rel: RelationId, head: EntityId, fwd_idx: u32, out: &mut [u8; INV_RECORD_BYTES]) {
+    out[0..4].copy_from_slice(&tail.0.to_le_bytes());
+    out[4..8].copy_from_slice(&rel.0.to_le_bytes());
+    out[8..12].copy_from_slice(&head.0.to_le_bytes());
+    out[12..16].copy_from_slice(&fwd_idx.to_le_bytes());
+}
+
+/// Decode an inverse record as `(tail, relation, head, fwd_idx)`.
+#[inline]
+pub fn decode_inv(b: &[u8]) -> (EntityId, RelationId, EntityId, u32) {
+    debug_assert!(b.len() >= INV_RECORD_BYTES);
+    (
+        EntityId(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        RelationId(u32::from_le_bytes([b[4], b[5], b[6], b[7]])),
+        EntityId(u32::from_le_bytes([b[8], b[9], b[10], b[11]])),
+        u32::from_le_bytes([b[12], b[13], b[14], b[15]]),
+    )
+}
+
+/// Incremental FNV-1a 64 hasher. Dependency-free, byte-order independent,
+/// and fast enough to run inline with sequential segment writes.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorb bytes.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    /// The digest so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fwd_roundtrip() {
+        let t = Triple::new(7u32, 3u32, 1_000_000u32);
+        let mut buf = [0u8; FWD_RECORD_BYTES];
+        encode_fwd(t, &mut buf);
+        assert_eq!(decode_fwd(&buf), t);
+    }
+
+    #[test]
+    fn inv_roundtrip() {
+        let mut buf = [0u8; INV_RECORD_BYTES];
+        encode_inv(EntityId(9), RelationId(2), EntityId(4), 77, &mut buf);
+        assert_eq!(decode_inv(&buf), (EntityId(9), RelationId(2), EntityId(4), 77));
+    }
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox";
+        let mut h = Fnv64::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(h.finish(), fnv64(data));
+    }
+}

@@ -1,0 +1,285 @@
+//! The store MANIFEST: a line-oriented text file, written last.
+//!
+//! The manifest is the commit point of a build. Segment and index files are
+//! written first; only once they are all durable does the builder write
+//! `MANIFEST` via write-to-temp + rename, so a crashed build leaves a
+//! directory without a manifest — recognisably not a store — rather than a
+//! plausible-looking broken one. Every data file is listed with its record
+//! count, byte length, and FNV-64 checksum, which is what lets
+//! [`crate::StoreReader::verify`] detect truncation and bit-rot and name
+//! the offending file.
+//!
+//! Format (all one-line records, checksums as 16 hex digits):
+//!
+//! ```text
+//! rmpi-store v1
+//! entities <n>
+//! relations <n>
+//! triples <n>
+//! seg_records <n>
+//! index index.bin <bytes> <fnv64>
+//! fwd fwd-00000.seg <records> <bytes> <fnv64>
+//! inv inv-00000.seg <records> <bytes> <fnv64>
+//! end
+//! ```
+
+use crate::{Result, StoreError};
+use std::fmt::Write as _;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Magic first line; bump the version to break old readers loudly.
+pub const MAGIC: &str = "rmpi-store v1";
+
+/// Name of the resident offsets index file.
+pub const INDEX_NAME: &str = "index.bin";
+
+/// File name of forward segment `i`.
+pub fn fwd_name(i: usize) -> String {
+    format!("fwd-{i:05}.seg")
+}
+
+/// File name of inverse segment `i`.
+pub fn inv_name(i: usize) -> String {
+    format!("inv-{i:05}.seg")
+}
+
+/// Manifest entry for one data segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// Fixed-width records in the file.
+    pub records: u64,
+    /// Byte length (always `records * record_size`).
+    pub bytes: u64,
+    /// FNV-1a 64 of the raw file bytes.
+    pub checksum: u64,
+}
+
+/// Parsed contents of a store MANIFEST.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Entity id-space capacity (max id + 1).
+    pub num_entities: u64,
+    /// Relation id-space capacity (max id + 1).
+    pub num_relations: u64,
+    /// Total triples across all forward segments.
+    pub num_triples: u64,
+    /// Records per full segment (the last segment of each kind may be
+    /// shorter).
+    pub seg_records: u64,
+    /// Byte length of `index.bin`.
+    pub index_bytes: u64,
+    /// FNV-1a 64 of `index.bin`.
+    pub index_checksum: u64,
+    /// Forward segments in order.
+    pub fwd: Vec<SegmentMeta>,
+    /// Inverse segments in order.
+    pub inv: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Serialise to the text format.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{MAGIC}");
+        let _ = writeln!(s, "entities {}", self.num_entities);
+        let _ = writeln!(s, "relations {}", self.num_relations);
+        let _ = writeln!(s, "triples {}", self.num_triples);
+        let _ = writeln!(s, "seg_records {}", self.seg_records);
+        let _ = writeln!(s, "index {INDEX_NAME} {} {:016x}", self.index_bytes, self.index_checksum);
+        for seg in &self.fwd {
+            let _ = writeln!(s, "fwd {} {} {} {:016x}", seg.file, seg.records, seg.bytes, seg.checksum);
+        }
+        for seg in &self.inv {
+            let _ = writeln!(s, "inv {} {} {} {:016x}", seg.file, seg.records, seg.bytes, seg.checksum);
+        }
+        let _ = writeln!(s, "end");
+        s
+    }
+
+    /// Parse the text format, reporting the offending line on error.
+    pub fn parse(text: &str) -> Result<Manifest> {
+        let bad = |line: usize, message: String| StoreError::Manifest { line, message };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l == MAGIC => {}
+            Some((i, l)) => return Err(bad(i + 1, format!("expected `{MAGIC}`, found `{l}`"))),
+            None => return Err(bad(1, "empty manifest".into())),
+        }
+        let mut num_entities = None;
+        let mut num_relations = None;
+        let mut num_triples = None;
+        let mut seg_records = None;
+        let mut index: Option<(u64, u64)> = None;
+        let mut fwd = Vec::new();
+        let mut inv = Vec::new();
+        let mut saw_end = false;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            if saw_end {
+                return Err(bad(lineno, "content after `end`".into()));
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let mut next_u64 = |what: &str| -> Result<u64> {
+                let tok = parts
+                    .next()
+                    .ok_or_else(|| bad(lineno, format!("missing {what}")))?;
+                tok.parse::<u64>().map_err(|_| bad(lineno, format!("bad {what} `{tok}`")))
+            };
+            match key {
+                "entities" => num_entities = Some(next_u64("entity count")?),
+                "relations" => num_relations = Some(next_u64("relation count")?),
+                "triples" => num_triples = Some(next_u64("triple count")?),
+                "seg_records" => seg_records = Some(next_u64("segment size")?),
+                "index" => {
+                    let file = parts
+                        .next()
+                        .ok_or_else(|| bad(lineno, "missing index file name".into()))?
+                        .to_string();
+                    if file != INDEX_NAME {
+                        return Err(bad(lineno, format!("unexpected index file `{file}`")));
+                    }
+                    let bytes = parse_u64(parts.next(), lineno, "index bytes")?;
+                    let checksum = parse_hex(parts.next(), lineno, "index checksum")?;
+                    index = Some((bytes, checksum));
+                }
+                "fwd" | "inv" => {
+                    let file = parts
+                        .next()
+                        .ok_or_else(|| bad(lineno, "missing segment file name".into()))?
+                        .to_string();
+                    let records = parse_u64(parts.next(), lineno, "segment records")?;
+                    let bytes = parse_u64(parts.next(), lineno, "segment bytes")?;
+                    let checksum = parse_hex(parts.next(), lineno, "segment checksum")?;
+                    let meta = SegmentMeta { file, records, bytes, checksum };
+                    if key == "fwd" {
+                        fwd.push(meta);
+                    } else {
+                        inv.push(meta);
+                    }
+                }
+                "end" => saw_end = true,
+                other => return Err(bad(lineno, format!("unknown key `{other}`"))),
+            }
+            if parts.next().is_some() && key != "end" {
+                return Err(bad(lineno, "trailing tokens".into()));
+            }
+        }
+        if !saw_end {
+            return Err(bad(text.lines().count(), "missing `end` (truncated manifest)".into()));
+        }
+        let line_of_missing = text.lines().count();
+        let require = |v: Option<u64>, what: &str| {
+            v.ok_or_else(|| bad(line_of_missing, format!("missing `{what}` line")))
+        };
+        let (index_bytes, index_checksum) =
+            index.ok_or_else(|| bad(line_of_missing, "missing `index` line".into()))?;
+        let m = Manifest {
+            num_entities: require(num_entities, "entities")?,
+            num_relations: require(num_relations, "relations")?,
+            num_triples: require(num_triples, "triples")?,
+            seg_records: require(seg_records, "seg_records")?,
+            index_bytes,
+            index_checksum,
+            fwd,
+            inv,
+        };
+        let fwd_total: u64 = m.fwd.iter().map(|s| s.records).sum();
+        if fwd_total != m.num_triples {
+            return Err(bad(
+                line_of_missing,
+                format!("fwd segments hold {fwd_total} records, manifest says {} triples", m.num_triples),
+            ));
+        }
+        let inv_total: u64 = m.inv.iter().map(|s| s.records).sum();
+        if inv_total != m.num_triples {
+            return Err(bad(
+                line_of_missing,
+                format!("inv segments hold {inv_total} records, expected {}", m.num_triples),
+            ));
+        }
+        Ok(m)
+    }
+}
+
+fn parse_u64(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    let tok = tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
+    tok.parse::<u64>()
+        .map_err(|_| StoreError::Manifest { line, message: format!("bad {what} `{tok}`") })
+}
+
+fn parse_hex(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
+    let tok = tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
+    u64::from_str_radix(tok, 16)
+        .map_err(|_| StoreError::Manifest { line, message: format!("bad {what} `{tok}`") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            num_entities: 10,
+            num_relations: 3,
+            num_triples: 7,
+            seg_records: 4,
+            index_bytes: 176,
+            index_checksum: 0xdead_beef,
+            fwd: vec![
+                SegmentMeta { file: fwd_name(0), records: 4, bytes: 48, checksum: 1 },
+                SegmentMeta { file: fwd_name(1), records: 3, bytes: 36, checksum: 2 },
+            ],
+            inv: vec![
+                SegmentMeta { file: inv_name(0), records: 4, bytes: 64, checksum: 3 },
+                SegmentMeta { file: inv_name(1), records: 3, bytes: 48, checksum: 4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        assert_eq!(Manifest::parse(&m.to_text()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Manifest::parse("rmpi-store v9\nend\n").unwrap_err();
+        assert!(matches!(err, StoreError::Manifest { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let text = sample().to_text();
+        let cut = text.strip_suffix("end\n").unwrap();
+        let err = Manifest::parse(cut).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_record_count_mismatch() {
+        let mut m = sample();
+        m.num_triples = 99;
+        let err = Manifest::parse(&m.to_text()).unwrap_err();
+        assert!(err.to_string().contains("99"), "{err}");
+    }
+
+    #[test]
+    fn names_offending_line() {
+        let mut text = sample().to_text();
+        text = text.replace("seg_records 4", "seg_records four");
+        let err = Manifest::parse(&text).unwrap_err();
+        match err {
+            StoreError::Manifest { line, ref message } => {
+                assert_eq!(line, 5);
+                assert!(message.contains("four"));
+            }
+            other => panic!("unexpected: {other}"),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Pinned k-hop neighbourhoods: how a streaming store serves the
+//! slice-returning [`GraphAccess`] trait safely.
+//!
+//! `GraphAccess::out_edges` returns `&[Edge]` — a borrow that a disk reader
+//! cannot hand out without materialising the data somewhere first. Instead
+//! of weakening the trait (and de-optimising the CSR hot path) the store
+//! splits access into two phases:
+//!
+//! 1. [`NeighborhoodView::pin`] (`&mut self`) runs a multi-source BFS from
+//!    the query endpoints, loading the adjacency of every node within `k`
+//!    hops into owned arenas. This is where all IO happens.
+//! 2. The pinned view (`&self`) implements `GraphAccess`, serving arena
+//!    slices. Subgraph extraction only ever reads the adjacency of nodes
+//!    at distance ≤ k from an endpoint, so a pin of radius ≥ the extraction
+//!    radius covers every query exactly.
+//!
+//! Queries against *unpinned* entities return empty adjacency — in debug
+//! builds they panic instead, which is how the equivalence proptests would
+//! catch a pin radius that is too small. Membership tests and triple
+//! lookups don't depend on the pin; they go straight to the reader's block
+//! cache.
+//!
+//! The view reuses its arenas and hash maps across pins, so a long-lived
+//! per-worker view reaches a steady state with no per-sample allocation
+//! churn beyond hash-map growth.
+
+use crate::reader::StoreReader;
+use crate::Result;
+use rmpi_kg::{Edge, EntityId, GraphAccess, Triple};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Default)]
+struct Range {
+    start: u32,
+    len: u32,
+}
+
+/// A reusable pinned k-hop neighbourhood over a [`StoreReader`].
+pub struct NeighborhoodView<'s> {
+    reader: &'s StoreReader,
+    /// entity -> slice of `out_arena`.
+    out_ranges: HashMap<u32, Range>,
+    /// entity -> slice of `in_arena`.
+    in_ranges: HashMap<u32, Range>,
+    out_arena: Vec<Edge>,
+    in_arena: Vec<Edge>,
+    /// BFS frontier scratch: (entity, depth).
+    queue: Vec<(u32, u32)>,
+}
+
+impl<'s> NeighborhoodView<'s> {
+    /// An empty view; nothing is pinned until [`NeighborhoodView::pin`].
+    pub fn new(reader: &'s StoreReader) -> Self {
+        NeighborhoodView {
+            reader,
+            out_ranges: HashMap::new(),
+            in_ranges: HashMap::new(),
+            out_arena: Vec::new(),
+            in_arena: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+
+    /// The reader this view pins from.
+    pub fn reader(&self) -> &'s StoreReader {
+        self.reader
+    }
+
+    /// Load the adjacency of every entity within `k` undirected hops of
+    /// `u` or `v`, replacing any previous pin. All IO for a subsequent
+    /// extraction/scoring pass happens here.
+    pub fn pin(&mut self, u: EntityId, v: EntityId, k: usize) -> Result<()> {
+        self.out_ranges.clear();
+        self.in_ranges.clear();
+        self.out_arena.clear();
+        self.in_arena.clear();
+        self.queue.clear();
+        self.reader.count_pin();
+
+        self.queue.push((u.0, 0));
+        if v != u {
+            self.queue.push((v.0, 0));
+        }
+        // `out_ranges` doubles as the visited set: every discovered node is
+        // loaded (entered into the map) before its neighbours are queued.
+        let mut head = 0usize;
+        self.load(u.0)?;
+        if v != u {
+            self.load(v.0)?;
+        }
+        while head < self.queue.len() {
+            let (e, d) = self.queue[head];
+            head += 1;
+            if d as usize >= k {
+                continue;
+            }
+            // Neighbours of e (already loaded): queue any new node at d+1
+            // and load it immediately so the map stays the visited set.
+            let out = self.out_ranges[&e];
+            let inr = self.in_ranges[&e];
+            let mut neighbors: Vec<u32> = Vec::with_capacity((out.len + inr.len) as usize);
+            neighbors.extend(
+                self.out_arena[out.start as usize..(out.start + out.len) as usize]
+                    .iter()
+                    .map(|edge| edge.neighbor.0),
+            );
+            neighbors.extend(
+                self.in_arena[inr.start as usize..(inr.start + inr.len) as usize]
+                    .iter()
+                    .map(|edge| edge.neighbor.0),
+            );
+            for n in neighbors {
+                if !self.out_ranges.contains_key(&n) {
+                    self.load(n)?;
+                    self.queue.push((n, d + 1));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Load `e`'s adjacency into the arenas and record the ranges.
+    fn load(&mut self, e: u32) -> Result<()> {
+        if let Entry::Vacant(slot) = self.out_ranges.entry(e) {
+            let start = self.out_arena.len() as u32;
+            let arena = &mut self.out_arena;
+            self.reader.for_each_out_edge(EntityId(e), |edge| arena.push(edge))?;
+            slot.insert(Range { start, len: self.out_arena.len() as u32 - start });
+
+            let start = self.in_arena.len() as u32;
+            let arena = &mut self.in_arena;
+            self.reader.for_each_in_edge(EntityId(e), |edge| arena.push(edge))?;
+            self.in_ranges.insert(e, Range { start, len: self.in_arena.len() as u32 - start });
+        }
+        Ok(())
+    }
+
+    /// Number of entities whose adjacency is currently pinned.
+    pub fn pinned_entities(&self) -> usize {
+        self.out_ranges.len()
+    }
+
+    /// Total pinned edges (out + in arenas; shared edges counted twice).
+    pub fn pinned_edges(&self) -> usize {
+        self.out_arena.len() + self.in_arena.len()
+    }
+}
+
+impl GraphAccess for NeighborhoodView<'_> {
+    fn out_edges(&self, e: EntityId) -> &[Edge] {
+        match self.out_ranges.get(&e.0) {
+            Some(r) => &self.out_arena[r.start as usize..(r.start + r.len) as usize],
+            None => {
+                debug_assert!(
+                    e.index() >= self.reader.num_entities()
+                        || self.reader.out_degree(e) + self.reader.in_degree(e) == 0,
+                    "out_edges({e}) outside the pinned neighbourhood — pin radius too small"
+                );
+                &[]
+            }
+        }
+    }
+
+    fn in_edges(&self, e: EntityId) -> &[Edge] {
+        match self.in_ranges.get(&e.0) {
+            Some(r) => &self.in_arena[r.start as usize..(r.start + r.len) as usize],
+            None => {
+                debug_assert!(
+                    e.index() >= self.reader.num_entities()
+                        || self.reader.out_degree(e) + self.reader.in_degree(e) == 0,
+                    "in_edges({e}) outside the pinned neighbourhood — pin radius too small"
+                );
+                &[]
+            }
+        }
+    }
+
+    fn triple(&self, idx: usize) -> Triple {
+        self.reader.triple_at(idx as u64).expect("store read failed (triple)")
+    }
+
+    fn for_each_triple(&self, f: &mut dyn FnMut(Triple)) {
+        self.reader.for_each_triple(|t| f(t)).expect("store read failed (sweep)")
+    }
+
+    fn num_entities(&self) -> usize {
+        self.reader.num_entities()
+    }
+
+    fn num_triples(&self) -> usize {
+        self.reader.num_triples()
+    }
+
+    fn num_relations(&self) -> usize {
+        self.reader.num_relations()
+    }
+
+    fn contains(&self, t: &Triple) -> bool {
+        self.reader.contains(t).expect("store read failed (contains)")
+    }
+}

@@ -1,0 +1,118 @@
+//! The satellite equivalence property: `StoreReader`-backed `GraphAccess`
+//! (through a pinned [`NeighborhoodView`]) must be observationally
+//! identical to `CsrGraph` and to the naive reference extractor on random
+//! worlds. Because every `Subgraph` field is sorted, equality here is
+//! bit-equality — the same property the serve-path bit-identity test
+//! builds on.
+
+use proptest::prelude::*;
+use rmpi_kg::{CsrGraph, EntityId, GraphAccess, KnowledgeGraph, Triple};
+use rmpi_store::{build_from_sorted, NeighborhoodView, ReadMode, StoreConfig, StoreReader};
+use rmpi_subgraph::{disclosing_subgraph, enclosing_subgraph};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn arb_world() -> impl Strategy<Value = (Vec<Triple>, Triple)> {
+    (
+        prop::collection::vec((0u32..24, 0u32..6, 0u32..24), 1..100),
+        (0u32..24, 0u32..6, 0u32..24),
+    )
+        .prop_map(|(edges, (h, r, t))| {
+            let mut triples: Vec<Triple> =
+                edges.into_iter().map(|(a, rel, b)| Triple::new(a, rel, b)).collect();
+            triples.sort_unstable();
+            (triples, Triple::new(h, r, t))
+        })
+}
+
+/// Fresh on-disk store per case (tiny segments to exercise boundaries).
+fn store_for(triples: &[Triple]) -> (std::path::PathBuf, StoreReader) {
+    static CASE: AtomicU64 = AtomicU64::new(0);
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("rmpi-store-prop-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = StoreConfig { seg_records: 37, transpose_budget_bytes: 1024 };
+    build_from_sorted(&dir, cfg, triples.iter().copied()).unwrap();
+    let reader = StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 3 }).unwrap();
+    (dir, reader)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pinned_view_extraction_matches_csr_and_reference(
+        (triples, target) in arb_world(),
+        k in 0usize..4,
+    ) {
+        let (dir, reader) = store_for(&triples);
+        let graph = KnowledgeGraph::from_triples(triples.clone());
+        let csr = CsrGraph::from_triples(triples);
+
+        let want_en = rmpi_subgraph::extraction::reference::enclosing_subgraph(&graph, target, k);
+        let want_di = rmpi_subgraph::extraction::reference::disclosing_subgraph(&graph, target, k);
+        let csr_en = enclosing_subgraph(&csr, target, k);
+        let csr_di = disclosing_subgraph(&csr, target, k);
+        prop_assert_eq!(&csr_en.triples, &want_en.triples);
+        prop_assert_eq!(&csr_di.triples, &want_di.triples);
+
+        let mut view = NeighborhoodView::new(&reader);
+        view.pin(target.head, target.tail, k).unwrap();
+        let got_en = enclosing_subgraph(&view, target, k);
+        let got_di = disclosing_subgraph(&view, target, k);
+
+        prop_assert_eq!(&got_en.triples, &want_en.triples, "enclosing triples (store)");
+        prop_assert_eq!(&got_en.entities, &want_en.entities, "enclosing entities (store)");
+        prop_assert_eq!(
+            got_en.distance_rows(), want_en.distance_rows(), "enclosing distances (store)"
+        );
+        prop_assert_eq!(&got_di.triples, &want_di.triples, "disclosing triples (store)");
+        prop_assert_eq!(&got_di.entities, &want_di.entities, "disclosing entities (store)");
+        prop_assert_eq!(
+            got_di.distance_rows(), want_di.distance_rows(), "disclosing distances (store)"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pinned_view_adjacency_matches_csr(
+        (triples, _target) in arb_world(),
+        k in 1usize..3,
+        probe in 0u32..24,
+    ) {
+        let (dir, reader) = store_for(&triples);
+        let csr = CsrGraph::from_triples(triples);
+        let mut view = NeighborhoodView::new(&reader);
+        view.pin(EntityId(probe), EntityId(probe), k).unwrap();
+        // The pin sources themselves must serve full CSR-identical slices.
+        prop_assert_eq!(view.out_edges(EntityId(probe)), csr.out_edges(EntityId(probe)));
+        prop_assert_eq!(view.in_edges(EntityId(probe)), csr.in_edges(EntityId(probe)));
+        // …and so must every 1-hop neighbour (pinned at k >= 1).
+        for edge in csr.out_edges(EntityId(probe)).iter().chain(csr.in_edges(EntityId(probe))) {
+            let n = edge.neighbor;
+            prop_assert_eq!(view.out_edges(n), csr.out_edges(n), "out({})", n);
+            prop_assert_eq!(view.in_edges(n), csr.in_edges(n), "in({})", n);
+        }
+        // Trait-level scalars agree regardless of the pin.
+        prop_assert_eq!(GraphAccess::num_entities(&view), GraphAccess::num_entities(&csr));
+        prop_assert_eq!(GraphAccess::num_triples(&view), GraphAccess::num_triples(&csr));
+        prop_assert_eq!(GraphAccess::num_relations(&view), GraphAccess::num_relations(&csr));
+        for idx in 0..GraphAccess::num_triples(&csr) {
+            prop_assert_eq!(GraphAccess::triple(&view, idx), GraphAccess::triple(&csr, idx));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn membership_matches_csr(
+        (triples, probe) in arb_world(),
+    ) {
+        let (dir, reader) = store_for(&triples);
+        let csr = CsrGraph::from_triples(triples.clone());
+        prop_assert_eq!(reader.contains(&probe).unwrap(), csr.contains(&probe));
+        for t in triples.iter().take(30) {
+            prop_assert!(reader.contains(t).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

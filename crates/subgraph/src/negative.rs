@@ -7,7 +7,7 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use rmpi_kg::{EntityId, KnowledgeGraph, Triple};
+use rmpi_kg::{EntityId, GraphAccess, KnowledgeGraph, Triple};
 
 /// Uniform head/tail corruption over a fixed candidate entity pool.
 #[derive(Clone, Debug)]
@@ -36,7 +36,16 @@ impl NegativeSampler {
     /// tail, resampling until the result is not in `known` (up to a bounded
     /// number of attempts, after which the last candidate is returned — on
     /// realistic graphs a collision streak that long is unreachable).
-    pub fn corrupt<R: Rng>(&self, positive: Triple, known: &KnowledgeGraph, rng: &mut R) -> Triple {
+    ///
+    /// Generic over [`GraphAccess`]: the membership filter runs identically
+    /// against an in-memory graph and a disk-backed store, drawing the same
+    /// RNG sequence either way.
+    pub fn corrupt<G: GraphAccess + ?Sized, R: Rng>(
+        &self,
+        positive: Triple,
+        known: &G,
+        rng: &mut R,
+    ) -> Triple {
         let corrupt_head = rng.gen_bool(0.5);
         let mut candidate = positive;
         for _ in 0..64 {
@@ -52,12 +61,12 @@ impl NegativeSampler {
     /// `n` distinct corrupted tails for entity ranking — the "49 random
     /// candidates" protocol. The true tail is excluded; corrupted triples
     /// that happen to be known facts are also excluded (filtered setting).
-    pub fn ranking_candidates<R: Rng>(
+    pub fn ranking_candidates<G: GraphAccess + ?Sized, R: Rng>(
         &self,
         positive: Triple,
         n: usize,
         corrupt_head: bool,
-        known: &KnowledgeGraph,
+        known: &G,
         rng: &mut R,
     ) -> Vec<Triple> {
         let mut out = Vec::with_capacity(n);

@@ -25,6 +25,14 @@ cargo test -q -p rmpi-subgraph --test zero_alloc
 echo "== kernel micro-bench smoke: matmuls, reductions, scratch backward (10 ms window) =="
 RMPI_BENCH_MS=10 cargo bench -q -p rmpi-bench --bench bench_kernels >/dev/null
 
+echo "== store: tiny on-disk world, extraction equivalence (proptest), corruption rejection =="
+cargo test -q -p rmpi-store
+cargo test -q -p rmpi-core stream::
+cargo test -q --test store_stack
+
+echo "== store bench smoke: build + seek + scan + extract on a tiny world (10 ms scale) =="
+cargo run --release -q -p rmpi-bench --bin bench_store -- --smoke >/dev/null
+
 echo "== worker pool unit tests =="
 cargo test -q -p rmpi-runtime
 

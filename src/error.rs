@@ -12,6 +12,7 @@ use rmpi_client::ClientError;
 use rmpi_core::ModelAssemblyError;
 use rmpi_runtime::PoolError;
 use rmpi_serve::ServeError;
+use rmpi_store::StoreError;
 use std::fmt;
 
 /// Any error the RMPI workspace can produce, unified for application code.
@@ -28,6 +29,9 @@ pub enum Error {
     /// Bundle IO, engine query or TCP front-end failure (`rmpi-serve`) —
     /// including bundle parse errors with byte offsets.
     Serve(ServeError),
+    /// On-disk graph store failure (`rmpi-store`) — manifest, segment
+    /// corruption, or sort-order violations during a build.
+    Store(StoreError),
     /// A serving-client request failed (`rmpi-client`). Kept whole — the
     /// variant (connect vs truncated vs server-rejected, transient vs
     /// fatal) carries the retryability classification the caller may act on.
@@ -43,6 +47,7 @@ impl fmt::Display for Error {
             Error::Assembly(e) => write!(f, "model assembly: {e}"),
             Error::Pool(e) => write!(f, "thread pool: {e}"),
             Error::Serve(e) => write!(f, "serve: {e}"),
+            Error::Store(e) => write!(f, "store: {e}"),
             Error::Client(e) => write!(f, "client: {e}"),
             Error::Io(e) => write!(f, "io: {e}"),
         }
@@ -56,6 +61,7 @@ impl std::error::Error for Error {
             Error::Assembly(e) => Some(e),
             Error::Pool(e) => Some(e),
             Error::Serve(e) => Some(e),
+            Error::Store(e) => Some(e),
             Error::Client(e) => Some(e),
             Error::Io(e) => Some(e),
         }
@@ -89,6 +95,15 @@ impl From<ServeError> for Error {
         match e {
             ServeError::Io(io) => Error::Io(io),
             other => Error::Serve(other),
+        }
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => Error::Io(io),
+            other => Error::Store(other),
         }
     }
 }
@@ -142,6 +157,7 @@ mod tests {
         let io = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
         assert!(matches!(Error::from(CheckpointError::Io(io())), Error::Io(_)));
         assert!(matches!(Error::from(ServeError::Io(io())), Error::Io(_)));
+        assert!(matches!(Error::from(rmpi_store::StoreError::Io(io())), Error::Io(_)));
     }
 
     #[test]
@@ -151,6 +167,7 @@ mod tests {
             CheckpointError::BadMagic("x".into()).into(),
             PoolError::WorkerPanicked { index: 0, message: "p".into() }.into(),
             ServeError::UnknownRelation(9).into(),
+            rmpi_store::StoreError::NotAStore("/nowhere".into()).into(),
             ClientError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t")).into(),
             std::io::Error::new(std::io::ErrorKind::Other, "disk").into(),
         ];

@@ -8,8 +8,11 @@
 //! * [`subgraph`] — enclosing/disclosing extraction, relation-view transform,
 //!   target-guided pruning, negative sampling;
 //! * [`schema`] — ontological schema graphs and TransE embeddings;
-//! * [`datasets`] — synthetic inductive KGC benchmark generators;
-//! * [`core`] — the RMPI model and trainer;
+//! * [`datasets`] — synthetic inductive KGC benchmark generators, including
+//!   streaming chunked generation for million-entity worlds;
+//! * [`store`] — the out-of-core graph store: sorted on-disk triple
+//!   segments behind `GraphAccess`, for worlds too big for RAM;
+//! * [`core`] — the RMPI model and trainer (in-memory and store-streaming);
 //! * [`baselines`] — GraIL, TACT(-base), CoMPILE and MaKEr-lite;
 //! * [`eval`] — metrics, protocols and the experiment runner;
 //! * [`serve`] — model bundles and the batched, subgraph-caching inference
@@ -49,4 +52,5 @@ pub use rmpi_obs as obs;
 pub use rmpi_runtime as runtime;
 pub use rmpi_schema as schema;
 pub use rmpi_serve as serve;
+pub use rmpi_store as store;
 pub use rmpi_subgraph as subgraph;

@@ -30,7 +30,11 @@ pub use rmpi_core::{
 };
 
 // benchmarks
-pub use rmpi_datasets::{build_benchmark, Benchmark, Scale};
+pub use rmpi_datasets::{build_benchmark, Benchmark, Scale, StreamingWorld};
+
+// the out-of-core graph store and the streaming trainer over it
+pub use rmpi_core::train_streaming;
+pub use rmpi_store::{build_from_sorted, NeighborhoodView, ReadMode, StoreConfig, StoreReader};
 
 // evaluation
 pub use rmpi_eval::protocol::evaluate;
@@ -38,7 +42,8 @@ pub use rmpi_eval::{EvalConfig, EvalMetrics};
 
 // serving
 pub use rmpi_serve::{
-    load_bundle_file, save_bundle_file, Bundle, Engine, EngineConfig, ServeStats,
+    load_bundle_dir, load_bundle_file, save_bundle_dir, save_bundle_file, Bundle, Engine,
+    EngineConfig, GraphBackend, ServeStats,
 };
 
 // the resilient serving client (retries, backoff, replica failover);
