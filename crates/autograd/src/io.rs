@@ -127,10 +127,12 @@ pub fn atomic_write_bytes<P: AsRef<Path>>(path: P, bytes: &[u8]) -> std::io::Res
     .and_then(|()| std::fs::rename(&tmp, path));
     match written {
         Ok(()) => {
-            // persist the rename itself; best-effort — not all platforms
-            // allow fsync on a directory handle
-            if let Ok(dir) = std::fs::File::open(&parent) {
-                let _ = dir.sync_all();
+            // persist the rename itself; the write still succeeded if this
+            // fails (not all platforms allow fsync on a directory handle),
+            // but the failure is counted and logged rather than swallowed
+            match std::fs::File::open(&parent).and_then(|dir| dir.sync_all()) {
+                Ok(()) => {}
+                Err(e) => rmpi_obs::note_dir_fsync_failure(&parent, &e),
             }
             Ok(())
         }

@@ -1,0 +1,309 @@
+//! Disk-fault availability benchmark: how much serving survives a bad disk.
+//!
+//! Builds a small on-disk store, opens one clean engine as the bit-exact
+//! reference, then replays the same scoring workload through engines whose
+//! store reads pass through a seeded [`rmpi_testutil::chaosfile::ChaosFile`]:
+//!
+//! * **transient** sweep — reads fail with `EIO` at increasing rates; the
+//!   reader's bounded retry must hold availability at >= 99% for the 10%
+//!   rate, and every request that succeeds must score bit-identical to the
+//!   fault-free reference.
+//! * **corrupt** sweep — read buffers come back with flipped bits; the
+//!   per-block checksums must turn every hit into a retry or an error,
+//!   never a silently different score, at any rate.
+//! * **persistent** scenario — the store is damaged *on disk* under a warm
+//!   engine; cached subgraphs keep serving bit-identical scores while
+//!   uncached keys are refused with the degraded-mode error.
+//!
+//! The acceptance floors (availability >= 99% at the 10% transient rate,
+//! zero silently-wrong scores anywhere) are asserted in-process, so a
+//! passing run *is* the proof. Writes `BENCH_diskfault.json`.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_diskfault \
+//!     [--entities 4000] [--requests 300] [--smoke]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_kg::Triple;
+use rmpi_obs::json::JsonObject;
+use rmpi_serve::{Engine, EngineConfig, GraphBackend, ServeError};
+use rmpi_store::{build_from_sorted, ReadMode, StoreConfig, StoreOptions, StoreReader};
+use rmpi_testutil::chaosfile::ChaosFileConfig;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SEED: u64 = 17;
+const RELATIONS: usize = 6;
+
+fn flag(args: &[String], name: &str, default: usize) -> usize {
+    match args.iter().position(|a| a == name) {
+        Some(i) => args[i + 1].parse().unwrap_or_else(|_| panic!("{name} takes a number")),
+        None => default,
+    }
+}
+
+/// Peak resident set size in MiB, from `/proc/self/status` (0 where absent).
+fn peak_rss_mib() -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0.0 };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map_or(0.0, |kb| kb / 1024.0)
+}
+
+/// Deterministic sparse world: two out-edges per entity keeps radius-2
+/// neighbourhoods (and therefore disk reads per request) small, so the
+/// per-request availability floor follows from the per-read retry budget.
+fn world(entities: usize) -> Vec<Triple> {
+    let n = entities as u32;
+    let mut v = Vec::with_capacity(entities * 2);
+    for i in 0..n {
+        v.push(Triple::new(i, i % RELATIONS as u32, (i * 7 + 1) % n));
+        v.push(Triple::new(i, (i + 2) % RELATIONS as u32, (i + n / 3 + 1) % n));
+    }
+    v.sort_unstable();
+    v
+}
+
+fn model() -> RmpiModel {
+    RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, RELATIONS, 1)
+}
+
+/// A store-backed engine over `reader`, charging `store.*` to `registry`.
+fn engine_over(reader: StoreReader, cache: usize, registry: Arc<rmpi_obs::MetricsRegistry>) -> Engine {
+    let cfg = EngineConfig { seed: SEED, cache_capacity: cache, threads: 1 };
+    Engine::with_backend(model(), GraphBackend::Store(Arc::new(reader)), cfg, registry)
+}
+
+fn chaos_reader(
+    dir: &Path,
+    chaos: ChaosFileConfig,
+    registry: &rmpi_obs::MetricsRegistry,
+) -> StoreReader {
+    let opts = StoreOptions {
+        mode: ReadMode::Stream { cache_blocks: 1 },
+        chaos: Some(chaos),
+        ..StoreOptions::default()
+    };
+    StoreReader::open_opts(dir, opts, registry).expect("open chaos store")
+}
+
+/// One workload replay: score every target, split outcomes into
+/// `(ok, wrong, errors, degraded_rejects)` against the reference scores.
+fn replay(engine: &Engine, targets: &[Triple], reference: &[f32]) -> (u64, u64, u64, u64) {
+    let (mut ok, mut wrong, mut errors, mut degraded) = (0u64, 0u64, 0u64, 0u64);
+    for (&t, &want) in targets.iter().zip(reference) {
+        match engine.score(t) {
+            Ok(s) if s.to_bits() == want.to_bits() => ok += 1,
+            Ok(_) => wrong += 1,
+            Err(ServeError::Degraded(_)) => {
+                degraded += 1;
+                errors += 1;
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    (ok, wrong, errors, degraded)
+}
+
+/// Corrupt every checksum block of every segment file in `dir` in place —
+/// one flipped byte per 4 KiB guarantees any future disk read of any block
+/// sees damage, while already-verified cached bytes stay good.
+fn damage_every_block(dir: &Path) {
+    for entry in std::fs::read_dir(dir).expect("read store dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.ends_with(".seg") {
+            continue;
+        }
+        let mut bytes = std::fs::read(&path).expect("read segment");
+        for at in (0..bytes.len()).step_by(4096) {
+            bytes[at] ^= 0x40;
+        }
+        std::fs::write(&path, bytes).expect("rewrite segment");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let entities = flag(&args, "--entities", if smoke { 600 } else { 4000 });
+    let requests = flag(&args, "--requests", if smoke { 60 } else { 300 });
+
+    let dir = std::env::temp_dir().join(format!("rmpi-bench-diskfault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let summary = build_from_sorted(&dir, StoreConfig::default(), world(entities).into_iter())
+        .expect("build store");
+    println!(
+        "world: {} entities, {} triples, {} segment file(s)",
+        summary.num_entities, summary.num_triples, summary.segments
+    );
+
+    // Reference: a clean streaming engine with the same geometry the chaos
+    // engines use. Its scores define "correct" for every replay below.
+    let clean_registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+    let clean_reader = StoreReader::open_with_registry(
+        &dir,
+        ReadMode::Stream { cache_blocks: 1 },
+        &clean_registry,
+    )
+    .expect("open store");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let n = clean_reader.num_triples() as u64;
+    // Distinct targets: the persistent scenario splits the workload into a
+    // cached and an uncached half, so no triple may appear in both.
+    let mut seen = std::collections::BTreeSet::new();
+    let mut targets: Vec<Triple> = Vec::with_capacity(requests);
+    while targets.len() < requests {
+        let t = clean_reader.triple_at(rng.gen_range(0..n)).expect("target");
+        if seen.insert(t) {
+            targets.push(t);
+        }
+    }
+    let clean = engine_over(clean_reader, 0, Arc::clone(&clean_registry));
+    let reference: Vec<f32> =
+        targets.iter().map(|&t| clean.score(t).expect("reference score")).collect();
+
+    // Transient sweep: EIO at increasing rates, availability must hold.
+    let transient_rates: &[f64] = if smoke { &[0.10] } else { &[0.02, 0.05, 0.10, 0.20] };
+    let mut transient_rows = Vec::new();
+    for (i, &rate) in transient_rates.iter().enumerate() {
+        let registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+        let chaos = ChaosFileConfig {
+            seed: SEED + i as u64,
+            transient_rate: rate,
+            delay: Duration::ZERO,
+            ..ChaosFileConfig::default()
+        };
+        let engine = engine_over(chaos_reader(&dir, chaos, &registry), 0, Arc::clone(&registry));
+        let (ok, wrong, errors, _) = replay(&engine, &targets, &reference);
+        let availability = ok as f64 / requests as f64;
+        let retries = registry.counter("store.read_retries.count").get();
+        println!(
+            "transient {rate:.2}: {ok}/{requests} ok ({:.2}% available), \
+             {wrong} wrong, {errors} failed, {retries} retries",
+            availability * 1e2
+        );
+        assert_eq!(wrong, 0, "transient faults at rate {rate} produced a silently wrong score");
+        assert!(!engine.is_degraded(), "transient faults at rate {rate} degraded the engine");
+        if (rate - 0.10).abs() < 1e-9 {
+            assert!(
+                availability >= 0.99,
+                "availability {availability:.4} at the 10% fault rate breaches the 99% floor"
+            );
+        }
+        let mut row = JsonObject::new();
+        row.field_f64("rate", rate, 2);
+        row.field_u64("requests", requests as u64);
+        row.field_u64("ok", ok);
+        row.field_u64("wrong", wrong);
+        row.field_u64("failed", errors);
+        row.field_f64("availability", availability, 4);
+        row.field_u64("read_retries", retries);
+        transient_rows.push(row.finish());
+    }
+
+    // Corruption sweep: bit flips in flight. The block checksums must turn
+    // every flip into a retry or a refusal — zero silently-wrong scores.
+    let corrupt_rates: &[f64] = if smoke { &[0.05] } else { &[0.02, 0.05, 0.10] };
+    let mut corrupt_rows = Vec::new();
+    for (i, &rate) in corrupt_rates.iter().enumerate() {
+        let registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+        let chaos = ChaosFileConfig {
+            seed: SEED * 31 + i as u64,
+            corrupt_rate: rate,
+            delay: Duration::ZERO,
+            ..ChaosFileConfig::default()
+        };
+        let engine = engine_over(chaos_reader(&dir, chaos, &registry), 0, Arc::clone(&registry));
+        let (ok, wrong, errors, degraded) = replay(&engine, &targets, &reference);
+        let availability = ok as f64 / requests as f64;
+        let checksum_retries = registry.counter("store.checksum_retries.count").get();
+        println!(
+            "corrupt   {rate:.2}: {ok}/{requests} ok ({:.2}% available), {wrong} wrong, \
+             {errors} failed ({degraded} degraded), {checksum_retries} checksum retries",
+            availability * 1e2
+        );
+        assert_eq!(wrong, 0, "bit flips at rate {rate} got past the block checksums");
+        let mut row = JsonObject::new();
+        row.field_f64("rate", rate, 2);
+        row.field_u64("requests", requests as u64);
+        row.field_u64("ok", ok);
+        row.field_u64("wrong", wrong);
+        row.field_u64("failed", errors);
+        row.field_f64("availability", availability, 4);
+        row.field_u64("checksum_retries", checksum_retries);
+        row.field_bool("degraded", engine.is_degraded());
+        corrupt_rows.push(row.finish());
+    }
+
+    // Persistent damage under a warm engine: the first half of the workload
+    // is cached, then the store is corrupted on disk. Cached keys must keep
+    // serving bit-identical scores; uncached keys must be refused, not
+    // silently mis-scored.
+    let registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+    let reader = StoreReader::open_with_registry(
+        &dir,
+        ReadMode::Stream { cache_blocks: 1 },
+        &registry,
+    )
+    .expect("reopen store");
+    let engine = engine_over(reader, requests.max(16), Arc::clone(&registry));
+    let half = requests / 2;
+    let (warm_ok, warm_wrong, warm_err, _) =
+        replay(&engine, &targets[..half], &reference[..half]);
+    assert_eq!((warm_wrong, warm_err), (0, 0), "warming must be fault-free");
+
+    damage_every_block(&dir);
+
+    let (cached_ok, cached_wrong, cached_err, _) =
+        replay(&engine, &targets[..half], &reference[..half]);
+    let (fresh_ok, fresh_wrong, _fresh_err, fresh_degraded) =
+        replay(&engine, &targets[half..], &reference[half..]);
+    println!(
+        "persistent: {cached_ok}/{half} cached ok after on-disk damage, \
+         {}/{} uncached refused degraded, {} wrong",
+        fresh_degraded,
+        requests - half,
+        cached_wrong + fresh_wrong
+    );
+    assert_eq!(cached_wrong + fresh_wrong, 0, "on-disk damage produced a silently wrong score");
+    assert_eq!((cached_ok, cached_err), (half as u64, 0), "cached keys must keep serving");
+    assert_eq!(fresh_ok, 0, "no uncached key may score against a damaged store");
+    assert!(engine.is_degraded(), "persistent damage must latch degraded mode");
+    assert!(
+        engine.metrics_json().contains("\"store.degraded\": 1"),
+        "degraded gauge must surface in metrics"
+    );
+
+    let mut out = JsonObject::new();
+    out.field_str("bench", "diskfault");
+    out.field_u64("entities", summary.num_entities as u64);
+    out.field_u64("triples", summary.num_triples as u64);
+    out.field_u64("requests", requests as u64);
+    out.field_raw("transient", &format!("[{}]", transient_rows.join(", ")));
+    out.field_raw("corrupt", &format!("[{}]", corrupt_rows.join(", ")));
+    let mut persistent = JsonObject::new();
+    persistent.field_u64("warm_requests", half as u64);
+    persistent.field_u64("warm_ok", warm_ok);
+    persistent.field_u64("cached_ok_after_damage", cached_ok);
+    persistent.field_u64("uncached_requests", (requests - half) as u64);
+    persistent.field_u64("uncached_degraded_rejects", fresh_degraded);
+    persistent.field_u64("wrong", cached_wrong + fresh_wrong);
+    persistent.field_bool("degraded", engine.is_degraded());
+    out.field_raw("persistent", &persistent.finish());
+    out.field_f64("peak_rss_mib", peak_rss_mib(), 1);
+    let json = format!("{}\n", out.finish());
+    std::fs::write("BENCH_diskfault.json", &json).expect("write BENCH_diskfault.json");
+    println!("wrote BENCH_diskfault.json");
+
+    drop(engine);
+    drop(clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -12,10 +12,14 @@
 //!
 //! ```text
 //! cargo run --release -p rmpi-bench --bin bench_store \
-//!     [--entities 20000] [--chunk 4096] [--seeks 20000] [--extracts 64] [--smoke]
+//!     [--entities 20000] [--chunk 4096] [--seeks 20000] [--extracts 64] \
+//!     [--dir PATH] [--smoke]
 //! ```
 //!
-//! `--smoke` shrinks every knob to a ~10 ms CI sanity pass.
+//! `--smoke` shrinks every knob to a ~10 ms CI sanity pass. `--dir` builds
+//! the store at PATH and keeps it on exit (instead of a throwaway temp
+//! directory) so a follow-up step — e.g. an `rmpi_scrub` integrity pass —
+//! can inspect the exact artifact this run measured.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +38,10 @@ fn flag(args: &[String], name: &str, default: usize) -> usize {
         Some(i) => args[i + 1].parse().unwrap_or_else(|_| panic!("{name} takes a number")),
         None => default,
     }
+}
+
+fn path_flag(args: &[String], name: &str) -> Option<std::path::PathBuf> {
+    args.iter().position(|a| a == name).map(|i| std::path::PathBuf::from(&args[i + 1]))
 }
 
 /// Peak resident set size in MiB, from `/proc/self/status` (0 where absent).
@@ -63,7 +71,10 @@ fn main() {
     let seeks = flag(&args, "--seeks", if smoke { 200 } else { 20_000 });
     let extracts = flag(&args, "--extracts", if smoke { 8 } else { 64 });
 
-    let dir = std::env::temp_dir().join(format!("rmpi-bench-store-{}", std::process::id()));
+    let keep = path_flag(&args, "--dir");
+    let dir = keep.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("rmpi-bench-store-{}", std::process::id()))
+    });
     let _ = std::fs::remove_dir_all(&dir);
 
     let world = World::new(WorldConfig::default());
@@ -213,5 +224,9 @@ fn main() {
     println!("wrote BENCH_store.json");
 
     drop(reader);
-    let _ = std::fs::remove_dir_all(&dir);
+    if keep.is_some() {
+        println!("kept store at {}", dir.display());
+    } else {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

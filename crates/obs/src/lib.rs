@@ -53,6 +53,28 @@ pub fn time_us<T>(name: &str, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Record a failed **directory** fsync after an atomic rename-publish.
+///
+/// The rename itself succeeded, so callers keep going — but without the
+/// directory fsync the rename is not guaranteed durable across power loss,
+/// and silently dropping the error (`let _ = d.sync_all()`) hides exactly
+/// the durability regressions a crash-safe artifact pipeline exists to
+/// prevent. Every occurrence bumps the `io.dir_fsync_failures.count`
+/// counter on the global registry; the first occurrence per process is also
+/// logged to stderr.
+pub fn note_dir_fsync_failure(dir: &std::path::Path, err: &std::io::Error) {
+    global().counter("io.dir_fsync_failures.count").inc();
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "warning: fsync of directory {} failed after rename: {err} \
+             (the publish completed but may not survive power loss; \
+             further occurrences are counted in io.dir_fsync_failures)",
+            dir.display()
+        );
+    });
+}
+
 /// Scope a span on the given registry: `span!(registry, "serve.score.us")`
 /// expands to a guard that records the elapsed microseconds into that
 /// histogram when it leaves scope.

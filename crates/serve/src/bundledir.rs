@@ -37,7 +37,10 @@ use crate::bundle::{load_bundle_file, save_bundle, Bundle};
 use crate::error::ServeError;
 use rmpi_autograd::io::atomic_write_bytes;
 use rmpi_core::RmpiModel;
-use rmpi_store::{fnv64, Fnv64, Manifest as StoreManifest, ReadMode, StoreReader, INDEX_NAME, MANIFEST_NAME};
+use rmpi_store::{
+    fnv64, Fnv64, Manifest as StoreManifest, ReadMode, ScrubReport, ScrubSection, StoreReader,
+    INDEX_NAME, MANIFEST_NAME,
+};
 use std::fs::File;
 use std::io::{BufReader, Read, Write};
 use std::path::{Component, Path, PathBuf};
@@ -198,6 +201,85 @@ pub fn load_bundle_dir(
         None
     };
     Ok((bundle, reader))
+}
+
+/// Scrub a bundle directory: verify every `BUNDLE` section's size and
+/// checksum, then — when graph sections are present — run the store's own
+/// block-level scrub over `<dir>/graph` so damage is located to a 64 KiB
+/// block, not just a file. Unlike [`load_bundle_dir`] this keeps going after
+/// the first problem, so one pass reports *all* damage. `Err` only when
+/// `dir` has no `BUNDLE` manifest at all or the directory is unreadable.
+pub fn scrub_bundle_dir(dir: impl AsRef<Path>) -> Result<ScrubReport, ServeError> {
+    let dir = dir.as_ref();
+    let text = std::fs::read_to_string(dir.join(DIR_MANIFEST_NAME))?;
+    let mut report = ScrubReport::default();
+    let sections = match parse_dir_manifest(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            report.sections.push(ScrubSection {
+                file: DIR_MANIFEST_NAME.into(),
+                bytes: text.len() as u64,
+                blocks_checked: 0,
+                error: Some(e.to_string()),
+            });
+            return Ok(report);
+        }
+    };
+    report.sections.push(ScrubSection {
+        file: DIR_MANIFEST_NAME.into(),
+        bytes: text.len() as u64,
+        blocks_checked: 0,
+        error: None,
+    });
+
+    let mut has_graph = false;
+    for (s, at) in &sections {
+        has_graph |= s.kind == "graph";
+        let error = match section_path(dir, &s.rel, *at) {
+            Ok(path) => verify_section(&path, s),
+            Err(e) => Some(e.to_string()),
+        };
+        report.sections.push(ScrubSection {
+            file: s.rel.clone(),
+            bytes: s.bytes,
+            blocks_checked: 0,
+            error,
+        });
+    }
+
+    // Second, finer-grained pass over the embedded store: per-block
+    // checksums narrow any graph damage to its 64 KiB block.
+    if has_graph {
+        match rmpi_store::scrub_store(dir.join(GRAPH_DIR)) {
+            Ok(inner) => report.sections.extend(inner.sections.into_iter().map(|mut sec| {
+                sec.file = format!("{GRAPH_DIR}/{}", sec.file);
+                sec
+            })),
+            Err(e) => report.sections.push(ScrubSection {
+                file: format!("{GRAPH_DIR}/"),
+                bytes: 0,
+                blocks_checked: 0,
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+    Ok(report)
+}
+
+/// Size-then-checksum verification of one `BUNDLE` section; `None` = clean.
+fn verify_section(path: &Path, s: &Section) -> Option<String> {
+    let len = match std::fs::metadata(path) {
+        Ok(m) => m.len(),
+        Err(e) => return Some(e.to_string()),
+    };
+    if len != s.bytes {
+        return Some(format!("expected {} bytes, found {len}", s.bytes));
+    }
+    match hash_file(path) {
+        Ok(h) if h == s.checksum => None,
+        Ok(h) => Some(format!("checksum mismatch: manifest {:016x}, file {h:016x}", s.checksum)),
+        Err(e) => Some(e.to_string()),
+    }
 }
 
 /// FNV-64 of a whole file, streamed.

@@ -27,6 +27,19 @@
 //! previous model keeps serving. Scoring panics are caught per request and
 //! surface as [`ServeError::Internal`] — one poisoned query never takes the
 //! engine down.
+//!
+//! # Degraded mode
+//!
+//! A store-backed engine that hits **confirmed corruption** (a block whose
+//! checksum mismatch survived every re-read, or a truncated segment) stops
+//! trusting the disk: it flips into degraded mode — sticky for the life of
+//! the process, surfaced through [`Engine::is_degraded`], `HEALTH`, and the
+//! `store.degraded` gauge. While degraded, cache hits keep serving normally
+//! (those subgraphs were extracted from verified bytes), but a request that
+//! would need fresh disk reads is answered [`ServeError::Degraded`]
+//! (`ERR degraded` on the wire) instead of a possibly-wrong score. Transient
+//! read failures never degrade the engine — the reader retries them, and
+//! exhaustion surfaces as [`ServeError::Internal`].
 
 use crate::error::ServeError;
 use crate::stats::ServeStats;
@@ -35,12 +48,13 @@ use rmpi_core::{RmpiModel, SampleInput, ScoringModel};
 use rmpi_kg::{CsrGraph, EntityId, KnowledgeGraph, RelationId, Triple};
 use rmpi_obs::MetricsRegistry;
 use rmpi_runtime::{panic_message, ThreadPool};
-use rmpi_store::{NeighborhoodView, StoreReader};
+use rmpi_store::{NeighborhoodView, StoreError, StoreReader};
 use rmpi_subgraph::{LruCache, SubgraphKey};
 use rmpi_testutil::failpoint;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -153,26 +167,33 @@ impl GraphBackend {
         }
     }
 
-    /// A known triple to validate reload candidates against.
+    /// A known triple to validate reload candidates against. A store that
+    /// cannot even read triple 0 yields `None` — validation then skips the
+    /// probe score rather than wedging reloads behind a broken disk.
     fn probe(&self) -> Option<Triple> {
         match self {
             GraphBackend::Memory { graph, .. } => graph.triples().first().copied(),
-            GraphBackend::Store(reader) => (reader.num_triples() > 0)
-                .then(|| reader.triple_at(0).expect("store read failed (probe)")),
+            GraphBackend::Store(reader) => {
+                (reader.num_triples() > 0).then(|| reader.triple_at(0).ok()).flatten()
+            }
         }
     }
 
-    /// Extract the forward input for `target`. Store IO failures panic and
-    /// are caught by the callers' `catch_unwind`, surfacing as
-    /// [`ServeError::Internal`] rather than a poisoned engine.
-    fn prepare(&self, model: &RmpiModel, target: Triple, seed: u64) -> SampleInput {
+    /// Extract the forward input for `target`. Store failures surface as
+    /// [`StoreError`] so the caller can tell confirmed corruption (degrade)
+    /// from exhausted transient retries (internal error).
+    fn prepare(
+        &self,
+        model: &RmpiModel,
+        target: Triple,
+        seed: u64,
+    ) -> Result<SampleInput, StoreError> {
         match self {
-            GraphBackend::Memory { csr, .. } => model.prepare_eval_sample(csr, target, seed),
+            GraphBackend::Memory { csr, .. } => Ok(model.prepare_eval_sample(csr, target, seed)),
             GraphBackend::Store(reader) => {
                 let mut view = NeighborhoodView::new(reader);
-                view.pin(target.head, target.tail, model.context_radius())
-                    .expect("store read failed (pin)");
-                model.prepare_eval_sample(&view, target, seed)
+                view.pin(target.head, target.tail, model.context_radius())?;
+                Ok(model.prepare_eval_sample(&view, target, seed))
             }
         }
     }
@@ -189,6 +210,11 @@ pub struct Engine {
     candidates: Vec<EntityId>,
     seed: u64,
     cache_capacity: usize,
+    /// Sticky corruption latch: set once the store backend confirms bad
+    /// bytes, never cleared for the life of the process.
+    degraded: AtomicBool,
+    /// `store.degraded` — 0 healthy, 1 once corruption is confirmed.
+    degraded_gauge: rmpi_obs::Gauge,
 }
 
 impl Engine {
@@ -234,14 +260,56 @@ impl Engine {
         registry: Arc<MetricsRegistry>,
     ) -> Self {
         let candidates = backend.present_entities();
+        let stats = ServeStats::with_registry(registry);
+        let degraded_gauge = stats.registry().gauge("store.degraded");
+        degraded_gauge.set(0);
         Engine {
             state: RwLock::new(ModelState::new(model, cfg.cache_capacity)),
             backend,
             pool: ThreadPool::new(cfg.threads),
-            stats: ServeStats::with_registry(registry),
+            stats,
             candidates,
             seed: cfg.seed,
             cache_capacity: cfg.cache_capacity,
+            degraded: AtomicBool::new(false),
+            degraded_gauge,
+        }
+    }
+
+    /// Whether confirmed store corruption has flipped this engine into
+    /// degraded (cache-only) serving. Sticky: a degraded engine stays
+    /// degraded until the process is restarted over a repaired store.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Latch degraded mode: first caller flips the gauge and logs, everyone
+    /// else is a no-op. Never called for transient failures.
+    fn enter_degraded(&self, why: &str) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            self.degraded_gauge.set(1);
+            eprintln!(
+                "[rmpi-serve] store corruption confirmed, entering degraded mode \
+                 (cache-only serving): {why}"
+            );
+        }
+    }
+
+    /// Count and build the `ERR degraded` answer for one rejected request.
+    fn degraded_reject(&self, message: String) -> ServeError {
+        self.stats.degraded_rejects.inc();
+        ServeError::Degraded(message)
+    }
+
+    /// Route a caught scoring failure: panics whose message carries the
+    /// store's corruption signature degrade the engine (a worker hit bad
+    /// bytes mid-extraction); anything else is an internal error.
+    fn classify_failure(&self, message: String) -> ServeError {
+        if message.contains("corrupt store file") {
+            self.enter_degraded(&message);
+            self.degraded_reject(message)
+        } else {
+            self.internal(message)
         }
     }
 
@@ -343,9 +411,23 @@ impl Engine {
     }
 
     fn try_reload(&self, path: &Path) -> Result<(), ServeError> {
-        let bundle = crate::bundle::load_bundle_file(path)?;
-        self.validate_candidate(&bundle.model).map_err(ServeError::Reload)?;
-        let state = ModelState::new(bundle.model, self.cache_capacity);
+        let model = if path.join(crate::bundledir::DIR_MANIFEST_NAME).is_file() {
+            // A bundle directory: every section — params AND the graph store,
+            // when present — is size- and checksum-verified before the swap,
+            // so a corrupt graph rejects the reload instead of being
+            // discovered mid-query later. Only the model is swapped; the
+            // engine keeps its own backend, so the validation reader is
+            // dropped here.
+            let (bundle, _reader) = crate::bundledir::load_bundle_dir(
+                path,
+                rmpi_store::ReadMode::Stream { cache_blocks: 1 },
+            )?;
+            bundle.model
+        } else {
+            crate::bundle::load_bundle_file(path)?.model
+        };
+        self.validate_candidate(&model).map_err(ServeError::Reload)?;
+        let state = ModelState::new(model, self.cache_capacity);
         *self.state.write().expect("model lock") = state;
         Ok(())
     }
@@ -363,12 +445,16 @@ impl Engine {
         }
         if let Some(probe) = self.backend.probe() {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let sample = self.backend.prepare(model, probe, self.seed);
-                model.score_sample(&sample)
+                let sample = self.backend.prepare(model, probe, self.seed)?;
+                Ok(model.score_sample(&sample))
             }));
             match outcome {
-                Ok(s) if s.is_finite() => {}
-                Ok(s) => return Err(format!("probe score is non-finite ({s})")),
+                Ok(Ok(s)) if s.is_finite() => {}
+                Ok(Ok(s)) => return Err(format!("probe score is non-finite ({s})")),
+                Ok(Err(e)) => {
+                    let e: StoreError = e;
+                    return Err(format!("probe extraction failed: {e}"));
+                }
                 Err(p) => {
                     return Err(format!("probe scoring panicked: {}", panic_message(p.as_ref())))
                 }
@@ -388,17 +474,33 @@ impl Engine {
     /// The cached-extraction path: return the prepared forward input for
     /// `target`, extracting (and caching) it on a miss. Always reads and
     /// writes the cache belonging to the snapshot that will score the sample.
-    fn prepared(&self, state: &ModelState, target: Triple) -> SampleInput {
+    ///
+    /// Cache hits serve even while degraded — those subgraphs came from
+    /// verified bytes. A miss while degraded is rejected without touching
+    /// the disk; a miss that *confirms* corruption flips the engine into
+    /// degraded mode.
+    fn prepared(&self, state: &ModelState, target: Triple) -> Result<SampleInput, ServeError> {
         let key = SubgraphKey::new(target, state.model.config().hop);
         if let Some(sample) = state.cache.lock().expect("cache lock").get(&key) {
-            return sample.clone();
+            return Ok(sample.clone());
+        }
+        if self.is_degraded() {
+            return Err(self
+                .degraded_reject("store is quarantined and the subgraph is not cached".into()));
         }
         // extraction happens outside the lock: concurrent misses on the same
         // key duplicate work but produce identical samples, so correctness
         // (and bit-parity) is unaffected
-        let sample = self.backend.prepare(&state.model, target, self.seed);
+        let sample = match self.backend.prepare(&state.model, target, self.seed) {
+            Ok(sample) => sample,
+            Err(e) if e.is_corruption() => {
+                self.enter_degraded(&e.to_string());
+                return Err(self.degraded_reject(e.to_string()));
+            }
+            Err(e) => return Err(self.internal(e.to_string())),
+        };
         state.cache.lock().expect("cache lock").insert(key, sample.clone());
-        sample
+        Ok(sample)
     }
 
     fn internal(&self, message: String) -> ServeError {
@@ -415,15 +517,16 @@ impl Engine {
         let t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             failpoint::point(SCORE_FAILPOINT);
-            let sample = self.prepared(&state, target);
-            state.model.score_sample(&sample)
+            let sample = self.prepared(&state, target)?;
+            Ok(state.model.score_sample(&sample))
         }));
         match outcome {
-            Ok(score) => {
+            Ok(Ok(score)) => {
                 self.stats.record_score_call(1, t0.elapsed());
                 Ok(score)
             }
-            Err(p) => Err(self.internal(panic_message(p.as_ref()))),
+            Ok(Err(e)) => Err(e),
+            Err(p) => Err(self.classify_failure(panic_message(p.as_ref()))),
         }
     }
 
@@ -438,17 +541,18 @@ impl Engine {
         let t0 = Instant::now();
         let scores = self.pool.try_map_init(targets.len(), Tape::new, |tape, i| {
             failpoint::point(SCORE_FAILPOINT);
-            let sample = self.prepared(&state, targets[i]);
+            let sample = self.prepared(&state, targets[i])?;
             tape.reset();
             let v = state.model.score_sample_on_tape(tape, &sample);
-            tape.value(v).item()
+            Ok::<f32, ServeError>(tape.value(v).item())
         });
         match scores {
             Ok(scores) => {
+                let scores = scores.into_iter().collect::<Result<Vec<f32>, ServeError>>()?;
                 self.stats.record_score_call(targets.len() as u64, t0.elapsed());
                 Ok(scores)
             }
-            Err(e) => Err(self.internal(e.to_string())),
+            Err(e) => Err(self.classify_failure(e.to_string())),
         }
     }
 
@@ -468,14 +572,14 @@ impl Engine {
         let scores = self.pool.try_map_init(self.candidates.len(), Tape::new, |tape, i| {
             failpoint::point(SCORE_FAILPOINT);
             let sample =
-                self.prepared(&state, Triple { head, relation, tail: self.candidates[i] });
+                self.prepared(&state, Triple { head, relation, tail: self.candidates[i] })?;
             tape.reset();
             let v = state.model.score_sample_on_tape(tape, &sample);
-            tape.value(v).item()
+            Ok::<f32, ServeError>(tape.value(v).item())
         });
         let scores = match scores {
-            Ok(s) => s,
-            Err(e) => return Err(self.internal(e.to_string())),
+            Ok(s) => s.into_iter().collect::<Result<Vec<f32>, ServeError>>()?,
+            Err(e) => return Err(self.classify_failure(e.to_string())),
         };
         let mut ranked: Vec<(EntityId, f32)> =
             self.candidates.iter().copied().zip(scores).collect();
@@ -731,5 +835,120 @@ mod tests {
         let healthy = engine.score(t).unwrap();
         assert!(healthy.is_finite());
         assert_eq!(engine.score_batch(&[t]).unwrap(), vec![healthy]);
+    }
+
+    fn store_test_graph() -> KnowledgeGraph {
+        KnowledgeGraph::from_triples(vec![
+            Triple::new(0u32, 0u32, 1u32),
+            Triple::new(1u32, 1u32, 3u32),
+            Triple::new(0u32, 2u32, 2u32),
+            Triple::new(2u32, 3u32, 3u32),
+            Triple::new(3u32, 4u32, 4u32),
+        ])
+    }
+
+    #[test]
+    fn confirmed_corruption_degrades_engine_but_cache_keeps_serving() {
+        use rmpi_store::{build_from_graph, ReadMode, StoreConfig, StoreReader};
+        use std::io::{Read as _, Seek, SeekFrom, Write};
+        let graph = store_test_graph();
+        let dir =
+            std::env::temp_dir().join(format!("rmpi-engine-degraded-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
+
+        let model = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 0);
+        // cache_blocks: 1 — any two-file pin alternates fwd/inv reads, so an
+        // uncached query is guaranteed to touch the disk again
+        let reader =
+            Arc::new(StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 1 }).unwrap());
+        let engine = Engine::with_backend(
+            model,
+            GraphBackend::Store(reader),
+            EngineConfig { seed: 9, cache_capacity: 16, threads: 1 },
+            Arc::new(rmpi_obs::MetricsRegistry::new()),
+        );
+        assert!(!engine.is_degraded());
+        let cached = Triple::new(0u32, 1u32, 2u32);
+        let before = engine.score(cached).unwrap();
+
+        // flip one data bit in the forward segment, in place: the reader's
+        // already-open descriptor sees the damaged bytes on its next pread
+        let seg = dir.join("fwd-00000.seg");
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(&seg).unwrap();
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).unwrap();
+        f.seek(SeekFrom::Start(0)).unwrap();
+        f.write_all(&[byte[0] ^ 0x40]).unwrap();
+        f.sync_all().unwrap();
+
+        // the uncached query needs fresh reads -> block checksum mismatch
+        // survives every re-read -> degraded, never a wrong score
+        let uncached = Triple::new(3u32, 2u32, 1u32);
+        let err = engine.score(uncached).unwrap_err();
+        assert!(matches!(err, ServeError::Degraded(_)), "{err}");
+        assert!(engine.is_degraded());
+
+        // cache hits keep serving bit-identically; uncached stays rejected
+        // with no further disk traffic
+        assert_eq!(engine.score(cached).unwrap(), before);
+        let err = engine.score(uncached).unwrap_err();
+        assert!(matches!(err, ServeError::Degraded(_)), "{err}");
+        assert!(engine.stats().degraded_rejects.get() >= 2);
+        assert_eq!(engine.stats().internal_errors.get(), 0);
+        let metrics = engine.metrics_json();
+        assert!(metrics.contains("\"store.degraded\": 1"), "{metrics}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_read_faults_are_retried_not_degraded() {
+        use rmpi_store::{build_from_graph, ReadMode, StoreConfig, StoreOptions, StoreReader};
+        use rmpi_testutil::chaosfile::ChaosFileConfig;
+        let graph = store_test_graph();
+        let dir =
+            std::env::temp_dir().join(format!("rmpi-engine-transient-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
+
+        let mk_model =
+            || RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 0);
+        let cfg = EngineConfig { seed: 9, cache_capacity: 0, threads: 1 };
+        let clean_reader =
+            Arc::new(StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 1 }).unwrap());
+        let clean = Engine::with_backend(
+            mk_model(),
+            GraphBackend::Store(clean_reader),
+            cfg,
+            Arc::new(rmpi_obs::MetricsRegistry::new()),
+        );
+        let registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+        let opts = StoreOptions {
+            mode: ReadMode::Stream { cache_blocks: 1 },
+            chaos: Some(ChaosFileConfig {
+                seed: 7,
+                transient_rate: 0.2,
+                delay: std::time::Duration::ZERO,
+                ..ChaosFileConfig::default()
+            }),
+            ..StoreOptions::default()
+        };
+        let faulty_reader = Arc::new(StoreReader::open_opts(&dir, opts, &registry).unwrap());
+        let faulty = Engine::with_backend(
+            mk_model(),
+            GraphBackend::Store(faulty_reader),
+            cfg,
+            Arc::clone(&registry),
+        );
+
+        let targets: Vec<Triple> =
+            (0..12u32).map(|i| Triple::new(i % 5, i % 6, (i + 1) % 5)).collect();
+        for &t in &targets {
+            assert_eq!(faulty.score(t).unwrap(), clean.score(t).unwrap(), "{t:?}");
+        }
+        assert!(!faulty.is_degraded(), "transient faults must never degrade the engine");
+        let dump = registry.to_json();
+        assert!(dump.contains("\"store.read_retries.count\""), "{dump}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -62,6 +62,10 @@ pub enum ServeError {
     /// A hot-reload candidate bundle failed validation; the previous model
     /// keeps serving.
     Reload(String),
+    /// The engine's store backend hit confirmed corruption and the request
+    /// needed fresh disk reads: answered `ERR degraded` rather than a
+    /// possibly-wrong score. Cache hits keep serving.
+    Degraded(String),
     /// A request handler panicked; the worker survived and answered `ERR`.
     Internal(String),
     /// Underlying I/O failure.
@@ -93,6 +97,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::ConnLimit => write!(f, "too many connections"),
             ServeError::Reload(msg) => write!(f, "reload rejected: {msg}"),
+            ServeError::Degraded(msg) => write!(f, "degraded: {msg}"),
             ServeError::Internal(msg) => write!(f, "internal: {msg}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
         }

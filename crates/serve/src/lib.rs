@@ -43,7 +43,7 @@ pub mod server;
 pub mod stats;
 
 pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
-pub use bundledir::{load_bundle_dir, save_bundle_dir};
+pub use bundledir::{load_bundle_dir, save_bundle_dir, scrub_bundle_dir, DIR_MANIFEST_NAME};
 pub use engine::{Engine, EngineConfig, GraphBackend, ModelSnapshot, SCORE_FAILPOINT};
 pub use error::ServeError;
 pub use protocol::{parse_request, Request};

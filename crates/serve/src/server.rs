@@ -386,8 +386,12 @@ fn dispatch(shared: &Shared, line: &str) -> Result<String, ServeError> {
         Request::Metrics => Ok(format!("OK {}", shared.engine.metrics_json())),
         Request::Health => {
             let model = shared.engine.model();
+            // degraded still answers OK-prefixed: the process is alive and
+            // serving cache hits, so failover probes must not kill it — but
+            // operators (and tests) can see the store is quarantined
+            let status = if shared.engine.is_degraded() { "degraded" } else { "healthy" };
             Ok(format!(
-                "OK healthy relations={} entities={}",
+                "OK {status} relations={} entities={}",
                 model.num_relations(),
                 shared.engine.num_entities()
             ))

@@ -41,6 +41,9 @@ pub struct ServeStats {
     /// `serve.internal_errors.count` — panicking requests answered
     /// `ERR internal`.
     pub internal_errors: Counter,
+    /// `serve.degraded_rejects.count` — requests answered `ERR degraded`
+    /// because they needed fresh disk reads from a corrupt store.
+    pub degraded_rejects: Counter,
     /// `serve.rejected_overlong.count` — request lines over the configured
     /// byte cap, answered `ERR request too long` and disconnected.
     pub rejected_overlong: Counter,
@@ -86,6 +89,7 @@ impl ServeStats {
             reloads: registry.counter("serve.reloads.count"),
             reload_failures: registry.counter("serve.reload_failures.count"),
             internal_errors: registry.counter("serve.internal_errors.count"),
+            degraded_rejects: registry.counter("serve.degraded_rejects.count"),
             rejected_overlong: registry.counter("serve.rejected_overlong.count"),
             idle_closed: registry.counter("serve.idle_closed.count"),
             rejected_conn_limit: registry.counter("serve.rejected_conn_limit.count"),
@@ -148,6 +152,7 @@ impl ServeStats {
         o.field_u64("reloads", self.reloads.get());
         o.field_u64("reload_failures", self.reload_failures.get());
         o.field_u64("internal_errors", self.internal_errors.get());
+        o.field_u64("degraded_rejects", self.degraded_rejects.get());
         o.field_u64("rejected_overlong", self.rejected_overlong.get());
         o.field_u64("idle_closed", self.idle_closed.get());
         o.field_u64("rejected_conn_limit", self.rejected_conn_limit.get());

@@ -164,6 +164,45 @@ fn wire_reload_swaps_model_validates_and_counts() {
 }
 
 #[test]
+fn reload_rejects_bundle_directory_with_corrupt_graph_section() {
+    let _lock = failpoint::exclusive();
+    let dir = tmp_dir("dir-reload");
+    let store_dir = dir.join("world.store");
+    rmpi_store::build_from_graph(&store_dir, rmpi_store::StoreConfig::default(), &toy_graph())
+        .unwrap();
+
+    let good = dir.join("good.bundled");
+    rmpi_serve::save_bundle_dir(&good, &model(2), &[], Some(&store_dir)).unwrap();
+    let bad = dir.join("bad.bundled");
+    rmpi_serve::save_bundle_dir(&bad, &model(2), &[], Some(&store_dir)).unwrap();
+    // one flipped byte inside the bad copy's graph store
+    let seg = bad.join("graph").join("fwd-00000.seg");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&seg, bytes).unwrap();
+
+    let base = dir.join("base.bundle");
+    save_bundle_file(&base, &model(1), &[]).unwrap();
+    let engine = engine_for_bundle(&base);
+    let before = engine.score_batch(&PROBES).unwrap();
+
+    // validate-before-swap: the corrupt graph section is caught by the
+    // BUNDLE checksum pass and named; the old model keeps serving
+    let err = engine.reload_from(&bad).unwrap_err();
+    assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    assert!(err.to_string().contains("fwd-00000.seg"), "{err}");
+    assert_eq!(engine.stats().reload_failures.get(), 1);
+    assert_eq!(engine.score_batch(&PROBES).unwrap(), before, "old model keeps serving");
+
+    // the undamaged copy of the same directory swaps in fine
+    engine.reload_from(&good).unwrap();
+    assert_eq!(engine.stats().reloads.get(), 1);
+    let after = engine.score_batch(&PROBES).unwrap();
+    assert_ne!(after, before, "reloaded weights must actually serve");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn wire_request_panic_answers_err_internal_and_connection_survives() {
     let _lock = failpoint::exclusive();
     let dir = tmp_dir("wire-panic");

@@ -21,13 +21,31 @@
 //! a crashed build leaves no manifest, and [`crate::StoreReader::open`]
 //! refuses the directory instead of reading half a store.
 
-use crate::format::{encode_fwd, encode_inv, Fnv64, FWD_RECORD_BYTES, INV_RECORD_BYTES};
+use crate::format::{
+    encode_fwd, encode_inv, Fnv64, FWD_BLOCK_BYTES, FWD_RECORD_BYTES, INV_BLOCK_BYTES,
+    INV_RECORD_BYTES,
+};
 use crate::manifest::{fwd_name, inv_name, Manifest, SegmentMeta, INDEX_NAME, MANIFEST_NAME};
 use crate::{Result, StoreError};
 use rmpi_kg::{KnowledgeGraph, Triple};
+use rmpi_testutil::failpoint;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Failpoint hit once per record appended to a segment (`arm_after` to
+/// interrupt a build mid-segment).
+pub const SEG_WRITE_FAILPOINT: &str = "store::seg_write";
+
+/// Failpoint hit when a finished segment is flushed and fsynced.
+pub const SEG_CLOSE_FAILPOINT: &str = "store::seg_close";
+
+/// Failpoint hit before the offsets index is written.
+pub const INDEX_WRITE_FAILPOINT: &str = "store::index_write";
+
+/// Failpoint hit before the manifest is atomically published — the last
+/// moment a crash leaves a directory without a commit point.
+pub const PUBLISH_FAILPOINT: &str = "store::publish";
 
 /// Tuning knobs for [`StoreBuilder`]. The defaults build a 10M-triple world
 /// comfortably inside a couple hundred MiB of RSS.
@@ -67,36 +85,61 @@ pub struct StoreSummary {
 }
 
 /// One segment file being written: bytes are hashed as they are handed to
-/// the `BufWriter`, so closing a segment yields its checksum without a
-/// second read.
+/// the `BufWriter` — both a whole-file sum and a rolling per-64 KiB-block
+/// sum — so closing a segment yields its full checksum table without a
+/// second read. `block_bytes` is a record multiple, so block boundaries
+/// always land between records.
 struct SegWriter {
     file: String,
     out: BufWriter<File>,
     hash: Fnv64,
+    block_hash: Fnv64,
+    block_bytes: u64,
+    block_sums: Vec<u64>,
     bytes: u64,
     records: u64,
 }
 
 impl SegWriter {
-    fn create(dir: &Path, file: String) -> Result<SegWriter> {
+    fn create(dir: &Path, file: String, block_bytes: u64) -> Result<SegWriter> {
         let f = File::create(dir.join(&file))?;
-        Ok(SegWriter { file, out: BufWriter::new(f), hash: Fnv64::new(), bytes: 0, records: 0 })
+        Ok(SegWriter {
+            file,
+            out: BufWriter::new(f),
+            hash: Fnv64::new(),
+            block_hash: Fnv64::new(),
+            block_bytes,
+            block_sums: Vec::new(),
+            bytes: 0,
+            records: 0,
+        })
     }
 
     fn write_record(&mut self, rec: &[u8]) -> Result<()> {
+        failpoint::io(SEG_WRITE_FAILPOINT)?;
         self.hash.update(rec);
+        self.block_hash.update(rec);
         self.out.write_all(rec)?;
         self.bytes += rec.len() as u64;
         self.records += 1;
+        if self.bytes % self.block_bytes == 0 {
+            self.block_sums.push(self.block_hash.finish());
+            self.block_hash = Fnv64::new();
+        }
         Ok(())
     }
 
-    fn close(self) -> Result<SegmentMeta> {
+    fn close(mut self) -> Result<SegmentMeta> {
+        failpoint::io(SEG_CLOSE_FAILPOINT)?;
+        if self.bytes % self.block_bytes != 0 {
+            self.block_sums.push(self.block_hash.finish());
+        }
         let meta = SegmentMeta {
             file: self.file,
             records: self.records,
             bytes: self.bytes,
             checksum: self.hash.finish(),
+            block_sums: self.block_sums,
         };
         let file = self.out.into_inner().map_err(|e| StoreError::Io(e.into_error()))?;
         file.sync_all()?;
@@ -178,7 +221,7 @@ impl StoreBuilder {
         self.in_deg[ti] += 1;
 
         if self.cur.is_none() {
-            self.cur = Some(SegWriter::create(&self.dir, fwd_name(self.fwd.len()))?);
+            self.cur = Some(SegWriter::create(&self.dir, fwd_name(self.fwd.len()), FWD_BLOCK_BYTES)?);
         }
         let mut rec = [0u8; FWD_RECORD_BYTES];
         encode_fwd(t, &mut rec);
@@ -217,6 +260,7 @@ impl StoreBuilder {
         let (inv, passes) = self.transpose(&in_off)?;
 
         // Offsets index: out_off ++ in_off, u64 LE, hashed on the way out.
+        failpoint::io(INDEX_WRITE_FAILPOINT)?;
         let mut index_hash = Fnv64::new();
         let mut index_bytes = 0u64;
         {
@@ -233,6 +277,7 @@ impl StoreBuilder {
         }
 
         let manifest = Manifest {
+            version: 2,
             num_entities: n as u64,
             num_relations: self.max_relation,
             num_triples: self.total,
@@ -308,7 +353,7 @@ impl StoreBuilder {
             let mut rec = [0u8; INV_RECORD_BYTES];
             for &(tail, rel, head, fi) in &scratch {
                 if cur.is_none() {
-                    cur = Some(SegWriter::create(&self.dir, inv_name(inv_segs.len()))?);
+                    cur = Some(SegWriter::create(&self.dir, inv_name(inv_segs.len()), INV_BLOCK_BYTES)?);
                 }
                 encode_inv(
                     rmpi_kg::EntityId(tail),
@@ -358,8 +403,11 @@ pub fn build_from_graph(
 }
 
 /// Write `bytes` to `dir/name` atomically: temp file, fsync, rename, then
-/// best-effort directory fsync.
+/// directory fsync. The directory fsync is what makes the *rename* durable;
+/// when it fails the publish still completed, so the failure is counted and
+/// logged (`io.dir_fsync_failures`) rather than returned.
 fn atomic_publish(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
+    failpoint::io(PUBLISH_FAILPOINT)?;
     let tmp = dir.join(format!("{name}.tmp"));
     {
         let mut f = File::create(&tmp)?;
@@ -367,8 +415,9 @@ fn atomic_publish(dir: &Path, name: &str, bytes: &[u8]) -> Result<()> {
         f.sync_all()?;
     }
     fs::rename(&tmp, dir.join(name))?;
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+    match File::open(dir).and_then(|d| d.sync_all()) {
+        Ok(()) => {}
+        Err(e) => rmpi_obs::note_dir_fsync_failure(dir, &e),
     }
     Ok(())
 }

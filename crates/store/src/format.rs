@@ -14,6 +14,22 @@ pub const FWD_RECORD_BYTES: usize = 12;
 /// Bytes per inverse record: `(tail, relation, head, fwd_idx)`.
 pub const INV_RECORD_BYTES: usize = 16;
 
+/// Forward records per checksum/cache block (× 12 bytes ≈ 64 KiB).
+///
+/// Shared by the builder (per-block checksum table in manifest v2) and the
+/// reader (block cache + cache-fill verification): both sides must agree on
+/// block geometry or the sums are meaningless.
+pub const FWD_BLOCK_RECORDS: u64 = 5461;
+
+/// Inverse records per checksum/cache block (× 16 bytes = 64 KiB).
+pub const INV_BLOCK_RECORDS: u64 = 4096;
+
+/// Bytes per forward block (65 532).
+pub const FWD_BLOCK_BYTES: u64 = FWD_BLOCK_RECORDS * FWD_RECORD_BYTES as u64;
+
+/// Bytes per inverse block (65 536).
+pub const INV_BLOCK_BYTES: u64 = INV_BLOCK_RECORDS * INV_RECORD_BYTES as u64;
+
 /// Encode a forward record.
 #[inline]
 pub fn encode_fwd(t: Triple, out: &mut [u8; FWD_RECORD_BYTES]) {

@@ -42,12 +42,20 @@ mod builder;
 mod format;
 mod manifest;
 mod reader;
+mod scrub;
 mod view;
 
-pub use builder::{build_from_graph, build_from_sorted, StoreBuilder, StoreConfig, StoreSummary};
-pub use format::{fnv64, Fnv64, FWD_RECORD_BYTES, INV_RECORD_BYTES};
+pub use builder::{
+    build_from_graph, build_from_sorted, StoreBuilder, StoreConfig, StoreSummary,
+    INDEX_WRITE_FAILPOINT, PUBLISH_FAILPOINT, SEG_CLOSE_FAILPOINT, SEG_WRITE_FAILPOINT,
+};
+pub use format::{
+    fnv64, Fnv64, FWD_BLOCK_BYTES, FWD_BLOCK_RECORDS, FWD_RECORD_BYTES, INV_BLOCK_BYTES,
+    INV_BLOCK_RECORDS, INV_RECORD_BYTES,
+};
 pub use manifest::{Manifest, SegmentMeta, INDEX_NAME, MANIFEST_NAME};
-pub use reader::{ReadMode, StoreReader};
+pub use reader::{ReadMode, RetryConfig, StoreOptions, StoreReader, PREAD_FAILPOINT};
+pub use scrub::{scrub_store, ScrubReport, ScrubSection};
 pub use view::NeighborhoodView;
 
 use std::fmt;
@@ -86,6 +94,41 @@ pub enum StoreError {
     },
     /// The directory does not contain a store.
     NotAStore(PathBuf),
+}
+
+impl StoreError {
+    /// Whether this failure is worth retrying: the bytes on disk may be
+    /// fine and only this attempt failed (interrupted/short `pread`,
+    /// device hiccup, timeout). The permanent I/O kinds — missing file,
+    /// permission, unexpected EOF against a manifest-declared length — are
+    /// not transient, and neither is any structural error.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => io_error_is_transient(e),
+            _ => false,
+        }
+    }
+
+    /// Whether this failure means the bytes themselves are wrong: checksum
+    /// or size disagreement with the manifest, or a manifest that fails to
+    /// parse/verify. A corrupt store must never be silently served from.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, StoreError::Corrupt { .. } | StoreError::Manifest { .. })
+    }
+}
+
+/// Transient I/O classification shared by the retry loop: everything is
+/// retryable except the kinds that cannot heal on a re-read.
+pub(crate) fn io_error_is_transient(e: &io::Error) -> bool {
+    !matches!(
+        e.kind(),
+        io::ErrorKind::NotFound
+            | io::ErrorKind::PermissionDenied
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::InvalidInput
+            | io::ErrorKind::InvalidData
+            | io::ErrorKind::Unsupported
+    )
 }
 
 impl fmt::Display for StoreError {

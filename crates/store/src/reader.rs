@@ -23,22 +23,87 @@
 //! Block sizes are multiples of the record sizes, so a record never
 //! straddles two blocks and every point read is one cache probe.
 
-use crate::format::{decode_fwd, decode_inv, Fnv64, FWD_RECORD_BYTES, INV_RECORD_BYTES};
-use crate::manifest::{Manifest, INDEX_NAME, MANIFEST_NAME};
-use crate::{Result, StoreError};
+use crate::format::{
+    decode_fwd, decode_inv, fnv64, Fnv64, FWD_BLOCK_BYTES, FWD_BLOCK_RECORDS, FWD_RECORD_BYTES,
+    INV_BLOCK_BYTES, INV_BLOCK_RECORDS, INV_RECORD_BYTES,
+};
+use crate::manifest::{Manifest, SegmentMeta, INDEX_NAME, MANIFEST_NAME};
+use crate::{io_error_is_transient, Result, StoreError};
 use rmpi_kg::{Edge, EntityId, Triple};
-use rmpi_obs::{Counter, MetricsRegistry};
-use std::collections::HashMap;
+use rmpi_obs::{Counter, Gauge, MetricsRegistry};
+use rmpi_testutil::chaosfile::{ChaosFile, ChaosFileConfig};
+use rmpi_testutil::failpoint;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{BufReader, Read};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
-/// Forward records per cache block (× 12 bytes ≈ 64 KiB).
-const FWD_BLOCK_RECORDS: u64 = 5461;
-/// Inverse records per cache block (× 16 bytes = 64 KiB).
-const INV_BLOCK_RECORDS: u64 = 4096;
+/// Failpoint hit before every positioned segment read (the `pread` path
+/// behind the block cache). Arm with an `io_error` action to exercise the
+/// retry loop without a chaos file.
+pub const PREAD_FAILPOINT: &str = "store::pread";
+
+/// Bounded-retry policy for transient `pread` failures. Attempt `k`
+/// (0-based, after the first) sleeps `backoff << (k - 1)` before re-reading;
+/// with the defaults that is 0.5/1/2 ms — long enough to ride out an
+/// interrupted syscall or device hiccup, short enough that a request-path
+/// read never stalls noticeably.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryConfig {
+    /// Total read attempts (first try included). Clamped to at least 1.
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per further attempt.
+    pub backoff: Duration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        // At a 10% transient-fault rate, 4 attempts leave ~1e-4 residual
+        // failure per block read — the bench_diskfault availability floor.
+        RetryConfig { attempts: 4, backoff: Duration::from_micros(500) }
+    }
+}
+
+/// Everything [`StoreReader::open_opts`] accepts beyond the directory:
+/// read mode, retry policy, and an optional seeded disk-fault injector for
+/// tests and benches.
+#[derive(Clone, Debug, Default)]
+pub struct StoreOptions {
+    /// How segment data reaches queries.
+    pub mode: ReadMode,
+    /// Transient-failure retry policy for positioned reads.
+    pub retry: RetryConfig,
+    /// When set, every segment file's `pread` path goes through a
+    /// [`ChaosFile`] with this configuration. Sequential sweeps
+    /// ([`StoreReader::for_each_triple`], [`StoreReader::verify`]) open
+    /// fresh file handles and are not disturbed.
+    pub chaos: Option<ChaosFileConfig>,
+}
+
+impl From<ReadMode> for StoreOptions {
+    fn from(mode: ReadMode) -> Self {
+        StoreOptions { mode, ..Default::default() }
+    }
+}
+
+/// A segment file handle for positioned reads — plain, or wrapped in a
+/// seeded fault injector.
+enum SegFile {
+    Plain(File),
+    Chaos(ChaosFile),
+}
+
+impl SegFile {
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+        match self {
+            SegFile::Plain(f) => f.read_exact_at(buf, offset),
+            SegFile::Chaos(c) => c.read_exact_at(buf, offset),
+        }
+    }
+}
 
 /// How segment data reaches queries. See the module docs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +177,19 @@ struct StoreMetrics {
     index_hits: Counter,
     /// Neighbourhood pins served (incremented by `NeighborhoodView`).
     pins: Counter,
+    /// Transient `pread` failures that were retried.
+    read_retries: Counter,
+    /// Reads that failed for good (transient retries exhausted, or a
+    /// permanent I/O error).
+    read_errors: Counter,
+    /// Block-checksum mismatches that triggered a re-read (torn or
+    /// in-flight corruption that a second read may heal).
+    checksum_retries: Counter,
+    /// Blocks confirmed corrupt (mismatch survived every re-read) and
+    /// quarantined.
+    corrupt_blocks: Counter,
+    /// Currently quarantined blocks.
+    quarantined: Gauge,
 }
 
 impl StoreMetrics {
@@ -121,6 +199,11 @@ impl StoreMetrics {
             bytes_scanned: r.counter("store.bytes_scanned.count"),
             index_hits: r.counter("store.index_hits.count"),
             pins: r.counter("store.pins.count"),
+            read_retries: r.counter("store.read_retries.count"),
+            read_errors: r.counter("store.read_errors.count"),
+            checksum_retries: r.counter("store.checksum_retries.count"),
+            corrupt_blocks: r.counter("store.corrupt_blocks.count"),
+            quarantined: r.gauge("store.quarantined_blocks"),
         }
     }
 }
@@ -132,16 +215,20 @@ pub struct StoreReader {
     dir: PathBuf,
     manifest: Manifest,
     mode: ReadMode,
+    retry: RetryConfig,
     /// `out_off[e] .. out_off[e+1]` = e's forward-record (triple-index) run.
     out_off: Vec<u64>,
     /// `in_off[e] .. in_off[e+1]` = e's inverse-record run.
     in_off: Vec<u64>,
-    fwd_files: Vec<File>,
-    inv_files: Vec<File>,
+    fwd_files: Vec<SegFile>,
+    inv_files: Vec<SegFile>,
     /// Per-segment bytes when fully resident.
     resident_fwd: Vec<Arc<Vec<u8>>>,
     resident_inv: Vec<Arc<Vec<u8>>>,
     cache: Mutex<BlockCache>,
+    /// Blocks whose checksum mismatch survived every re-read. Reads that
+    /// land here fail fast with `Corrupt` instead of re-touching bad media.
+    quarantine: Mutex<HashSet<(Kind, u32, u32)>>,
     metrics: StoreMetrics,
 }
 
@@ -163,16 +250,30 @@ impl StoreReader {
     }
 
     /// Open a store, registering `store.*` instruments on `registry`.
-    ///
-    /// Always verifies the index checksum (it is read anyway) and every
-    /// file's byte length against the manifest; `Resident` mode also
-    /// verifies segment checksums since it reads the bytes. `Stream` mode
-    /// defers segment checksums to [`StoreReader::verify`].
     pub fn open_with_registry(
         dir: impl AsRef<Path>,
         mode: ReadMode,
         registry: &MetricsRegistry,
     ) -> Result<StoreReader> {
+        StoreReader::open_opts(dir, StoreOptions::from(mode), registry)
+    }
+
+    /// Open a store with full [`StoreOptions`] control (retry policy,
+    /// optional chaos injection), registering `store.*` instruments on
+    /// `registry`.
+    ///
+    /// Always verifies the index checksum (it is read anyway) and every
+    /// file's byte length against the manifest; `Resident` mode also
+    /// verifies segment checksums since it reads the bytes. With a v2
+    /// manifest, `Stream` mode verifies every block's checksum at
+    /// cache-fill time; a v1 store defers segment checksums to
+    /// [`StoreReader::verify`].
+    pub fn open_opts(
+        dir: impl AsRef<Path>,
+        opts: StoreOptions,
+        registry: &MetricsRegistry,
+    ) -> Result<StoreReader> {
+        let mode = opts.mode;
         let dir = dir.as_ref().to_path_buf();
         let manifest_path = dir.join(MANIFEST_NAME);
         let text = match std::fs::read_to_string(&manifest_path) {
@@ -232,12 +333,12 @@ impl StoreReader {
             }
             Ok(f)
         };
-        let fwd_files: Vec<File> = manifest.fwd.iter().map(open_seg).collect::<Result<_>>()?;
-        let inv_files: Vec<File> = manifest.inv.iter().map(open_seg).collect::<Result<_>>()?;
+        let fwd_plain: Vec<File> = manifest.fwd.iter().map(open_seg).collect::<Result<_>>()?;
+        let inv_plain: Vec<File> = manifest.inv.iter().map(open_seg).collect::<Result<_>>()?;
 
         let (mut resident_fwd, mut resident_inv) = (Vec::new(), Vec::new());
         if mode == ReadMode::Resident {
-            let slurp = |meta: &crate::manifest::SegmentMeta, f: &File| -> Result<Arc<Vec<u8>>> {
+            let slurp = |meta: &SegmentMeta, f: &File| -> Result<Arc<Vec<u8>>> {
                 let mut buf = Vec::with_capacity(meta.bytes as usize);
                 let mut r = BufReader::new(f);
                 r.read_to_end(&mut buf)?;
@@ -251,13 +352,27 @@ impl StoreReader {
                 }
                 Ok(Arc::new(buf))
             };
-            for (m, f) in manifest.fwd.iter().zip(&fwd_files) {
+            for (m, f) in manifest.fwd.iter().zip(&fwd_plain) {
                 resident_fwd.push(slurp(m, f)?);
             }
-            for (m, f) in manifest.inv.iter().zip(&inv_files) {
+            for (m, f) in manifest.inv.iter().zip(&inv_plain) {
                 resident_inv.push(slurp(m, f)?);
             }
         }
+
+        // Fault injection applies only to the positioned-read (`pread`)
+        // path; resident bytes were already read and verified above.
+        let wrap = |files: Vec<File>| -> Vec<SegFile> {
+            files
+                .into_iter()
+                .map(|f| match (mode, opts.chaos) {
+                    (ReadMode::Stream { .. }, Some(cfg)) => SegFile::Chaos(ChaosFile::wrap(f, cfg)),
+                    _ => SegFile::Plain(f),
+                })
+                .collect()
+        };
+        let fwd_files = wrap(fwd_plain);
+        let inv_files = wrap(inv_plain);
 
         let cache_blocks = match mode {
             ReadMode::Resident => 1,
@@ -267,6 +382,7 @@ impl StoreReader {
             dir,
             manifest,
             mode,
+            retry: opts.retry,
             out_off,
             in_off,
             fwd_files,
@@ -274,6 +390,7 @@ impl StoreReader {
             resident_fwd,
             resident_inv,
             cache: Mutex::new(BlockCache { cap: cache_blocks, tick: 0, map: HashMap::new() }),
+            quarantine: Mutex::new(HashSet::new()),
             metrics: StoreMetrics::from_registry(registry),
         })
     }
@@ -335,6 +452,12 @@ impl StoreReader {
             .collect()
     }
 
+    /// Fetch one block through the cache, with bounded retry on transient
+    /// `pread` failures and (v2 manifests) checksum verification at
+    /// cache-fill time. A checksum mismatch is first re-read — a torn read
+    /// heals — and only a mismatch that survives every attempt is declared
+    /// corruption: the block is quarantined and every later read of it
+    /// fails fast.
     fn block(&self, kind: Kind, seg: usize, block: u64) -> Result<Arc<Vec<u8>>> {
         let resident = match kind {
             Kind::Fwd => &self.resident_fwd,
@@ -350,18 +473,86 @@ impl StoreReader {
             return Ok(hit);
         }
         let (files, metas, block_bytes) = match kind {
-            Kind::Fwd => (&self.fwd_files, &self.manifest.fwd, FWD_BLOCK_RECORDS * FWD_RECORD_BYTES as u64),
-            Kind::Inv => (&self.inv_files, &self.manifest.inv, INV_BLOCK_RECORDS * INV_RECORD_BYTES as u64),
+            Kind::Fwd => (&self.fwd_files, &self.manifest.fwd, FWD_BLOCK_BYTES),
+            Kind::Inv => (&self.inv_files, &self.manifest.inv, INV_BLOCK_BYTES),
         };
+        let meta = &metas[seg];
+        if self.quarantine.lock().expect("quarantine lock").contains(&key) {
+            return Err(StoreError::Corrupt {
+                file: meta.file.clone(),
+                offset: block * block_bytes,
+                message: format!("block {block} is quarantined after a confirmed checksum mismatch"),
+            });
+        }
         let off = block * block_bytes;
-        let len = (metas[seg].bytes - off).min(block_bytes) as usize;
+        let len = (meta.bytes - off).min(block_bytes) as usize;
+        let want = meta.block_sums.get(block as usize).copied();
+        let attempts = self.retry.attempts.max(1);
         let mut buf = vec![0u8; len];
-        files[seg].read_exact_at(&mut buf, off)?;
-        self.metrics.segment_reads.inc();
-        self.metrics.bytes_scanned.add(len as u64);
-        let data = Arc::new(buf);
-        self.cache.lock().expect("cache lock").insert(key, Arc::clone(&data));
-        Ok(data)
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff * (1 << (attempt - 1)));
+            }
+            match failpoint::io(PREAD_FAILPOINT).and_then(|()| files[seg].read_exact_at(&mut buf, off)) {
+                Err(e) if io_error_is_transient(&e) && attempt + 1 < attempts => {
+                    self.metrics.read_retries.inc();
+                    continue;
+                }
+                Err(e) => {
+                    self.metrics.read_errors.inc();
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        // The manifest promised these bytes exist; a short
+                        // file is truncation damage, not an environment
+                        // problem — quarantine like any other corruption.
+                        self.quarantine_block(key);
+                        return Err(StoreError::Corrupt {
+                            file: meta.file.clone(),
+                            offset: off,
+                            message: format!("unexpected EOF reading block {block}: {e}"),
+                        });
+                    }
+                    return Err(StoreError::Io(e));
+                }
+                Ok(()) => {
+                    self.metrics.segment_reads.inc();
+                    self.metrics.bytes_scanned.add(len as u64);
+                    if let Some(want) = want {
+                        let got = fnv64(&buf);
+                        if got != want {
+                            if attempt + 1 < attempts {
+                                self.metrics.checksum_retries.inc();
+                                continue;
+                            }
+                            self.quarantine_block(key);
+                            return Err(StoreError::Corrupt {
+                                file: meta.file.clone(),
+                                offset: off,
+                                message: format!(
+                                    "block {block} checksum mismatch: manifest {want:016x}, read {got:016x} (after {attempts} attempts)"
+                                ),
+                            });
+                        }
+                    }
+                    let data = Arc::new(buf);
+                    self.cache.lock().expect("cache lock").insert(key, Arc::clone(&data));
+                    return Ok(data);
+                }
+            }
+        }
+        // Transient failures exhausted every attempt.
+        self.metrics.read_errors.inc();
+        Err(StoreError::Io(std::io::Error::other(format!(
+            "read of {} block {block} failed after {attempts} transient errors",
+            meta.file
+        ))))
+    }
+
+    fn quarantine_block(&self, key: (Kind, u32, u32)) {
+        let mut q = self.quarantine.lock().expect("quarantine lock");
+        if q.insert(key) {
+            self.metrics.corrupt_blocks.inc();
+            self.metrics.quarantined.set(q.len() as i64);
+        }
     }
 
     /// Raw record bytes for global record `idx` of `kind`, via the cache.
@@ -465,6 +656,10 @@ impl StoreReader {
 
     /// Stream every triple in ascending triple-index order with sequential
     /// segment reads (bypasses the block cache; does not disturb it).
+    ///
+    /// With a v2 manifest, each 64 KiB block is checksum-verified **before**
+    /// its records are handed to `f` — a corrupt region stops the sweep at
+    /// the block boundary instead of first delivering damaged triples.
     pub fn for_each_triple(&self, mut f: impl FnMut(Triple)) -> Result<()> {
         if !self.resident_fwd.is_empty() {
             for bytes in &self.resident_fwd {
@@ -476,11 +671,27 @@ impl StoreReader {
         }
         for meta in &self.manifest.fwd {
             let file = File::open(self.dir.join(&meta.file))?;
-            let mut r = BufReader::with_capacity(1 << 16, file);
-            let mut rec = [0u8; FWD_RECORD_BYTES];
-            for _ in 0..meta.records {
-                r.read_exact(&mut rec)?;
-                f(decode_fwd(&rec));
+            let mut r = BufReader::with_capacity(FWD_BLOCK_BYTES as usize, file);
+            let blocks = SegmentMeta::block_count(meta.bytes, FWD_BLOCK_BYTES);
+            let mut buf = vec![0u8; FWD_BLOCK_BYTES as usize];
+            for b in 0..blocks {
+                let len = (meta.bytes - b * FWD_BLOCK_BYTES).min(FWD_BLOCK_BYTES) as usize;
+                r.read_exact(&mut buf[..len])?;
+                if let Some(&want) = meta.block_sums.get(b as usize) {
+                    let got = fnv64(&buf[..len]);
+                    if got != want {
+                        return Err(StoreError::Corrupt {
+                            file: meta.file.clone(),
+                            offset: b * FWD_BLOCK_BYTES,
+                            message: format!(
+                                "block {b} checksum mismatch during sweep: manifest {want:016x}, read {got:016x}"
+                            ),
+                        });
+                    }
+                }
+                for rec in buf[..len].chunks_exact(FWD_RECORD_BYTES) {
+                    f(decode_fwd(rec));
+                }
             }
             self.metrics.segment_reads.inc();
             self.metrics.bytes_scanned.add(meta.bytes);
@@ -523,6 +734,12 @@ impl StoreReader {
             }
         }
         Ok(())
+    }
+
+    /// Number of blocks currently quarantined on this handle (confirmed
+    /// checksum mismatches).
+    pub fn quarantined_blocks(&self) -> usize {
+        self.quarantine.lock().expect("quarantine lock").len()
     }
 
     /// Count one neighbourhood pin (called by `NeighborhoodView`).

@@ -7,7 +7,10 @@
 
 use proptest::prelude::*;
 use rmpi_kg::{CsrGraph, EntityId, GraphAccess, KnowledgeGraph, Triple};
-use rmpi_store::{build_from_sorted, NeighborhoodView, ReadMode, StoreConfig, StoreReader};
+use rmpi_store::{
+    build_from_sorted, fnv64, Fnv64, NeighborhoodView, ReadMode, StoreConfig, StoreError,
+    StoreReader,
+};
 use rmpi_subgraph::{disclosing_subgraph, enclosing_subgraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -115,4 +118,82 @@ proptest! {
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
+
+    /// Durability property: flip one bit anywhere in a finished store —
+    /// manifest, index or any segment — and a full read pass either fails
+    /// (a corruption/parse error, never a panic) or observes adjacency
+    /// bit-identical to the pristine store. Silently wrong data is the one
+    /// outcome that must be impossible, in both read modes.
+    #[test]
+    fn any_single_bit_flip_is_never_silently_wrong(
+        file_sel in 0usize..10_000,
+        byte_sel in 0usize..10_000_000,
+        bit in 0u8..8,
+    ) {
+        let triples = {
+            let mut v: Vec<Triple> = (0..400u32)
+                .map(|i| Triple::new(i % 40, i % 6, (i * 13 + 1) % 40))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let (dir, reader) = store_for(&triples);
+        let pristine = observe_everything_via(reader).unwrap();
+
+        let mut files: Vec<std::path::PathBuf> =
+            std::fs::read_dir(&dir).unwrap().map(|e| e.unwrap().path()).collect();
+        files.sort();
+        let victim = &files[file_sel % files.len()];
+        let mut bytes = std::fs::read(victim).unwrap();
+        prop_assert!(!bytes.is_empty(), "no store file is empty");
+        let at = byte_sel % bytes.len();
+        bytes[at] ^= 1u8 << bit;
+        std::fs::write(victim, &bytes).unwrap();
+
+        for mode in [ReadMode::Resident, ReadMode::Stream { cache_blocks: 2 }] {
+            match observe_everything(&dir, mode) {
+                Ok(digest) => prop_assert_eq!(
+                    digest, pristine,
+                    "flip {:?}[{at}] bit {bit} in {mode:?} read back silently different data",
+                    victim.file_name().unwrap()
+                ),
+                // Any error is acceptable — a flipped MANIFEST byte can even
+                // break UTF-8 — as long as it is permanent (never classified
+                // retryable: the damage is on disk, not in flight).
+                Err(e) => prop_assert!(!e.is_transient(), "flip classified transient: {e}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Open `dir` and read every adjacency surface the store serves — out/in
+/// edges per entity, point lookups, membership, the sequential sweep — and
+/// fold all of it into one digest.
+fn observe_everything(dir: &std::path::Path, mode: ReadMode) -> Result<u64, StoreError> {
+    observe_everything_via(StoreReader::open(dir, mode)?)
+}
+
+fn observe_everything_via(reader: StoreReader) -> Result<u64, StoreError> {
+    fn note(h: &mut Fnv64, t: Triple) {
+        h.update(&t.head.0.to_le_bytes());
+        h.update(&t.relation.0.to_le_bytes());
+        h.update(&t.tail.0.to_le_bytes());
+    }
+    fn note_edge(h: &mut Fnv64, e: rmpi_kg::Edge) {
+        h.update(&e.neighbor.0.to_le_bytes());
+        h.update(&e.relation.0.to_le_bytes());
+        h.update(&(e.triple_idx as u64).to_le_bytes());
+    }
+    let mut h = Fnv64::new();
+    for e in 0..reader.num_entities() as u32 {
+        reader.for_each_out_edge(EntityId(e), |edge| note_edge(&mut h, edge))?;
+        reader.for_each_in_edge(EntityId(e), |edge| note_edge(&mut h, edge))?;
+    }
+    for idx in 0..reader.num_triples() as u64 {
+        note(&mut h, reader.triple_at(idx)?);
+    }
+    reader.for_each_triple(|t| note(&mut h, t))?;
+    let head = fnv64(&(reader.num_entities() as u64).to_le_bytes());
+    Ok(h.finish() ^ head ^ fnv64(&(reader.num_triples() as u64).to_le_bytes()))
 }

@@ -35,10 +35,13 @@
 //! TCP proxy that injects *network* faults (refused connections, latency,
 //! truncated or cut responses) between a client and a server — failpoints
 //! break the process from the inside, the chaos proxy breaks the wire from
-//! the outside.
+//! the outside. The third is [`chaosfile`]: a seeded wrapper over positioned
+//! file reads that injects *disk* faults (EIO, short reads, silent bit
+//! flips, delays, truncation) underneath streaming readers.
 
 pub mod alloc;
 pub mod chaos;
+pub mod chaosfile;
 
 pub use alloc::CountingAllocator;
 
@@ -137,6 +140,16 @@ pub mod failpoint {
     /// Record a hit on `name` and return the action to apply, if it fires.
     /// This is the primitive the typed helpers below are built on.
     pub fn check(name: &str) -> Option<Action> {
+        // Parse RMPI_FAILPOINTS on the first check ever made: the ARMED fast
+        // path below would otherwise short-circuit before anything touches
+        // the registry, silently ignoring env-armed failpoints in processes
+        // that never call arm() (e.g. crash-test children).
+        static ENV_PARSED: OnceLock<()> = OnceLock::new();
+        ENV_PARSED.get_or_init(|| {
+            if std::env::var_os("RMPI_FAILPOINTS").is_some() {
+                let _ = registry();
+            }
+        });
         if ARMED.load(Ordering::Relaxed) == 0 {
             return None;
         }

@@ -31,7 +31,12 @@ cargo test -q -p rmpi-core stream::
 cargo test -q --test store_stack
 
 echo "== store bench smoke: build + seek + scan + extract on a tiny world (10 ms scale) =="
-cargo run --release -q -p rmpi-bench --bin bench_store -- --smoke >/dev/null
+SCRUB_DIR="$(mktemp -d)/world.store"
+cargo run --release -q -p rmpi-bench --bin bench_store -- --smoke --dir "$SCRUB_DIR" >/dev/null
+
+echo "== scrub smoke: integrity pass over the store the bench just built =="
+cargo run --release -q -p rmpi-bench --bin rmpi_scrub -- "$SCRUB_DIR" >/dev/null
+rm -rf "$(dirname "$SCRUB_DIR")"
 
 echo "== worker pool unit tests =="
 cargo test -q -p rmpi-runtime
@@ -51,6 +56,9 @@ cargo test -q -p rmpi-core --test crash_resume
 echo "== serve fault suite: hot reload atomicity, panic isolation, byte-offset diagnostics =="
 cargo test -q -p rmpi-serve --test faults
 
+echo "== bundle durability: single-bit flips never serve silently wrong scores (proptest) =="
+cargo test -q -p rmpi-serve --test bitflip
+
 echo "== protocol fuzz: garbage, binary and overlong lines always get one framed answer =="
 cargo test -q -p rmpi-serve --test fuzz_protocol
 
@@ -68,5 +76,8 @@ cargo run --release -q -p rmpi-bench --bin bench_resume
 
 echo "== chaos smoke: availability under injected faults, failover to a healthy standby =="
 cargo run --release -q -p rmpi-bench --bin bench_chaos -- --requests 30 --rates 0.0,0.25
+
+echo "== disk-fault smoke: retried transients, checksum-caught bit flips, degraded mode =="
+cargo run --release -q -p rmpi-bench --bin bench_diskfault -- --smoke >/dev/null
 
 echo "verify.sh: all checks passed"
