@@ -23,6 +23,9 @@ use std::time::Instant;
 
 const BATCH: usize = 96;
 const REPS: usize = 3;
+/// Warm-throughput batch calls per thread count: one `serve.score.us`
+/// sample each, so the reported percentiles rest on ≥100 samples.
+const WARM_SAMPLES: usize = 120;
 const SEED: u64 = 17;
 
 /// Best-of-`REPS` seconds to score `targets` once. `prepare` runs before
@@ -102,15 +105,23 @@ fn main() {
     let mut rows = Vec::new();
     let mut base_rate = None;
     for &threads in &thread_counts {
+        // fresh engine (fresh registry) per thread count, reset after the
+        // warmup call, then WARM_SAMPLES timed calls — the percentiles in
+        // score_call_us describe exactly this run, nothing before it
         let engine = make(8192, threads);
         engine.score_batch(&targets).expect("warmup");
         engine.stats().registry().reset();
-        let secs = time_batch(&engine, &targets, |_| {});
+        let t0 = Instant::now();
+        for _ in 0..WARM_SAMPLES {
+            engine.score_batch(&targets).expect("warm batch");
+        }
+        let secs = t0.elapsed().as_secs_f64() / WARM_SAMPLES as f64;
         let rate = BATCH as f64 / secs;
         let base = *base_rate.get_or_insert(rate);
         println!("  threads={threads:<2} {rate:8.1} scores/sec  ({:.2}x)", rate / base);
         let mut row = JsonObject::new();
         row.field_u64("threads", threads as u64);
+        row.field_u64("samples", WARM_SAMPLES as u64);
         row.field_f64("seconds", secs, 4);
         row.field_f64("scores_per_sec", rate, 1);
         row.field_f64("speedup", rate / base, 3);

@@ -1,21 +1,29 @@
 //! The wire layer and the single-endpoint [`Client`].
 //!
-//! One request = one TCP connection: connect (with timeout), send one line,
-//! read one line, close. Connection-per-request costs a handshake but makes
-//! every failure mode crisp — there is never a half-consumed stream to
-//! resynchronise, and a retry always starts from a clean socket, possibly on
-//! a different replica. The server keeps connections open for pipelining
-//! clients; this client deliberately does not pipeline.
+//! A [`Client`] keeps one cached [`Session`] — a persistent, pipelined
+//! protocol-v2 connection (see [`crate::session`]) — and sends every
+//! request over it. When the session dies (peer close, transport damage,
+//! server restart), the failure surfaces as a retryable error, the cached
+//! session is discarded, and the next attempt connects fresh — so the retry
+//! loop doubles as the reconnect loop.
 //!
-//! A response is accepted only if it ends in `\n`: the line protocol makes
-//! every chaos fault (truncation, mid-response disconnect, stalled partial
-//! write) detectable as a missing newline, which is what lets the retry
-//! layer promise *zero wrong scores* — damaged replies are retried, never
-//! parsed.
+//! The original one-request-per-connection exchange survives as
+//! [`oneshot_request`]: connect (with timeout), send one line, read one
+//! line, close. It costs a TCP handshake per request but never has a
+//! half-consumed stream to resynchronise — it remains the right tool for
+//! one-off probes (the failover layer's half-open `HEALTH` check uses it)
+//! and is the baseline the `bench_load` harness compares sessions against.
+//!
+//! Either way, a response is accepted only if it ends in `\n`: the line
+//! protocol makes every chaos fault (truncation, mid-response disconnect,
+//! stalled partial write) detectable as a missing newline, which is what
+//! lets the retry layer promise *zero wrong scores* — damaged replies are
+//! retried, never parsed.
 
 use crate::backoff::{Backoff, BackoffConfig};
 use crate::budget::{BudgetConfig, RetryBudget};
 use crate::error::ClientError;
+use crate::session::Session;
 use crate::stats::ClientStats;
 use rmpi_obs::MetricsRegistry;
 use std::io::{Read, Write};
@@ -61,10 +69,12 @@ impl ClientConfig {
     }
 }
 
-/// One attempt on the wire: connect, send `line`, read one `\n`-terminated
-/// response line, classify it. Shared by [`Client`] and
-/// [`crate::FailoverClient`].
-pub(crate) fn raw_request(
+/// One attempt on the wire, connection-per-request style: connect, send
+/// `line`, read one `\n`-terminated response line, classify it, close.
+///
+/// This is the legacy (pre-session) exchange, kept public for one-off
+/// probes and as the baseline for benchmarking pipelined sessions against.
+pub fn oneshot_request(
     addr: SocketAddr,
     cfg: &ClientConfig,
     line: &str,
@@ -214,7 +224,8 @@ pub trait ProtocolClient {
 }
 
 /// A single-endpoint client with timeouts, seeded backoff and a retry
-/// budget. For replica sets, use [`crate::FailoverClient`].
+/// budget, multiplexing requests over one cached pipelined [`Session`].
+/// For replica sets, use [`crate::FailoverClient`].
 #[derive(Debug)]
 pub struct Client {
     addr: SocketAddr,
@@ -222,6 +233,7 @@ pub struct Client {
     backoff: Backoff,
     budget: RetryBudget,
     stats: ClientStats,
+    session: Option<Session>,
 }
 
 impl Client {
@@ -239,6 +251,7 @@ impl Client {
             budget: RetryBudget::new(cfg.budget.clone()),
             stats: ClientStats::with_registry(registry),
             cfg,
+            session: None,
         }
     }
 
@@ -251,6 +264,51 @@ impl Client {
     pub fn stats(&self) -> &ClientStats {
         &self.stats
     }
+
+    /// Open a **new** pipelined session to this client's endpoint, for
+    /// callers that want to drive the session API directly (sharing it
+    /// across threads, `score_many`, ...). Independent of the client's own
+    /// cached session; no retry policy applies to it.
+    pub fn session(&self) -> Result<Session, ClientError> {
+        let session = Session::connect(self.addr, &self.cfg)?;
+        self.stats.sessions_opened.inc();
+        Ok(session)
+    }
+
+    /// The client's cached session, (re)connecting if absent or dead.
+    fn live_session(&mut self) -> Result<&Session, ClientError> {
+        if self.session.as_ref().is_none_or(|s| !s.is_alive()) {
+            self.session = Some(Session::connect(self.addr, &self.cfg)?);
+            self.stats.sessions_opened.inc();
+        }
+        Ok(self.session.as_ref().expect("just ensured"))
+    }
+
+    /// One attempt over the cached session. On a transport-level failure
+    /// the session is discarded so the next attempt reconnects.
+    fn attempt(&mut self, line: &str) -> Result<String, ClientError> {
+        let result = self.live_session()?.request(line);
+        if let Err(e) = &result {
+            if is_transport_error(e) {
+                self.session = None;
+            }
+        }
+        result
+    }
+}
+
+/// Whether an error means the *connection* is suspect (as opposed to a
+/// server answer that happened to be an error) — these invalidate a cached
+/// session.
+pub(crate) fn is_transport_error(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Connect(_)
+            | ClientError::Io(_)
+            | ClientError::TruncatedResponse
+            | ClientError::Protocol(_)
+            | ClientError::SessionClosed(_)
+    )
 }
 
 impl ProtocolClient for Client {
@@ -259,7 +317,7 @@ impl ProtocolClient for Client {
         let t0 = Instant::now();
         let mut attempts: u32 = 1;
         loop {
-            match raw_request(self.addr, &self.cfg, line) {
+            match self.attempt(line) {
                 Ok(payload) => {
                     self.budget.record_success();
                     self.backoff.reset();
@@ -322,7 +380,7 @@ mod tests {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             l.local_addr().unwrap()
         };
-        let err = raw_request(addr, &ClientConfig::default(), "PING").unwrap_err();
+        let err = oneshot_request(addr, &ClientConfig::default(), "PING").unwrap_err();
         assert!(matches!(err, ClientError::Connect(_)), "{err}");
         assert!(err.is_retryable());
     }

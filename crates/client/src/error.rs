@@ -52,6 +52,11 @@ pub enum ClientError {
         /// The most recent endpoint failure, if any attempt was made.
         last: Option<Box<ClientError>>,
     },
+    /// The pipelined session this request was submitted on died (peer
+    /// closed, transport damage, or an untagged server frame) before the
+    /// response arrived. Retryable: the request outcome is unknown and the
+    /// verb-level retry loop will open a fresh session.
+    SessionClosed(String),
     /// The server's `OK` payload did not parse as the expected shape
     /// (e.g. a non-numeric score). Fatal: the bytes arrived intact.
     BadPayload(String),
@@ -66,7 +71,8 @@ impl ClientError {
             ClientError::Connect(_)
             | ClientError::Io(_)
             | ClientError::TruncatedResponse
-            | ClientError::Protocol(_) => true,
+            | ClientError::Protocol(_)
+            | ClientError::SessionClosed(_) => true,
             ClientError::Server { transient, .. } => *transient,
             ClientError::RetriesExhausted { .. }
             | ClientError::NoHealthyEndpoint { .. }
@@ -108,6 +114,7 @@ impl fmt::Display for ClientError {
             ClientError::NoHealthyEndpoint { last: None } => {
                 write!(f, "no healthy endpoint (all circuit breakers open)")
             }
+            ClientError::SessionClosed(reason) => write!(f, "session closed: {reason}"),
             ClientError::BadPayload(msg) => write!(f, "bad response payload: {msg}"),
         }
     }
@@ -135,6 +142,7 @@ mod tests {
         assert!(ClientError::Io(io::Error::new(io::ErrorKind::TimedOut, "x")).is_retryable());
         assert!(ClientError::TruncatedResponse.is_retryable());
         assert!(ClientError::Protocol("garbage".into()).is_retryable());
+        assert!(ClientError::SessionClosed("connection closed by server".into()).is_retryable());
         assert!(!ClientError::BadPayload("NaN-ish".into()).is_retryable());
         assert!(!ClientError::RetriesExhausted {
             attempts: 4,

@@ -2,9 +2,11 @@
 //! breakers and `HEALTH`-probed recovery.
 //!
 //! The client is *sticky*: it keeps sending to the endpoint that last
-//! worked. On a retryable failure it records the failure against that
-//! endpoint's breaker, advances its preference to the next replica, and
-//! retries there (counted in `client.failovers`). An endpoint whose breaker
+//! worked, over a cached pipelined [`Session`] per endpoint (reopened
+//! transparently when a transport failure invalidates it). On a retryable
+//! failure it records the failure against that endpoint's breaker, advances
+//! its preference to the next replica, and retries there (counted in
+//! `client.failovers`). An endpoint whose breaker
 //! has tripped is skipped without touching the network until its cooldown
 //! elapses; the first request after cooldown triggers a half-open `HEALTH`
 //! probe — only a served `HEALTH` (the readiness verb, which exercises the
@@ -17,8 +19,9 @@
 use crate::backoff::Backoff;
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::budget::RetryBudget;
-use crate::client::{raw_request, ClientConfig, ProtocolClient};
+use crate::client::{is_transport_error, oneshot_request, ClientConfig, ProtocolClient};
 use crate::error::ClientError;
+use crate::session::Session;
 use crate::stats::ClientStats;
 use rmpi_obs::MetricsRegistry;
 use std::net::SocketAddr;
@@ -38,6 +41,9 @@ pub struct FailoverConfig {
 struct Endpoint {
     addr: SocketAddr,
     breaker: CircuitBreaker,
+    /// Cached pipelined session; dropped on transport failures so the next
+    /// attempt reconnects fresh.
+    session: Option<Session>,
 }
 
 /// A client over a replica set. Same typed verbs as [`crate::Client`] via
@@ -70,7 +76,11 @@ impl FailoverClient {
         assert!(!addrs.is_empty(), "FailoverClient needs at least one endpoint");
         let endpoints = addrs
             .into_iter()
-            .map(|addr| Endpoint { addr, breaker: CircuitBreaker::new(cfg.breaker.clone()) })
+            .map(|addr| Endpoint {
+                addr,
+                breaker: CircuitBreaker::new(cfg.breaker.clone()),
+                session: None,
+            })
             .collect();
         FailoverClient {
             endpoints,
@@ -108,8 +118,10 @@ impl FailoverClient {
                 continue;
             }
             if was_open {
-                // half-open: one probe decides
-                match raw_request(self.endpoints[idx].addr, &self.cfg, "HEALTH") {
+                // half-open: one probe decides. The probe is a one-shot
+                // exchange on purpose: it must judge the *endpoint*, not
+                // whatever state a cached session is in.
+                match oneshot_request(self.endpoints[idx].addr, &self.cfg, "HEALTH") {
                     Ok(_) => self.endpoints[idx].breaker.record_success(),
                     Err(_) => {
                         if self.endpoints[idx].breaker.record_failure(Instant::now()) {
@@ -122,6 +134,25 @@ impl FailoverClient {
             return Some(idx);
         }
         None
+    }
+
+    /// One attempt against endpoint `idx` over its cached session,
+    /// (re)connecting first if the cache is empty or dead. Transport-level
+    /// failures invalidate the cache.
+    fn attempt_on(&mut self, idx: usize, line: &str) -> Result<String, ClientError> {
+        if self.endpoints[idx].session.as_ref().is_none_or(|s| !s.is_alive()) {
+            let session = Session::connect(self.endpoints[idx].addr, &self.cfg)?;
+            self.stats.sessions_opened.inc();
+            self.endpoints[idx].session = Some(session);
+        }
+        let result =
+            self.endpoints[idx].session.as_ref().expect("just ensured").request(line);
+        if let Err(e) = &result {
+            if is_transport_error(e) {
+                self.endpoints[idx].session = None;
+            }
+        }
+        result
     }
 }
 
@@ -165,7 +196,7 @@ impl ProtocolClient for FailoverClient {
             self.last_used = Some(idx);
             self.current = idx;
             attempts += 1;
-            match raw_request(self.endpoints[idx].addr, &self.cfg, line) {
+            match self.attempt_on(idx, line) {
                 Ok(payload) => {
                     self.endpoints[idx].breaker.record_success();
                     self.budget.record_success();
@@ -214,7 +245,9 @@ mod tests {
     use std::time::Duration;
 
     /// A controllable fake replica: answers `OK pong` to every line while
-    /// `healthy`, drops connections without answering otherwise.
+    /// `healthy`; when unhealthy it drops new connections without answering
+    /// **and** cuts established ones at their next request, so cached
+    /// sessions die too (as a real crashed replica's would).
     struct FakeReplica {
         addr: SocketAddr,
         healthy: Arc<AtomicBool>,
@@ -242,6 +275,9 @@ mod tests {
                     let mut line = String::new();
                     let mut conn = conn;
                     while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+                        if !h.load(Ordering::SeqCst) {
+                            break; // cut mid-session: the client sees truncation
+                        }
                         if writeln!(conn, "OK pong").is_err() {
                             break;
                         }

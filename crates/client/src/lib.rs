@@ -18,9 +18,17 @@
 //!   capped as a fraction of successful traffic, not just per request.
 //! - [`breaker`]: a per-endpoint circuit breaker — consecutive-failure trip,
 //!   timed cooldown, half-open probe.
+//! - [`session`]: a persistent, pipelined protocol-v2 connection
+//!   ([`Session`]) — many requests in flight at once, demultiplexed by tag,
+//!   with a one-typed-error-per-in-flight-request death contract — plus a
+//!   small [`ClientPool`] of reusable sessions.
 //! - [`Client`]: one endpoint, timeouts on connect/read/write, retry loop.
+//!   Requests ride a cached [`Session`] (reopened transparently after
+//!   transport failures); the legacy connection-per-request path survives
+//!   as [`client::oneshot_request`].
 //! - [`FailoverClient`]: a replica set with sticky endpoint preference,
-//!   breaker-gated failover and `HEALTH`-probed readmission.
+//!   breaker-gated failover and `HEALTH`-probed readmission, with one
+//!   cached session per endpoint.
 //!
 //! Both clients expose the protocol verbs through [`ProtocolClient`]
 //! (`ping` / `health` / `score` / `score_batch` / `rank_tails` /
@@ -34,12 +42,14 @@ pub mod budget;
 pub mod client;
 pub mod error;
 pub mod failover;
+pub mod session;
 pub mod stats;
 
 pub use backoff::{Backoff, BackoffConfig};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use budget::{BudgetConfig, RetryBudget};
-pub use client::{Client, ClientConfig, ProtocolClient};
+pub use client::{oneshot_request, Client, ClientConfig, ProtocolClient};
 pub use error::ClientError;
 pub use failover::{FailoverClient, FailoverConfig};
+pub use session::{ClientPool, PooledSession, Session};
 pub use stats::ClientStats;

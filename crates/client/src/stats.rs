@@ -25,6 +25,9 @@ pub struct ClientStats {
     /// `client.request.us` — end-to-end latency of successful logical
     /// requests, retries and backoff included.
     pub request_latency: Histogram,
+    /// `client.sessions.count` — pipelined sessions opened (a low number
+    /// relative to requests means connection reuse is working).
+    pub sessions_opened: Counter,
 }
 
 impl ClientStats {
@@ -42,6 +45,7 @@ impl ClientStats {
             breaker_open: registry.counter("client.breaker_open.count"),
             errors: registry.counter("client.errors.count"),
             request_latency: registry.histogram("client.request.us"),
+            sessions_opened: registry.counter("client.sessions.count"),
             registry,
         }
     }
@@ -74,6 +78,7 @@ mod tests {
             "\"client.failovers.count\": 2",
             "\"client.breaker_open.count\": 0",
             "\"client.errors.count\": 0",
+            "\"client.sessions.count\": 0",
             "\"client.request.us\"",
         ] {
             assert!(dump.contains(name), "missing {name} in {dump}");

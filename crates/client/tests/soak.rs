@@ -16,12 +16,12 @@
 
 use rmpi_client::{
     BackoffConfig, BreakerConfig, BudgetConfig, ClientConfig, ClientError, FailoverClient,
-    FailoverConfig, ProtocolClient,
+    FailoverConfig, ProtocolClient, Session,
 };
 use rmpi_core::{RmpiConfig, RmpiModel};
 use rmpi_kg::{EntityId, KnowledgeGraph, RelationId, Triple};
 use rmpi_serve::{serve, Engine, EngineConfig, ServerConfig};
-use rmpi_testutil::chaos::{ChaosConfig, ChaosProxy};
+use rmpi_testutil::chaos::{ChaosConfig, ChaosProxy, Fault};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -57,7 +57,10 @@ fn replica_server(engine: Arc<Engine>) -> rmpi_serve::ServerHandle {
     serve(
         engine,
         ServerConfig {
-            workers: 4,
+            // sessions are persistent and pin a worker each: headroom above
+            // THREADS so probes and reconnects are not starved by the
+            // long-lived connections
+            workers: 8,
             // short idle timeout so killing a replica mid-soak does not
             // block shutdown on workers parked in long reads
             idle_timeout: Duration::from_millis(200),
@@ -218,10 +221,21 @@ fn chaos_soak_zero_wrong_scores_bounded_errors_and_failover() {
         "{failures} failed of {total} requests (allowed {max_failures})"
     );
 
-    // the chaos actually happened: ≥10% of connections disturbed
+    // the chaos actually happened: ≥10% of connections disturbed. With
+    // pipelined sessions a connection now serves *many* requests, so the
+    // floor is sessions-shaped (each worker needs at least one, and chaos
+    // forces plenty of reconnects), not one-per-request.
     let connections = proxy_a.stats().connections() + proxy_b.stats().connections();
     let faults = proxy_a.stats().faults_injected() + proxy_b.stats().faults_injected();
-    assert!(connections >= total, "each request takes at least one connection");
+    assert!(
+        connections >= THREADS as u64,
+        "each worker thread holds at least one session connection"
+    );
+    assert!(
+        connections < total,
+        "session reuse must need far fewer connections than one per request \
+         ({connections} connections for {total} requests)"
+    );
     assert!(
         faults * 10 >= connections,
         "only {faults} of {connections} connections disturbed — chaos too tame"
@@ -232,8 +246,41 @@ fn chaos_soak_zero_wrong_scores_bounded_errors_and_failover() {
     let counter = |name: &str| registry.counter(name).get();
     assert!(counter("client.retries.count") > 0, "no retries recorded: {dump}");
     assert!(counter("client.failovers.count") > 0, "no failovers recorded: {dump}");
-    assert!(counter("client.breaker_open.count") > 0, "no breaker trips recorded: {dump}");
+    assert!(
+        counter("client.sessions.count") >= THREADS as u64,
+        "each worker thread opens at least one session: {dump}"
+    );
     assert_eq!(counter("client.requests.count"), total);
+
+    // breaker trips: with persistent sessions a killed replica costs each
+    // client one failed attempt before it fails over and sticks to the
+    // survivor, so trip_after consecutive failures rarely accumulate during
+    // the soak itself. Exercise the trip path deterministically instead: a
+    // fresh client pointed only at the dead replica must trip its breaker
+    // within one logical request's retry loop.
+    let trip_registry = Arc::new(rmpi_obs::MetricsRegistry::new());
+    let mut dead_client = FailoverClient::with_registry(
+        vec![proxy_a.addr()],
+        FailoverConfig {
+            client: ClientConfig {
+                max_retries: 5,
+                backoff: BackoffConfig {
+                    base: Duration::from_millis(1),
+                    max: Duration::from_millis(5),
+                    ..BackoffConfig::default()
+                },
+                ..ClientConfig::default()
+            },
+            breaker: BreakerConfig { trip_after: 3, cooldown: Duration::from_millis(150) },
+        },
+        Arc::clone(&trip_registry),
+    );
+    let err = dead_client.ping().expect_err("the dead replica cannot serve");
+    assert!(transient(&err), "failures against a dead replica stay transient: {err}");
+    assert!(
+        trip_registry.counter("client.breaker_open.count").get() > 0,
+        "consecutive failures against the dead replica must trip its breaker"
+    );
 
     proxy_a.shutdown();
     proxy_b.shutdown();
@@ -249,4 +296,117 @@ fn transient(e: &ClientError) -> bool {
         ClientError::RetriesExhausted { .. } | ClientError::NoHealthyEndpoint { .. } => true,
         other => other.is_retryable(),
     }
+}
+
+/// The pipelined-session chaos invariant: when a connection dies with a
+/// burst of tagged requests in flight (including the `PipelineCut` fault,
+/// which delivers several intact responses and then cuts at a line
+/// boundary), every request gets **exactly one** outcome — either its own
+/// bit-identical answer or a typed retryable error. A mis-attributed
+/// response would surface as a wrong score and fail the bit-identity
+/// assertion immediately.
+#[test]
+fn pipelined_sessions_under_chaos_one_outcome_per_request_never_misattributed() {
+    const BURST: usize = 8;
+    const ROUNDS: usize = 30;
+
+    let reference = replica_engine();
+    // an aggressive idle reaper so the session dies between rounds: every
+    // round then opens a fresh connection and draws fresh chaos (a clean
+    // long-lived session would otherwise dodge the fault stream entirely)
+    let server = serve(
+        replica_engine(),
+        ServerConfig {
+            workers: 4,
+            idle_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let mut proxy = ChaosProxy::spawn(
+        server.addr(),
+        ChaosConfig {
+            seed: 77,
+            fault_rate: 0.5,
+            // handshake + a few answers, then a mid-burst line-boundary cut
+            cut_after_lines: 5,
+            ..Default::default()
+        },
+    )
+    .expect("proxy");
+
+    let cfg = ClientConfig {
+        read_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    };
+    let triples: Vec<(u32, u32, u32)> = (0..BURST)
+        .map(|i| ((i % 3) as u32, (i % 4) as u32, ((i + 1) % 3) as u32))
+        .collect();
+    let expected: Vec<f32> = triples
+        .iter()
+        .map(|&(h, r, t)| reference.score(Triple::new(h, r, t)).expect("offline score"))
+        .collect();
+    let lines: Vec<String> =
+        triples.iter().map(|&(h, r, t)| format!("SCORE {h} {r} {t}")).collect();
+    let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    let mut session: Option<Session> = None;
+    for round in 0..ROUNDS {
+        if round > 0 {
+            // outlive the server's idle timeout so the next round's session
+            // is a fresh connection with a fresh fault draw
+            std::thread::sleep(Duration::from_millis(120));
+        }
+        let s = match session.take() {
+            Some(s) if s.is_alive() => s,
+            _ => match Session::connect(proxy.addr(), &cfg) {
+                Ok(s) => s,
+                Err(e) => {
+                    assert!(e.is_retryable(), "session connect failed fatally: {e}");
+                    failed += BURST as u64;
+                    continue;
+                }
+            },
+        };
+        let results = s.request_many(&line_refs);
+        assert_eq!(results.len(), BURST, "exactly one outcome per in-flight request");
+        for (i, result) in results.iter().enumerate() {
+            match result {
+                Ok(payload) => {
+                    let score: f32 = payload.trim().parse().expect("score payload");
+                    assert_eq!(
+                        score.to_bits(),
+                        expected[i].to_bits(),
+                        "request {i} got someone else's (or a damaged) answer: \
+                         {score} vs {}",
+                        expected[i]
+                    );
+                    ok += 1;
+                }
+                Err(e) => {
+                    assert!(e.is_retryable(), "chaos must surface as typed retryable errors: {e}");
+                    failed += 1;
+                }
+            }
+        }
+        session = Some(s);
+    }
+    drop(session);
+
+    let total = (ROUNDS * BURST) as u64;
+    assert_eq!(ok + failed, total, "no request may vanish or be double-counted");
+    // a raw session has no retry layer, so at a 50% connection fault rate
+    // plenty of bursts fail — the invariant is the *typing* of those
+    // failures, not throughput (the retry stack on top is soaked above)
+    assert!(ok >= total / 4, "plenty of requests still succeed: {ok} of {total}");
+    assert!(failed > 0, "at a 50% fault rate some bursts must be disturbed");
+    assert!(
+        proxy.stats().count(Fault::PipelineCut) > 0,
+        "the mid-pipeline line-boundary cut must have fired"
+    );
+
+    proxy.shutdown();
+    drop(server);
 }

@@ -62,6 +62,46 @@ use std::time::Instant;
 /// a live request and watch the engine answer `ERR internal` and survive.
 pub const SCORE_FAILPOINT: &str = "engine::score";
 
+/// One logical request inside a coalesced engine batch — what the
+/// cross-connection micro-batcher ([`crate::batcher`]) collects from
+/// concurrent wire requests and hands to [`Engine::run_batch`] as a unit.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BatchItem {
+    /// Score these triples (one wire `SCORE` line).
+    Score(Vec<Triple>),
+    /// Rank context-graph entities as tails for `(head, relation, ?)`,
+    /// returning the top `k` (one wire `RANK` line).
+    Rank {
+        /// Query head entity.
+        head: EntityId,
+        /// Query relation.
+        relation: RelationId,
+        /// How many top entities to return.
+        k: usize,
+    },
+}
+
+impl BatchItem {
+    /// How many flat scoring targets this item contributes to a coalesced
+    /// batch: rank items expand over every ranking candidate
+    /// ([`Engine::rank_width`]).
+    pub fn cost(&self, rank_width: usize) -> usize {
+        match self {
+            BatchItem::Score(targets) => targets.len(),
+            BatchItem::Rank { .. } => rank_width,
+        }
+    }
+}
+
+/// The per-item result of [`Engine::run_batch`], mirroring [`BatchItem`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum BatchOutcome {
+    /// Scores for a [`BatchItem::Score`], in request order.
+    Scores(Vec<f32>),
+    /// `(entity, score)` pairs for a [`BatchItem::Rank`], best first.
+    Ranked(Vec<(EntityId, f32)>),
+}
+
 /// Engine construction knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
@@ -581,15 +621,149 @@ impl Engine {
             Ok(s) => s.into_iter().collect::<Result<Vec<f32>, ServeError>>()?,
             Err(e) => return Err(self.classify_failure(e.to_string())),
         };
-        let mut ranked: Vec<(EntityId, f32)> =
-            self.candidates.iter().copied().zip(scores).collect();
-        ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-        });
-        ranked.truncate(k);
+        let ranked = order_ranked(&self.candidates, scores, k);
         self.stats.record_rank_call(self.candidates.len() as u64, t0.elapsed());
         Ok(ranked)
     }
+
+    /// How many candidates one [`BatchItem::Rank`] expands into — every
+    /// entity present in the context graph. The micro-batcher budgets rank
+    /// items by this width.
+    pub fn rank_width(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Run a coalesced batch of independent requests through **one** model
+    /// snapshot and **one** pool fan-out, answering each item separately.
+    ///
+    /// This is the micro-batcher's entry point: items from different
+    /// connections, collected within one batching window, score together
+    /// exactly as `score_batch` would score their concatenation — so every
+    /// item's answer is bit-identical to calling [`Engine::score`] /
+    /// [`Engine::rank_tails`] for it alone (the determinism contract above;
+    /// extraction and the forward pass depend only on `(graph, target,
+    /// seed)`, never on batch-mates).
+    ///
+    /// Failure is isolated per item: a bad relation fails only its own item,
+    /// and a degraded-store rejection on one item's extraction leaves the
+    /// other items' answers intact. A worker panic aborts the flush and
+    /// fails every unanswered item (each with its own classified error) —
+    /// the pool and engine survive. Because the whole batch scores under a
+    /// single `Arc<ModelState>` clone, a concurrent [`Engine::reload_from`]
+    /// can never split one batch across two models.
+    pub fn run_batch(&self, items: &[BatchItem]) -> Vec<Result<BatchOutcome, ServeError>> {
+        enum Plan {
+            Failed,
+            Score { len: usize },
+            Rank { k: usize },
+        }
+        let state = self.snapshot();
+        let t0 = Instant::now();
+        // expansion: validate each item, flatten the survivors into one
+        // target list (rank items fan out over every candidate)
+        let mut plans = Vec::with_capacity(items.len());
+        let mut results: Vec<Option<Result<BatchOutcome, ServeError>>> =
+            Vec::with_capacity(items.len());
+        let mut flat: Vec<Triple> = Vec::new();
+        for item in items {
+            match item {
+                BatchItem::Score(targets) => {
+                    match targets
+                        .iter()
+                        .try_for_each(|t| self.check_relation(&state.model, t.relation))
+                    {
+                        Ok(()) => {
+                            flat.extend_from_slice(targets);
+                            plans.push(Plan::Score { len: targets.len() });
+                            results.push(None);
+                        }
+                        Err(e) => {
+                            plans.push(Plan::Failed);
+                            results.push(Some(Err(e)));
+                        }
+                    }
+                }
+                BatchItem::Rank { head, relation, k } => {
+                    match self.check_relation(&state.model, *relation) {
+                        Ok(()) => {
+                            flat.extend(self.candidates.iter().map(|&tail| Triple {
+                                head: *head,
+                                relation: *relation,
+                                tail,
+                            }));
+                            plans.push(Plan::Rank { k: *k });
+                            results.push(None);
+                        }
+                        Err(e) => {
+                            plans.push(Plan::Failed);
+                            results.push(Some(Err(e)));
+                        }
+                    }
+                }
+            }
+        }
+        let pool_out = if flat.is_empty() {
+            Ok(Vec::new())
+        } else {
+            self.pool.try_map_init(flat.len(), Tape::new, |tape, i| {
+                failpoint::point(SCORE_FAILPOINT);
+                let sample = self.prepared(&state, flat[i])?;
+                tape.reset();
+                let v = state.model.score_sample_on_tape(tape, &sample);
+                Ok::<f32, ServeError>(tape.value(v).item())
+            })
+        };
+        match pool_out {
+            Err(e) => {
+                // a worker panic fails every still-unanswered item, each with
+                // its own classified error (ServeError is not Clone)
+                let msg = e.to_string();
+                for slot in results.iter_mut().filter(|s| s.is_none()) {
+                    *slot = Some(Err(self.classify_failure(msg.clone())));
+                }
+            }
+            Ok(elems) => {
+                let elapsed = t0.elapsed();
+                let mut cursor = elems.into_iter();
+                for (slot, plan) in results.iter_mut().zip(&plans) {
+                    let take = match plan {
+                        Plan::Failed => continue,
+                        Plan::Score { len } => *len,
+                        Plan::Rank { .. } => self.candidates.len(),
+                    };
+                    // drain exactly `take` elements even when one errors, so
+                    // later items stay aligned with their span of the batch
+                    let span: Vec<Result<f32, ServeError>> = cursor.by_ref().take(take).collect();
+                    debug_assert_eq!(span.len(), take, "flat batch misaligned");
+                    let scores: Result<Vec<f32>, ServeError> = span.into_iter().collect();
+                    *slot = Some(scores.map(|scores| match plan {
+                        Plan::Score { len } => {
+                            self.stats.record_score_call(*len as u64, elapsed);
+                            BatchOutcome::Scores(scores)
+                        }
+                        Plan::Rank { k } => {
+                            self.stats.record_rank_call(self.candidates.len() as u64, elapsed);
+                            BatchOutcome::Ranked(order_ranked(&self.candidates, scores, *k))
+                        }
+                        Plan::Failed => unreachable!("failed items answered above"),
+                    }));
+                }
+            }
+        }
+        results.into_iter().map(|slot| slot.expect("every batch item answered")).collect()
+    }
+}
+
+/// The deterministic ranking order shared by [`Engine::rank_tails`] and
+/// [`Engine::run_batch`]: descending score, ties towards the smaller entity
+/// id — factored out so the batched path cannot drift from the direct one.
+fn order_ranked(candidates: &[EntityId], scores: Vec<f32>, k: usize) -> Vec<(EntityId, f32)> {
+    let mut ranked: Vec<(EntityId, f32)> = candidates.iter().copied().zip(scores).collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    ranked
 }
 
 #[cfg(test)]
@@ -669,6 +843,74 @@ mod tests {
         let (best, best_score) = ranked[0];
         let direct = engine.score(Triple { head: EntityId(0), relation: RelationId(1), tail: best }).unwrap();
         assert_eq!(direct, best_score);
+    }
+
+    #[test]
+    fn run_batch_matches_direct_calls_bit_for_bit() {
+        let engine = setup(2, 64);
+        let targets: Vec<Triple> =
+            (0..6u32).map(|i| Triple::new(i % 5, i % 6, (i + 1) % 5)).collect();
+        let items = vec![
+            BatchItem::Score(targets.clone()),
+            BatchItem::Rank { head: EntityId(0), relation: RelationId(1), k: 3 },
+            BatchItem::Score(vec![targets[0]]),
+        ];
+        let out = engine.run_batch(&items);
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &BatchOutcome::Scores(engine.score_batch(&targets).unwrap())
+        );
+        assert_eq!(
+            out[1].as_ref().unwrap(),
+            &BatchOutcome::Ranked(engine.rank_tails(EntityId(0), RelationId(1), 3).unwrap())
+        );
+        assert_eq!(
+            out[2].as_ref().unwrap(),
+            &BatchOutcome::Scores(vec![engine.score(targets[0]).unwrap()])
+        );
+        assert!(engine.run_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn run_batch_isolates_per_item_failures() {
+        let engine = setup(1, 16);
+        let good = Triple::new(0u32, 0u32, 1u32);
+        let items = vec![
+            BatchItem::Score(vec![good]),
+            BatchItem::Score(vec![Triple::new(0u32, 17u32, 1u32)]),
+            BatchItem::Rank { head: EntityId(0), relation: RelationId(99), k: 2 },
+            BatchItem::Rank { head: EntityId(0), relation: RelationId(1), k: 2 },
+        ];
+        let out = engine.run_batch(&items);
+        assert_eq!(
+            out[0].as_ref().unwrap(),
+            &BatchOutcome::Scores(vec![engine.score(good).unwrap()]),
+            "a bad batch-mate must not disturb a good item"
+        );
+        assert!(matches!(out[1], Err(ServeError::UnknownRelation(17))), "{:?}", out[1]);
+        assert!(matches!(out[2], Err(ServeError::UnknownRelation(99))), "{:?}", out[2]);
+        assert_eq!(
+            out[3].as_ref().unwrap(),
+            &BatchOutcome::Ranked(engine.rank_tails(EntityId(0), RelationId(1), 2).unwrap())
+        );
+    }
+
+    #[test]
+    fn run_batch_panic_fails_every_item_but_not_the_engine() {
+        use rmpi_testutil::failpoint::Action;
+        let _lock = failpoint::exclusive();
+        let engine = setup(2, 8);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let items =
+            vec![BatchItem::Score(vec![t]), BatchItem::Rank { head: EntityId(0), relation: RelationId(1), k: 2 }];
+        failpoint::arm(SCORE_FAILPOINT, Action::Panic("flush blew up".into()));
+        let out = engine.run_batch(&items);
+        failpoint::disarm_all();
+        assert!(out.iter().all(|r| matches!(r, Err(ServeError::Internal(_)))), "{out:?}");
+        // the engine and pool survive the poisoned flush
+        let healthy = engine.run_batch(&items);
+        assert!(healthy.iter().all(|r| r.is_ok()), "{healthy:?}");
     }
 
     #[test]

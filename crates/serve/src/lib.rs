@@ -33,6 +33,7 @@
 //! errors carry byte offsets ([`ServeError::Manifest`],
 //! [`ServeError::Checkpoint`]).
 
+pub mod batcher;
 pub mod bundle;
 pub mod bundledir;
 pub mod engine;
@@ -42,10 +43,13 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use batcher::{BatchConfig, Batcher};
 pub use bundle::{load_bundle, load_bundle_file, save_bundle, save_bundle_file, Bundle};
 pub use bundledir::{load_bundle_dir, save_bundle_dir, scrub_bundle_dir, DIR_MANIFEST_NAME};
-pub use engine::{Engine, EngineConfig, GraphBackend, ModelSnapshot, SCORE_FAILPOINT};
+pub use engine::{
+    BatchItem, BatchOutcome, Engine, EngineConfig, GraphBackend, ModelSnapshot, SCORE_FAILPOINT,
+};
 pub use error::ServeError;
-pub use protocol::{parse_request, Request};
+pub use protocol::{parse_request, parse_tagged, Request};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use stats::ServeStats;

@@ -12,6 +12,7 @@
 //! STATS                         -> OK {"scores": ..., ...}
 //! METRICS                       -> OK {"serve.score.us": {...}, ...}
 //! RELOAD /path/to/model.bundle  -> OK reloaded | ERR reload rejected: ...
+//! PROTO 2                       -> OK proto=2  (connection switches to v2)
 //! anything else                 -> ERR <reason>
 //! ```
 //!
@@ -20,6 +21,26 @@
 //! [`crate::Engine::score_batch`], which shards it across the worker pool.
 //! Scores are formatted with Rust's shortest-round-trip `f32` formatting, so
 //! a client parsing them back gets the bit-exact served value.
+//!
+//! # Protocol v2: pipelined, tagged exchanges
+//!
+//! A connection starts in v1: strictly one in-order response per request
+//! line. Sending `PROTO 2` (answered `OK proto=2`) switches the connection
+//! into v2, where every request carries a client-chosen `ID <n>` tag and its
+//! response echoes the tag — which is what lets a client keep N requests in
+//! flight on one connection and match replies that return **out of order**
+//! (batched verbs complete when their micro-batch flushes; cheap verbs
+//! answer immediately):
+//!
+//! ```text
+//! ID 7 SCORE 0 1 2   -> ID 7 OK 0.25
+//! ID 8 PING          -> ID 8 OK pong
+//! garbage-no-tag     -> ERR bad request: ...   (untagged: not attributable)
+//! ```
+//!
+//! Tags are opaque `u64`s echoed verbatim; uniqueness among a connection's
+//! in-flight requests is the client's job (the server never interprets
+//! them). [`parse_tagged`] / [`format_tagged`] implement the framing.
 
 use crate::error::ServeError;
 use rmpi_kg::{EntityId, RelationId, Triple};
@@ -52,6 +73,11 @@ pub enum Request {
         /// Bundle path as the server sees it (rest of the line, verbatim).
         path: String,
     },
+    /// Negotiate a protocol version for the rest of the connection.
+    Proto {
+        /// Requested version; only `2` is currently accepted.
+        version: u32,
+    },
 }
 
 /// Parse one request line.
@@ -61,6 +87,17 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
     let command = parts.next().ok_or_else(|| bad("empty request".into()))?;
     match command {
         "PING" => Ok(Request::Ping),
+        "PROTO" => {
+            let version: u32 = parts
+                .next()
+                .ok_or_else(|| bad("PROTO needs a version".into()))?
+                .parse()
+                .map_err(|e| bad(format!("bad protocol version: {e}")))?;
+            if parts.next().is_some() {
+                return Err(bad("PROTO takes exactly one version".into()));
+            }
+            Ok(Request::Proto { version })
+        }
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
         "HEALTH" => Ok(Request::Health),
@@ -132,6 +169,36 @@ pub fn format_error(err: &ServeError) -> String {
     format!("ERR {msg}")
 }
 
+/// Split a v2 line `ID <n> <request...>` into its tag and inner request.
+///
+/// The inner request is returned verbatim (not parsed); an empty inner
+/// request is rejected here so every tag the server echoes corresponds to a
+/// request that at least reached the dispatcher.
+pub fn parse_tagged(line: &str) -> Result<(u64, &str), ServeError> {
+    let bad = |msg: String| ServeError::BadRequest(msg);
+    let rest = line
+        .trim_start()
+        .strip_prefix("ID")
+        .ok_or_else(|| bad("protocol v2 requests start with `ID <n>`".into()))?;
+    // require whitespace after the verb so `IDX` is not mistaken for a tag
+    if !rest.starts_with(|c: char| c.is_ascii_whitespace()) {
+        return Err(bad("protocol v2 requests start with `ID <n>`".into()));
+    }
+    let rest = rest.trim_start();
+    let (tag_str, inner) = rest.split_once(|c: char| c.is_ascii_whitespace()).unwrap_or((rest, ""));
+    let tag: u64 = tag_str.parse().map_err(|e| bad(format!("bad request tag {tag_str:?}: {e}")))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Err(bad(format!("tagged request {tag} is empty")));
+    }
+    Ok((tag, inner))
+}
+
+/// Frame a response line for v2: `ID <tag> <response>`.
+pub fn format_tagged(tag: u64, response: &str) -> String {
+    format!("ID {tag} {response}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +230,7 @@ mod tests {
             Request::Reload { path: "/models/with space/m.bundle".into() },
             "the path is the rest of the line, spaces included"
         );
+        assert_eq!(parse_request("PROTO 2").unwrap(), Request::Proto { version: 2 });
     }
 
     #[test]
@@ -179,6 +247,9 @@ mod tests {
             "RANK x 2 3",
             "RELOAD",
             "RELOAD   ",
+            "PROTO",
+            "PROTO two",
+            "PROTO 2 3",
         ] {
             let err = parse_request(bad).unwrap_err();
             assert!(matches!(err, ServeError::BadRequest(_)), "{bad:?} -> {err}");
@@ -201,5 +272,22 @@ mod tests {
         assert_eq!(format_ranked(&[]), "OK");
         let err = format_error(&ServeError::Overloaded);
         assert_eq!(err, "ERR server overloaded");
+    }
+
+    #[test]
+    fn tagged_framing_round_trips() {
+        assert_eq!(parse_tagged("ID 7 SCORE 0 1 2").unwrap(), (7, "SCORE 0 1 2"));
+        assert_eq!(parse_tagged("  ID  42  PING ").unwrap(), (42, "PING"));
+        assert_eq!(parse_tagged(&format!("ID {} PING", u64::MAX)).unwrap(), (u64::MAX, "PING"));
+        assert_eq!(format_tagged(7, "OK pong"), "ID 7 OK pong");
+    }
+
+    #[test]
+    fn tagged_framing_rejects_malformed_lines() {
+        for bad in ["", "SCORE 0 1 2", "ID", "ID PING", "ID x PING", "ID 7", "ID 7   ", "ID7 PING"]
+        {
+            let err = parse_tagged(bad).unwrap_err();
+            assert!(matches!(err, ServeError::BadRequest(_)), "{bad:?} -> {err}");
+        }
     }
 }

@@ -11,6 +11,24 @@
 //! [`Engine`], whose own pool shards score batches — connection workers only
 //! parse, dispatch and format.
 //!
+//! # Dynamic batching and protocol v2
+//!
+//! With batching enabled (the default), `SCORE`/`RANK` requests are not
+//! scored by the connection worker: they are submitted to the shared
+//! cross-connection micro-batcher ([`crate::batcher`]), which coalesces
+//! everything arriving within `batch_window` into one `Engine::run_batch`
+//! call. A v1 connection's worker blocks on its item's result, preserving
+//! strict in-order responses while still coalescing with other connections.
+//!
+//! A connection that sends `PROTO 2` (answered `OK proto=2`) switches to
+//! protocol v2: requests carry client-chosen `ID <n>` tags, responses echo
+//! them, and replies may return out of order — the worker keeps reading
+//! while batched answers are in flight, and a dedicated per-connection
+//! writer thread serialises response writes (batched verbs deliver from the
+//! batcher thread; cheap verbs answer inline). One connection can therefore
+//! keep N requests in flight, and concurrent tagged requests from one
+//! socket batch together exactly like requests from N sockets.
+//!
 //! # Backpressure and deadlines
 //!
 //! When the queue is full the acceptor does not block or buffer: it answers
@@ -52,15 +70,19 @@
 //! - at most `max_connections` connections are admitted at once; the rest
 //!   are answered `ERR too many connections` (`serve.rejected_conn_limit`).
 
-use crate::engine::Engine;
+use crate::batcher::{BatchConfig, Batcher};
+use crate::engine::{BatchItem, BatchOutcome, Engine};
 use crate::error::ServeError;
 use crate::lineio::{read_line_bounded, LineRead};
-use crate::protocol::{format_error, format_ranked, format_scores, parse_request, Request};
+use crate::protocol::{
+    format_error, format_ranked, format_scores, format_tagged, parse_request, parse_tagged,
+    Request,
+};
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -88,6 +110,15 @@ pub struct ServerConfig {
     /// Concurrent-connection cap (queued + being served). Connections beyond
     /// it are answered `ERR too many connections`.
     pub max_connections: usize,
+    /// Route `SCORE`/`RANK` through the cross-connection micro-batcher.
+    /// Off, every request is scored by its own engine call, as before PR 9.
+    pub batching: bool,
+    /// Micro-batcher window: how long the first queued request may wait for
+    /// company before its batch flushes (the latency floor under light load).
+    pub batch_window: Duration,
+    /// Micro-batcher flat-target budget per flush (scores count one per
+    /// triple, ranks one per ranking candidate).
+    pub batch_max: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +132,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_connections: 256,
+            batching: true,
+            batch_window: Duration::from_millis(1),
+            batch_max: 256,
         }
     }
 }
@@ -125,6 +159,8 @@ impl Drop for ConnGuard {
 
 struct Shared {
     engine: Arc<Engine>,
+    /// The cross-connection micro-batcher; `None` when batching is off.
+    batcher: Option<Arc<Batcher>>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     stop: AtomicBool,
@@ -149,8 +185,15 @@ pub struct ServerHandle {
 pub fn serve(engine: Arc<Engine>, cfg: ServerConfig) -> Result<ServerHandle, ServeError> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let batcher = cfg.batching.then(|| {
+        Arc::new(Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { window: cfg.batch_window, max_batch: cfg.batch_max },
+        ))
+    });
     let shared = Arc::new(Shared {
         engine,
+        batcher,
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         stop: AtomicBool::new(false),
@@ -207,6 +250,11 @@ impl ServerHandle {
         self.shared.available.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // only after the workers are gone (no further submissions): drain
+        // and stop the batcher
+        if let Some(batcher) = &self.shared.batcher {
+            batcher.shutdown();
         }
     }
 }
@@ -301,35 +349,159 @@ fn handle_connection(shared: &Shared, job: Job) {
         Err(_) => return,
     };
     let mut line = String::new();
+    // protocol v2 state, set on `PROTO 2`: all writes move to a dedicated
+    // writer thread fed through a channel, so batched answers delivered from
+    // the batcher thread and inline answers from this worker serialise
+    // without a lock — and a slow client stalls only its own writer
+    let mut v2: Option<V2Writer> = None;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
-            return;
+            break;
         }
         match read_line_bounded(&mut reader, &mut line, shared.max_line_len) {
             Ok(LineRead::Line) => {}
             Ok(LineRead::TooLong) => {
                 shared.engine.stats().rejected_overlong.inc();
                 let err = ServeError::OverlongRequest { limit: shared.max_line_len };
-                let _ = writeln!(stream, "{}", format_error(&err));
-                return; // can't resync mid-line reliably from a hostile peer
+                let framed = format_error(&err);
+                match &v2 {
+                    Some(writer) => {
+                        let _ = writer.tx.send(framed);
+                    }
+                    None => {
+                        let _ = writeln!(stream, "{framed}");
+                    }
+                }
+                break; // can't resync mid-line reliably from a hostile peer
             }
             // clean disconnect, or a cut connection mid-line: nothing to answer
-            Ok(LineRead::Eof) | Ok(LineRead::Partial) => return,
+            Ok(LineRead::Eof) | Ok(LineRead::Partial) => break,
             Err(e) => {
                 if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
                 {
                     shared.engine.stats().idle_closed.inc();
                 }
-                return;
+                break;
             }
         }
         if line.trim().is_empty() {
             continue;
         }
-        let response = respond(shared, &line);
-        if writeln!(stream, "{response}").is_err() {
+        match &v2 {
+            Some(writer) => handle_v2_line(shared, &line, &writer.tx),
+            None => {
+                let response = respond(shared, &line);
+                let upgrade = response == "OK proto=2";
+                if writeln!(stream, "{response}").is_err() {
+                    break;
+                }
+                if upgrade {
+                    // the hello is on the wire (written above, in order);
+                    // from here every response goes through the writer thread
+                    match V2Writer::spawn(&stream) {
+                        Some(writer) => v2 = Some(writer),
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+    // v2 teardown: in-flight batched responders still hold channel senders,
+    // so the writer thread keeps draining until the batcher has answered
+    // every request this connection submitted — then the channel closes and
+    // the join completes. Nothing in flight is ever silently dropped.
+    if let Some(writer) = v2 {
+        drop(writer.tx);
+        let _ = writer.thread.join();
+    }
+}
+
+/// The write side of a v2 connection: a channel-fed thread owning a clone of
+/// the socket. The channel is the serialisation point — any thread holding a
+/// sender may deliver a framed response line.
+struct V2Writer {
+    tx: mpsc::Sender<String>,
+    thread: JoinHandle<()>,
+}
+
+impl V2Writer {
+    fn spawn(stream: &TcpStream) -> Option<V2Writer> {
+        let mut out = stream.try_clone().ok()?;
+        let (tx, rx) = mpsc::channel::<String>();
+        let thread = std::thread::Builder::new()
+            .name("rmpi-serve-v2-write".into())
+            .spawn(move || {
+                // a failed write (peer gone, write timeout) ends the thread;
+                // senders see the closed channel and drop their responses
+                for response in rx {
+                    if writeln!(out, "{response}").is_err() {
+                        break;
+                    }
+                }
+            })
+            .ok()?;
+        Some(V2Writer { tx, thread })
+    }
+}
+
+/// Answer one v2 (tagged) request line. Batchable verbs are submitted to the
+/// micro-batcher and answered asynchronously through `tx` when their flush
+/// completes; everything else answers inline. Untagged or unparsable frames
+/// get one **untagged** `ERR` line — there is no tag to attribute them to,
+/// and inventing one could collide with a real in-flight request.
+fn handle_v2_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
+    let stats = shared.engine.stats();
+    let (tag, inner) = match parse_tagged(line) {
+        Ok(parts) => parts,
+        Err(err) => {
+            stats.wire_requests.inc();
+            stats.bad_requests.inc();
+            let _ = tx.send(format_error(&err));
             return;
         }
+    };
+    let batchable = matches!(wire_verb(inner), "score" | "rank");
+    match (&shared.batcher, batchable) {
+        (Some(batcher), true) => {
+            stats.wire_requests.inc();
+            let t0 = Instant::now();
+            let item = match parse_request(inner) {
+                Ok(Request::Score(targets)) => BatchItem::Score(targets),
+                Ok(Request::Rank { head, relation, k }) => BatchItem::Rank { head, relation, k },
+                Ok(_) => unreachable!("wire_verb admitted only SCORE/RANK"),
+                Err(err) => {
+                    stats.bad_requests.inc();
+                    stats.wire_latency(wire_verb(inner)).record_duration(t0.elapsed());
+                    let _ = tx.send(format_tagged(tag, &format_error(&err)));
+                    return;
+                }
+            };
+            let verb = wire_verb(inner);
+            let stats = stats.clone();
+            let tx = tx.clone();
+            batcher.submit(item, move |result| {
+                stats.wire_latency(verb).record_duration(t0.elapsed());
+                let response = match &result {
+                    Ok(outcome) => format_outcome(outcome),
+                    Err(err) => format_error(err),
+                };
+                let _ = tx.send(format_tagged(tag, &response));
+            });
+        }
+        _ => {
+            // cheap/admin verbs (and score/rank with batching off) answer in
+            // request order; `respond` does its own counting
+            let response = respond(shared, inner);
+            let _ = tx.send(format_tagged(tag, &response));
+        }
+    }
+}
+
+/// Format a batch outcome exactly as the direct dispatch path would.
+fn format_outcome(outcome: &BatchOutcome) -> String {
+    match outcome {
+        BatchOutcome::Scores(scores) => format_scores(scores),
+        BatchOutcome::Ranked(ranked) => format_ranked(ranked),
     }
 }
 
@@ -375,6 +547,7 @@ fn wire_verb(line: &str) -> &'static str {
         Some("METRICS") => "metrics",
         Some("HEALTH") => "health",
         Some("RELOAD") => "reload",
+        Some("PROTO") => "proto",
         _ => "other",
     }
 }
@@ -399,12 +572,25 @@ fn dispatch(shared: &Shared, line: &str) -> Result<String, ServeError> {
         Request::Reload { path } => {
             shared.engine.reload_from(&path).map(|()| "OK reloaded".to_string())
         }
-        Request::Score(targets) => {
-            shared.engine.score_batch(&targets).map(|scores| format_scores(&scores))
+        Request::Proto { version: 2 } => Ok("OK proto=2".to_string()),
+        Request::Proto { version } => {
+            Err(ServeError::BadRequest(format!("unsupported protocol version {version}")))
         }
-        Request::Rank { head, relation, k } => {
-            shared.engine.rank_tails(head, relation, k).map(|ranked| format_ranked(&ranked))
-        }
+        // with batching on, the worker blocks on the coalesced flush — v1
+        // connections keep strict in-order responses while their requests
+        // share engine calls with every other connection in the window
+        Request::Score(targets) => match &shared.batcher {
+            Some(batcher) => {
+                batcher.submit_wait(BatchItem::Score(targets)).map(|o| format_outcome(&o))
+            }
+            None => shared.engine.score_batch(&targets).map(|scores| format_scores(&scores)),
+        },
+        Request::Rank { head, relation, k } => match &shared.batcher {
+            Some(batcher) => batcher
+                .submit_wait(BatchItem::Rank { head, relation, k })
+                .map(|o| format_outcome(&o)),
+            None => shared.engine.rank_tails(head, relation, k).map(|r| format_ranked(&r)),
+        },
     })
 }
 
@@ -588,6 +774,103 @@ mod tests {
         // slot released after the wedge closes: service resumes
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(query(addr, "PING"), "OK pong");
+        server.shutdown();
+    }
+
+    #[test]
+    fn proto2_pipelines_tagged_requests_on_one_connection() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig { batch_window: Duration::from_millis(2), ..ServerConfig::default() },
+        )
+        .expect("serve");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+
+        writeln!(stream, "PROTO 2").expect("hello");
+        reader.read_line(&mut line).expect("hello reply");
+        assert_eq!(line.trim_end(), "OK proto=2");
+
+        // eight requests in flight at once, one write: scores, a rank, a
+        // ping, and one bad relation — every reply must carry its tag
+        let mut pipelined = String::new();
+        for tag in 0..5u64 {
+            pipelined.push_str(&format!("ID {tag} SCORE {} 1 2\n", tag % 3));
+        }
+        pipelined.push_str("ID 5 RANK 0 1 2\n");
+        pipelined.push_str("ID 6 PING\n");
+        pipelined.push_str("ID 7 SCORE 0 9 1\n");
+        stream.write_all(pipelined.as_bytes()).expect("pipeline");
+
+        let mut replies = std::collections::HashMap::new();
+        for _ in 0..8 {
+            line.clear();
+            reader.read_line(&mut line).expect("reply");
+            let (tag, rest) = crate::protocol::parse_tagged(line.trim_end()).expect("tagged");
+            assert!(replies.insert(tag, rest.to_string()).is_none(), "duplicate tag {tag}");
+        }
+        for tag in 0..5u64 {
+            let direct = engine.score(Triple::new((tag % 3) as u32, 1u32, 2u32)).unwrap();
+            assert_eq!(replies[&tag], format!("OK {direct}"), "tag {tag}");
+        }
+        assert!(replies[&5].starts_with("OK "), "{}", replies[&5]);
+        assert_eq!(replies[&6], "OK pong");
+        assert_eq!(replies[&7], "ERR unknown relation id 9");
+
+        // the concurrent tagged scores coalesced: at least one flush held
+        // more than one request
+        let max_batch = engine.stats().registry().histogram("serve.batch_size.count").max();
+        assert!(max_batch > 1, "pipelined requests should batch, max batch = {max_batch}");
+
+        // an untagged line on a v2 connection gets one untagged ERR frame
+        writeln!(stream, "SCORE 0 1 2").expect("untagged");
+        line.clear();
+        reader.read_line(&mut line).expect("untagged reply");
+        assert!(line.starts_with("ERR bad request"), "{line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn proto_rejects_unknown_versions_and_v1_still_serves() {
+        let engine = test_engine();
+        let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("serve");
+        let addr = server.addr();
+        assert!(query(addr, "PROTO 3").starts_with("ERR bad request"), "only v2 exists");
+        // a v1 connection after a rejected upgrade keeps serving untagged
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        for (req, want) in [("PROTO 9", "ERR"), ("PING", "OK pong")] {
+            writeln!(stream, "{req}").expect("send");
+            line.clear();
+            reader.read_line(&mut line).expect("recv");
+            assert!(line.starts_with(want), "{req} -> {line}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batching_disabled_still_serves_v1_and_v2() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig { batching: false, ..ServerConfig::default() },
+        )
+        .expect("serve");
+        let direct = engine.score(Triple::new(0u32, 1u32, 2u32)).unwrap();
+        assert_eq!(query(server.addr(), "SCORE 0 1 2"), format!("OK {direct}"));
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        writeln!(stream, "PROTO 2").expect("hello");
+        reader.read_line(&mut line).expect("hello reply");
+        assert_eq!(line.trim_end(), "OK proto=2");
+        writeln!(stream, "ID 3 SCORE 0 1 2").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("recv");
+        assert_eq!(line.trim_end(), format!("ID 3 OK {direct}"));
         server.shutdown();
     }
 

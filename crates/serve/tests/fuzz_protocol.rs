@@ -46,6 +46,7 @@ fn fuzz_server(cell: &'static OnceLock<SocketAddr>, cfg: ServerConfig) -> Socket
 
 static GARBAGE_SERVER: OnceLock<SocketAddr> = OnceLock::new();
 static TINY_LINE_SERVER: OnceLock<SocketAddr> = OnceLock::new();
+static PIPE_SERVER: OnceLock<SocketAddr> = OnceLock::new();
 
 fn garbage_server() -> SocketAddr {
     fuzz_server(&GARBAGE_SERVER, ServerConfig { workers: 2, ..ServerConfig::default() })
@@ -55,6 +56,17 @@ fn tiny_line_server() -> SocketAddr {
     fuzz_server(
         &TINY_LINE_SERVER,
         ServerConfig { workers: 2, max_line_len: 64, ..ServerConfig::default() },
+    )
+}
+
+/// Server for the v1/v2 interleaving property: enough workers for two
+/// persistent connections per case plus churn, and a short batching window
+/// so tagged requests route through the micro-batcher while they interleave
+/// with untagged ones.
+fn pipe_server() -> SocketAddr {
+    fuzz_server(
+        &PIPE_SERVER,
+        ServerConfig { workers: 4, batch_window: Duration::from_millis(1), ..ServerConfig::default() },
     )
 }
 
@@ -138,6 +150,79 @@ proptest! {
             );
         }
         prop_assert_eq!(responses.last().map(String::as_str), Some("OK pong"));
+    }
+
+    #[test]
+    fn interleaved_v1_and_v2_connections_get_correctly_framed_correctly_tagged_answers(
+        ops in prop::collection::vec((any::<bool>(), 0u32..3, 0u32..3, 0u32..3), 1..12),
+        tag_base in any::<u32>(),
+    ) {
+        let addr = pipe_server();
+        let v1 = TcpStream::connect(addr).expect("connect v1");
+        let v2 = TcpStream::connect(addr).expect("connect v2");
+        for s in [&v1, &v2] {
+            s.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        }
+        let mut v1_reader = BufReader::new(v1.try_clone().expect("clone v1"));
+        let mut v2_reader = BufReader::new(v2.try_clone().expect("clone v2"));
+        let mut v1 = &v1;
+        let mut v2 = &v2;
+
+        v2.write_all(b"PROTO 2\n").expect("hello");
+        let mut line = String::new();
+        v2_reader.read_line(&mut line).expect("hello reply");
+        prop_assert_eq!(line.trim_end(), "OK proto=2");
+
+        // every request goes down BOTH connections, writes interleaved and
+        // pipelined; the property is that the payload a request gets must
+        // not depend on the transport generation, the tag value, or what
+        // the other connection is doing
+        let mut tags = Vec::with_capacity(ops.len());
+        for (i, &(ping, h, r, t)) in ops.iter().enumerate() {
+            let req = if ping { "PING".to_string() } else { format!("SCORE {h} {r} {t}") };
+            let tag = u64::from(tag_base) + (i as u64) * 7 + 1;
+            v2.write_all(format!("ID {tag} {req}\n").as_bytes()).expect("v2 send");
+            v1.write_all(format!("{req}\n").as_bytes()).expect("v1 send");
+            tags.push(tag);
+        }
+
+        // v1 answers arrive untagged, in order
+        let mut v1_payloads = Vec::with_capacity(ops.len());
+        for i in 0..ops.len() {
+            line.clear();
+            v1_reader.read_line(&mut line).expect("v1 reply");
+            prop_assert!(line.ends_with('\n'), "unframed v1 response {:?}", &line);
+            let payload = line.trim_end();
+            prop_assert!(
+                payload.starts_with("OK") || payload.starts_with("ERR "),
+                "unprefixed v1 response {:?} to op {}", payload, i
+            );
+            prop_assert!(
+                rmpi_serve::parse_tagged(payload).is_err(),
+                "v1 response must not carry a tag: {:?}", payload
+            );
+            v1_payloads.push(payload.to_string());
+        }
+
+        // v2 answers arrive tagged, any order, exactly one per tag
+        let mut v2_payloads = std::collections::HashMap::new();
+        for _ in 0..ops.len() {
+            line.clear();
+            v2_reader.read_line(&mut line).expect("v2 reply");
+            prop_assert!(line.ends_with('\n'), "unframed v2 response {:?}", &line);
+            let (tag, rest) =
+                rmpi_serve::parse_tagged(line.trim_end()).expect("untagged v2 response");
+            prop_assert!(
+                v2_payloads.insert(tag, rest.to_string()).is_none(),
+                "duplicate answer for tag {}", tag
+            );
+        }
+        for (i, tag) in tags.iter().enumerate() {
+            prop_assert_eq!(
+                &v2_payloads[tag], &v1_payloads[i],
+                "op {} answered differently over v2 (tag {}) than over v1", i, tag
+            );
+        }
     }
 
     #[test]

@@ -16,11 +16,16 @@
 //! | `TruncateResponse`        | response cut after N bytes, then disconnect     |
 //! | `MidResponseDisconnect`   | response cut after its first byte               |
 //! | `PartialWriteStall`       | a few bytes, a stall, then a disconnect         |
+//! | `PipelineCut`             | N complete response lines, then disconnect      |
 //!
 //! None of the faults ever *corrupts* bytes — they only delay or cut a
 //! prefix — so a line-delimited protocol can always detect the damage (a
 //! missing trailing newline) and never mistakes a damaged reply for a
-//! complete one.
+//! complete one. `PipelineCut` is the nasty case for *pipelined* (protocol
+//! v2) connections: several responses arrive intact, then the connection
+//! dies with requests still in flight — a correct client must deliver the
+//! intact responses to their owners and fail every remaining in-flight
+//! request with exactly one typed error each.
 //!
 //! ```no_run
 //! use rmpi_testutil::chaos::{ChaosConfig, ChaosProxy};
@@ -51,6 +56,10 @@ pub enum Fault {
     MidResponseDisconnect,
     /// Forward a short response prefix, stall, then cut the connection.
     PartialWriteStall,
+    /// Forward `cut_after_lines` complete response lines, then cut the
+    /// connection **at a line boundary** — mid-pipeline death with intact
+    /// responses already delivered.
+    PipelineCut,
 }
 
 /// Chaos-proxy knobs. `fault_rate` is the probability that a *connection* is
@@ -67,6 +76,9 @@ pub struct ChaosConfig {
     /// Response bytes forwarded before a [`Fault::TruncateResponse`] /
     /// [`Fault::PartialWriteStall`] cut.
     pub truncate_after: usize,
+    /// Complete response lines forwarded before a [`Fault::PipelineCut`]
+    /// cut.
+    pub cut_after_lines: usize,
 }
 
 impl Default for ChaosConfig {
@@ -76,6 +88,7 @@ impl Default for ChaosConfig {
             fault_rate: 0.0,
             delay: Duration::from_millis(20),
             truncate_after: 3,
+            cut_after_lines: 2,
         }
     }
 }
@@ -89,6 +102,7 @@ pub struct ChaosStats {
     truncated: AtomicU64,
     disconnected: AtomicU64,
     stalled: AtomicU64,
+    pipeline_cut: AtomicU64,
 }
 
 impl ChaosStats {
@@ -104,6 +118,7 @@ impl ChaosStats {
             + self.truncated.load(Ordering::Relaxed)
             + self.disconnected.load(Ordering::Relaxed)
             + self.stalled.load(Ordering::Relaxed)
+            + self.pipeline_cut.load(Ordering::Relaxed)
     }
 
     /// Tally for one fault kind.
@@ -114,6 +129,7 @@ impl ChaosStats {
             Fault::TruncateResponse => &self.truncated,
             Fault::MidResponseDisconnect => &self.disconnected,
             Fault::PartialWriteStall => &self.stalled,
+            Fault::PipelineCut => &self.pipeline_cut,
         }
         .load(Ordering::Relaxed)
     }
@@ -125,6 +141,7 @@ impl ChaosStats {
             Fault::TruncateResponse => &self.truncated,
             Fault::MidResponseDisconnect => &self.disconnected,
             Fault::PartialWriteStall => &self.stalled,
+            Fault::PipelineCut => &self.pipeline_cut,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -265,12 +282,13 @@ fn draw_fault(shared: &ProxyShared) -> Option<Fault> {
     if rng.next_f64() >= shared.cfg.fault_rate {
         return None;
     }
-    Some(match rng.next_u64() % 5 {
+    Some(match rng.next_u64() % 6 {
         0 => Fault::Refuse,
         1 => Fault::Delay,
         2 => Fault::TruncateResponse,
         3 => Fault::MidResponseDisconnect,
-        _ => Fault::PartialWriteStall,
+        4 => Fault::PartialWriteStall,
+        _ => Fault::PipelineCut,
     })
 }
 
@@ -280,6 +298,15 @@ struct ResponsePlan {
     limit: Option<usize>,
     /// Sleep this long right before the cut (partial-write stall).
     stall: Option<Duration>,
+    /// Cut the connection after forwarding this many complete (`\n`-ended)
+    /// lines — the cut lands exactly on a line boundary.
+    line_limit: Option<usize>,
+}
+
+impl ResponsePlan {
+    fn faithful() -> ResponsePlan {
+        ResponsePlan { limit: None, stall: None, line_limit: None }
+    }
 }
 
 fn handle_proxy_connection(shared: Arc<ProxyShared>, client: TcpStream, fault: Option<Fault>) {
@@ -296,13 +323,20 @@ fn handle_proxy_connection(shared: Arc<ProxyShared>, client: TcpStream, fault: O
     };
     let plan = match fault {
         Some(Fault::TruncateResponse) => {
-            ResponsePlan { limit: Some(cfg.truncate_after), stall: None }
+            ResponsePlan { limit: Some(cfg.truncate_after), ..ResponsePlan::faithful() }
         }
-        Some(Fault::MidResponseDisconnect) => ResponsePlan { limit: Some(1), stall: None },
-        Some(Fault::PartialWriteStall) => {
-            ResponsePlan { limit: Some(cfg.truncate_after), stall: Some(cfg.delay) }
+        Some(Fault::MidResponseDisconnect) => {
+            ResponsePlan { limit: Some(1), ..ResponsePlan::faithful() }
         }
-        _ => ResponsePlan { limit: None, stall: None },
+        Some(Fault::PartialWriteStall) => ResponsePlan {
+            limit: Some(cfg.truncate_after),
+            stall: Some(cfg.delay),
+            line_limit: None,
+        },
+        Some(Fault::PipelineCut) => {
+            ResponsePlan { line_limit: Some(cfg.cut_after_lines), ..ResponsePlan::faithful() }
+        }
+        _ => ResponsePlan::faithful(),
     };
 
     // client -> upstream: always faithful. Faults target the response path:
@@ -321,7 +355,7 @@ fn handle_proxy_connection(shared: Arc<ProxyShared>, client: TcpStream, fault: O
         let stop = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("rmpi-chaos-c2u".into())
-            .spawn(move || pump(from, to, ResponsePlan { limit: None, stall: None }, &stop))
+            .spawn(move || pump(from, to, ResponsePlan::faithful(), &stop))
     };
 
     // upstream -> client: where the chaos happens
@@ -332,10 +366,11 @@ fn handle_proxy_connection(shared: Arc<ProxyShared>, client: TcpStream, fault: O
 }
 
 /// Copy bytes from `from` to `to` until EOF, stop, error, or the plan's
-/// byte limit; then cut both directions.
+/// byte/line limit; then cut both directions.
 fn pump(mut from: TcpStream, mut to: TcpStream, plan: ResponsePlan, stop: &ProxyShared) {
     let _ = from.set_read_timeout(Some(POLL));
     let mut forwarded = 0usize;
+    let mut lines_forwarded = 0usize;
     let mut buf = [0u8; 4096];
     loop {
         if stop.stop.load(Ordering::SeqCst) {
@@ -354,18 +389,37 @@ fn pump(mut from: TcpStream, mut to: TcpStream, plan: ResponsePlan, stop: &Proxy
             }
             Err(_) => break,
         };
-        let send = match plan.limit {
+        let mut send = match plan.limit {
             Some(limit) => {
                 let remaining = limit.saturating_sub(forwarded);
                 n.min(remaining)
             }
             None => n,
         };
+        let mut line_cut = false;
+        if let Some(line_limit) = plan.line_limit {
+            // forward only up to (and including) the newline that completes
+            // the limit-th line, so the cut lands exactly on a line boundary
+            let mut boundary = 0usize;
+            for (i, &b) in buf[..send].iter().enumerate() {
+                if b == b'\n' {
+                    lines_forwarded += 1;
+                    boundary = i + 1;
+                    if lines_forwarded >= line_limit {
+                        line_cut = true;
+                        break;
+                    }
+                }
+            }
+            if line_cut {
+                send = boundary;
+            }
+        }
         if send > 0 && to.write_all(&buf[..send]).is_err() {
             break;
         }
         forwarded += send;
-        if plan.limit.is_some_and(|limit| forwarded >= limit) {
+        if line_cut || plan.limit.is_some_and(|limit| forwarded >= limit) {
             if let Some(stall) = plan.stall {
                 std::thread::sleep(stall);
             }
@@ -465,12 +519,13 @@ mod tests {
                     if rng.next_f64() >= 0.3 {
                         return None;
                     }
-                    Some(match rng.next_u64() % 5 {
+                    Some(match rng.next_u64() % 6 {
                         0 => Fault::Refuse,
                         1 => Fault::Delay,
                         2 => Fault::TruncateResponse,
                         3 => Fault::MidResponseDisconnect,
-                        _ => Fault::PartialWriteStall,
+                        4 => Fault::PartialWriteStall,
+                        _ => Fault::PipelineCut,
                     })
                 })
                 .collect()
@@ -491,6 +546,7 @@ mod tests {
                 fault_rate: 1.0, // every connection disturbed
                 delay: Duration::from_millis(5),
                 truncate_after: 2,
+                cut_after_lines: 2,
             },
         )
         .unwrap();
@@ -528,12 +584,78 @@ mod tests {
             Fault::TruncateResponse,
             Fault::MidResponseDisconnect,
             Fault::PartialWriteStall,
+            Fault::PipelineCut,
         ];
         for kind in kinds {
             assert!(proxy.stats().count(kind) > 0, "{kind:?} never drawn in 40 connections");
         }
         assert!(complete > 0, "delay-only connections should still complete");
         proxy.shutdown();
+        stop_echo(addr, &stop, handle);
+    }
+
+    #[test]
+    fn pipeline_cut_forwards_exactly_n_complete_lines_then_cuts_on_the_boundary() {
+        let (addr, stop, handle) = echo_server();
+        // force the PipelineCut path deterministically by driving pump()
+        // directly: a pipelined burst of 5 requests, a 3-line cut plan
+        let upstream = TcpStream::connect(addr).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let proxy_addr = listener.local_addr().unwrap();
+        let client_side = TcpStream::connect(proxy_addr).unwrap();
+        let (proxy_client, _) = listener.accept().unwrap();
+        let shared = Arc::new(ProxyShared {
+            stop: AtomicBool::new(false),
+            stats: ChaosStats::default(),
+            cfg: ChaosConfig::default(),
+            upstream: addr,
+            rng: Mutex::new(SplitMix64(0)),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        // client -> upstream faithful, upstream -> client cut after 3 lines
+        let c2u = {
+            let from = proxy_client.try_clone().unwrap();
+            let to = upstream.try_clone().unwrap();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || pump(from, to, ResponsePlan::faithful(), &shared))
+        };
+        let u2c = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                pump(
+                    upstream,
+                    proxy_client,
+                    ResponsePlan { line_limit: Some(3), ..ResponsePlan::faithful() },
+                    &shared,
+                )
+            })
+        };
+
+        let mut client_writer = client_side.try_clone().unwrap();
+        for i in 0..5 {
+            writeln!(client_writer, "req {i}").unwrap();
+        }
+        let mut reader = BufReader::new(client_side);
+        let mut received = Vec::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    assert!(line.ends_with('\n'), "cut must land on a line boundary: {line:?}");
+                    received.push(line.trim_end().to_owned());
+                }
+            }
+        }
+        assert_eq!(
+            received,
+            vec!["OK req 0", "OK req 1", "OK req 2"],
+            "exactly 3 intact lines, then the cut"
+        );
+        shared.stop.store(true, Ordering::SeqCst);
+        c2u.join().unwrap();
+        u2c.join().unwrap();
         stop_echo(addr, &stop, handle);
     }
 }

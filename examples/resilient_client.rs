@@ -6,6 +6,11 @@
 //! damage, never data), so failures are retried on the surviving replica and
 //! the caller only ever sees scores bit-identical to the offline model.
 //!
+//! Since protocol v2 the retry stack rides on persistent pipelined
+//! [`Session`]s (one connection per endpoint, demultiplexed by response
+//! tag) instead of one connection per request; the final section drives a
+//! session directly to show the transport the stack is built on.
+//!
 //! ```text
 //! cargo run --release --example resilient_client
 //! ```
@@ -82,16 +87,37 @@ fn main() {
         println!("  score({}, {}, {}) = {score:+.4}", t.head.0, t.relation.0, t.tail.0);
     }
 
-    // 5. What the retry layer did, from its registry-backed counters.
+    // 5. What the retry layer did, from its registry-backed counters. The
+    //    sessions count stays near the endpoint count — connection reuse is
+    //    the point of the pipelined transport.
     let stats = client.stats();
     println!(
-        "done: {} requests, {} retries, {} failovers, {} breaker trips, {} errors",
+        "done: {} requests over {} sessions, {} retries, {} failovers, \
+         {} breaker trips, {} errors",
         stats.requests.get(),
+        stats.sessions_opened.get(),
         stats.retries.get(),
         stats.failovers.get(),
         stats.breaker_open.get(),
         stats.errors.get(),
     );
     println!("breaker states: {:?}", client.breaker_states());
+
+    // 6. The transport underneath the stack: one explicit session, a whole
+    //    burst of requests in flight on one connection, answers
+    //    demultiplexed by tag — and still bit-identical.
+    let session =
+        Session::connect(replica_b.addr(), &ClientConfig::default()).expect("session connect");
+    let burst: Vec<(u32, u32, u32)> =
+        targets.iter().take(8).map(|t| (t.head.0, t.relation.0, t.tail.0)).collect();
+    let scores = session.score_many(&burst).expect("pipelined burst");
+    for (i, score) in scores.iter().enumerate() {
+        assert_eq!(score.to_bits(), reference[i].to_bits(), "pipelined score must match");
+    }
+    println!(
+        "pipelined burst: {} scores over one proto v{} connection",
+        scores.len(),
+        session.proto_version()
+    );
     replica_b.shutdown();
 }

@@ -1,11 +1,15 @@
 //! Serving: train a model, package it as a bundle, reload the bundle and
-//! answer ranked queries through the in-process inference engine.
+//! answer ranked queries through the in-process inference engine — then put
+//! the same engine behind the TCP edge and score a pipelined burst through
+//! a protocol-v2 [`Session`].
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
 
 use rmpi::prelude::*;
+use rmpi::serve::{serve, ServerConfig};
+use std::sync::Arc;
 
 fn main() {
     // 1. Train a small model on an inductive benchmark.
@@ -45,11 +49,11 @@ fn main() {
     // 4. Serve: bind the model to the unseen-entity test graph and answer
     //    queries through the subgraph cache.
     let test = benchmark.test("TE").expect("TE split");
-    let engine = Engine::new(
+    let engine = Arc::new(Engine::new(
         bundle.model,
         test.graph.clone(),
         EngineConfig::default().with_seed(7).with_cache_capacity(4096).with_threads(0),
-    );
+    ));
 
     for &target in test.targets.iter().take(3) {
         let ranked = engine.rank_tails(target.head, target.relation, 5).expect("rank");
@@ -75,5 +79,26 @@ fn main() {
     // 6. The full metrics registry — per-verb latency percentiles, cache
     //    gauges, and (in a combined process) trainer/pool metrics too.
     println!("metrics: {}", engine.metrics_json());
+
+    // 7. The same engine behind the TCP edge: a client session negotiates
+    //    protocol v2 and pipelines a burst of scores over one connection —
+    //    the server's micro-batcher coalesces them into engine batch calls,
+    //    and every answer is bit-identical to the in-process engine.
+    let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("bind server");
+    let session = Session::connect(server.addr(), &ClientConfig::default()).expect("connect");
+    let burst: Vec<(u32, u32, u32)> =
+        test.targets.iter().take(8).map(|t| (t.head.0, t.relation.0, t.tail.0)).collect();
+    let scores = session.score_many(&burst).expect("pipelined burst");
+    let reference = engine.score_batch(&test.targets[..8].to_vec()).expect("reference");
+    for (served, direct) in scores.iter().zip(&reference) {
+        assert_eq!(served.to_bits(), direct.to_bits(), "wire scores must match the engine");
+    }
+    println!(
+        "wire: {} pipelined scores over one proto v{} connection at {}",
+        scores.len(),
+        session.proto_version(),
+        server.addr()
+    );
+    server.shutdown();
     std::fs::remove_file(&path).ok();
 }

@@ -41,7 +41,7 @@ rm -rf "$(dirname "$SCRUB_DIR")"
 echo "== worker pool unit tests =="
 cargo test -q -p rmpi-runtime
 
-echo "== serving layer: bundle + engine + protocol unit tests =="
+echo "== serving layer: bundle + engine + protocol + micro-batcher unit tests =="
 cargo test -q -p rmpi-serve --lib
 
 echo "== serve smoke test: ephemeral-port server, scripted query batch, offline parity =="
@@ -59,14 +59,17 @@ cargo test -q -p rmpi-serve --test faults
 echo "== bundle durability: single-bit flips never serve silently wrong scores (proptest) =="
 cargo test -q -p rmpi-serve --test bitflip
 
-echo "== protocol fuzz: garbage, binary and overlong lines always get one framed answer =="
+echo "== protocol fuzz: garbage, binary, overlong lines, interleaved v1/v2 tagged pipelining =="
 cargo test -q -p rmpi-serve --test fuzz_protocol
 
-echo "== resilient client unit tests: retry classification, backoff, budget, breaker, failover =="
+echo "== resilient client unit tests: sessions, retry classification, backoff, budget, breaker =="
 cargo test -q -p rmpi-client --lib
 
-echo "== chaos soak: two faulty replicas, concurrent clients, replica kill, zero wrong scores =="
+echo "== chaos soak: faulty replicas, pipelined sessions, mid-pipeline cuts, zero wrong scores =="
 cargo test -q -p rmpi-client --test soak
+
+echo "== edge load smoke: oneshot vs session vs pipelined, micro-batcher coalescing evidence =="
+cargo run --release -q -p rmpi-bench --bin bench_load -- --smoke >/dev/null
 
 echo "== observability: instrumented train + serve + resilience counters, present and nonzero =="
 cargo test -q --test observability

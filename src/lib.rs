@@ -17,9 +17,11 @@
 //! * [`eval`] — metrics, protocols and the experiment runner;
 //! * [`serve`] — model bundles and the batched, subgraph-caching inference
 //!   service (in-process engine + TCP front end);
-//! * [`client`] — the resilient serving client: timeouts, classified
-//!   retryable-vs-fatal errors, seeded exponential backoff, retry budgets,
-//!   and multi-replica failover behind per-endpoint circuit breakers;
+//! * [`client`] — the resilient serving client: pipelined multiplexing
+//!   sessions (protocol v2 tagged responses) with a pooling layer, timeouts,
+//!   classified retryable-vs-fatal errors, seeded exponential backoff, retry
+//!   budgets, and multi-replica failover behind per-endpoint circuit
+//!   breakers;
 //! * [`obs`] — the observability layer: process-wide metrics registry
 //!   (counters, gauges, latency histograms with percentiles), scoped timing
 //!   spans, and a manual clock for deterministic tests;

@@ -46,10 +46,13 @@ pub use rmpi_serve::{
     EngineConfig, GraphBackend, ServeStats,
 };
 
-// the resilient serving client (retries, backoff, replica failover);
-// `ProtocolClient` carries the verb methods for both client flavours
+// the resilient serving client (pipelined sessions, retries, backoff,
+// replica failover); `ProtocolClient` carries the verb methods for both
+// retrying client flavours, `Session`/`ClientPool` are the multiplexed
+// transport underneath them
 pub use rmpi_client::{
-    Client, ClientConfig, ClientError, FailoverClient, FailoverConfig, ProtocolClient,
+    Client, ClientConfig, ClientError, ClientPool, FailoverClient, FailoverConfig, ProtocolClient,
+    Session,
 };
 
 // observability
