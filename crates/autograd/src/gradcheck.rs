@@ -20,10 +20,7 @@ pub const DEFAULT_TOL: f32 = 2e-2;
 ///
 /// `params` lists the named tensors to create; `f` builds the forward pass on
 /// a fresh tape and returns the scalar loss variable.
-pub fn check_gradients(
-    params: &[(&str, Tensor)],
-    f: impl Fn(&mut Tape, &ParamStore) -> Var,
-) {
+pub fn check_gradients(params: &[(&str, Tensor)], f: impl Fn(&mut Tape, &ParamStore) -> Var) {
     check_gradients_with(params, f, DEFAULT_EPS, DEFAULT_TOL)
 }
 

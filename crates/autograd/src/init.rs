@@ -26,7 +26,9 @@ pub fn uniform<R: Rng>(shape: &[usize], bound: f32, rng: &mut R) -> Tensor {
 
 /// Gaussian initialisation with the given standard deviation (Box–Muller).
 pub fn normal<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Tensor {
-    let data = (0..shape.iter().product::<usize>()).map(|_| StandardNormalShim::sample(rng) * std).collect();
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| StandardNormalShim::sample(rng) * std)
+        .collect();
     Tensor::matrix_or_vector(shape, data)
 }
 

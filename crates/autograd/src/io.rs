@@ -51,7 +51,9 @@ impl fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CheckpointError::BadMagic(got) => write!(f, "bad checkpoint header {got:?}"),
-            CheckpointError::Parse { line, message } => write!(f, "checkpoint parse error at line {line}: {message}"),
+            CheckpointError::Parse { line, message } => {
+                write!(f, "checkpoint parse error at line {line}: {message}")
+            }
             CheckpointError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -101,9 +103,9 @@ pub const WRITE_FAILPOINT: &str = "io::atomic_write";
 /// removed — readers never observe a partial file.
 pub fn atomic_write_bytes<P: AsRef<Path>>(path: P, bytes: &[u8]) -> std::io::Result<()> {
     let path = path.as_ref();
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other(format!("path {} has no file name", path.display())))?;
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::other(format!("path {} has no file name", path.display()))
+    })?;
     let parent = match path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
@@ -145,7 +147,10 @@ pub fn atomic_write_bytes<P: AsRef<Path>>(path: P, bytes: &[u8]) -> std::io::Res
 
 /// Save a checkpoint to `path` with atomic write-to-temp + fsync + rename
 /// semantics: on failure the previous file at `path` is untouched.
-pub fn save_params_file<P: AsRef<Path>>(path: P, store: &ParamStore) -> Result<(), CheckpointError> {
+pub fn save_params_file<P: AsRef<Path>>(
+    path: P,
+    store: &ParamStore,
+) -> Result<(), CheckpointError> {
     let mut buf = Vec::new();
     save_params(&mut buf, store)?;
     atomic_write_bytes(path, &buf)?;

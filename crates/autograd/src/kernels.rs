@@ -215,15 +215,8 @@ mod tests {
 
     // Shapes chosen to exercise every tiling edge: smaller than one block,
     // exactly one block, one-past-a-block boundary, and multi-block.
-    const SHAPES: &[(usize, usize, usize)] = &[
-        (1, 1, 1),
-        (3, 5, 2),
-        (8, 8, 8),
-        (31, 64, 33),
-        (32, 65, 64),
-        (70, 70, 70),
-        (1, 130, 1),
-    ];
+    const SHAPES: &[(usize, usize, usize)] =
+        &[(1, 1, 1), (3, 5, 2), (8, 8, 8), (31, 64, 33), (32, 65, 64), (70, 70, 70), (1, 130, 1)];
 
     #[test]
     fn nn_matches_naive_on_all_shapes() {
@@ -289,7 +282,10 @@ mod tests {
             let y = fill(len, 8);
             let naive: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
             let got = dot_chunked(&x, &y);
-            assert!((got - naive).abs() <= 1e-5 * (1.0 + naive.abs()), "len {len}: {got} vs {naive}");
+            assert!(
+                (got - naive).abs() <= 1e-5 * (1.0 + naive.abs()),
+                "len {len}: {got} vs {naive}"
+            );
         }
     }
 

@@ -43,8 +43,8 @@
 pub mod counters;
 pub mod grad;
 pub mod gradcheck;
-pub mod io;
 pub mod init;
+pub mod io;
 pub mod kernels;
 pub mod optim;
 pub mod params;

@@ -63,7 +63,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9 / 0.999) and eps 1e-8.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Adam with L2 weight decay added to the gradient (the classic, not

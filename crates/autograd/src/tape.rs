@@ -122,7 +122,11 @@ impl Tape {
             let s = a.data()[0];
             b.map(|y| f(s, y))
         } else {
-            panic!("shape mismatch {:?} vs {:?} (only scalar broadcast supported)", a.shape(), b.shape());
+            panic!(
+                "shape mismatch {:?} vs {:?} (only scalar broadcast supported)",
+                a.shape(),
+                b.shape()
+            );
         }
     }
 
@@ -430,7 +434,12 @@ impl Tape {
                 }
                 Op::Relu(a) => {
                     let va = self.value(*a);
-                    let gd = g.data().iter().zip(va.data()).map(|(&gi, &x)| if x > 0.0 { gi } else { 0.0 }).collect();
+                    let gd = g
+                        .data()
+                        .iter()
+                        .zip(va.data())
+                        .map(|(&gi, &x)| if x > 0.0 { gi } else { 0.0 })
+                        .collect();
                     accumulate(&mut grads, *a, Tensor::matrix_or_vector(va.shape(), gd));
                 }
                 Op::LeakyRelu(a, slope) => {
@@ -445,18 +454,29 @@ impl Tape {
                 }
                 Op::Sigmoid(a) => {
                     let out = &node.value;
-                    let gd = g.data().iter().zip(out.data()).map(|(&gi, &s)| gi * s * (1.0 - s)).collect();
+                    let gd = g
+                        .data()
+                        .iter()
+                        .zip(out.data())
+                        .map(|(&gi, &s)| gi * s * (1.0 - s))
+                        .collect();
                     accumulate(&mut grads, *a, Tensor::matrix_or_vector(out.shape(), gd));
                 }
                 Op::Tanh(a) => {
                     let out = &node.value;
-                    let gd = g.data().iter().zip(out.data()).map(|(&gi, &t)| gi * (1.0 - t * t)).collect();
+                    let gd = g
+                        .data()
+                        .iter()
+                        .zip(out.data())
+                        .map(|(&gi, &t)| gi * (1.0 - t * t))
+                        .collect();
                     accumulate(&mut grads, *a, Tensor::matrix_or_vector(out.shape(), gd));
                 }
                 Op::Softmax(a) => {
                     let s = &node.value;
                     let inner: f32 = g.data().iter().zip(s.data()).map(|(&gi, &si)| gi * si).sum();
-                    let gd = g.data().iter().zip(s.data()).map(|(&gi, &si)| si * (gi - inner)).collect();
+                    let gd =
+                        g.data().iter().zip(s.data()).map(|(&gi, &si)| si * (gi - inner)).collect();
                     accumulate(&mut grads, *a, Tensor::vector(gd));
                 }
                 Op::Sum(a) => {
@@ -465,7 +485,11 @@ impl Tape {
                 }
                 Op::Mean(a) => {
                     let va = self.value(*a);
-                    accumulate(&mut grads, *a, Tensor::full(va.shape(), g.item() / va.len() as f32));
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::full(va.shape(), g.item() / va.len() as f32),
+                    );
                 }
                 Op::Concat(parts) => {
                     let mut off = 0;
@@ -478,7 +502,11 @@ impl Tape {
                 Op::Stack(rows) => {
                     let d = self.value(rows[0]).len();
                     for (r, &p) in rows.iter().enumerate() {
-                        accumulate(&mut grads, p, Tensor::vector(g.data()[r * d..(r + 1) * d].to_vec()));
+                        accumulate(
+                            &mut grads,
+                            p,
+                            Tensor::vector(g.data()[r * d..(r + 1) * d].to_vec()),
+                        );
                     }
                 }
                 Op::Row(m, i) => {
@@ -639,7 +667,10 @@ mod tests {
     #[test]
     fn gradcheck_matmul_chain() {
         check_gradients(
-            &[("a", Tensor::matrix(2, 3, vec![0.5, -0.2, 0.3, 0.1, 0.7, -0.4])), ("b", Tensor::matrix(3, 2, vec![0.2; 6]))],
+            &[
+                ("a", Tensor::matrix(2, 3, vec![0.5, -0.2, 0.3, 0.1, 0.7, -0.4])),
+                ("b", Tensor::matrix(3, 2, vec![0.2; 6])),
+            ],
             |tape, store| {
                 let a = tape.param(store, store.get("a").unwrap());
                 let b = tape.param(store, store.get("b").unwrap());
@@ -656,7 +687,14 @@ mod tests {
         check_gradients(
             &[
                 ("q", Tensor::vector(vec![0.3, -0.5, 0.8])),
-                ("k", Tensor::matrix(4, 3, vec![0.1, 0.2, -0.3, 0.5, -0.1, 0.4, -0.2, 0.3, 0.6, 0.05, -0.4, 0.2])),
+                (
+                    "k",
+                    Tensor::matrix(
+                        4,
+                        3,
+                        vec![0.1, 0.2, -0.3, 0.5, -0.1, 0.4, -0.2, 0.3, 0.6, 0.05, -0.4, 0.2],
+                    ),
+                ),
             ],
             |tape, store| {
                 let q = tape.param(store, store.get("q").unwrap());

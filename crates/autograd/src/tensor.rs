@@ -109,7 +109,11 @@ impl Tensor {
 
     /// Elementwise addition (shapes must match).
     pub fn add(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape, other.shape, "add shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "add shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
         counters::record(self.len() as u64, 12 * self.len() as u64);
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
         Tensor { shape: self.shape.clone(), data }
@@ -117,7 +121,11 @@ impl Tensor {
 
     /// In-place elementwise `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(self.shape, other.shape, "axpy shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
         counters::record(2 * self.len() as u64, 12 * self.len() as u64);
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
@@ -126,14 +134,22 @@ impl Tensor {
 
     /// Elementwise subtraction.
     pub fn sub(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape, other.shape, "sub shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "sub shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
         Tensor { shape: self.shape.clone(), data }
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape, other.shape, "mul shape mismatch {:?} vs {:?}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "mul shape mismatch {:?} vs {:?}",
+            self.shape, other.shape
+        );
         let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
         Tensor { shape: self.shape.clone(), data }
     }

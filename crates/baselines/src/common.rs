@@ -165,7 +165,8 @@ mod tests {
         let g = graph();
         let mut rng = StdRng::seed_from_u64(0);
         let cfg = BaselineConfig { edge_dropout: 0.0, ..Default::default() };
-        let s = prepare_entity_sample(&g, Triple::new(0u32, 9u32, 3u32), &cfg, Mode::Eval, &mut rng);
+        let s =
+            prepare_entity_sample(&g, Triple::new(0u32, 9u32, 3u32), &cfg, Mode::Eval, &mut rng);
         assert_eq!(s.entities.len(), 4);
         for e in &s.entities {
             assert!(s.labels.contains_key(e), "label missing for {e}");
@@ -178,7 +179,8 @@ mod tests {
         let g = graph();
         let mut rng = StdRng::seed_from_u64(1);
         let cfg = BaselineConfig { edge_dropout: 0.999, ..Default::default() };
-        let s = prepare_entity_sample(&g, Triple::new(0u32, 9u32, 3u32), &cfg, Mode::Train, &mut rng);
+        let s =
+            prepare_entity_sample(&g, Triple::new(0u32, 9u32, 3u32), &cfg, Mode::Train, &mut rng);
         assert!(s.entities.contains(&EntityId(0)));
         assert!(s.entities.contains(&EntityId(3)));
     }

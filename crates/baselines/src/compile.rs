@@ -32,22 +32,45 @@ impl CompileModel {
     pub fn new(cfg: BaselineConfig, num_relations: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let rel_emb =
-            store.create("comp_rel_emb", init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng));
+        let rel_emb = store.create(
+            "comp_rel_emb",
+            init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng),
+        );
         let in_dim = |k: usize| if k == 0 { cfg.label_dim() } else { cfg.dim };
         let mut w_edge = Vec::new();
         let mut w_self = Vec::new();
         let mut w_msg = Vec::new();
         for k in 0..cfg.num_layers {
             let d = in_dim(k);
-            w_edge.push(store.create(&format!("comp_l{k}_edge"), init::xavier_uniform(&[cfg.dim, 2 * d + cfg.dim], &mut rng)));
-            w_self.push(store.create(&format!("comp_l{k}_self"), init::xavier_uniform(&[cfg.dim, d], &mut rng)));
-            w_msg.push(store.create(&format!("comp_l{k}_msg"), init::xavier_uniform(&[cfg.dim, cfg.dim], &mut rng)));
+            w_edge.push(store.create(
+                &format!("comp_l{k}_edge"),
+                init::xavier_uniform(&[cfg.dim, 2 * d + cfg.dim], &mut rng),
+            ));
+            w_self.push(
+                store.create(
+                    &format!("comp_l{k}_self"),
+                    init::xavier_uniform(&[cfg.dim, d], &mut rng),
+                ),
+            );
+            w_msg.push(store.create(
+                &format!("comp_l{k}_msg"),
+                init::xavier_uniform(&[cfg.dim, cfg.dim], &mut rng),
+            ));
         }
-        let w_target_edge =
-            store.create("comp_target_edge", init::xavier_uniform(&[cfg.dim, 3 * cfg.dim], &mut rng));
+        let w_target_edge = store
+            .create("comp_target_edge", init::xavier_uniform(&[cfg.dim, 3 * cfg.dim], &mut rng));
         let score_w = store.create("comp_score_w", init::xavier_uniform(&[4 * cfg.dim], &mut rng));
-        CompileModel { cfg, store, rel_emb, w_edge, w_self, w_msg, w_target_edge, score_w, num_relations }
+        CompileModel {
+            cfg,
+            store,
+            rel_emb,
+            w_edge,
+            w_self,
+            w_msg,
+            w_target_edge,
+            score_w,
+            num_relations,
+        }
     }
 }
 
@@ -75,7 +98,9 @@ impl ScoringModel for CompileModel {
         let mut h: Vec<Var> = sample
             .entities
             .iter()
-            .map(|e| tape.constant(Tensor::vector(sample.labels[e].one_hot(self.cfg.max_label_dist))))
+            .map(|e| {
+                tape.constant(Tensor::vector(sample.labels[e].one_hot(self.cfg.max_label_dist)))
+            })
             .collect();
 
         for k in 0..self.cfg.num_layers {
@@ -172,7 +197,8 @@ mod tests {
         let mut model = CompileModel::new(cfg(), 6, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let mut tape = Tape::new();
-        let s = model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
+        let s =
+            model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
         tape.backward(s, model.param_store_mut());
         let store = model.param_store();
         assert!(store.grad(store.get("comp_l0_edge").unwrap()).norm() > 0.0);

@@ -52,21 +52,33 @@ impl GrailEncoderWeights {
             let d_in = in_dim(k);
             w_rel.push(
                 (0..num_relations.max(1))
-                    .map(|r| store.create(&format!("{prefix}_l{k}_r{r}"), init::xavier_uniform(&[cfg.dim, d_in], rng)))
+                    .map(|r| {
+                        store.create(
+                            &format!("{prefix}_l{k}_r{r}"),
+                            init::xavier_uniform(&[cfg.dim, d_in], rng),
+                        )
+                    })
                     .collect(),
             );
-            w_self.push(store.create(&format!("{prefix}_l{k}_self"), init::xavier_uniform(&[cfg.dim, d_in], rng)));
+            w_self.push(store.create(
+                &format!("{prefix}_l{k}_self"),
+                init::xavier_uniform(&[cfg.dim, d_in], rng),
+            ));
             // s = ReLU(A2 [h_i ⊕ h_j ⊕ r_t^a ⊕ r^a] + b2); α = σ(A1·s + b1)
             att_a2.push(store.create(
                 &format!("{prefix}_l{k}_a2"),
                 init::xavier_uniform(&[cfg.dim, 2 * d_in + 2 * cfg.dim], rng),
             ));
             att_b2.push(store.create(&format!("{prefix}_l{k}_b2"), Tensor::zeros(&[cfg.dim])));
-            att_a1.push(store.create(&format!("{prefix}_l{k}_a1"), init::xavier_uniform(&[cfg.dim], rng)));
+            att_a1.push(
+                store.create(&format!("{prefix}_l{k}_a1"), init::xavier_uniform(&[cfg.dim], rng)),
+            );
             att_b1.push(store.create(&format!("{prefix}_l{k}_b1"), Tensor::zeros(&[1])));
         }
-        let att_emb =
-            store.create(&format!("{prefix}_att_emb"), init::xavier_uniform(&[num_relations.max(1), cfg.dim], rng));
+        let att_emb = store.create(
+            &format!("{prefix}_att_emb"),
+            init::xavier_uniform(&[num_relations.max(1), cfg.dim], rng),
+        );
         GrailEncoderWeights { w_rel, w_self, att_a2, att_b2, att_a1, att_b1, att_emb }
     }
 }
@@ -159,8 +171,10 @@ impl GrailModel {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
         let encoder = GrailEncoderWeights::new(&mut store, "grail", &cfg, num_relations, &mut rng);
-        let rel_emb =
-            store.create("grail_rel_emb", init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng));
+        let rel_emb = store.create(
+            "grail_rel_emb",
+            init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng),
+        );
         let score_w = store.create("grail_score_w", init::xavier_uniform(&[4 * cfg.dim], &mut rng));
         GrailModel { cfg, store, encoder, rel_emb, score_w, num_relations }
     }
@@ -252,7 +266,8 @@ mod tests {
         let mut model = GrailModel::new(cfg(), 6, 2);
         let mut rng = StdRng::seed_from_u64(1);
         let mut tape = Tape::new();
-        let s = model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
+        let s =
+            model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
         tape.backward(s, model.param_store_mut());
         let store = model.param_store();
         // relation 0 labels an edge of the subgraph, so its first-layer W must

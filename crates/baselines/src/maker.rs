@@ -51,19 +51,33 @@ impl MakerLiteModel {
     /// at evaluation time anything else takes the structural pathway, which
     /// is exactly the information MaKEr assumes (test graphs declare their
     /// new relations).
-    pub fn new(cfg: BaselineConfig, num_relations: usize, seen: HashSet<RelationId>, seed: u64) -> Self {
+    pub fn new(
+        cfg: BaselineConfig,
+        num_relations: usize,
+        seen: HashSet<RelationId>,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = ParamStore::new();
-        let rel_emb =
-            store.create("maker_rel_emb", init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng));
-        let topo_w = store.create("maker_topo_w", init::xavier_uniform(&[cfg.dim, TOPO_DIM], &mut rng));
+        let rel_emb = store.create(
+            "maker_rel_emb",
+            init::xavier_uniform(&[num_relations.max(1), cfg.dim], &mut rng),
+        );
+        let topo_w =
+            store.create("maker_topo_w", init::xavier_uniform(&[cfg.dim, TOPO_DIM], &mut rng));
         let in_dim = |k: usize| if k == 0 { cfg.label_dim() } else { cfg.dim };
         let mut w_self = Vec::new();
         let mut w_msg = Vec::new();
         for k in 0..cfg.num_layers {
             let d = in_dim(k);
-            w_self.push(store.create(&format!("maker_l{k}_self"), init::xavier_uniform(&[cfg.dim, d], &mut rng)));
-            w_msg.push(store.create(&format!("maker_l{k}_msg"), init::xavier_uniform(&[cfg.dim, d + cfg.dim], &mut rng)));
+            w_self.push(store.create(
+                &format!("maker_l{k}_self"),
+                init::xavier_uniform(&[cfg.dim, d], &mut rng),
+            ));
+            w_msg.push(store.create(
+                &format!("maker_l{k}_msg"),
+                init::xavier_uniform(&[cfg.dim, d + cfg.dim], &mut rng),
+            ));
         }
         let score_w = store.create("maker_score_w", init::xavier_uniform(&[4 * cfg.dim], &mut rng));
         MakerLiteModel {
@@ -130,7 +144,8 @@ impl MakerLiteModel {
         if neighbor_rels.is_empty() {
             tape.relu(projected)
         } else {
-            let embs: Vec<Var> = neighbor_rels.iter().map(|r| tape.row(rel_table, r.index())).collect();
+            let embs: Vec<Var> =
+                neighbor_rels.iter().map(|r| tape.row(rel_table, r.index())).collect();
             let stacked = tape.stack(&embs);
             let pool = tape.constant(Tensor::full(&[embs.len()], 1.0 / embs.len() as f32));
             let mean = tape.vecmat(pool, stacked);
@@ -167,7 +182,9 @@ impl MakerLiteModel {
         let mut h: Vec<Var> = sample
             .entities
             .iter()
-            .map(|e| tape.constant(Tensor::vector(sample.labels[e].one_hot(self.cfg.max_label_dist))))
+            .map(|e| {
+                tape.constant(Tensor::vector(sample.labels[e].one_hot(self.cfg.max_label_dist)))
+            })
             .collect();
         for k in 0..self.cfg.num_layers {
             let ws = tape.param(&self.store, self.w_self[k]);
@@ -282,7 +299,8 @@ mod tests {
         let g = graph();
         let mut rng = StdRng::seed_from_u64(2);
         let cfg = BaselineConfig { dim: 8, edge_dropout: 0.0, ..Default::default() };
-        let sample = prepare_entity_sample(&g, Triple::new(0u32, 4u32, 3u32), &cfg, Mode::Eval, &mut rng);
+        let sample =
+            prepare_entity_sample(&g, Triple::new(0u32, 4u32, 3u32), &cfg, Mode::Eval, &mut rng);
         let rv = RelViewGraph::from_subgraph(&sample.sg);
         let f = MakerLiteModel::topo_features(&rv, RelationId(0));
         assert_eq!(f.len(), TOPO_DIM);

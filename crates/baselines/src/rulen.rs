@@ -88,20 +88,22 @@ impl RuleNModel {
         let mut rules: HashMap<RelationId, Vec<MinedRule>> = HashMap::new();
 
         // index: relation -> (head -> tails)
-        let mut pairs: HashMap<RelationId, Vec<(rmpi_kg::EntityId, rmpi_kg::EntityId)>> = HashMap::new();
+        let mut pairs: HashMap<RelationId, Vec<(rmpi_kg::EntityId, rmpi_kg::EntityId)>> =
+            HashMap::new();
         for t in graph.triples() {
             pairs.entry(t.relation).or_default().push((t.head, t.tail));
         }
-        let by_head: HashMap<RelationId, HashMap<rmpi_kg::EntityId, Vec<rmpi_kg::EntityId>>> = pairs
-            .iter()
-            .map(|(r, ps)| {
-                let mut m: HashMap<rmpi_kg::EntityId, Vec<rmpi_kg::EntityId>> = HashMap::new();
-                for &(h, t) in ps {
-                    m.entry(h).or_default().push(t);
-                }
-                (*r, m)
-            })
-            .collect();
+        let by_head: HashMap<RelationId, HashMap<rmpi_kg::EntityId, Vec<rmpi_kg::EntityId>>> =
+            pairs
+                .iter()
+                .map(|(r, ps)| {
+                    let mut m: HashMap<rmpi_kg::EntityId, Vec<rmpi_kg::EntityId>> = HashMap::new();
+                    for &(h, t) in ps {
+                        m.entry(h).or_default().push(t);
+                    }
+                    (*r, m)
+                })
+                .collect();
 
         for &head in &relations {
             let mut mined: Vec<MinedRule> = Vec::new();
@@ -109,8 +111,12 @@ impl RuleNModel {
             if let Some(ps) = pairs.get(&head) {
                 let body = ps.len();
                 if body >= cfg.min_support {
-                    let matched =
-                        ps.iter().filter(|&&(h, t)| graph.contains(&Triple { head: t, relation: head, tail: h })).count();
+                    let matched = ps
+                        .iter()
+                        .filter(|&&(h, t)| {
+                            graph.contains(&Triple { head: t, relation: head, tail: h })
+                        })
+                        .count();
                     let conf = matched as f32 / body as f32;
                     if conf >= cfg.min_confidence {
                         mined.push(MinedRule::Symmetry { confidence: conf });
@@ -126,8 +132,12 @@ impl RuleNModel {
                     if ps.len() < cfg.min_support {
                         continue;
                     }
-                    let matched =
-                        ps.iter().filter(|&&(h, t)| graph.contains(&Triple { head: t, relation: head, tail: h })).count();
+                    let matched = ps
+                        .iter()
+                        .filter(|&&(h, t)| {
+                            graph.contains(&Triple { head: t, relation: head, tail: h })
+                        })
+                        .count();
                     let conf = matched as f32 / ps.len() as f32;
                     if conf >= cfg.min_confidence {
                         mined.push(MinedRule::Inversion { p, confidence: conf });
@@ -192,16 +202,14 @@ impl RuleNModel {
                 MinedRule::Inversion { p, .. } => {
                     graph.contains(&Triple { head: target.tail, relation: p, tail: target.head })
                 }
-                MinedRule::Composition { p1, p2, .. } => graph
-                    .out_edges(target.head)
-                    .iter()
-                    .filter(|e| e.relation == p1)
-                    .any(|e| {
+                MinedRule::Composition { p1, p2, .. } => {
+                    graph.out_edges(target.head).iter().filter(|e| e.relation == p1).any(|e| {
                         graph
                             .out_edges(e.neighbor)
                             .iter()
                             .any(|e2| e2.relation == p2 && e2.neighbor == target.tail)
-                    }),
+                    })
+                }
             };
             if fired {
                 any = true;
@@ -317,7 +325,10 @@ mod tests {
             Triple::new(0u32, 2u32, 2u32),
         ]);
         let model = RuleNModel::mine(&g, &MiningConfig { min_support: 3, ..Default::default() });
-        assert!(model.rules_for(RelationId(2)).iter().all(|r| !matches!(r, MinedRule::Composition { .. })));
+        assert!(model
+            .rules_for(RelationId(2))
+            .iter()
+            .all(|r| !matches!(r, MinedRule::Composition { .. })));
     }
 
     #[test]
@@ -344,7 +355,8 @@ mod tests {
             }
         }
         let g = KnowledgeGraph::from_triples(triples);
-        let model = RuleNModel::mine(&g, &MiningConfig { min_confidence: 0.2, ..Default::default() });
+        let model =
+            RuleNModel::mine(&g, &MiningConfig { min_confidence: 0.2, ..Default::default() });
         let s = model.rule_score(&g, Triple::new(2u32, 0u32, 3u32));
         assert!(s > 0.0);
     }

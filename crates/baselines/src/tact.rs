@@ -36,7 +36,9 @@ impl CorrelationWeights {
     /// Register the six pattern transforms under `prefix`.
     pub fn new(store: &mut ParamStore, prefix: &str, dim: usize, rng: &mut StdRng) -> Self {
         let w = (0..NUM_EDGE_TYPES)
-            .map(|e| store.create(&format!("{prefix}_corr_e{e}"), init::xavier_uniform(&[dim, dim], rng)))
+            .map(|e| {
+                store.create(&format!("{prefix}_corr_e{e}"), init::xavier_uniform(&[dim, dim], rng))
+            })
             .collect();
         CorrelationWeights { w }
     }
@@ -144,7 +146,15 @@ impl ScoringModel for TactBaseModel {
         let mut rels: Vec<RelationId> = sample.relview.nodes.iter().map(|n| n.relation).collect();
         rels.push(target.relation);
         let h0 = self.encoder.encode(tape, &self.store, &rels);
-        let h = correlate_target(tape, &self.store, &self.corr, &sample.relview, &h0, target.relation, self.cfg.dim);
+        let h = correlate_target(
+            tape,
+            &self.store,
+            &self.corr,
+            &sample.relview,
+            &h0,
+            target.relation,
+            self.cfg.dim,
+        );
         let w = tape.param(&self.store, self.score_w);
         tape.dot(w, h)
     }
@@ -221,8 +231,15 @@ impl ScoringModel for TactModel {
         let mut rels: Vec<RelationId> = rsample.relview.nodes.iter().map(|n| n.relation).collect();
         rels.push(target.relation);
         let h0 = self.rel_encoder.encode(tape, &self.store, &rels);
-        let rt_corr =
-            correlate_target(tape, &self.store, &self.corr, &rsample.relview, &h0, target.relation, self.cfg.dim);
+        let rt_corr = correlate_target(
+            tape,
+            &self.store,
+            &self.corr,
+            &rsample.relview,
+            &h0,
+            target.relation,
+            self.cfg.dim,
+        );
         let cat = tape.concat(&[enc.h_graph, enc.h_u, enc.h_v, rt_corr]);
         let w = tape.param(&self.store, self.score_w);
         tape.dot(w, cat)
@@ -289,17 +306,23 @@ mod tests {
     #[test]
     fn full_tact_scores_and_backprops() {
         let g = graph();
-        let mut model = TactModel::new(BaselineConfig { dim: 8, edge_dropout: 0.0, ..Default::default() }, 6, 2);
+        let mut model = TactModel::new(
+            BaselineConfig { dim: 8, edge_dropout: 0.0, ..Default::default() },
+            6,
+            2,
+        );
         let mut rng = StdRng::seed_from_u64(3);
         let mut tape = Tape::new();
-        let s = model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
+        let s =
+            model.score_on_tape(&mut tape, &g, Triple::new(0u32, 4u32, 3u32), Mode::Eval, &mut rng);
         assert!(tape.value(s).item().is_finite());
         tape.backward(s, model.param_store_mut());
         let store = model.param_store();
         assert!(store.grad(store.get("tact_score_w").unwrap()).norm() > 0.0);
         // correlation transforms receive gradient when the target has relview neighbours
-        let corr_grad: f32 =
-            (0..NUM_EDGE_TYPES).map(|e| store.grad(store.get(&format!("tact_corr_e{e}")).unwrap()).norm()).sum();
+        let corr_grad: f32 = (0..NUM_EDGE_TYPES)
+            .map(|e| store.grad(store.get(&format!("tact_corr_e{e}")).unwrap()).norm())
+            .sum();
         assert!(corr_grad > 0.0);
     }
 }

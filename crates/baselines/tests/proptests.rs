@@ -23,7 +23,8 @@ fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, Triple)> {
                 .filter(|(a, _, b)| a != b)
                 .map(|(a, rel, b)| Triple::new(a, rel, b))
                 .collect();
-            let triples = if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
+            let triples =
+                if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
             (KnowledgeGraph::from_triples(triples), Triple::new(h, r, t))
         })
 }
@@ -32,7 +33,11 @@ fn cfg() -> BaselineConfig {
     BaselineConfig { dim: 6, edge_dropout: 0.0, ..Default::default() }
 }
 
-fn check_model<M: ScoringModel>(model: &M, g: &KnowledgeGraph, target: Triple) -> Result<(), TestCaseError> {
+fn check_model<M: ScoringModel>(
+    model: &M,
+    g: &KnowledgeGraph,
+    target: Triple,
+) -> Result<(), TestCaseError> {
     let a = model.score(g, target, &mut StdRng::seed_from_u64(0));
     let b = model.score(g, target, &mut StdRng::seed_from_u64(1234));
     prop_assert!(a.is_finite(), "{}: non-finite score", model.name());

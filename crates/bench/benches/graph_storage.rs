@@ -11,7 +11,12 @@ fn bench_storage(c: &mut Criterion) {
     let groups: Vec<usize> = (0..world.groups().len()).collect();
     let triples = world.generate_triples(
         &groups,
-        &GraphGenConfig { num_entities: 2000, num_base_triples: 14_000, seed: 13, ..Default::default() },
+        &GraphGenConfig {
+            num_entities: 2000,
+            num_base_triples: 14_000,
+            seed: 13,
+            ..Default::default()
+        },
     );
     let vecg = KnowledgeGraph::from_triples(triples.clone());
     let csrg = CsrGraph::from_triples(triples);

@@ -7,7 +7,8 @@ use rmpi_eval::{average_precision, hits_at, mean_reciprocal_rank};
 
 fn bench_metrics(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(9);
-    let scored: Vec<(f32, bool)> = (0..100_000).map(|_| (rng.gen::<f32>(), rng.gen_bool(0.5))).collect();
+    let scored: Vec<(f32, bool)> =
+        (0..100_000).map(|_| (rng.gen::<f32>(), rng.gen_bool(0.5))).collect();
     let ranks: Vec<usize> = (0..100_000).map(|_| rng.gen_range(1..100)).collect();
 
     c.bench_function("average_precision_100k", |b| b.iter(|| average_precision(&scored)));

@@ -3,7 +3,6 @@
 //! layer.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_autograd::{init, ParamStore, Tape, Var};
@@ -12,6 +11,7 @@ use rmpi_datasets::registry::Family;
 use rmpi_datasets::world::GraphGenConfig;
 use rmpi_kg::KnowledgeGraph;
 use rmpi_subgraph::{enclosing_subgraph, PruningSchedule, RelViewGraph};
+use std::time::Duration;
 
 const DIM: usize = 32;
 const LAYERS: usize = 3;
@@ -31,7 +31,8 @@ fn run_pass(
 ) -> f32 {
     let mut tape = Tape::new();
     let table = tape.param(store, emb);
-    let h0: Vec<Option<Var>> = rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+    let h0: Vec<Option<Var>> =
+        rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
     let out = relational_message_passing(
         &mut tape,
         store,
@@ -102,7 +103,10 @@ fn bench_pruning(c: &mut Criterion) {
         .iter()
         .map(|rv| PruningSchedule::new(rv, LAYERS).update_counts())
         .fold((0, 0), |(a, b), (p, f)| (a + p, b + f));
-    eprintln!("[pruning] node updates: pruned {pruned} vs full {full} ({:.1}x reduction)", full as f64 / pruned.max(1) as f64);
+    eprintln!(
+        "[pruning] node updates: pruned {pruned} vs full {full} ({:.1}x reduction)",
+        full as f64 / pruned.max(1) as f64
+    );
 }
 
 criterion_group!(benches, bench_pruning);

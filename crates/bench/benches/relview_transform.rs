@@ -11,7 +11,12 @@ fn samples(family: Family) -> Vec<Subgraph> {
     let groups: Vec<usize> = (0..world.groups().len()).collect();
     let triples = world.generate_triples(
         &groups,
-        &GraphGenConfig { num_entities: 400, num_base_triples: 2000, seed: 5, ..Default::default() },
+        &GraphGenConfig {
+            num_entities: 400,
+            num_base_triples: 2000,
+            seed: 5,
+            ..Default::default()
+        },
     );
     let g = KnowledgeGraph::from_triples(triples);
     g.triples()

@@ -14,10 +14,16 @@ fn bench_extraction(c: &mut Criterion) {
         let groups: Vec<usize> = (0..world.groups().len()).collect();
         let triples = world.generate_triples(
             &groups,
-            &GraphGenConfig { num_entities: 500, num_base_triples: 2500, seed: 3, ..Default::default() },
+            &GraphGenConfig {
+                num_entities: 500,
+                num_base_triples: 2500,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let g = KnowledgeGraph::from_triples(triples);
-        let targets: Vec<_> = g.triples().iter().step_by(g.num_triples() / 64 + 1).copied().collect();
+        let targets: Vec<_> =
+            g.triples().iter().step_by(g.num_triples() / 64 + 1).copied().collect();
 
         group.bench_with_input(BenchmarkId::new("enclosing_2hop", family.tag()), &g, |b, g| {
             b.iter(|| {

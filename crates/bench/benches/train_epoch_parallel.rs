@@ -15,25 +15,29 @@ fn bench_train_epoch(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("train_epoch_parallel");
     for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bench, &threads| {
-            bench.iter(|| {
-                let cfg = TrainConfig {
-                    epochs: 1,
-                    batch_size: 16,
-                    max_samples_per_epoch: 96,
-                    max_valid_samples: 8,
-                    patience: 0,
-                    seed: 1,
-                    threads,
-                    ..Default::default()
-                };
-                let mut model =
-                    RmpiModel::new(RmpiConfig { dim: 12, ..RmpiConfig::base() }, num_rel, 1);
-                train_model(&mut model, &b.train.graph, &b.train.targets, &b.train.valid, &cfg)
-                    .epoch_losses
-                    .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    let cfg = TrainConfig {
+                        epochs: 1,
+                        batch_size: 16,
+                        max_samples_per_epoch: 96,
+                        max_valid_samples: 8,
+                        patience: 0,
+                        seed: 1,
+                        threads,
+                        ..Default::default()
+                    };
+                    let mut model =
+                        RmpiModel::new(RmpiConfig { dim: 12, ..RmpiConfig::base() }, num_rel, 1);
+                    train_model(&mut model, &b.train.graph, &b.train.targets, &b.train.valid, &cfg)
+                        .epoch_losses
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

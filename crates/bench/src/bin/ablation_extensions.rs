@@ -28,31 +28,35 @@ fn main() {
             ("RMPI-NE(S)".into(), method_factory(MethodSpec::RMPI_NE, &b, &h)),
             (
                 "RMPI-NE(G)".into(),
-                rmpi_variant(num_rel, RmpiConfig {
-                    dim: h.dim,
-                    ne: true,
-                    fusion: Fusion::Gated,
-                    ..Default::default()
-                }),
+                rmpi_variant(
+                    num_rel,
+                    RmpiConfig {
+                        dim: h.dim,
+                        ne: true,
+                        fusion: Fusion::Gated,
+                        ..Default::default()
+                    },
+                ),
             ),
             (
                 "RMPI-NE(S)+EC".into(),
-                rmpi_variant(num_rel, RmpiConfig {
-                    dim: h.dim,
-                    ne: true,
-                    entity_clues: true,
-                    ..Default::default()
-                }),
+                rmpi_variant(
+                    num_rel,
+                    RmpiConfig { dim: h.dim, ne: true, entity_clues: true, ..Default::default() },
+                ),
             ),
             (
                 "RMPI-NE(G)+EC".into(),
-                rmpi_variant(num_rel, RmpiConfig {
-                    dim: h.dim,
-                    ne: true,
-                    fusion: Fusion::Gated,
-                    entity_clues: true,
-                    ..Default::default()
-                }),
+                rmpi_variant(
+                    num_rel,
+                    RmpiConfig {
+                        dim: h.dim,
+                        ne: true,
+                        fusion: Fusion::Gated,
+                        entity_clues: true,
+                        ..Default::default()
+                    },
+                ),
             ),
         ];
         for (label, factory) in variants {

@@ -87,12 +87,7 @@ fn drive(client: &mut impl ProtocolClient, targets: &[Triple]) -> RunStats {
         }
     }
     lat_us.sort_unstable();
-    RunStats {
-        ok,
-        failed,
-        p50_us: percentile(&lat_us, 0.50),
-        p99_us: percentile(&lat_us, 0.99),
-    }
+    RunStats { ok, failed, p50_us: percentile(&lat_us, 0.50), p99_us: percentile(&lat_us, 0.99) }
 }
 
 fn main() {
@@ -111,8 +106,11 @@ fn main() {
 
     let b = build_benchmark("nell.v1", Scale::Quick);
     let test = b.test("TE").expect("TE split");
-    let model =
-        RmpiModel::new(RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() }, b.num_relations(), 1);
+    let model = RmpiModel::new(
+        RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() },
+        b.num_relations(),
+        1,
+    );
     let targets: Vec<Triple> = test.targets.iter().copied().cycle().take(requests).collect();
     let engine = Arc::new(Engine::new(
         model,

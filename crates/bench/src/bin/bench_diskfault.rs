@@ -76,7 +76,11 @@ fn model() -> RmpiModel {
 }
 
 /// A store-backed engine over `reader`, charging `store.*` to `registry`.
-fn engine_over(reader: StoreReader, cache: usize, registry: Arc<rmpi_obs::MetricsRegistry>) -> Engine {
+fn engine_over(
+    reader: StoreReader,
+    cache: usize,
+    registry: Arc<rmpi_obs::MetricsRegistry>,
+) -> Engine {
     let cfg = EngineConfig { seed: SEED, cache_capacity: cache, threads: 1 };
     Engine::with_backend(model(), GraphBackend::Store(Arc::new(reader)), cfg, registry)
 }
@@ -138,8 +142,8 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("rmpi-bench-diskfault-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let summary = build_from_sorted(&dir, StoreConfig::default(), world(entities).into_iter())
-        .expect("build store");
+    let summary =
+        build_from_sorted(&dir, StoreConfig::default(), world(entities)).expect("build store");
     println!(
         "world: {} entities, {} triples, {} segment file(s)",
         summary.num_entities, summary.num_triples, summary.segments
@@ -248,16 +252,12 @@ fn main() {
     // serving bit-identical scores; uncached keys must be refused, not
     // silently mis-scored.
     let registry = Arc::new(rmpi_obs::MetricsRegistry::new());
-    let reader = StoreReader::open_with_registry(
-        &dir,
-        ReadMode::Stream { cache_blocks: 1 },
-        &registry,
-    )
-    .expect("reopen store");
+    let reader =
+        StoreReader::open_with_registry(&dir, ReadMode::Stream { cache_blocks: 1 }, &registry)
+            .expect("reopen store");
     let engine = engine_over(reader, requests.max(16), Arc::clone(&registry));
     let half = requests / 2;
-    let (warm_ok, warm_wrong, warm_err, _) =
-        replay(&engine, &targets[..half], &reference[..half]);
+    let (warm_ok, warm_wrong, warm_err, _) = replay(&engine, &targets[..half], &reference[..half]);
     assert_eq!((warm_wrong, warm_err), (0, 0), "warming must be fault-free");
 
     damage_every_block(&dir);

@@ -84,11 +84,7 @@ fn start_server(engine: Arc<Engine>, batching: bool) -> ServerHandle {
 /// Run `threads` copies of `body` (each told its thread index) and return
 /// the wall-clock seconds for all of them to finish. `body` returns how
 /// many scores it produced; the total is accumulated into `done`.
-fn run_closed_loop(
-    threads: usize,
-    done: &AtomicU64,
-    body: impl Fn(usize) -> u64 + Sync,
-) -> f64 {
+fn run_closed_loop(threads: usize, done: &AtomicU64, body: impl Fn(usize) -> u64 + Sync) -> f64 {
     let t0 = Instant::now();
     std::thread::scope(|s| {
         for t in 0..threads {
@@ -230,11 +226,9 @@ fn open_loop_phase(
 /// One fault-rate cell: the retrying session-backed `Client` through a
 /// chaos proxy; errors are tolerated and counted, wrong answers are not.
 fn chaos_cell(upstream: SocketAddr, fault_rate: f64, reqs: usize, triples: &[Triple]) -> String {
-    let mut proxy = ChaosProxy::spawn(
-        upstream,
-        ChaosConfig { seed: 99, fault_rate, ..ChaosConfig::default() },
-    )
-    .expect("spawn chaos proxy");
+    let mut proxy =
+        ChaosProxy::spawn(upstream, ChaosConfig { seed: 99, fault_rate, ..ChaosConfig::default() })
+            .expect("spawn chaos proxy");
     let registry = Arc::new(MetricsRegistry::new());
     let ok = AtomicU64::new(0);
     let failed = AtomicU64::new(0);

@@ -99,10 +99,12 @@ fn run_resume_child(dir: &Path) -> ! {
     let b = build_benchmark(DATASET, Scale::Quick);
     let mut model = fresh_model(&b);
     let t0 = Instant::now();
-    let report = Trainer::new(train_cfg())
-        .resume_latest(dir)
-        .expect("resume_latest")
-        .train(&mut model, &b.train.graph, &b.train.targets, &b.train.valid);
+    let report = Trainer::new(train_cfg()).resume_latest(dir).expect("resume_latest").train(
+        &mut model,
+        &b.train.graph,
+        &b.train.targets,
+        &b.train.valid,
+    );
     let secs = t0.elapsed().as_secs_f64();
     if report.resumed_from.is_none() {
         eprintln!("bench_resume: resume child found no checkpoint in {}", dir.display());
@@ -126,9 +128,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag = |name: &str| args.iter().position(|a| a == name).map(|i| args[i + 1].clone());
     let mode = flag("--mode").unwrap_or_else(|| "all".into());
-    let dir = flag("--dir")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join(format!("rmpi-bench-resume-{}", std::process::id())));
+    let dir = flag("--dir").map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("rmpi-bench-resume-{}", std::process::id()))
+    });
 
     match mode.as_str() {
         "crash" => run_crash_child(&dir),
@@ -147,7 +149,8 @@ fn main() {
     // Reference: uninterrupted, no checkpointing.
     let mut reference = fresh_model(&b);
     let t0 = Instant::now();
-    let full = Trainer::new(cfg).train(&mut reference, &b.train.graph, &b.train.targets, &b.train.valid);
+    let full =
+        Trainer::new(cfg).train(&mut reference, &b.train.graph, &b.train.targets, &b.train.valid);
     let full_secs = t0.elapsed().as_secs_f64();
     let reference_metrics = metrics_text(&full, &reference);
 
@@ -155,9 +158,12 @@ fn main() {
     let ckpt_probe = dir.join("overhead");
     let mut checkpointed = fresh_model(&b);
     let t0 = Instant::now();
-    Trainer::new(cfg)
-        .with_checkpointing(CheckpointConfig::new(&ckpt_probe))
-        .train(&mut checkpointed, &b.train.graph, &b.train.targets, &b.train.valid);
+    Trainer::new(cfg).with_checkpointing(CheckpointConfig::new(&ckpt_probe)).train(
+        &mut checkpointed,
+        &b.train.graph,
+        &b.train.targets,
+        &b.train.valid,
+    );
     let ckpt_secs = t0.elapsed().as_secs_f64();
     let overhead_pct = (ckpt_secs / full_secs - 1.0) * 100.0;
 

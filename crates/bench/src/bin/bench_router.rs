@@ -1,0 +1,280 @@
+//! Availability and rank coverage of the scatter-gather router as a shard
+//! degrades.
+//!
+//! Spins up a three-shard fleet over one engine, puts a seeded
+//! [`ChaosProxy`] in front of shard 0, and drives `RANK` requests through
+//! the router's wire front end under the `partial` degradation policy.
+//! The proxy draws faults per *connection*, so the replicas run with a
+//! short idle timeout and requests are paced just past it: every `RANK`
+//! re-dials the shards and gets a fresh fault draw, modelling a fleet that
+//! establishes per-request connections.
+//! Reports, per fault rate: availability (fraction of requests answered
+//! `OK`, full or partial), mean rank coverage (candidates actually ranked /
+//! candidates requested), partial responses, shard errors and p50/p99
+//! latency. A final section adds a standby replica at the worst fault rate
+//! to show what hedging + rescue buy back in coverage. Writes
+//! `BENCH_router.json`.
+//!
+//! ```text
+//! cargo run --release -p rmpi-bench --bin bench_router [--requests 80] [--rates 0.0,0.1,0.25,0.5] [--smoke]
+//! ```
+
+use rmpi_core::{RmpiConfig, RmpiModel};
+use rmpi_datasets::{build_benchmark, Scale};
+use rmpi_kg::Triple;
+use rmpi_obs::json::{array, JsonObject};
+use rmpi_obs::MetricsRegistry;
+use rmpi_router::{serve_router, PartialPolicy, Router, RouterConfig};
+use rmpi_serve::{serve, Engine, EngineConfig, ServerConfig, ServerHandle};
+use rmpi_testutil::chaos::{ChaosConfig, ChaosProxy};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 29;
+const K: usize = 10;
+const SHARDS: usize = 3;
+
+fn replica(engine: &Arc<Engine>) -> ServerHandle {
+    serve(
+        Arc::clone(engine),
+        ServerConfig {
+            workers: 4,
+            // short enough that paced requests always re-dial (fresh fault
+            // draw per request), long enough to never cut a rank in flight
+            idle_timeout: Duration::from_millis(50),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server")
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+struct RunStats {
+    ok: u64,
+    failed: u64,
+    partials: u64,
+    coverage_sum: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+impl RunStats {
+    fn availability(&self) -> f64 {
+        self.ok as f64 / (self.ok + self.failed).max(1) as f64
+    }
+
+    /// Mean covered/total over the requests that were answered at all.
+    fn coverage(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.coverage_sum / self.ok as f64
+        }
+    }
+}
+
+/// Parse `OK [partial c/t] ...` into a coverage fraction; `None` on `ERR`.
+fn coverage_of(resp: &str) -> Option<f64> {
+    let rest = resp.strip_prefix("OK")?;
+    let mut parts = rest.split_whitespace();
+    if parts.next() == Some("partial") {
+        let (c, t) = parts.next()?.split_once('/')?;
+        let (c, t): (f64, f64) = (c.parse().ok()?, t.parse().ok()?);
+        Some(c / t.max(1.0))
+    } else {
+        Some(1.0)
+    }
+}
+
+/// Drive `queries` as `RANK` requests over one v1 connection to the front
+/// end, reconnecting if the connection drops.
+fn drive(front: SocketAddr, queries: &[(u32, u32)]) -> RunStats {
+    let connect = || -> (TcpStream, BufReader<TcpStream>) {
+        let s = TcpStream::connect(front).expect("connect front end");
+        let r = BufReader::new(s.try_clone().expect("clone"));
+        (s, r)
+    };
+    let (mut stream, mut reader) = connect();
+    let mut stats =
+        RunStats { ok: 0, failed: 0, partials: 0, coverage_sum: 0.0, p50_us: 0, p99_us: 0 };
+    let mut lat_us: Vec<u64> = Vec::with_capacity(queries.len());
+    for &(head, relation) in queries {
+        // outlive the replicas' idle timeout so the next rank re-dials
+        std::thread::sleep(Duration::from_millis(75));
+        let t0 = Instant::now();
+        let mut line = String::new();
+        let sent = writeln!(stream, "RANK {head} {relation} {K}").is_ok()
+            && matches!(reader.read_line(&mut line), Ok(n) if n > 0);
+        if !sent {
+            stats.failed += 1;
+            (stream, reader) = connect();
+            continue;
+        }
+        match coverage_of(line.trim_end()) {
+            Some(c) => {
+                stats.ok += 1;
+                stats.coverage_sum += c;
+                if c < 1.0 {
+                    stats.partials += 1;
+                }
+                lat_us.push(t0.elapsed().as_micros() as u64);
+            }
+            None => stats.failed += 1,
+        }
+    }
+    lat_us.sort_unstable();
+    stats.p50_us = percentile(&lat_us, 0.50);
+    stats.p99_us = percentile(&lat_us, 0.99);
+    stats
+}
+
+struct Fleet {
+    // RAII guards: the replicas and proxy must outlive the driving loop
+    _shards: Vec<ServerHandle>,
+    _standby: Option<ServerHandle>,
+    proxy: ChaosProxy,
+    registry: Arc<MetricsRegistry>,
+    front: rmpi_router::RouterHandle,
+}
+
+/// A three-shard fleet with shard 0 behind a chaos proxy at `rate`, plus an
+/// optional standby, fronted by the router's wire server.
+fn fleet(
+    engine: &Arc<Engine>,
+    candidates: &[u32],
+    rate: f64,
+    seed: u64,
+    with_standby: bool,
+) -> Fleet {
+    let shards: Vec<ServerHandle> = (0..SHARDS).map(|_| replica(engine)).collect();
+    let proxy = ChaosProxy::spawn(
+        shards[0].addr(),
+        ChaosConfig { seed, fault_rate: rate, ..Default::default() },
+    )
+    .expect("proxy");
+    let mut addrs: Vec<SocketAddr> = shards.iter().map(|s| s.addr()).collect();
+    addrs[0] = proxy.addr();
+    let standby = with_standby.then(|| replica(engine));
+    let mut cfg = RouterConfig::new(addrs, candidates.to_vec())
+        .with_policy(PartialPolicy::Partial)
+        .with_deadline(Duration::from_secs(2))
+        .with_hedge_after(Duration::from_millis(100));
+    if let Some(sb) = &standby {
+        cfg = cfg.with_standby(sb.addr());
+    }
+    let registry = Arc::new(MetricsRegistry::new());
+    let router = Arc::new(Router::with_registry(cfg, Arc::clone(&registry)));
+    let front = serve_router(router).expect("front end");
+    Fleet { _shards: shards, _standby: standby, proxy, registry, front }
+}
+
+fn row_json(rate: f64, run: &RunStats, fleet: &Fleet) -> String {
+    let mut row = JsonObject::new();
+    row.field_f64("fault_rate", rate, 3);
+    row.field_f64("availability", run.availability(), 5);
+    row.field_f64("coverage", run.coverage(), 5);
+    row.field_u64("ok", run.ok);
+    row.field_u64("failed", run.failed);
+    row.field_u64("partial_responses", run.partials);
+    row.field_u64("shard_errors", fleet.registry.counter("router.shard_errors.count").get());
+    row.field_u64("hedges", fleet.registry.counter("router.hedges.count").get());
+    row.field_u64("p50_us", run.p50_us);
+    row.field_u64("p99_us", run.p99_us);
+    row.field_u64("proxy_faults", fleet.proxy.stats().faults_injected());
+    row.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let requests: usize = match args.iter().position(|a| a == "--requests") {
+        Some(i) => args[i + 1].parse().expect("--requests takes a count"),
+        None if smoke => 12,
+        None => 80,
+    };
+    let rates: Vec<f64> = match args.iter().position(|a| a == "--rates") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|s| s.trim().parse().expect("--rates takes a comma-separated list"))
+            .collect(),
+        None if smoke => vec![0.0, 0.25],
+        None => vec![0.0, 0.1, 0.25, 0.5],
+    };
+
+    let b = build_benchmark("nell.v1", Scale::Quick);
+    let test = b.test("TE").expect("TE split");
+    let model = RmpiModel::new(
+        RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() },
+        b.num_relations(),
+        1,
+    );
+    let queries: Vec<(u32, u32)> =
+        test.targets.iter().map(|t| (t.head.0, t.relation.0)).cycle().take(requests).collect();
+    // candidate set: distinct tails seen in the test split, capped so one
+    // routed rank stays a few dozen scores per shard
+    let mut candidates: Vec<u32> = test.targets.iter().map(|t| t.tail.0).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates.truncate(48);
+    let engine = Arc::new(Engine::new(
+        model,
+        test.graph.clone(),
+        EngineConfig { seed: SEED, cache_capacity: 8192, threads: 2 },
+    ));
+    let warm: Vec<Triple> =
+        candidates.iter().map(|&t| Triple::new(queries[0].0, queries[0].1, t)).collect();
+    engine.score_batch(&warm).expect("warmup");
+
+    println!(
+        "router bench: {requests} RANK requests per fault rate, {SHARDS} shards, \
+         {} candidates, k={K}, policy=partial",
+        candidates.len()
+    );
+    let mut rows = Vec::new();
+    for (i, &rate) in rates.iter().enumerate() {
+        let fleet = fleet(&engine, &candidates, rate, SEED + i as u64, false);
+        let run = drive(fleet.front.addr(), &queries);
+        println!(
+            "  rate={rate:<5} availability={:6.2}%  coverage={:6.2}%  partial={:3}  p99={:7}us",
+            run.availability() * 100.0,
+            run.coverage() * 100.0,
+            run.partials,
+            run.p99_us,
+        );
+        rows.push(row_json(rate, &run, &fleet));
+    }
+
+    // the same fleet at the worst fault rate, now with a standby replica:
+    // hedges and rescues should buy the lost coverage back
+    let worst = rates.iter().copied().fold(0.0f64, f64::max);
+    let fleet = fleet(&engine, &candidates, worst, SEED + 100, true);
+    let run = drive(fleet.front.addr(), &queries);
+    println!(
+        "  standby (shard 0 rate={worst}) availability={:6.2}%  coverage={:6.2}%  hedges={}",
+        run.availability() * 100.0,
+        run.coverage() * 100.0,
+        fleet.registry.counter("router.hedges.count").get(),
+    );
+    let standby_row = row_json(worst, &run, &fleet);
+
+    let mut out = JsonObject::new();
+    out.field_str("bench", "router");
+    out.field_u64("requests", requests as u64);
+    out.field_u64("shards", SHARDS as u64);
+    out.field_u64("candidates", candidates.len() as u64);
+    out.field_u64("k", K as u64);
+    out.field_raw("by_fault_rate", &array(&rows));
+    out.field_raw("with_standby", &standby_row);
+    let json = format!("{}\n", out.finish());
+    std::fs::write("BENCH_router.json", &json).expect("write BENCH_router.json");
+    println!("wrote BENCH_router.json");
+}

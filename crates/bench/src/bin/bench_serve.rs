@@ -53,10 +53,12 @@ fn main() {
 
     let b = build_benchmark("nell.v1", Scale::Quick);
     let test = b.test("TE").expect("TE split");
-    let model =
-        RmpiModel::new(RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() }, b.num_relations(), 1);
-    let targets: Vec<Triple> =
-        test.targets.iter().copied().cycle().take(BATCH).collect();
+    let model = RmpiModel::new(
+        RmpiConfig { dim: 16, ne: true, ..RmpiConfig::base() },
+        b.num_relations(),
+        1,
+    );
+    let targets: Vec<Triple> = test.targets.iter().copied().cycle().take(BATCH).collect();
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("serve latency/throughput, batch of {BATCH}, best of {REPS}, {cores} core(s)");

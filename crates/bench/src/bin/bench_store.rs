@@ -136,11 +136,8 @@ fn main() {
 
     // Extraction store-vs-RAM: identical prepare_eval_sample, once against a
     // freshly pinned neighbourhood view, once against the in-memory CSR.
-    let model = RmpiModel::new(
-        RmpiConfig { dim: 16, ..RmpiConfig::base() },
-        reader.num_relations(),
-        1,
-    );
+    let model =
+        RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::base() }, reader.num_relations(), 1);
     let radius = rmpi_core::ScoringModel::context_radius(&model);
     let mut targets = Vec::with_capacity(extracts);
     for _ in 0..extracts {

@@ -13,9 +13,8 @@ use rmpi_kg::analysis::{degree_histogram, empty_neighborhood_rate, num_component
 
 fn main() {
     let h = Harness::from_args();
-    let names = h.filter_datasets(&[
-        "wn.v1", "wn.v2", "fb.v1", "fb.v2", "nell.v1", "nell.v2", "nell.v4",
-    ]);
+    let names =
+        h.filter_datasets(&["wn.v1", "wn.v2", "fb.v1", "fb.v2", "nell.v1", "nell.v2", "nell.v4"]);
     let mut table = Table::new(
         "Benchmark structure report (training graphs)",
         &["dataset", "#T", "avg deg", "components", "empty-sg rate", "deg>=8"],
@@ -36,6 +35,8 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
-    println!("empty-sg rate = fraction of sampled triples whose 2-hop enclosing subgraph is empty;");
+    println!(
+        "empty-sg rate = fraction of sampled triples whose 2-hop enclosing subgraph is empty;"
+    );
     println!("the wn family should score highest (NE module territory), fb lowest.");
 }

@@ -23,7 +23,10 @@ fn print_report(report: &ScrubReport) {
     for s in &report.sections {
         match &s.error {
             None if s.blocks_checked > 0 => {
-                println!("ok       {:<28} {:>10} bytes, {} block sums", s.file, s.bytes, s.blocks_checked)
+                println!(
+                    "ok       {:<28} {:>10} bytes, {} block sums",
+                    s.file, s.bytes, s.blocks_checked
+                )
             }
             None => println!("ok       {:<28} {:>10} bytes", s.file, s.bytes),
             Some(e) => println!("CORRUPT  {:<28} {e}", s.file),

@@ -7,8 +7,8 @@
 //! cargo run --release -p rmpi-bench --bin supp_rulen [--full]
 //! ```
 
-use rmpi_bench::{run_cell, Harness, MethodSpec};
 use rmpi_baselines::rulen::{MiningConfig, RuleNModel};
+use rmpi_bench::{run_cell, Harness, MethodSpec};
 use rmpi_datasets::build_benchmark;
 use rmpi_eval::protocol::{evaluate, EvalConfig};
 use rmpi_eval::report::{fmt_metric, Table};

@@ -16,9 +16,8 @@ use std::collections::HashMap;
 fn main() {
     let h = Harness::from_args();
     let all = [
-        "wn.v1", "wn.v2", "wn.v3", "wn.v4",
-        "fb.v1", "fb.v2", "fb.v3", "fb.v4",
-        "nell.v1", "nell.v2", "nell.v3", "nell.v4",
+        "wn.v1", "wn.v2", "wn.v3", "wn.v4", "fb.v1", "fb.v2", "fb.v3", "fb.v4", "nell.v1",
+        "nell.v2", "nell.v3", "nell.v4",
     ];
     let datasets = h.filter_datasets(&all);
     let methods = h.filter_methods(&[

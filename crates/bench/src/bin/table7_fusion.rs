@@ -32,7 +32,13 @@ fn fusion_rows(h: &Harness, datasets: &[&str], test_set: &str, schema: bool, tit
 
 fn main() {
     let h = Harness::from_args();
-    fusion_rows(&h, &["nell.v2", "nell.v4", "fb.v1"], "TE", false, "Table VIIa: partially inductive");
+    fusion_rows(
+        &h,
+        &["nell.v2", "nell.v4", "fb.v1"],
+        "TE",
+        false,
+        "Table VIIa: partially inductive",
+    );
     fusion_rows(
         &h,
         &["nell.v2.v3", "nell.v4.v3", "fb.v1.v4"],

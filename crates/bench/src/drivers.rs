@@ -82,7 +82,13 @@ pub fn run_maker_table(h: &Harness, datasets: &[&str], schema: bool, title: &str
     let mut table = Table::new(
         title,
         &[
-            "dataset", "method", "u_ent MRR", "u_ent H@10", "u_rel MRR", "u_rel H@10", "u_both MRR",
+            "dataset",
+            "method",
+            "u_ent MRR",
+            "u_ent H@10",
+            "u_rel MRR",
+            "u_rel H@10",
+            "u_both MRR",
             "u_both H@10",
         ],
     );

@@ -56,13 +56,17 @@ pub enum MethodSpec {
 
 impl MethodSpec {
     /// RMPI-base, random init.
-    pub const RMPI_BASE: MethodSpec = MethodSpec::Rmpi { ne: false, ta: false, concat: false, schema: false };
+    pub const RMPI_BASE: MethodSpec =
+        MethodSpec::Rmpi { ne: false, ta: false, concat: false, schema: false };
     /// RMPI-NE (SUM), random init.
-    pub const RMPI_NE: MethodSpec = MethodSpec::Rmpi { ne: true, ta: false, concat: false, schema: false };
+    pub const RMPI_NE: MethodSpec =
+        MethodSpec::Rmpi { ne: true, ta: false, concat: false, schema: false };
     /// RMPI-TA, random init.
-    pub const RMPI_TA: MethodSpec = MethodSpec::Rmpi { ne: false, ta: true, concat: false, schema: false };
+    pub const RMPI_TA: MethodSpec =
+        MethodSpec::Rmpi { ne: false, ta: true, concat: false, schema: false };
     /// RMPI-NE-TA (SUM), random init.
-    pub const RMPI_NE_TA: MethodSpec = MethodSpec::Rmpi { ne: true, ta: true, concat: false, schema: false };
+    pub const RMPI_NE_TA: MethodSpec =
+        MethodSpec::Rmpi { ne: true, ta: true, concat: false, schema: false };
 
     /// Display name, matching the paper's rows.
     pub fn name(&self) -> String {
@@ -178,7 +182,12 @@ impl Harness {
                 patience: 3,
                 ..Default::default()
             },
-            eval: EvalConfig { num_candidates: 24, max_targets: 80, seed: 11, ..Default::default() },
+            eval: EvalConfig {
+                num_candidates: 24,
+                max_targets: 80,
+                seed: 11,
+                ..Default::default()
+            },
             dim: 16,
             schema_dim: 32,
             schema_epochs: 60,
@@ -199,7 +208,12 @@ impl Harness {
                 patience: 3,
                 ..Default::default()
             },
-            eval: EvalConfig { num_candidates: 49, max_targets: 600, seed: 11, ..Default::default() },
+            eval: EvalConfig {
+                num_candidates: 49,
+                max_targets: 600,
+                seed: 11,
+                ..Default::default()
+            },
             dim: 32,
             schema_dim: 300,
             schema_epochs: 200,
@@ -234,33 +248,50 @@ impl Harness {
 /// Build the per-seed model factory for `method` on `benchmark`,
 /// precomputing schema vectors / seen-relation sets as needed.
 pub fn method_factory(method: MethodSpec, benchmark: &Benchmark, h: &Harness) -> ModelFactory {
-    use rmpi_baselines::{CompileModel, GrailModel, MakerLiteModel, TactBaseModel, TactModel};
     use rmpi_baselines::common::BaselineConfig;
+    use rmpi_baselines::{CompileModel, GrailModel, MakerLiteModel, TactBaseModel, TactModel};
 
     let num_rel = benchmark.num_relations();
     let dim = h.dim;
     let bcfg = BaselineConfig { dim, ..Default::default() };
     match method {
-        MethodSpec::Grail => Box::new(move |seed, _b| Box::new(GrailModel::new(bcfg, num_rel, seed))),
+        MethodSpec::Grail => {
+            Box::new(move |seed, _b| Box::new(GrailModel::new(bcfg, num_rel, seed)))
+        }
         MethodSpec::Tact => Box::new(move |seed, _b| Box::new(TactModel::new(bcfg, num_rel, seed))),
-        MethodSpec::Compile => Box::new(move |seed, _b| Box::new(CompileModel::new(bcfg, num_rel, seed))),
+        MethodSpec::Compile => {
+            Box::new(move |seed, _b| Box::new(CompileModel::new(bcfg, num_rel, seed)))
+        }
         MethodSpec::Maker => {
             let seen = benchmark.seen_relations.clone();
-            Box::new(move |seed, _b| Box::new(MakerLiteModel::new(bcfg, num_rel, seen.clone(), seed)))
+            Box::new(move |seed, _b| {
+                Box::new(MakerLiteModel::new(bcfg, num_rel, seen.clone(), seed))
+            })
         }
         MethodSpec::TactBase { schema: false } => {
             Box::new(move |seed, _b| Box::new(TactBaseModel::new(dim, 2, num_rel, seed)))
         }
         MethodSpec::TactBase { schema: true } => {
             let onto = schema_vectors(benchmark, h.schema_dim, h.schema_epochs, 17);
-            Box::new(move |seed, _b| Box::new(TactBaseModel::with_schema_vectors(dim, 2, onto.clone(), seed)))
+            Box::new(move |seed, _b| {
+                Box::new(TactBaseModel::with_schema_vectors(dim, 2, onto.clone(), seed))
+            })
         }
         MethodSpec::Rmpi { ne, ta, concat, schema } => {
             let fusion = if concat { Fusion::Concat } else { Fusion::Sum };
             if schema {
-                let cfg = RmpiConfig { dim, ne, ta, fusion, init: RelationInit::Schema, ..Default::default() };
+                let cfg = RmpiConfig {
+                    dim,
+                    ne,
+                    ta,
+                    fusion,
+                    init: RelationInit::Schema,
+                    ..Default::default()
+                };
                 let onto = schema_vectors(benchmark, h.schema_dim, h.schema_epochs, 17);
-                Box::new(move |seed, _b| Box::new(RmpiModel::with_schema_vectors(cfg, onto.clone(), seed)))
+                Box::new(move |seed, _b| {
+                    Box::new(RmpiModel::with_schema_vectors(cfg, onto.clone(), seed))
+                })
             } else {
                 let cfg = RmpiConfig { dim, ne, ta, fusion, ..Default::default() };
                 Box::new(move |seed, _b| Box::new(RmpiModel::new(cfg, num_rel, seed)))
@@ -302,14 +333,20 @@ mod tests {
 
     #[test]
     fn overrides_apply() {
-        let h = Harness::from_arg_list(&["--seeds".into(), "3".into(), "--dim".into(), "24".into()]);
+        let h =
+            Harness::from_arg_list(&["--seeds".into(), "3".into(), "--dim".into(), "24".into()]);
         assert_eq!(h.seeds, vec![0, 1, 2]);
         assert_eq!(h.dim, 24);
     }
 
     #[test]
     fn filters_apply() {
-        let h = Harness::from_arg_list(&["--datasets".into(), "nell.v1".into(), "--methods".into(), "rmpi-base,GraIL".into()]);
+        let h = Harness::from_arg_list(&[
+            "--datasets".into(),
+            "nell.v1".into(),
+            "--methods".into(),
+            "rmpi-base,GraIL".into(),
+        ]);
         assert_eq!(h.filter_datasets(&["nell.v1", "nell.v2"]), vec!["nell.v1"]);
         let ms = h.filter_methods(&[MethodSpec::Grail, MethodSpec::Tact, MethodSpec::RMPI_BASE]);
         assert_eq!(ms.len(), 2);

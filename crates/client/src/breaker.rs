@@ -71,10 +71,14 @@ impl CircuitBreaker {
 
     /// Whether a request may be sent now. An `Open` breaker whose cooldown
     /// has elapsed transitions to `HalfOpen` and admits (the admitted
-    /// request is the probe).
+    /// request is the probe). While a probe is outstanding — the breaker is
+    /// already `HalfOpen` — further requests are rejected, so under
+    /// concurrent callers exactly one wins the probe slot and the losers
+    /// neither trip nor close the breaker.
     pub fn allows(&mut self, now: Instant) -> bool {
         match self.inner {
-            Inner::Closed { .. } | Inner::HalfOpen => true,
+            Inner::Closed { .. } => true,
+            Inner::HalfOpen => false,
             Inner::Open { until } => {
                 if now >= until {
                     self.inner = Inner::HalfOpen;
@@ -185,6 +189,61 @@ mod tests {
         b.record_success();
         assert_eq!(b.state(probe2), BreakerState::Closed);
         assert!(b.allows(probe2));
+    }
+
+    /// Satellite of the fleet-router work: under concurrent callers racing
+    /// through an elapsed cooldown, exactly one observes the Open→HalfOpen
+    /// admission edge; the losers are rejected and — crucially — recording
+    /// nothing, they neither trip the breaker back open nor close it. The
+    /// thread start order is jittered by a seeded generator so reruns
+    /// explore different interleavings deterministically per seed.
+    #[test]
+    fn half_open_admits_exactly_one_concurrent_probe() {
+        use std::sync::{Arc, Barrier, Mutex};
+
+        // SplitMix64 step — enough randomness for per-thread start jitter
+        fn mix(seed: u64) -> u64 {
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        for seed in [7u64, 11, 13] {
+            let cooldown = Duration::from_millis(10);
+            let b = Arc::new(Mutex::new(breaker(1, 10)));
+            assert!(b.lock().unwrap().record_failure(Instant::now()), "trip");
+            std::thread::sleep(cooldown + Duration::from_millis(5));
+
+            let threads = 8;
+            let barrier = Arc::new(Barrier::new(threads));
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let b = Arc::clone(&b);
+                    let barrier = Arc::clone(&barrier);
+                    let jitter = mix(seed.wrapping_add(t as u64)) % 3;
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        std::thread::sleep(Duration::from_micros(jitter * 50));
+                        b.lock().unwrap().allows(Instant::now())
+                    })
+                })
+                .collect();
+            let admitted = handles
+                .into_iter()
+                .map(|h| h.join().expect("probe thread"))
+                .filter(|&won| won)
+                .count();
+
+            assert_eq!(admitted, 1, "exactly one probe wins (seed {seed})");
+            // the losers changed nothing: the breaker still awaits the
+            // winner's verdict
+            assert_eq!(b.lock().unwrap().state(Instant::now()), BreakerState::HalfOpen);
+            assert!(!b.lock().unwrap().allows(Instant::now()), "probe slot stays taken");
+            // only the winner's recorded outcome resolves the state
+            b.lock().unwrap().record_success();
+            assert_eq!(b.lock().unwrap().state(Instant::now()), BreakerState::Closed);
+        }
     }
 
     #[test]

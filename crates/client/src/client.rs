@@ -200,7 +200,12 @@ pub trait ProtocolClient {
     }
 
     /// `RANK h r k` → up to `k` `(tail, score)` pairs, best first.
-    fn rank_tails(&mut self, head: u32, relation: u32, k: usize) -> Result<Vec<(u32, f32)>, ClientError> {
+    fn rank_tails(
+        &mut self,
+        head: u32,
+        relation: u32,
+        k: usize,
+    ) -> Result<Vec<(u32, f32)>, ClientError> {
         let payload = self.request_line(&format!("RANK {head} {relation} {k}"), true)?;
         parse_ranked(&payload)
     }
@@ -244,7 +249,11 @@ impl Client {
     }
 
     /// A client recording into an explicit registry (tests).
-    pub fn with_registry(addr: SocketAddr, cfg: ClientConfig, registry: Arc<MetricsRegistry>) -> Self {
+    pub fn with_registry(
+        addr: SocketAddr,
+        cfg: ClientConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Self {
         Client {
             addr,
             backoff: Backoff::new(cfg.backoff.clone()),
@@ -277,7 +286,7 @@ impl Client {
 
     /// The client's cached session, (re)connecting if absent or dead.
     fn live_session(&mut self) -> Result<&Session, ClientError> {
-        if self.session.as_ref().is_none_or(|s| !s.is_alive()) {
+        if !self.session.as_ref().is_some_and(|s| s.is_alive()) {
             self.session = Some(Session::connect(self.addr, &self.cfg)?);
             self.stats.sessions_opened.inc();
         }

@@ -84,10 +84,8 @@ impl ClientError {
     /// server's load-shedding answers in `rmpi-serve` (`ServeError`
     /// `Overloaded` / `ConnLimit` / `DeadlineExpired` display strings).
     pub fn from_server_err(message: &str) -> ClientError {
-        let transient = matches!(
-            message,
-            "server overloaded" | "too many connections" | "deadline expired"
-        );
+        let transient =
+            matches!(message, "server overloaded" | "too many connections" | "deadline expired");
         ClientError::Server { message: message.to_owned(), transient }
     }
 }

@@ -140,13 +140,12 @@ impl FailoverClient {
     /// (re)connecting first if the cache is empty or dead. Transport-level
     /// failures invalidate the cache.
     fn attempt_on(&mut self, idx: usize, line: &str) -> Result<String, ClientError> {
-        if self.endpoints[idx].session.as_ref().is_none_or(|s| !s.is_alive()) {
+        if !self.endpoints[idx].session.as_ref().is_some_and(|s| s.is_alive()) {
             let session = Session::connect(self.endpoints[idx].addr, &self.cfg)?;
             self.stats.sessions_opened.inc();
             self.endpoints[idx].session = Some(session);
         }
-        let result =
-            self.endpoints[idx].session.as_ref().expect("just ensured").request(line);
+        let result = self.endpoints[idx].session.as_ref().expect("just ensured").request(line);
         if let Err(e) = &result {
             if is_transport_error(e) {
                 self.endpoints[idx].session = None;
@@ -179,13 +178,19 @@ impl ProtocolClient for FailoverClient {
                 }
                 self.stats.retries.inc();
                 attempts += 1;
-                let now = Instant::now();
                 if let Some(until) = wait_until {
-                    if until > now {
-                        // each wait is capped at the backoff ceiling so a
-                        // long cooldown costs bounded latency per retry and
-                        // the attempt cap stays the real limit
-                        std::thread::sleep((until - now).min(self.cfg.backoff.max));
+                    // each wait is capped at the backoff ceiling so a long
+                    // cooldown costs bounded latency per retry and the
+                    // attempt cap stays the real limit
+                    let target = until.min(Instant::now() + self.cfg.backoff.max);
+                    // sleep can wake a hair early when the OS clock rounds
+                    // down; re-check and sleep the remainder so the retried
+                    // pick() meets a genuinely half-open breaker instead of
+                    // burning a retry on one that is still open
+                    let mut now = Instant::now();
+                    while now < target {
+                        std::thread::sleep(target - now);
+                        now = Instant::now();
                     }
                 }
                 continue;

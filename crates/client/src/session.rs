@@ -130,8 +130,8 @@ impl Session {
     /// serialized v1 session on the same connection. An incomplete or
     /// missing handshake frame fails (retryable).
     pub fn connect(addr: SocketAddr, cfg: &ClientConfig) -> Result<Session, ClientError> {
-        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
-            .map_err(ClientError::Connect)?;
+        let stream =
+            TcpStream::connect_timeout(&addr, cfg.connect_timeout).map_err(ClientError::Connect)?;
         stream
             .set_read_timeout(Some(cfg.read_timeout))
             .and_then(|()| stream.set_write_timeout(Some(cfg.write_timeout)))
@@ -189,6 +189,39 @@ impl Session {
             }
             Mode::V1 { io } => self.request_v1(io, line),
         }
+    }
+
+    /// Like [`Session::request`], but waits at most `timeout` for **this**
+    /// request's response instead of the session-wide read timeout. A
+    /// timeout deregisters the waiter (a late reply is dropped) and does
+    /// not kill the session — exactly as with the session-wide clock. On a
+    /// v1-fallback session the socket's read timeout is fixed at connect,
+    /// so the serialized path keeps the session-wide clock.
+    pub fn request_timeout(&self, line: &str, timeout: Duration) -> Result<String, ClientError> {
+        match &self.mode {
+            Mode::V2 { writer, next_tag, .. } => {
+                let (tag, rx) = self.submit_v2(writer, next_tag, line)?;
+                self.wait_v2_for(tag, rx, timeout)
+            }
+            Mode::V1 { io } => self.request_v1(io, line),
+        }
+    }
+
+    /// `DEADLINE <ms> SCORE h r t [...]` under a per-request wait of
+    /// `budget`: the server is told how much of the caller's end-to-end
+    /// budget remains — its micro-batcher flushes early rather than hold
+    /// the request past the deadline, and an expired item is answered
+    /// `ERR deadline expired` (transient, retryable) instead of a stale
+    /// score. The caller stops waiting after the same budget.
+    pub fn score_batch_deadline(
+        &self,
+        triples: &[(u32, u32, u32)],
+        budget: Duration,
+    ) -> Result<Vec<f32>, ClientError> {
+        let ms = budget.as_millis().max(1);
+        let line = format!("DEADLINE {ms} {}", score_line(triples));
+        let payload = self.request_timeout(&line, budget)?;
+        parse_scores(&payload, triples.len())
     }
 
     /// Send many request lines and collect per-line results in submission
@@ -323,7 +356,16 @@ impl Session {
         tag: u64,
         rx: mpsc::Receiver<Result<String, ClientError>>,
     ) -> Result<String, ClientError> {
-        match rx.recv_timeout(self.read_timeout) {
+        self.wait_v2_for(tag, rx, self.read_timeout)
+    }
+
+    fn wait_v2_for(
+        &self,
+        tag: u64,
+        rx: mpsc::Receiver<Result<String, ClientError>>,
+        timeout: Duration,
+    ) -> Result<String, ClientError> {
+        match rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // deregister so a late reply to this tag is dropped by the
@@ -337,7 +379,7 @@ impl Session {
                 }
                 Err(ClientError::Io(io::Error::new(
                     io::ErrorKind::TimedOut,
-                    format!("no response to tag {tag} within {:?}", self.read_timeout),
+                    format!("no response to tag {tag} within {timeout:?}"),
                 )))
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(self.core.closed_error()),
@@ -374,7 +416,7 @@ impl Drop for Session {
         match &mut self.mode {
             Mode::V2 { writer, reader, .. } => {
                 // unblock the reader's read_line immediately, then join it
-                if let Ok(w) = writer.lock() {
+                if let Ok(w) = writer.get_mut() {
                     let _ = w.shutdown(Shutdown::Both);
                 }
                 if let Some(handle) = reader.take() {
@@ -382,7 +424,7 @@ impl Drop for Session {
                 }
             }
             Mode::V1 { io } => {
-                if let Ok(io) = io.lock() {
+                if let Ok(io) = io.get_mut() {
                     let _ = io.writer.shutdown(Shutdown::Both);
                 }
             }
@@ -464,8 +506,7 @@ fn reader_loop(mut reader: BufReader<TcpStream>, core: Arc<Core>) {
                 buf.clear();
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
                 // idle socket (or a stalled partial line): any bytes read so
                 // far are still in `buf`, so just keep reading — waiters
@@ -770,13 +811,33 @@ mod tests {
         let fast = ClientConfig { read_timeout: Duration::from_millis(150), ..cfg() };
         let session = Session::connect(addr, &fast).unwrap();
         let err = session.request("PING").unwrap_err();
-        assert!(
-            matches!(&err, ClientError::Io(e) if e.kind() == io::ErrorKind::TimedOut),
-            "{err}"
-        );
+        assert!(matches!(&err, ClientError::Io(e) if e.kind() == io::ErrorKind::TimedOut), "{err}");
         assert!(session.is_alive(), "a timeout does not kill the session");
         let payload = session.request("HEALTH").unwrap();
         assert_eq!(payload, "fresh", "second request got its own answer, not the stale reply");
+        drop(session);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn per_request_timeout_overrides_the_session_clock_without_killing_it() {
+        // swallow the first request: with a 50 ms per-request timeout the
+        // caller must give up long before the 500 ms session clock — and
+        // the session must stay alive for the next request
+        let (addr, server) = scripted_v2_server(|i, _tag, _inner| match i {
+            0 => Action::Swallow,
+            _ => Action::Answer("served".into()),
+        });
+        let session = Session::connect(addr, &cfg()).unwrap();
+        let t0 = std::time::Instant::now();
+        let err = session.request_timeout("PING", Duration::from_millis(50)).unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "per-request timeout, not the session-wide clock"
+        );
+        assert!(matches!(&err, ClientError::Io(e) if e.kind() == io::ErrorKind::TimedOut), "{err}");
+        assert!(session.is_alive(), "a per-request timeout does not kill the session");
+        assert_eq!(session.request("HEALTH").unwrap(), "served");
         drop(session);
         server.join().unwrap();
     }
@@ -800,7 +861,10 @@ mod tests {
         });
         let session = Session::connect(addr, &cfg()).unwrap();
         let err = session.request("PING").unwrap_err();
-        assert!(matches!(&err, ClientError::SessionClosed(reason) if reason.contains("untagged")), "{err}");
+        assert!(
+            matches!(&err, ClientError::SessionClosed(reason) if reason.contains("untagged")),
+            "{err}"
+        );
         assert!(!session.is_alive());
         drop(session);
         server.join().unwrap();

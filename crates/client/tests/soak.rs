@@ -335,13 +335,9 @@ fn pipelined_sessions_under_chaos_one_outcome_per_request_never_misattributed() 
     )
     .expect("proxy");
 
-    let cfg = ClientConfig {
-        read_timeout: Duration::from_millis(500),
-        ..ClientConfig::default()
-    };
-    let triples: Vec<(u32, u32, u32)> = (0..BURST)
-        .map(|i| ((i % 3) as u32, (i % 4) as u32, ((i + 1) % 3) as u32))
-        .collect();
+    let cfg = ClientConfig { read_timeout: Duration::from_millis(500), ..ClientConfig::default() };
+    let triples: Vec<(u32, u32, u32)> =
+        (0..BURST).map(|i| ((i % 3) as u32, (i % 4) as u32, ((i + 1) % 3) as u32)).collect();
     let expected: Vec<f32> = triples
         .iter()
         .map(|&(h, r, t)| reference.score(Triple::new(h, r, t)).expect("offline score"))

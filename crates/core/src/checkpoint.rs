@@ -97,10 +97,8 @@ fn parse_err(line: usize, message: String) -> CheckpointError {
 fn moments_to_store(params: &ParamStore, moments: &[Tensor]) -> ParamStore {
     let mut store = ParamStore::new();
     for (i, id) in params.ids().enumerate() {
-        let tensor = moments
-            .get(i)
-            .cloned()
-            .unwrap_or_else(|| Tensor::zeros(params.value(id).shape()));
+        let tensor =
+            moments.get(i).cloned().unwrap_or_else(|| Tensor::zeros(params.value(id).shape()));
         store.create(params.name(id), tensor);
     }
     store
@@ -108,19 +106,27 @@ fn moments_to_store(params: &ParamStore, moments: &[Tensor]) -> ParamStore {
 
 /// Unpack a moment store back into an index-ordered tensor vector, checking
 /// that its names mirror `params` exactly.
-fn store_to_moments(params: &ParamStore, store: &ParamStore, what: &str) -> Result<Vec<Tensor>, CheckpointError> {
+fn store_to_moments(
+    params: &ParamStore,
+    store: &ParamStore,
+    what: &str,
+) -> Result<Vec<Tensor>, CheckpointError> {
     if store.len() != params.len() {
         return Err(parse_err(
             0,
-            format!("{what} holds {} tensors but the checkpoint has {} parameters", store.len(), params.len()),
+            format!(
+                "{what} holds {} tensors but the checkpoint has {} parameters",
+                store.len(),
+                params.len()
+            ),
         ));
     }
     let mut out = Vec::with_capacity(params.len());
     for id in params.ids() {
         let name = params.name(id);
-        let mid = store
-            .get(name)
-            .ok_or_else(|| parse_err(0, format!("{what} is missing moments for parameter {name:?}")))?;
+        let mid = store.get(name).ok_or_else(|| {
+            parse_err(0, format!("{what} is missing moments for parameter {name:?}"))
+        })?;
         out.push(store.value(mid).clone());
     }
     Ok(out)
@@ -155,7 +161,10 @@ fn render_manifest(ckpt: &TrainCheckpoint) -> String {
 /// Write `ckpt` under `root` and flip `LATEST` to it. Returns the final
 /// checkpoint directory. Crash-safe: a failure at any point leaves the
 /// previous checkpoint (and `LATEST`) fully intact.
-pub fn save_checkpoint<P: AsRef<Path>>(root: P, ckpt: &TrainCheckpoint) -> Result<PathBuf, CheckpointError> {
+pub fn save_checkpoint<P: AsRef<Path>>(
+    root: P,
+    ckpt: &TrainCheckpoint,
+) -> Result<PathBuf, CheckpointError> {
     let root = root.as_ref();
     std::fs::create_dir_all(root)?;
     let tmp = root.join(format!(".tmp-{DIR_PREFIX}{}", std::process::id()));
@@ -219,8 +228,10 @@ pub fn load_checkpoint<P: AsRef<Path>>(dir: P) -> Result<TrainCheckpoint, Checkp
 
     let params = load_params_file(dir.join("params.ckpt"))?;
     let best_params = load_params_file(dir.join("best.ckpt"))?;
-    let adam_m = store_to_moments(&params, &load_params_file(dir.join("adam_m.ckpt"))?, "adam_m.ckpt")?;
-    let adam_v = store_to_moments(&params, &load_params_file(dir.join("adam_v.ckpt"))?, "adam_v.ckpt")?;
+    let adam_m =
+        store_to_moments(&params, &load_params_file(dir.join("adam_m.ckpt"))?, "adam_m.ckpt")?;
+    let adam_v =
+        store_to_moments(&params, &load_params_file(dir.join("adam_v.ckpt"))?, "adam_v.ckpt")?;
 
     let mut ckpt = TrainCheckpoint {
         next_epoch: 0,
@@ -307,9 +318,7 @@ pub fn prune_checkpoints<P: AsRef<Path>>(root: P, keep: usize) {
         .map(|e| e.path())
         .filter(|p| {
             p.is_dir()
-                && p.file_name()
-                    .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with(DIR_PREFIX))
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with(DIR_PREFIX))
         })
         .collect();
     dirs.sort();
@@ -328,9 +337,9 @@ pub fn prune_checkpoints<P: AsRef<Path>>(root: P, keep: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rmpi_autograd::init;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rmpi_autograd::init;
 
     fn tmp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("rmpi-ckpt-{tag}-{}", std::process::id()));

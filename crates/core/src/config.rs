@@ -152,7 +152,8 @@ mod tests {
         assert_eq!(RmpiConfig::base().with_schema().variant_name(), "RMPI-base+schema");
         assert_eq!(RmpiConfig::ta().variant_name(), "RMPI-TA");
         assert_eq!(
-            RmpiConfig { fusion: Fusion::Gated, entity_clues: true, ..RmpiConfig::ne() }.variant_name(),
+            RmpiConfig { fusion: Fusion::Gated, entity_clues: true, ..RmpiConfig::ne() }
+                .variant_name(),
             "RMPI-NE(G)+EC"
         );
     }

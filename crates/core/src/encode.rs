@@ -28,14 +28,24 @@ pub enum RelationEncoder {
 
 impl RelationEncoder {
     /// Create the random-table encoder, registering its parameter.
-    pub fn new_random(store: &mut ParamStore, num_relations: usize, dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new_random(
+        store: &mut ParamStore,
+        num_relations: usize,
+        dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let emb = store.create("rel_emb", init::xavier_uniform(&[num_relations.max(1), dim], rng));
         RelationEncoder::Random { emb }
     }
 
     /// Create the schema-projection encoder (Eq. 10). `onto` must have one
     /// row per relation in the id space.
-    pub fn new_schema(store: &mut ParamStore, onto: Tensor, cfg: &RmpiConfig, rng: &mut StdRng) -> Self {
+    pub fn new_schema(
+        store: &mut ParamStore,
+        onto: Tensor,
+        cfg: &RmpiConfig,
+        rng: &mut StdRng,
+    ) -> Self {
         let hidden = cfg.schema_hidden_dim();
         let onto_dim = onto.cols();
         let w2 = store.create("onto_w2", init::xavier_uniform(&[hidden, onto_dim], rng));

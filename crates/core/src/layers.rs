@@ -24,7 +24,12 @@ impl MessagePassingWeights {
         let w = (0..num_layers)
             .map(|k| {
                 (0..NUM_EDGE_TYPES)
-                    .map(|e| store.create(&format!("{prefix}_l{k}_e{e}"), init::xavier_uniform(&[dim, dim], rng)))
+                    .map(|e| {
+                        store.create(
+                            &format!("{prefix}_l{k}_e{e}"),
+                            init::xavier_uniform(&[dim, dim], rng),
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -96,8 +101,10 @@ pub fn relational_message_passing(
                     continue;
                 }
                 // transformed messages W_e h_j
-                let msgs: Vec<Var> =
-                    members.iter().map(|&j| tape.matvec(wk[etype], h[j].expect("initialised"))).collect();
+                let msgs: Vec<Var> = members
+                    .iter()
+                    .map(|&j| tape.matvec(wk[etype], h[j].expect("initialised")))
+                    .collect();
                 let stacked = tape.stack(&msgs);
                 let weights_vec = if attention.enabled && !is_final_target {
                     // Eq. 7: softmax over this edge-type group of
@@ -271,8 +278,11 @@ mod tests {
                 let run = |sched: &PruningSchedule| -> Vec<f32> {
                     let mut tape = Tape::new();
                     let table = tape.param(&store, emb);
-                    let h0: Vec<Option<Var>> =
-                        rv.nodes.iter().map(|n| Some(tape.row(table, n.relation.index()))).collect();
+                    let h0: Vec<Option<Var>> = rv
+                        .nodes
+                        .iter()
+                        .map(|n| Some(tape.row(table, n.relation.index())))
+                        .collect();
                     let out = relational_message_passing(
                         &mut tape,
                         &store,
@@ -285,7 +295,11 @@ mod tests {
                     );
                     tape.value(out).data().to_vec()
                 };
-                assert_eq!(run(&pruned), run(&full), "ta={ta} k={k}: pruning changed the target output");
+                assert_eq!(
+                    run(&pruned),
+                    run(&full),
+                    "ta={ta} k={k}: pruning changed the target output"
+                );
             }
         }
     }
@@ -303,7 +317,8 @@ mod tests {
                 params.push((format!("mp_l{k}_e{e}"), init::xavier_uniform(&[dim, dim], &mut rng)));
             }
         }
-        let named: Vec<(&str, Tensor)> = params.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
+        let named: Vec<(&str, Tensor)> =
+            params.iter().map(|(n, t)| (n.as_str(), t.clone())).collect();
         check_gradients(&named, |tape, store| {
             let weights = MessagePassingWeights {
                 w: (0..2)

@@ -80,7 +80,18 @@ impl RmpiModel {
             None
         };
         let score_w = store.create("score_w", init::xavier_uniform(&[cfg.dim], rng));
-        RmpiModel { cfg, store, encoder, mp, ne_weights, score_w, fuse_w3, fuse_gate, ent_w, num_relations }
+        RmpiModel {
+            cfg,
+            store,
+            encoder,
+            mp,
+            ne_weights,
+            score_w,
+            fuse_w3,
+            fuse_gate,
+            ent_w,
+            num_relations,
+        }
     }
 
     /// Reassemble a model from a loaded parameter store — the bundle-loading
@@ -97,9 +108,8 @@ impl RmpiModel {
     ) -> Result<Self, ModelAssemblyError> {
         let mut expected: Vec<String> = Vec::new();
         let mut lookup = |name: String, shape: &[usize]| -> Result<ParamId, ModelAssemblyError> {
-            let id = store
-                .get(&name)
-                .ok_or_else(|| ModelAssemblyError::MissingParam(name.clone()))?;
+            let id =
+                store.get(&name).ok_or_else(|| ModelAssemblyError::MissingParam(name.clone()))?;
             let got = store.value(id).shape();
             if got != shape {
                 return Err(ModelAssemblyError::ShapeMismatch {
@@ -171,7 +181,18 @@ impl RmpiModel {
                 }
             }
         }
-        Ok(RmpiModel { cfg, store, encoder, mp, ne_weights, score_w, fuse_w3, fuse_gate, ent_w, num_relations })
+        Ok(RmpiModel {
+            cfg,
+            store,
+            encoder,
+            mp,
+            ne_weights,
+            score_w,
+            fuse_w3,
+            fuse_gate,
+            ent_w,
+            num_relations,
+        })
     }
 
     /// The model configuration.
@@ -242,7 +263,8 @@ impl RmpiModel {
         let mut fused = match self.ne_weights {
             Some(ne) => {
                 let h_t0 = h0_map[&target.relation];
-                let neighbors: Vec<Var> = sample.disclosing_rels.iter().map(|r| h0_map[r]).collect();
+                let neighbors: Vec<Var> =
+                    sample.disclosing_rels.iter().map(|r| h0_map[r]).collect();
                 let h_d = disclosing_aggregate(
                     tape,
                     &self.store,
@@ -256,12 +278,14 @@ impl RmpiModel {
                     Fusion::Sum => tape.add(h_rt, h_d),
                     Fusion::Concat => {
                         let cat = tape.concat(&[h_rt, h_d]);
-                        let w3 = tape.param(&self.store, self.fuse_w3.expect("concat fusion weight"));
+                        let w3 =
+                            tape.param(&self.store, self.fuse_w3.expect("concat fusion weight"));
                         tape.matvec(w3, cat)
                     }
                     Fusion::Gated => {
                         let cat = tape.concat(&[h_rt, h_d]);
-                        let wg = tape.param(&self.store, self.fuse_gate.expect("gated fusion weight"));
+                        let wg =
+                            tape.param(&self.store, self.fuse_gate.expect("gated fusion weight"));
                         let logits = tape.matvec(wg, cat);
                         let g = tape.sigmoid(logits);
                         let ones = tape.constant(Tensor::full(&[self.cfg.dim], 1.0));
@@ -547,7 +571,8 @@ mod tests {
         assert!(matches!(err, ModelAssemblyError::MissingParam(_)), "{err}");
         // checkpoint has NE weights the config does not call for
         let ne_model = RmpiModel::new(RmpiConfig { ne: true, ..small_cfg() }, 6, 0);
-        let err = RmpiModel::from_store(small_cfg(), 6, ne_model.param_store().clone(), None).unwrap_err();
+        let err = RmpiModel::from_store(small_cfg(), 6, ne_model.param_store().clone(), None)
+            .unwrap_err();
         assert!(matches!(err, ModelAssemblyError::UnexpectedParam(_)), "{err}");
         // wrong dimension
         let err = RmpiModel::from_store(

@@ -112,7 +112,10 @@ mod tests {
     fn gradcheck_ne_module() {
         check_gradients(
             &[
-                ("ne_wd", Tensor::matrix(3, 3, vec![0.5, -0.1, 0.2, 0.3, 0.4, -0.2, 0.1, 0.0, 0.6])),
+                (
+                    "ne_wd",
+                    Tensor::matrix(3, 3, vec![0.5, -0.1, 0.2, 0.3, 0.4, -0.2, 0.1, 0.0, 0.6]),
+                ),
                 ("t0", Tensor::vector(vec![0.4, -0.3, 0.2])),
                 ("n0", Tensor::vector(vec![0.1, 0.5, -0.4])),
                 ("n1", Tensor::vector(vec![-0.2, 0.3, 0.7])),

@@ -64,11 +64,8 @@ pub fn prepare_sample<G: GraphAccess + ?Sized>(
     let relview = RelViewGraph::from_subgraph(&sg);
     let schedule = PruningSchedule::new(&relview, cfg.num_layers);
 
-    let disclosing_rels = if cfg.ne {
-        disclosing_one_hop_relations(graph, target, cfg.hop)
-    } else {
-        Vec::new()
-    };
+    let disclosing_rels =
+        if cfg.ne { disclosing_one_hop_relations(graph, target, cfg.hop) } else { Vec::new() };
 
     let label_histogram = cfg.entity_clues.then(|| label_histogram(&sg, cfg.hop + 1));
 
@@ -194,7 +191,12 @@ mod tests {
         let triples: Vec<Triple> = (0..50u32).map(|r| Triple::new(0u32, r, 1u32)).collect();
         let g = KnowledgeGraph::from_triples(triples);
         let t = Triple::new(0u32, 99u32, 1u32);
-        let cfg = RmpiConfig { max_subgraph_edges: 10, ne: false, edge_dropout: 0.0, ..Default::default() };
+        let cfg = RmpiConfig {
+            max_subgraph_edges: 10,
+            ne: false,
+            edge_dropout: 0.0,
+            ..Default::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let s = prepare_sample(&g, t, &cfg, Mode::Eval, &mut rng);
         assert_eq!(s.relview.num_nodes(), 11);
@@ -206,7 +208,10 @@ mod tests {
         let t = Triple::new(0u32, 9u32, 3u32);
         let rels = disclosing_one_hop_relations(&g, t, 2);
         // edges incident to 0 or 3: r0, r1, r2, r3, r4 (3->4 pendant)
-        assert_eq!(rels, vec![RelationId(0), RelationId(1), RelationId(2), RelationId(3), RelationId(4)]);
+        assert_eq!(
+            rels,
+            vec![RelationId(0), RelationId(1), RelationId(2), RelationId(3), RelationId(4)]
+        );
     }
 
     #[test]
@@ -228,7 +233,8 @@ mod tests {
     fn entity_clue_histogram_is_normalized() {
         let g = graph();
         let t = Triple::new(0u32, 9u32, 3u32);
-        let cfg = RmpiConfig { entity_clues: true, ne: false, edge_dropout: 0.0, ..Default::default() };
+        let cfg =
+            RmpiConfig { entity_clues: true, ne: false, edge_dropout: 0.0, ..Default::default() };
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let s = prepare_sample(&g, t, &cfg, Mode::Eval, &mut rng);
         let hist = s.label_histogram.expect("histogram requested");

@@ -187,8 +187,7 @@ pub fn train_streaming<M: ScoringModel + Sync>(
     let metrics = stream_metrics();
 
     for epoch in 0..cfg.epochs {
-        let perm =
-            IndexPermutation::new(n, mix_seed(cfg.seed, rng_stream::SHUFFLE, epoch as u64));
+        let perm = IndexPermutation::new(n, mix_seed(cfg.seed, rng_stream::SHUFFLE, epoch as u64));
         let take = if cfg.max_samples_per_epoch > 0 {
             n.min(cfg.max_samples_per_epoch as u64) as usize
         } else {
@@ -270,8 +269,7 @@ pub fn train_streaming<M: ScoringModel + Sync>(
         let mean_loss = if counted == 0 { 0.0 } else { (epoch_loss / counted as f64) as f32 };
         report.epoch_losses.push(mean_loss);
 
-        let acc = streaming_accuracy(model, reader, valid, cfg, &pool, epoch as u64)
-            .unwrap_or(0.0);
+        let acc = streaming_accuracy(model, reader, valid, cfg, &pool, epoch as u64).unwrap_or(0.0);
         report.valid_accuracy.push(acc);
         if acc > best_acc {
             best_acc = acc;
@@ -352,8 +350,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn temp_store(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("rmpi-stream-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("rmpi-stream-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -402,10 +399,7 @@ mod tests {
 
     fn params_of<M: ScoringModel>(model: &M) -> Vec<(String, Vec<f32>)> {
         let store: &ParamStore = model.param_store();
-        store
-            .ids()
-            .map(|id| (store.name(id).to_owned(), store.value(id).data().to_vec()))
-            .collect()
+        store.ids().map(|id| (store.name(id).to_owned(), store.value(id).data().to_vec())).collect()
     }
 
     #[test]
@@ -423,7 +417,9 @@ mod tests {
             threads: 1,
             ..Default::default()
         };
-        let mk = || RmpiModel::new(RmpiConfig { dim: 12, edge_dropout: 0.2, ..Default::default() }, 8, 0);
+        let mk = || {
+            RmpiModel::new(RmpiConfig { dim: 12, edge_dropout: 0.2, ..Default::default() }, 8, 0)
+        };
 
         let mut m1 = mk();
         let r1 = train_streaming(&mut m1, &reader, &valid, &cfg);
@@ -448,15 +444,14 @@ mod tests {
         let (graph, valid) = tiny_data();
         let dir = temp_store("validation");
         build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
-        let reader = rmpi_store::StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 8 })
-            .unwrap();
+        let reader =
+            rmpi_store::StoreReader::open(&dir, ReadMode::Stream { cache_blocks: 8 }).unwrap();
         let model = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, 8, 3);
         let cfg = TrainConfig { max_valid_samples: 50, seed: 11, ..Default::default() };
         let pool = ThreadPool::sequential();
         let csr = rmpi_kg::CsrGraph::from_graph(&graph);
         for epoch in [0u64, 1, 5] {
-            let streamed =
-                streaming_accuracy(&model, &reader, &valid, &cfg, &pool, epoch).unwrap();
+            let streamed = streaming_accuracy(&model, &reader, &valid, &cfg, &pool, epoch).unwrap();
             let resident = crate::trainer::try_validation_accuracy(
                 &model, &graph, &csr, &valid, &cfg, &pool, epoch,
             )

@@ -50,8 +50,8 @@ use rmpi_autograd::io::CheckpointError;
 use rmpi_autograd::optim::{Adam, AdamState};
 use rmpi_autograd::{BackwardScratch, GradBuffer, ParamStore, Tape, Tensor};
 use rmpi_kg::{CsrGraph, KnowledgeGraph, Triple};
-use rmpi_runtime::{mix_seed, PoolError, ThreadPool};
 use rmpi_obs::{Counter, Histogram};
+use rmpi_runtime::{mix_seed, PoolError, ThreadPool};
 use rmpi_subgraph::NegativeSampler;
 use rmpi_testutil::failpoint;
 use std::path::{Path, PathBuf};
@@ -147,9 +147,10 @@ fn trainer_metrics() -> &'static TrainerMetrics {
 }
 
 /// What to do when a batch produces a non-finite loss or gradient norm.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub enum DivergencePolicy {
     /// Drop the poisoned batch's gradients and move on (default).
+    #[default]
     SkipBatch,
     /// Zero the non-finite gradient entries, then step with what remains.
     ClipAndWarn,
@@ -162,12 +163,6 @@ pub enum DivergencePolicy {
     },
     /// Stop training immediately; the best snapshot so far is restored.
     Abort,
-}
-
-impl Default for DivergencePolicy {
-    fn default() -> Self {
-        DivergencePolicy::SkipBatch
-    }
 }
 
 /// Progress and fault notifications emitted by [`Trainer::train`].
@@ -424,11 +419,14 @@ pub fn train_model<M: ScoringModel + Sync>(
 ///     .unwrap()
 ///     .train(&mut model, &graph, &targets, &valid);
 /// ```
+/// The boxed observer invoked by [`Trainer`] on every [`TrainEvent`].
+pub type EventCallback<'cb> = Box<dyn FnMut(&TrainEvent) + 'cb>;
+
 pub struct Trainer<'cb> {
     cfg: TrainConfig,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<TrainCheckpoint>,
-    callback: Option<Box<dyn FnMut(&TrainEvent) + 'cb>>,
+    callback: Option<EventCallback<'cb>>,
 }
 
 impl<'cb> Trainer<'cb> {
@@ -532,8 +530,8 @@ impl<'cb> Trainer<'cb> {
         // state, boundary epoch). Only maintained when the policy needs it —
         // it costs a full parameter clone per epoch.
         let track_rollback = matches!(cfg.divergence, DivergencePolicy::Rollback { .. });
-        let mut last_good: Option<(ParamStore, AdamState, usize)> = track_rollback
-            .then(|| (model.param_store().clone(), adam.export_state(), start_epoch));
+        let mut last_good: Option<(ParamStore, AdamState, usize)> =
+            track_rollback.then(|| (model.param_store().clone(), adam.export_state(), start_epoch));
 
         let metrics = trainer_metrics();
         'epochs: for epoch in start_epoch..cfg.epochs {
@@ -680,14 +678,15 @@ impl<'cb> Trainer<'cb> {
             report.epoch_losses.push(mean_loss);
 
             let validation_start = Instant::now();
-            let acc = match try_validation_accuracy(model, graph, &csr, valid, &cfg, &pool, epoch as u64)
-            {
-                Ok(acc) => acc,
-                Err(e) => {
-                    emit(TrainEvent::ValidationFailed { epoch, message: e.to_string() });
-                    0.0
-                }
-            };
+            let acc =
+                match try_validation_accuracy(model, graph, &csr, valid, &cfg, &pool, epoch as u64)
+                {
+                    Ok(acc) => acc,
+                    Err(e) => {
+                        emit(TrainEvent::ValidationFailed { epoch, message: e.to_string() });
+                        0.0
+                    }
+                };
             metrics.validation.record_duration(validation_start.elapsed());
             report.valid_accuracy.push(acc);
             if acc > best_acc {
@@ -766,9 +765,8 @@ fn check_resume_params(fresh: &ParamStore, loaded: &ParamStore) {
     );
     for id in fresh.ids() {
         let name = fresh.name(id);
-        let lid = loaded
-            .get(name)
-            .unwrap_or_else(|| panic!("checkpoint is missing parameter {name:?}"));
+        let lid =
+            loaded.get(name).unwrap_or_else(|| panic!("checkpoint is missing parameter {name:?}"));
         assert!(
             lid == id,
             "parameter {name:?} sits at index {} in the checkpoint but {} in the model; \
@@ -841,7 +839,8 @@ pub(crate) fn try_validation_accuracy<M: ScoringModel + Sync>(
     }
     let sampler = NegativeSampler::from_graph(graph);
     let mut subset: Vec<Triple> = valid.to_vec();
-    let mut shuffle_rng = StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::VALID_SHUFFLE, epoch));
+    let mut shuffle_rng =
+        StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::VALID_SHUFFLE, epoch));
     subset.shuffle(&mut shuffle_rng);
     if cfg.max_valid_samples > 0 {
         subset.truncate(cfg.max_valid_samples);
@@ -849,8 +848,11 @@ pub(crate) fn try_validation_accuracy<M: ScoringModel + Sync>(
     let wins: u32 = pool
         .try_map_indexed(subset.len(), |i| {
             let pos = subset[i];
-            let mut rng =
-                StdRng::seed_from_u64(mix_seed(cfg.seed, rng_stream::VALID, sample_key(epoch as usize, i)));
+            let mut rng = StdRng::seed_from_u64(mix_seed(
+                cfg.seed,
+                rng_stream::VALID,
+                sample_key(epoch as usize, i),
+            ));
             let neg = sampler.corrupt(pos, graph, &mut rng);
             u32::from(model.score(csr, pos, &mut rng) > model.score(csr, neg, &mut rng))
         })?
@@ -883,7 +885,13 @@ mod tests {
         let groups: Vec<usize> = (0..world.groups().len()).collect();
         let triples = world.generate_triples(
             &groups,
-            &GraphGenConfig { num_entities: 120, num_base_triples: 420, noise_frac: 0.0, seed: 5, ..Default::default() },
+            &GraphGenConfig {
+                num_entities: 120,
+                num_base_triples: 420,
+                noise_frac: 0.0,
+                seed: 5,
+                ..Default::default()
+            },
         );
         let split = rmpi_kg::split_triples(&triples, 0.15, 0.0, 3);
         let graph = KnowledgeGraph::from_triples(split.train.clone());
@@ -893,7 +901,8 @@ mod tests {
     #[test]
     fn training_reduces_loss_and_beats_chance() {
         let (graph, targets, valid) = tiny_data();
-        let mut model = RmpiModel::new(RmpiConfig { dim: 16, edge_dropout: 0.2, ..Default::default() }, 8, 0);
+        let mut model =
+            RmpiModel::new(RmpiConfig { dim: 16, edge_dropout: 0.2, ..Default::default() }, 8, 0);
         let cfg = TrainConfig {
             epochs: 4,
             max_samples_per_epoch: 250,
@@ -949,9 +958,16 @@ mod tests {
         let report = train_model(&mut model, &graph, &targets, &valid, &cfg);
         // re-evaluating with restored params reproduces the best epoch's accuracy signal
         let csr = CsrGraph::from_graph(&graph);
-        let acc =
-            try_validation_accuracy(&model, &graph, &csr, &valid, &cfg, &ThreadPool::sequential(), 99)
-                .unwrap();
+        let acc = try_validation_accuracy(
+            &model,
+            &graph,
+            &csr,
+            &valid,
+            &cfg,
+            &ThreadPool::sequential(),
+            99,
+        )
+        .unwrap();
         assert!(
             acc >= report.best_accuracy() - 0.25,
             "restored accuracy {acc} far below best {}",

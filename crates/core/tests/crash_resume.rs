@@ -121,10 +121,12 @@ fn kill_mid_epoch_then_resume_is_bit_identical() {
         // Resume: a fresh process would construct the model the same way,
         // then continue from the newest checkpoint.
         let mut survivor = fresh_model();
-        let resumed = Trainer::new(cfg)
-            .resume_latest(&root)
-            .unwrap()
-            .train(&mut survivor, &graph, &targets, &valid);
+        let resumed = Trainer::new(cfg).resume_latest(&root).unwrap().train(
+            &mut survivor,
+            &graph,
+            &targets,
+            &valid,
+        );
 
         assert_eq!(resumed.resumed_from, Some(1), "threads={threads}");
         assert_reports_match(&full, &resumed, &format!("threads={threads}"));
@@ -159,10 +161,12 @@ fn crash_before_first_checkpoint_resumes_from_scratch() {
 
     // resume_latest on an empty root is a fresh start — still bit-identical.
     let mut survivor = fresh_model();
-    let resumed = Trainer::new(cfg)
-        .resume_latest(&root)
-        .unwrap()
-        .train(&mut survivor, &graph, &targets, &valid);
+    let resumed = Trainer::new(cfg).resume_latest(&root).unwrap().train(
+        &mut survivor,
+        &graph,
+        &targets,
+        &valid,
+    );
     assert_eq!(resumed.resumed_from, None);
     assert_reports_match(&full, &resumed, "from-scratch");
     assert_params_identical(&reference, &survivor, "from-scratch");
@@ -185,17 +189,22 @@ fn resume_preserves_early_stopping_decision() {
     // Checkpointed run (uninterrupted) leaves its final checkpoint behind...
     let root = tmp_dir("patience");
     let mut victim = fresh_model();
-    let checkpointed = Trainer::new(cfg)
-        .with_checkpointing(CheckpointConfig::new(&root))
-        .train(&mut victim, &graph, &targets, &valid);
+    let checkpointed = Trainer::new(cfg).with_checkpointing(CheckpointConfig::new(&root)).train(
+        &mut victim,
+        &graph,
+        &targets,
+        &valid,
+    );
     assert_eq!(checkpointed.epoch_losses.len(), ran);
 
     // ...and a resume from it must refuse to run more epochs.
     let mut survivor = fresh_model();
-    let resumed = Trainer::new(cfg)
-        .resume_latest(&root)
-        .unwrap()
-        .train(&mut survivor, &graph, &targets, &valid);
+    let resumed = Trainer::new(cfg).resume_latest(&root).unwrap().train(
+        &mut survivor,
+        &graph,
+        &targets,
+        &valid,
+    );
     assert_eq!(resumed.epoch_losses.len(), ran, "resume must honour the exhausted patience");
     assert_reports_match(&full, &resumed, "patience");
     assert_params_identical(&reference, &survivor, "patience");
@@ -215,10 +224,7 @@ fn resume_under_wrong_seed_is_refused() {
     let bad = TrainConfig { seed: 99, ..cfg };
     let mut other = fresh_model();
     let err = catch_unwind(AssertUnwindSafe(|| {
-        Trainer::new(bad)
-            .resume_latest(&root)
-            .unwrap()
-            .train(&mut other, &graph, &targets, &valid)
+        Trainer::new(bad).resume_latest(&root).unwrap().train(&mut other, &graph, &targets, &valid)
     }));
     let payload = err.unwrap_err();
     let msg = rmpi_runtime::panic_message(payload.as_ref());

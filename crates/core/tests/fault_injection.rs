@@ -89,9 +89,10 @@ fn nan_loss_under_skip_batch_drops_the_batch_and_training_survives() {
     assert_eq!(report.skipped_batches, 1, "exactly one poisoned batch");
     assert_eq!(report.epoch_losses.len(), 2, "training must run to completion");
     assert!(report.epoch_losses.iter().all(|l| l.is_finite()), "{:?}", report.epoch_losses);
-    assert!(model.param_store().ids().all(|id| {
-        model.param_store().value(id).data().iter().all(|x| x.is_finite())
-    }));
+    assert!(model
+        .param_store()
+        .ids()
+        .all(|id| { model.param_store().value(id).data().iter().all(|x| x.is_finite()) }));
     let events = events.into_inner();
     assert!(events.iter().any(|e| matches!(
         e,
@@ -127,9 +128,10 @@ fn nan_grads_under_clip_and_warn_are_sanitized_and_stepped() {
         )),
         "the sanitizer must report how many entries it zeroed"
     );
-    assert!(model.param_store().ids().all(|id| {
-        model.param_store().value(id).data().iter().all(|x| x.is_finite())
-    }));
+    assert!(model
+        .param_store()
+        .ids()
+        .all(|id| { model.param_store().value(id).data().iter().all(|x| x.is_finite()) }));
 }
 
 #[test]
@@ -143,7 +145,9 @@ fn rollback_policy_restores_epoch_boundary_and_decays_lr() {
     let report = Trainer::new(cfg)
         .on_event(|ev| {
             match ev {
-                TrainEvent::EpochEnd { epoch: 0, .. } => failpoint::arm(GRAD_FAILPOINT, Action::Nan),
+                TrainEvent::EpochEnd { epoch: 0, .. } => {
+                    failpoint::arm(GRAD_FAILPOINT, Action::Nan)
+                }
                 TrainEvent::RolledBack { .. } => failpoint::disarm(GRAD_FAILPOINT),
                 _ => {}
             }
@@ -193,7 +197,10 @@ fn worker_panic_fails_only_its_batch() {
     let _lock = failpoint::exclusive();
     let (graph, targets, valid) = tiny_data();
     let mut model = fresh_model();
-    failpoint::arm(rmpi_runtime::pool::SHARD_FAILPOINT, Action::Panic("injected worker crash".into()));
+    failpoint::arm(
+        rmpi_runtime::pool::SHARD_FAILPOINT,
+        Action::Panic("injected worker crash".into()),
+    );
     let events: RefCell<Vec<TrainEvent>> = RefCell::new(Vec::new());
     let report = Trainer::new(train_cfg(DivergencePolicy::SkipBatch))
         .on_event(|ev| {

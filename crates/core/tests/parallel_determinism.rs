@@ -21,7 +21,13 @@ fn tiny_data() -> (KnowledgeGraph, Vec<Triple>, Vec<Triple>) {
     let groups: Vec<usize> = (0..world.groups().len()).collect();
     let triples = world.generate_triples(
         &groups,
-        &GraphGenConfig { num_entities: 100, num_base_triples: 320, noise_frac: 0.0, seed: 8, ..Default::default() },
+        &GraphGenConfig {
+            num_entities: 100,
+            num_base_triples: 320,
+            noise_frac: 0.0,
+            seed: 8,
+            ..Default::default()
+        },
     );
     let split = rmpi_kg::split_triples(&triples, 0.15, 0.0, 3);
     let graph = KnowledgeGraph::from_triples(split.train.clone());
@@ -30,7 +36,8 @@ fn tiny_data() -> (KnowledgeGraph, Vec<Triple>, Vec<Triple>) {
 
 fn train_with(threads: usize) -> (RmpiModel, TrainReport) {
     let (graph, targets, valid) = tiny_data();
-    let mut model = RmpiModel::new(RmpiConfig { dim: 10, edge_dropout: 0.2, ..Default::default() }, 8, 42);
+    let mut model =
+        RmpiModel::new(RmpiConfig { dim: 10, edge_dropout: 0.2, ..Default::default() }, 8, 42);
     let cfg = TrainConfig {
         epochs: 2,
         batch_size: 8,

@@ -10,17 +10,15 @@ use rmpi_core::{RmpiConfig, RmpiModel, ScoringModel};
 use rmpi_kg::{KnowledgeGraph, Triple};
 
 fn arb_graph() -> impl Strategy<Value = (KnowledgeGraph, Triple)> {
-    (
-        prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 1..40),
-        (0u32..12, 0u32..6, 0u32..12),
-    )
+    (prop::collection::vec((0u32..12, 0u32..4, 0u32..12), 1..40), (0u32..12, 0u32..6, 0u32..12))
         .prop_map(|(edges, (h, r, t))| {
             let triples: Vec<Triple> = edges
                 .into_iter()
                 .filter(|(a, _, b)| a != b)
                 .map(|(a, rel, b)| Triple::new(a, rel, b))
                 .collect();
-            let triples = if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
+            let triples =
+                if triples.is_empty() { vec![Triple::new(0u32, 0u32, 1u32)] } else { triples };
             (KnowledgeGraph::from_triples(triples), Triple::new(h, r, t))
         })
 }

@@ -73,7 +73,11 @@ pub fn make_test_set(name: &str, triples: Vec<Triple>, seed: u64) -> TestSet {
     let split = split_triples(&triples, 0.0, 0.1, seed);
     let mut context = split.train;
     context.extend(split.valid);
-    TestSet { name: name.to_owned(), graph: KnowledgeGraph::from_triples(context), targets: split.test }
+    TestSet {
+        name: name.to_owned(),
+        graph: KnowledgeGraph::from_triples(context),
+        targets: split.test,
+    }
 }
 
 /// Build a GraIL-style **partially inductive** benchmark: the training and
@@ -114,8 +118,18 @@ mod tests {
             "toy",
             world,
             &groups,
-            GraphGenConfig { num_entities: 200, num_base_triples: 600, seed: 11, ..Default::default() },
-            GraphGenConfig { num_entities: 120, num_base_triples: 360, seed: 12, ..Default::default() },
+            GraphGenConfig {
+                num_entities: 200,
+                num_base_triples: 600,
+                seed: 11,
+                ..Default::default()
+            },
+            GraphGenConfig {
+                num_entities: 120,
+                num_base_triples: 360,
+                seed: 12,
+                ..Default::default()
+            },
         )
     }
 

@@ -103,7 +103,12 @@ mod tests {
             world,
             &train,
             &all,
-            GraphGenConfig { num_entities: 260, num_base_triples: 900, seed: 21, ..Default::default() },
+            GraphGenConfig {
+                num_entities: 260,
+                num_base_triples: 900,
+                seed: 21,
+                ..Default::default()
+            },
             180,
             77,
         )

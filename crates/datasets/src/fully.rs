@@ -55,8 +55,10 @@ pub fn fully_inductive_benchmark(
 /// Derive the `TE(fully)` set: keep only context triples and targets whose
 /// relation is unseen.
 fn filter_to_unseen(semi: &TestSet, seen: &HashSet<RelationId>) -> TestSet {
-    let context: Vec<_> = semi.graph.triples().iter().filter(|t| !seen.contains(&t.relation)).copied().collect();
-    let targets: Vec<_> = semi.targets.iter().filter(|t| !seen.contains(&t.relation)).copied().collect();
+    let context: Vec<_> =
+        semi.graph.triples().iter().filter(|t| !seen.contains(&t.relation)).copied().collect();
+    let targets: Vec<_> =
+        semi.targets.iter().filter(|t| !seen.contains(&t.relation)).copied().collect();
     TestSet { name: "TE(fully)".to_owned(), graph: KnowledgeGraph::from_triples(context), targets }
 }
 
@@ -82,8 +84,18 @@ mod tests {
             world,
             &train,
             &all,
-            GraphGenConfig { num_entities: 220, num_base_triples: 700, seed: 3, ..Default::default() },
-            GraphGenConfig { num_entities: 160, num_base_triples: 520, seed: 4, ..Default::default() },
+            GraphGenConfig {
+                num_entities: 220,
+                num_base_triples: 700,
+                seed: 3,
+                ..Default::default()
+            },
+            GraphGenConfig {
+                num_entities: 160,
+                num_base_triples: 520,
+                seed: 4,
+                ..Default::default()
+            },
         )
     }
 

@@ -83,7 +83,11 @@ pub fn save_benchmark(dir: &Path, benchmark: &Benchmark) -> Result<(), KgError> 
     writeln!(meta, "num_relations\t{num_relations}")?;
     let mut seen: Vec<u32> = benchmark.seen_relations.iter().map(|r| r.0).collect();
     seen.sort_unstable();
-    writeln!(meta, "seen_relations\t{}", seen.iter().map(u32::to_string).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        meta,
+        "seen_relations\t{}",
+        seen.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+    )?;
     for (i, t) in benchmark.tests.iter().enumerate() {
         writeln!(meta, "test_{i}\t{}", t.name)?;
     }
@@ -99,7 +103,10 @@ pub fn load_benchmark(dir: &Path) -> Result<SavedBenchmark, KgError> {
     let mut test_names: Vec<(usize, String)> = Vec::new();
     for (lineno, line) in meta.lines().enumerate() {
         let Some((key, value)) = line.split_once('\t') else {
-            return Err(KgError::Parse { line: lineno + 1, message: format!("bad meta line {line:?}") });
+            return Err(KgError::Parse {
+                line: lineno + 1,
+                message: format!("bad meta line {line:?}"),
+            });
         };
         match key {
             "name" => name = value.to_owned(),
@@ -126,7 +133,10 @@ pub fn load_benchmark(dir: &Path) -> Result<SavedBenchmark, KgError> {
                 test_names.push((idx, value.to_owned()));
             }
             other => {
-                return Err(KgError::Parse { line: lineno + 1, message: format!("unknown meta key {other:?}") })
+                return Err(KgError::Parse {
+                    line: lineno + 1,
+                    message: format!("unknown meta key {other:?}"),
+                })
             }
         }
     }

@@ -28,16 +28,16 @@
 //!   paper-vs-generated statistics used by Table I.
 
 pub mod benchmark;
-pub mod io;
 pub mod ext;
 pub mod fully;
+pub mod io;
 pub mod registry;
 pub mod rules;
 pub mod stream;
 pub mod world;
 
 pub use benchmark::{Benchmark, TestSet, TrainSet};
-pub use registry::{registry_names, build_benchmark, Scale};
+pub use registry::{build_benchmark, registry_names, Scale};
 pub use rules::{GroupKind, Role, Rule, RuleGroup};
 pub use stream::StreamingWorld;
 pub use world::{World, WorldConfig};

@@ -214,11 +214,24 @@ fn gen_cfg(family: Family, entities: usize, base: usize, seed: u64) -> GraphGenC
 /// All catalogue names.
 pub fn registry_names() -> Vec<&'static str> {
     vec![
-        "wn.v1", "wn.v2", "wn.v3", "wn.v4",
-        "fb.v1", "fb.v2", "fb.v3", "fb.v4",
-        "nell.v1", "nell.v2", "nell.v3", "nell.v4",
-        "nell.v1.v3", "nell.v2.v3", "nell.v4.v3", "fb.v1.v4",
-        "fb-ext", "nell-ext",
+        "wn.v1",
+        "wn.v2",
+        "wn.v3",
+        "wn.v4",
+        "fb.v1",
+        "fb.v2",
+        "fb.v3",
+        "fb.v4",
+        "nell.v1",
+        "nell.v2",
+        "nell.v3",
+        "nell.v4",
+        "nell.v1.v3",
+        "nell.v2.v3",
+        "nell.v4.v3",
+        "fb.v1.v4",
+        "fb-ext",
+        "nell-ext",
     ]
 }
 
@@ -335,8 +348,10 @@ mod tests {
         for name in registry_names() {
             let b = build_benchmark(name, Scale::Quick);
             assert!(!b.train.targets.is_empty(), "{name}: no train targets");
-            assert!(b.tests.iter().all(|t| !t.targets.is_empty() || t.name == "u_rel"),
-                "{name}: empty test targets");
+            assert!(
+                b.tests.iter().all(|t| !t.targets.is_empty() || t.name == "u_rel"),
+                "{name}: empty test targets"
+            );
         }
     }
 
@@ -383,7 +398,8 @@ mod tests {
     fn wn_family_is_sparser_than_fb() {
         let wn = build_benchmark("wn.v1", Scale::Quick);
         let fb = build_benchmark("fb.v1", Scale::Quick);
-        let deg = |g: &rmpi_kg::KnowledgeGraph| g.num_triples() as f64 / g.num_present_entities() as f64;
+        let deg =
+            |g: &rmpi_kg::KnowledgeGraph| g.num_triples() as f64 / g.num_present_entities() as f64;
         assert!(
             deg(&wn.train.graph) < deg(&fb.train.graph),
             "wn {} vs fb {}",

@@ -149,7 +149,8 @@ mod tests {
 
     #[test]
     fn conclusion_and_relations_consistent() {
-        let r = Rule::Composition { p1: RelationId(0), p2: RelationId(1), conclusion: RelationId(2) };
+        let r =
+            Rule::Composition { p1: RelationId(0), p2: RelationId(1), conclusion: RelationId(2) };
         assert_eq!(r.conclusion(), RelationId(2));
         assert_eq!(r.relations().len(), 3);
         let l = Rule::LongComposition {

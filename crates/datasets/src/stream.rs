@@ -46,12 +46,7 @@ impl<'w> StreamingWorld<'w> {
         chunk_entities: usize,
     ) -> Self {
         assert!(chunk_entities > 0, "chunk_entities must be positive");
-        StreamingWorld {
-            world,
-            active_groups: active_groups.to_vec(),
-            gen,
-            chunk_entities,
-        }
+        StreamingWorld { world, active_groups: active_groups.to_vec(), gen, chunk_entities }
     }
 
     /// Number of chunks (the last may be smaller).

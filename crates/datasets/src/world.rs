@@ -182,13 +182,22 @@ impl World {
         let mut relations: Vec<RelationSpec> = Vec::new();
         let mut groups: Vec<RuleGroup> = Vec::new();
 
-        let rand_class = |rng: &mut rand::rngs::StdRng| ClassId(rng.gen_range(0..config.num_classes as u32));
-        let add_rel = |relations: &mut Vec<RelationSpec>, d: ClassId, r: ClassId, role: Role, group: Option<usize>| {
+        let rand_class =
+            |rng: &mut rand::rngs::StdRng| ClassId(rng.gen_range(0..config.num_classes as u32));
+        let add_rel = |relations: &mut Vec<RelationSpec>,
+                       d: ClassId,
+                       r: ClassId,
+                       role: Role,
+                       group: Option<usize>| {
             relations.push(RelationSpec { domain: d, range: r, role, group });
             RelationId(relations.len() as u32 - 1)
         };
 
-        let total_groups = config.comp_groups + config.long_groups + config.inv_groups + config.sym_groups + config.sub_groups;
+        let total_groups = config.comp_groups
+            + config.long_groups
+            + config.inv_groups
+            + config.sym_groups
+            + config.sub_groups;
         let mut gi = 0usize;
         for _ in 0..config.comp_groups {
             let archetype = gi % config.num_archetypes;
@@ -206,7 +215,12 @@ impl World {
         }
         for _ in 0..config.long_groups {
             let archetype = gi % config.num_archetypes;
-            let (a, b, c, d) = (rand_class(&mut rng), rand_class(&mut rng), rand_class(&mut rng), rand_class(&mut rng));
+            let (a, b, c, d) = (
+                rand_class(&mut rng),
+                rand_class(&mut rng),
+                rand_class(&mut rng),
+                rand_class(&mut rng),
+            );
             let p1 = add_rel(&mut relations, a, b, Role::First, Some(gi));
             let mid_a = add_rel(&mut relations, b, c, Role::MidA, Some(gi));
             let mid_b = add_rel(&mut relations, b, c, Role::MidB, Some(gi));
@@ -373,7 +387,8 @@ impl World {
     /// Generate a graph's triples using only the rules/relations of
     /// `active_groups` (plus noise relations).
     pub fn generate_triples(&self, active_groups: &[usize], gen: &GraphGenConfig) -> Vec<Triple> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(gen.seed ^ self.config.seed.rotate_left(17));
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(gen.seed ^ self.config.seed.rotate_left(17));
         let n_class = self.config.num_classes;
 
         // class assignment: round-robin so every class is populated, shuffled
@@ -393,7 +408,10 @@ impl World {
             .iter()
             .copied()
             .filter(|r| {
-                !matches!(self.relations[r.index()].role, Role::Conclusion | Role::ConclusionB | Role::Parent)
+                !matches!(
+                    self.relations[r.index()].role,
+                    Role::Conclusion | Role::ConclusionB | Role::Parent
+                )
             })
             .collect();
         let active_rules: Vec<Rule> =
@@ -431,8 +449,11 @@ impl World {
                     planted += 2;
                 }
                 Rule::LongComposition { p1, mid, p3, .. } => {
-                    let (s1, sm, s3) =
-                        (&self.relations[p1.index()], &self.relations[mid.index()], &self.relations[p3.index()]);
+                    let (s1, sm, s3) = (
+                        &self.relations[p1.index()],
+                        &self.relations[mid.index()],
+                        &self.relations[p3.index()],
+                    );
                     let x = pick(s1.domain, &mut rng);
                     let y = pick(s1.range, &mut rng);
                     let z = pick(sm.range, &mut rng);
@@ -494,7 +515,11 @@ impl World {
                             if let Some(ws) = mid_index.get(&z) {
                                 for &w in ws {
                                     if x != w && rng.gen_bool(gen.rule_apply_prob) {
-                                        new_facts.push(Triple { head: x, relation: conclusion, tail: w });
+                                        new_facts.push(Triple {
+                                            head: x,
+                                            relation: conclusion,
+                                            tail: w,
+                                        });
                                     }
                                 }
                             }
@@ -677,7 +702,9 @@ mod tests {
                 total += 1;
                 let has_path = g.out_edges(t.head).iter().any(|e1| {
                     e1.relation == p1
-                        && g.out_edges(e1.neighbor).iter().any(|e2| e2.relation == p2 && e2.neighbor == t.tail)
+                        && g.out_edges(e1.neighbor)
+                            .iter()
+                            .any(|e2| e2.relation == p2 && e2.neighbor == t.tail)
                 });
                 if has_path {
                     supported += 1;
@@ -705,7 +732,8 @@ mod tests {
             .and_then(|gr| gr.rules.first())
             .map(|r| r.conclusion())
             .unwrap();
-        let pairs: Vec<Triple> = g.triples().iter().filter(|t| t.relation == sym_rel).copied().collect();
+        let pairs: Vec<Triple> =
+            g.triples().iter().filter(|t| t.relation == sym_rel).copied().collect();
         assert!(!pairs.is_empty());
         let mirrored = pairs.iter().filter(|t| g.contains(&t.reversed())).count();
         assert!(

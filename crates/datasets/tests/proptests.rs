@@ -7,7 +7,17 @@ use rmpi_kg::EntityId;
 use std::collections::HashSet;
 
 fn arb_world_config() -> impl Strategy<Value = WorldConfig> {
-    (2usize..10, 1usize..4, 0usize..4, 0usize..3, 0usize..3, 0usize..3, 0usize..3, 0usize..3, 0u64..100)
+    (
+        2usize..10,
+        1usize..4,
+        0usize..4,
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        0u64..100,
+    )
         .prop_map(|(classes, arch, comp, long, inv, sym, sub, noise, seed)| WorldConfig {
             num_classes: classes,
             num_archetypes: arch,

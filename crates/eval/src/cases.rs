@@ -27,7 +27,12 @@ pub struct CaseStudy {
 /// Pick a target whose enclosing subgraph is informative (non-empty, with
 /// 2-hop structure) and whose relation seen/unseen status matches
 /// `want_unseen`.
-pub fn find_case(benchmark: &Benchmark, test: &TestSet, want_unseen: bool, hop: usize) -> Option<Triple> {
+pub fn find_case(
+    benchmark: &Benchmark,
+    test: &TestSet,
+    want_unseen: bool,
+    hop: usize,
+) -> Option<Triple> {
     for &t in &test.targets {
         if benchmark.is_unseen(t.relation) != want_unseen {
             continue;
@@ -77,7 +82,8 @@ pub fn build_case(
 ) -> CaseStudy {
     let (one_hop, two_hop_new) = hop_relations(&test.graph, target, hop);
     let mut rng = StdRng::seed_from_u64(0);
-    let scores = models.iter().map(|m| (m.name(), m.score(&test.graph, target, &mut rng))).collect();
+    let scores =
+        models.iter().map(|m| (m.name(), m.score(&test.graph, target, &mut rng))).collect();
     CaseStudy {
         target,
         relation_unseen: benchmark.is_unseen(target.relation),
@@ -98,7 +104,10 @@ mod tests {
         let b = build_benchmark("nell.v1.v3", Scale::Quick);
         let test = b.test("TE(semi)").unwrap();
         let case = find_case(&b, test, true, 2);
-        assert!(case.is_some(), "a fully-inductive benchmark should contain an unseen-relation case");
+        assert!(
+            case.is_some(),
+            "a fully-inductive benchmark should contain an unseen-relation case"
+        );
         let t = case.unwrap();
         assert!(b.is_unseen(t.relation));
     }
@@ -109,7 +118,11 @@ mod tests {
         let test = b.test("TE").unwrap();
         let target = find_case(&b, test, false, 2).expect("case");
         let m1 = RmpiModel::new(RmpiConfig { dim: 8, ..Default::default() }, b.num_relations(), 0);
-        let m2 = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..Default::default() }, b.num_relations(), 0);
+        let m2 = RmpiModel::new(
+            RmpiConfig { dim: 8, ne: true, ..Default::default() },
+            b.num_relations(),
+            0,
+        );
         let case = build_case(&b, test, target, &[&m1, &m2], 2);
         assert_eq!(case.scores.len(), 2);
         assert!(!case.one_hop.is_empty());

@@ -11,7 +11,9 @@ pub fn average_precision(scored: &[(f32, bool)]) -> f64 {
     }
     let mut sorted: Vec<(f32, bool)> = scored.to_vec();
     // descending by score; among ties, negatives first (pessimistic)
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+    sorted.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+    });
     let mut hits = 0usize;
     let mut ap = 0.0f64;
     for (k, (_, label)) in sorted.iter().enumerate() {

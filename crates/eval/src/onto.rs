@@ -35,9 +35,8 @@ mod tests {
         assert_eq!(onto.rows(), b.num_relations());
         assert_eq!(onto.cols(), 16);
         // unseen relations exist and have non-degenerate vectors
-        let unseen: Vec<u32> = (0..b.num_relations() as u32)
-            .filter(|&r| b.is_unseen(RelationId(r)))
-            .collect();
+        let unseen: Vec<u32> =
+            (0..b.num_relations() as u32).filter(|&r| b.is_unseen(RelationId(r))).collect();
         assert!(!unseen.is_empty());
         for &r in unseen.iter().take(5) {
             let norm: f32 = onto.row(r as usize).iter().map(|x| x * x).sum::<f32>().sqrt();

@@ -118,11 +118,18 @@ pub fn entity_prediction<M: ScoringModel + Sync + ?Sized>(
         let gt = model.score(&test.graph, pos, &mut rng);
         let mut ranks = Vec::with_capacity(2);
         for corrupt_head in [false, true] {
-            let cands = sampler.ranking_candidates(pos, cfg.num_candidates, corrupt_head, &test.graph, &mut rng);
+            let cands = sampler.ranking_candidates(
+                pos,
+                cfg.num_candidates,
+                corrupt_head,
+                &test.graph,
+                &mut rng,
+            );
             if cands.is_empty() {
                 continue;
             }
-            let scores: Vec<f32> = cands.iter().map(|&c| model.score(&test.graph, c, &mut rng)).collect();
+            let scores: Vec<f32> =
+                cands.iter().map(|&c| model.score(&test.graph, c, &mut rng)).collect();
             ranks.push(rank_of(gt, &scores));
         }
         ranks
@@ -158,7 +165,9 @@ pub fn entity_prediction_paired(
         .map(|&pos| {
             let sides = [false, true]
                 .into_iter()
-                .map(|ch| sampler.ranking_candidates(pos, cfg.num_candidates, ch, &test.graph, &mut rng))
+                .map(|ch| {
+                    sampler.ranking_candidates(pos, cfg.num_candidates, ch, &test.graph, &mut rng)
+                })
                 .filter(|c| !c.is_empty())
                 .collect();
             (pos, sides)
@@ -231,7 +240,11 @@ pub fn relation_prediction<M: ScoringModel + Sync + ?Sized>(
 }
 
 /// Run both protocols and collect an [`EvalMetrics`].
-pub fn evaluate<M: ScoringModel + Sync + ?Sized>(model: &M, test: &TestSet, cfg: &EvalConfig) -> EvalMetrics {
+pub fn evaluate<M: ScoringModel + Sync + ?Sized>(
+    model: &M,
+    test: &TestSet,
+    cfg: &EvalConfig,
+) -> EvalMetrics {
     let (auc_pr, n1) = triple_classification(model, test, cfg);
     let (mrr, hits1, hits10, n2) = entity_prediction(model, test, cfg);
     EvalMetrics { auc_pr, mrr, hits1, hits10, num_targets: n1.max(n2) }

@@ -12,7 +12,8 @@ use std::collections::HashMap;
 /// needs (schema vectors, seen-relation sets, hyper-parameters). Models must
 /// be `Sync` so training batches and candidate scoring can fan out across
 /// worker threads.
-pub type ModelFactory = Box<dyn Fn(u64, &Benchmark) -> Box<dyn ScoringModel + Send + Sync> + Send + Sync>;
+pub type ModelFactory =
+    Box<dyn Fn(u64, &Benchmark) -> Box<dyn ScoringModel + Send + Sync> + Send + Sync>;
 
 /// Per-test-set aggregation over seeds.
 #[derive(Clone, Debug, Default)]
@@ -87,7 +88,13 @@ pub fn run_experiment(
             threads: train_threads,
             ..*train_cfg
         };
-        train_model(&mut model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &tc);
+        train_model(
+            &mut model,
+            &benchmark.train.graph,
+            &benchmark.train.targets,
+            &benchmark.train.valid,
+            &tc,
+        );
         let mut out = HashMap::new();
         for &name in test_names {
             let test = benchmark
@@ -131,7 +138,8 @@ mod tests {
             patience: 0,
             ..Default::default()
         };
-        let eval_cfg = EvalConfig { num_candidates: 9, max_targets: 25, seed: 5, ..Default::default() };
+        let eval_cfg =
+            EvalConfig { num_candidates: 9, max_targets: 25, seed: 5, ..Default::default() };
         let out = run_experiment(&factory, &b, &["TE"], &train_cfg, &eval_cfg, &[0, 1]);
         let s = &out["TE"];
         assert_eq!(s.per_seed.len(), 2);

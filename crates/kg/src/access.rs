@@ -152,7 +152,10 @@ mod tests {
         }
         for e in 0..3u32 {
             let e = EntityId(e);
-            assert_eq!(GraphAccess::out_edges(&vec_graph, e), GraphAccess::out_edges(&csr_graph, e));
+            assert_eq!(
+                GraphAccess::out_edges(&vec_graph, e),
+                GraphAccess::out_edges(&csr_graph, e)
+            );
             assert_eq!(GraphAccess::in_edges(&vec_graph, e), GraphAccess::in_edges(&csr_graph, e));
         }
     }

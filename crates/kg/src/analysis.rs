@@ -59,12 +59,8 @@ pub fn degree_histogram(g: &KnowledgeGraph, max_degree: usize) -> Vec<usize> {
 pub fn relation_cooccurrence(g: &KnowledgeGraph) -> HashMap<(RelationId, RelationId), usize> {
     let mut out: HashMap<(RelationId, RelationId), usize> = HashMap::new();
     for e in g.present_entities() {
-        let mut rels: Vec<RelationId> = g
-            .out_edges(e)
-            .iter()
-            .chain(g.in_edges(e).iter())
-            .map(|x| x.relation)
-            .collect();
+        let mut rels: Vec<RelationId> =
+            g.out_edges(e).iter().chain(g.in_edges(e).iter()).map(|x| x.relation).collect();
         rels.sort_unstable();
         rels.dedup();
         for i in 0..rels.len() {
@@ -94,7 +90,8 @@ pub fn empty_neighborhood_rate(g: &KnowledgeGraph, hop: usize, sample_every: usi
         let dv = crate::neighborhood::khop_distances(g, t.tail, hop, None);
         // the enclosing subgraph is empty when no third entity is near both
         // endpoints (and no parallel edge connects them)
-        let has_common = du.keys().filter(|e| dv.contains_key(e)).any(|e| *e != t.head && *e != t.tail);
+        let has_common =
+            du.keys().filter(|e| dv.contains_key(e)).any(|e| *e != t.head && *e != t.tail);
         let parallel = g
             .out_edges(t.head)
             .iter()
@@ -168,9 +165,8 @@ mod tests {
     #[test]
     fn empty_rate_detects_sparse_graphs() {
         // a path graph: every edge's endpoints share no common neighbour
-        let path = KnowledgeGraph::from_triples(
-            (0..20u32).map(|i| Triple::new(i, 0u32, i + 1)).collect(),
-        );
+        let path =
+            KnowledgeGraph::from_triples((0..20u32).map(|i| Triple::new(i, 0u32, i + 1)).collect());
         // a triangle fan: every edge is in a triangle
         let mut tri = Vec::new();
         for i in 0..10u32 {

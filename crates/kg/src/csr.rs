@@ -55,10 +55,12 @@ impl CsrGraph {
         let mut members = HashSet::with_capacity(triples.len());
         for (idx, t) in triples.iter().enumerate() {
             let o = &mut out_cursor[t.head.index()];
-            out_arena[*o as usize] = Edge { neighbor: t.tail, relation: t.relation, triple_idx: idx };
+            out_arena[*o as usize] =
+                Edge { neighbor: t.tail, relation: t.relation, triple_idx: idx };
             *o += 1;
             let i = &mut in_cursor[t.tail.index()];
-            in_arena[*i as usize] = Edge { neighbor: t.head, relation: t.relation, triple_idx: idx };
+            in_arena[*i as usize] =
+                Edge { neighbor: t.head, relation: t.relation, triple_idx: idx };
             *i += 1;
             members.insert(*t);
         }

@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn io_source_is_preserved() {
         use std::error::Error;
-        let e = KgError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = KgError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -50,8 +50,16 @@ impl KnowledgeGraph {
         let mut members = HashSet::with_capacity(triples.len());
         let mut relation_counts = vec![0usize; max_r];
         for (idx, t) in triples.iter().enumerate() {
-            out[t.head.index()].push(Edge { neighbor: t.tail, relation: t.relation, triple_idx: idx });
-            inc[t.tail.index()].push(Edge { neighbor: t.head, relation: t.relation, triple_idx: idx });
+            out[t.head.index()].push(Edge {
+                neighbor: t.tail,
+                relation: t.relation,
+                triple_idx: idx,
+            });
+            inc[t.tail.index()].push(Edge {
+                neighbor: t.head,
+                relation: t.relation,
+                triple_idx: idx,
+            });
             members.insert(*t);
             relation_counts[t.relation.index()] += 1;
         }
@@ -110,10 +118,7 @@ impl KnowledgeGraph {
 
     /// Entities with at least one incident edge, ascending.
     pub fn present_entities(&self) -> Vec<EntityId> {
-        (0..self.num_entities() as u32)
-            .map(EntityId)
-            .filter(|&e| self.degree(e) > 0)
-            .collect()
+        (0..self.num_entities() as u32).map(EntityId).filter(|&e| self.degree(e) > 0).collect()
     }
 
     /// Relations used by at least one triple, ascending.

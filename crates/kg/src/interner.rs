@@ -95,7 +95,10 @@ impl Vocab {
 
     /// Resolve a relation name, erroring if absent.
     pub fn relation_id(&self, name: &str) -> Result<RelationId, KgError> {
-        self.relations.get(name).map(RelationId).ok_or_else(|| KgError::UnknownName(name.to_owned()))
+        self.relations
+            .get(name)
+            .map(RelationId)
+            .ok_or_else(|| KgError::UnknownName(name.to_owned()))
     }
 
     /// The name of an entity id, erroring if out of range.

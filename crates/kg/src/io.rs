@@ -12,7 +12,11 @@ use crate::triple::Triple;
 use std::io::{BufRead, Write};
 
 /// Serialise triples as TSV lines using names from `vocab`.
-pub fn write_triples<W: Write>(w: &mut W, triples: &[Triple], vocab: &Vocab) -> Result<(), KgError> {
+pub fn write_triples<W: Write>(
+    w: &mut W,
+    triples: &[Triple],
+    vocab: &Vocab,
+) -> Result<(), KgError> {
     for t in triples {
         let h = vocab.entity_name(t.head)?;
         let r = vocab.relation_name(t.relation)?;

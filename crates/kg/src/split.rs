@@ -22,7 +22,12 @@ pub struct TripleSplit {
 /// Shuffle `triples` with `seed` and split by the given fractions.
 ///
 /// `valid_frac + test_frac` must be `< 1`; the remainder goes to train.
-pub fn split_triples(triples: &[Triple], valid_frac: f64, test_frac: f64, seed: u64) -> TripleSplit {
+pub fn split_triples(
+    triples: &[Triple],
+    valid_frac: f64,
+    test_frac: f64,
+    seed: u64,
+) -> TripleSplit {
     assert!(
         (0.0..1.0).contains(&(valid_frac + test_frac)),
         "valid+test fractions must be in [0,1): got {}",

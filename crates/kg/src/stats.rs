@@ -45,7 +45,11 @@ impl fmt::Display for GraphStats {
         write!(
             f,
             "#R={} #E={} #T={} avg_deg={:.2} max_deg={}",
-            self.num_relations, self.num_entities, self.num_triples, self.avg_degree, self.max_degree
+            self.num_relations,
+            self.num_entities,
+            self.num_triples,
+            self.avg_degree,
+            self.max_degree
         )
     }
 }

@@ -17,7 +17,11 @@ pub struct Triple {
 impl Triple {
     /// Construct a triple from raw ids.
     #[inline]
-    pub fn new(head: impl Into<EntityId>, relation: impl Into<RelationId>, tail: impl Into<EntityId>) -> Self {
+    pub fn new(
+        head: impl Into<EntityId>,
+        relation: impl Into<RelationId>,
+        tail: impl Into<EntityId>,
+    ) -> Self {
         Triple { head: head.into(), relation: relation.into(), tail: tail.into() }
     }
 

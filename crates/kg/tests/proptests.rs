@@ -1,7 +1,9 @@
 //! Property-based tests for the KG substrate.
 
 use proptest::prelude::*;
-use rmpi_kg::{io, khop_distances, split_triples, EntityId, Interner, KnowledgeGraph, Triple, Vocab};
+use rmpi_kg::{
+    io, khop_distances, split_triples, EntityId, Interner, KnowledgeGraph, Triple, Vocab,
+};
 use std::collections::HashSet;
 use std::io::Cursor;
 

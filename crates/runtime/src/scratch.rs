@@ -75,10 +75,7 @@ mod tests {
     fn different_types_get_different_instances() {
         with_scratch(|a: &mut A| a.0.push(7));
         with_scratch(|b: &mut B| b.0.push('x'));
-        let (la, lb) = (
-            with_scratch(|a: &mut A| a.0.len()),
-            with_scratch(|b: &mut B| b.0.len()),
-        );
+        let (la, lb) = (with_scratch(|a: &mut A| a.0.len()), with_scratch(|b: &mut B| b.0.len()));
         assert!(la >= 1);
         assert!(lb >= 1);
     }
@@ -98,9 +95,7 @@ mod tests {
     #[test]
     fn threads_do_not_share_scratch() {
         with_scratch(|a: &mut A| a.0.push(1));
-        let other = std::thread::spawn(|| with_scratch(|a: &mut A| a.0.len()))
-            .join()
-            .unwrap();
+        let other = std::thread::spawn(|| with_scratch(|a: &mut A| a.0.len())).join().unwrap();
         assert_eq!(other, 0, "fresh thread starts with a fresh scratch");
     }
 }

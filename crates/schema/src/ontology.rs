@@ -39,7 +39,12 @@ impl SchemaVocab {
 
     /// All four vocabularies, index order.
     pub fn all() -> [SchemaVocab; 4] {
-        [SchemaVocab::SubPropertyOf, SchemaVocab::Domain, SchemaVocab::Range, SchemaVocab::SubClassOf]
+        [
+            SchemaVocab::SubPropertyOf,
+            SchemaVocab::Domain,
+            SchemaVocab::Range,
+            SchemaVocab::SubClassOf,
+        ]
     }
 }
 
@@ -181,7 +186,11 @@ impl SchemaBuilder {
         // graph's entity capacity, so relations/classes without assertions
         // still get (untrained) vectors.
         let graph = KnowledgeGraph::from_triples(triples);
-        SchemaGraph { graph, num_kg_relations: self.num_kg_relations, num_classes: self.num_classes }
+        SchemaGraph {
+            graph,
+            num_kg_relations: self.num_kg_relations,
+            num_classes: self.num_classes,
+        }
     }
 }
 

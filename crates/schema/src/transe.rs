@@ -51,7 +51,12 @@ impl TransEModel {
     }
 
     /// Train TransE on an arbitrary triple graph with explicit table sizes.
-    pub fn train_on_graph(g: &KnowledgeGraph, num_entities: usize, num_relations: usize, cfg: TransEConfig) -> Self {
+    pub fn train_on_graph(
+        g: &KnowledgeGraph,
+        num_entities: usize,
+        num_relations: usize,
+        cfg: TransEConfig,
+    ) -> Self {
         assert!(cfg.dim > 0, "dimension must be positive");
         let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
         let bound = 6.0 / (cfg.dim as f32).sqrt();
@@ -266,7 +271,8 @@ mod tests {
         let schema = family_schema();
         let model = TransEModel::train(&schema, small_cfg());
         for node in 0..schema.num_nodes() as u32 {
-            let n: f32 = model.node_vector(EntityId(node)).iter().map(|x| x * x).sum::<f32>().sqrt();
+            let n: f32 =
+                model.node_vector(EntityId(node)).iter().map(|x| x * x).sum::<f32>().sqrt();
             assert!((n - 1.0).abs() < 1e-3, "node {node} norm {n}");
         }
     }

@@ -93,6 +93,11 @@ struct Pending {
     item: BatchItem,
     responder: Responder,
     enqueued: Instant,
+    /// Caller-supplied deadline (the wire `DEADLINE <ms>` hint): the batch
+    /// holding this item flushes no later than this instant, and an item
+    /// still queued past it is answered `ERR deadline expired` instead of
+    /// being scored late.
+    deadline: Option<Instant>,
 }
 
 #[derive(Default)]
@@ -153,11 +158,31 @@ impl Batcher {
         item: BatchItem,
         responder: impl FnOnce(Result<BatchOutcome, ServeError>) + Send + 'static,
     ) {
+        self.submit_with_deadline(item, None, responder);
+    }
+
+    /// [`Batcher::submit`] with an optional deadline: the open window is
+    /// tightened so the batch flushes no later than the earliest deadline
+    /// it holds, and an item that is still *queued* (not yet collected)
+    /// when its deadline passes is answered `ERR deadline expired` rather
+    /// than scored late. This is the engine side of the wire `DEADLINE`
+    /// hint.
+    pub fn submit_with_deadline(
+        &self,
+        item: BatchItem,
+        deadline: Option<Instant>,
+        responder: impl FnOnce(Result<BatchOutcome, ServeError>) + Send + 'static,
+    ) {
         let responder: Responder = Box::new(responder);
         {
             let mut q = self.inner.queue.lock().expect("batcher queue");
             if !q.shutdown {
-                q.pending.push_back(Pending { item, responder, enqueued: Instant::now() });
+                q.pending.push_back(Pending {
+                    item,
+                    responder,
+                    enqueued: Instant::now(),
+                    deadline,
+                });
                 drop(q);
                 self.inner.available.notify_one();
                 return;
@@ -201,7 +226,9 @@ impl Drop for Batcher {
 
 fn run(inner: &Inner) {
     while let Some(batch) = collect(inner) {
-        flush(inner, batch);
+        if !batch.is_empty() {
+            flush(inner, batch);
+        }
     }
 }
 
@@ -219,18 +246,33 @@ fn collect(inner: &Inner) -> Option<Vec<Pending>> {
         }
         q = inner.available.wait(q).expect("batcher queue");
     }
-    let deadline = q.pending.front().expect("nonempty").enqueued + inner.cfg.window;
+    let mut deadline = q.pending.front().expect("nonempty").enqueued + inner.cfg.window;
     let mut batch: Vec<Pending> = Vec::new();
     let mut cost = 0usize;
     loop {
+        let now = Instant::now();
         while let Some(front) = q.pending.front() {
+            // an item still queued past its own deadline is shed, not
+            // scored late — its caller has already stopped waiting
+            if front.deadline.is_some_and(|d| now >= d) {
+                let expired = q.pending.pop_front().expect("nonempty");
+                inner.engine.stats().rejected_deadline.inc();
+                (expired.responder)(Err(ServeError::DeadlineExpired));
+                continue;
+            }
             // the first item always fits: an oversized item flushes alone
             let c = front.item.cost(rank_width).max(1);
             if !batch.is_empty() && cost.saturating_add(c) > inner.cfg.max_batch {
                 break;
             }
+            let p = q.pending.pop_front().expect("nonempty");
+            // a collected item tightens the window: the batch flushes no
+            // later than the earliest deadline it holds
+            if let Some(d) = p.deadline {
+                deadline = deadline.min(d);
+            }
             cost += c;
-            batch.push(q.pending.pop_front().expect("nonempty"));
+            batch.push(p);
         }
         if cost >= inner.cfg.max_batch || q.shutdown {
             return Some(batch);
@@ -433,6 +475,57 @@ mod tests {
         let size = registry.histogram("serve.batch_size.count");
         assert_eq!((size.count(), size.max()), (1, 2), "one flush served both items");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn item_deadline_tightens_the_window() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = test_engine(registry);
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let direct = engine.score(t).unwrap();
+        // a window far beyond the test timeout: only the item's own
+        // deadline can trigger the flush
+        let batcher = Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { window: Duration::from_secs(600), max_batch: 64 },
+        );
+        let (tx, rx) = mpsc::channel();
+        batcher.submit_with_deadline(
+            BatchItem::Score(vec![t]),
+            Some(Instant::now() + Duration::from_millis(30)),
+            move |r| tx.send(r).unwrap(),
+        );
+        let out = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("the item deadline must flush the batch long before the window");
+        assert_eq!(out.unwrap(), BatchOutcome::Scores(vec![direct]));
+    }
+
+    #[test]
+    fn expired_item_is_shed_not_scored_late() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let engine = test_engine(Arc::clone(&registry));
+        let t = Triple::new(0u32, 1u32, 2u32);
+        let direct = engine.score(t).unwrap();
+        let batcher = Batcher::new(
+            Arc::clone(&engine),
+            BatchConfig { window: Duration::from_millis(50), max_batch: 64 },
+        );
+        let (dead_tx, dead_rx) = mpsc::channel();
+        let (live_tx, live_rx) = mpsc::channel();
+        // a deadline already in the past when the batcher sees the item
+        let expired = Instant::now();
+        std::thread::sleep(Duration::from_millis(2));
+        batcher.submit_with_deadline(BatchItem::Score(vec![t]), Some(expired), move |r| {
+            dead_tx.send(r).unwrap()
+        });
+        batcher.submit(BatchItem::Score(vec![t]), move |r| live_tx.send(r).unwrap());
+        let dead = dead_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(dead.unwrap_err(), ServeError::DeadlineExpired));
+        // the batch-mate without a deadline is served normally
+        let live = live_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(live.unwrap(), BatchOutcome::Scores(vec![direct]));
+        assert_eq!(engine.stats().rejected_deadline.get(), 1);
     }
 
     #[test]

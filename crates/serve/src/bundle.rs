@@ -209,8 +209,9 @@ pub fn load_bundle<R: Read>(r: R) -> Result<Bundle, ServeError> {
                 }
                 // a file's unterminated last line is still a line
                 LineRead::Line | LineRead::Partial => Ok(Some(line.clone())),
-                LineRead::TooLong => Err(at
-                    .err(format!("manifest line longer than {MAX_MANIFEST_LINE} bytes"))),
+                LineRead::TooLong => {
+                    Err(at.err(format!("manifest line longer than {MAX_MANIFEST_LINE} bytes")))
+                }
             }
         };
 
@@ -338,10 +339,16 @@ impl ManifestBuilder {
             }
             "onto" => {
                 let mut parts = rest.split_whitespace();
-                let rows: usize =
-                    parse(parts.next().ok_or_else(|| err("onto needs rows".into()))?, "onto rows", at)?;
-                let cols: usize =
-                    parse(parts.next().ok_or_else(|| err("onto needs cols".into()))?, "onto cols", at)?;
+                let rows: usize = parse(
+                    parts.next().ok_or_else(|| err("onto needs rows".into()))?,
+                    "onto rows",
+                    at,
+                )?;
+                let cols: usize = parse(
+                    parts.next().ok_or_else(|| err("onto needs cols".into()))?,
+                    "onto cols",
+                    at,
+                )?;
                 let mut data = Vec::with_capacity(rows * cols);
                 for p in parts {
                     let v: f32 = parse(p, "onto value", at)?;
@@ -351,7 +358,11 @@ impl ManifestBuilder {
                     data.push(v);
                 }
                 if data.len() != rows * cols {
-                    return Err(err(format!("onto expects {} values, got {}", rows * cols, data.len())));
+                    return Err(err(format!(
+                        "onto expects {} values, got {}",
+                        rows * cols,
+                        data.len()
+                    )));
                 }
                 self.onto = Some(Tensor::matrix(rows, cols, data));
             }
@@ -361,7 +372,8 @@ impl ManifestBuilder {
     }
 
     fn finish(self, store: rmpi_autograd::ParamStore) -> Result<Bundle, ServeError> {
-        let missing = |what: &str| At { line: 0, offset: 0 }.err(format!("manifest is missing {what}"));
+        let missing =
+            |what: &str| At { line: 0, offset: 0 }.err(format!("manifest is missing {what}"));
         if !self.seen_dim {
             return Err(missing("dim"));
         }

@@ -186,13 +186,12 @@ pub fn load_bundle_dir(
         }
     }
 
-    let params = sections.iter().find(|(s, _)| s.kind == "params").ok_or_else(|| {
-        ServeError::Manifest {
+    let params =
+        sections.iter().find(|(s, _)| s.kind == "params").ok_or_else(|| ServeError::Manifest {
             line: text.lines().count(),
             offset: 0,
             message: "bundle directory has no params section".into(),
-        }
-    })?;
+        })?;
     let bundle = load_bundle_file(dir.join(&params.0.rel))?;
 
     let reader = if sections.iter().any(|(s, _)| s.kind == "graph") {
@@ -354,17 +353,13 @@ fn parse_dir_manifest(text: &str) -> Result<Vec<(Section, At)>, ServeError> {
         let mut parts = line.split_whitespace();
         match parts.next() {
             Some("section") => {
-                let kind = parts
-                    .next()
-                    .ok_or_else(|| err(at, "section needs a kind".into()))?
-                    .to_string();
+                let kind =
+                    parts.next().ok_or_else(|| err(at, "section needs a kind".into()))?.to_string();
                 if kind != "params" && kind != "graph" {
                     return Err(err(at, format!("unknown section kind {kind:?}")));
                 }
-                let rel = parts
-                    .next()
-                    .ok_or_else(|| err(at, "section needs a path".into()))?
-                    .to_string();
+                let rel =
+                    parts.next().ok_or_else(|| err(at, "section needs a path".into()))?.to_string();
                 let bytes = parts
                     .next()
                     .ok_or_else(|| err(at, "section needs a byte count".into()))?
@@ -427,8 +422,12 @@ mod tests {
     fn roundtrips_with_graph_section() {
         let root = scratch("roundtrip");
         let store_dir = root.join("world.store");
-        build_from_graph(&store_dir, StoreConfig { seg_records: 2, ..StoreConfig::default() }, &toy_graph())
-            .unwrap();
+        build_from_graph(
+            &store_dir,
+            StoreConfig { seg_records: 2, ..StoreConfig::default() },
+            &toy_graph(),
+        )
+        .unwrap();
         let bdir = root.join("model.bundled");
         let names = vec!["a".into(), "b".into(), "c".into(), "d".into()];
         save_bundle_dir(&bdir, &model(), &names, Some(&store_dir)).unwrap();

@@ -170,6 +170,9 @@ impl Deref for ModelSnapshot {
 /// bit-identically — the store backend pins the target's
 /// [`ScoringModel::context_radius`]-hop neighbourhood in RAM before
 /// extraction, which reproduces exactly the adjacency the CSR would serve.
+// one instance per engine, and boxing would put a pointer chase in front of
+// every CSR access on the scoring hot path — the size gap is intentional
+#[allow(clippy::large_enum_variant)]
 pub enum GraphBackend {
     /// The whole graph resident in memory, scored through a CSR mirror.
     Memory {
@@ -425,10 +428,11 @@ impl Engine {
         self.snapshot().cache.lock().expect("cache lock").clear();
     }
 
-    /// All counters plus cache state as a single-line JSON object.
+    /// All counters plus cache state and the sticky degraded flag as a
+    /// single-line JSON object.
     pub fn stats_json(&self) -> String {
         let (hits, misses, len) = self.cache_stats();
-        self.stats.to_json(hits, misses, len)
+        self.stats.to_json(hits, misses, len, self.is_degraded())
     }
 
     /// Validate a candidate bundle and, if sound, atomically swap it (with a
@@ -525,8 +529,9 @@ impl Engine {
             return Ok(sample.clone());
         }
         if self.is_degraded() {
-            return Err(self
-                .degraded_reject("store is quarantined and the subgraph is not cached".into()));
+            return Err(
+                self.degraded_reject("store is quarantined and the subgraph is not cached".into())
+            );
         }
         // extraction happens outside the lock: concurrent misses on the same
         // key duplicate work but produce identical samples, so correctness
@@ -841,7 +846,9 @@ mod tests {
         }
         // parity with direct scoring of the winner
         let (best, best_score) = ranked[0];
-        let direct = engine.score(Triple { head: EntityId(0), relation: RelationId(1), tail: best }).unwrap();
+        let direct = engine
+            .score(Triple { head: EntityId(0), relation: RelationId(1), tail: best })
+            .unwrap();
         assert_eq!(direct, best_score);
     }
 
@@ -902,8 +909,10 @@ mod tests {
         let _lock = failpoint::exclusive();
         let engine = setup(2, 8);
         let t = Triple::new(0u32, 1u32, 2u32);
-        let items =
-            vec![BatchItem::Score(vec![t]), BatchItem::Rank { head: EntityId(0), relation: RelationId(1), k: 2 }];
+        let items = vec![
+            BatchItem::Score(vec![t]),
+            BatchItem::Rank { head: EntityId(0), relation: RelationId(1), k: 2 },
+        ];
         failpoint::arm(SCORE_FAILPOINT, Action::Panic("flush blew up".into()));
         let out = engine.run_batch(&items);
         failpoint::disarm_all();
@@ -1014,8 +1023,7 @@ mod tests {
             Triple::new(2u32, 3u32, 3u32),
             Triple::new(3u32, 4u32, 4u32),
         ]);
-        let dir = std::env::temp_dir()
-            .join(format!("rmpi-engine-store-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("rmpi-engine-store-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
 
@@ -1094,8 +1102,7 @@ mod tests {
         use rmpi_store::{build_from_graph, ReadMode, StoreConfig, StoreReader};
         use std::io::{Read as _, Seek, SeekFrom, Write};
         let graph = store_test_graph();
-        let dir =
-            std::env::temp_dir().join(format!("rmpi-engine-degraded-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("rmpi-engine-degraded-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         build_from_graph(&dir, StoreConfig::default(), &graph).unwrap();
 

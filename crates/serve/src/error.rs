@@ -173,7 +173,7 @@ mod tests {
         assert!(e.to_string().contains("byte 41"));
         assert!(std::error::Error::source(&e).is_none());
 
-        let io = ServeError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = ServeError::from(std::io::Error::other("boom"));
         assert!(std::error::Error::source(&io).is_some());
 
         let ck = checkpoint_at(120, CheckpointError::BadMagic("x".into()));
@@ -188,7 +188,8 @@ mod tests {
         );
         assert!(matches!(flat, ServeError::Io(_)));
 
-        let internal = ServeError::from(PoolError::WorkerPanicked { index: 4, message: "boom".into() });
+        let internal =
+            ServeError::from(PoolError::WorkerPanicked { index: 4, message: "boom".into() });
         assert!(internal.to_string().starts_with("internal: "), "{internal}");
         assert!(ServeError::Reload("bad probe".into()).to_string().contains("reload rejected"));
     }

@@ -116,7 +116,10 @@ mod tests {
             ]
         );
         assert_eq!(read_all(b"", 100), vec![(LineRead::Eof, "".into())]);
-        assert_eq!(read_all(b"one\n", 100), vec![(LineRead::Line, "one".into()), (LineRead::Eof, "".into())]);
+        assert_eq!(
+            read_all(b"one\n", 100),
+            vec![(LineRead::Line, "one".into()), (LineRead::Eof, "".into())]
+        );
     }
 
     #[test]

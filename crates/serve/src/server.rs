@@ -75,8 +75,7 @@ use crate::engine::{BatchItem, BatchOutcome, Engine};
 use crate::error::ServeError;
 use crate::lineio::{read_line_bounded, LineRead};
 use crate::protocol::{
-    format_error, format_ranked, format_scores, format_tagged, parse_request, parse_tagged,
-    Request,
+    format_error, format_ranked, format_scores, format_tagged, parse_request, parse_tagged, Request,
 };
 use std::collections::VecDeque;
 use std::io::{BufReader, Write};
@@ -460,6 +459,11 @@ fn handle_v2_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
             return;
         }
     };
+    // an optional `DEADLINE <ms>` prefix carries the caller's remaining
+    // end-to-end budget (routers decrement it hop by hop); it tightens the
+    // micro-batcher window for this item and sheds it once expired
+    let (budget, inner) = split_deadline(inner);
+    let deadline = budget.map(|b| Instant::now() + b);
     let batchable = matches!(wire_verb(inner), "score" | "rank");
     match (&shared.batcher, batchable) {
         (Some(batcher), true) => {
@@ -479,7 +483,7 @@ fn handle_v2_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
             let verb = wire_verb(inner);
             let stats = stats.clone();
             let tx = tx.clone();
-            batcher.submit(item, move |result| {
+            batcher.submit_with_deadline(item, deadline, move |result| {
                 stats.wire_latency(verb).record_duration(t0.elapsed());
                 let response = match &result {
                     Ok(outcome) => format_outcome(outcome),
@@ -494,6 +498,27 @@ fn handle_v2_line(shared: &Shared, line: &str, tx: &mpsc::Sender<String>) {
             let response = respond(shared, inner);
             let _ = tx.send(format_tagged(tag, &response));
         }
+    }
+}
+
+/// Split an optional `DEADLINE <ms> ` prefix off a v2 request line. The
+/// hint is advisory budget propagation: a missing or malformed hint leaves
+/// the line untouched, so the normal parser reports malformed requests and
+/// v1 semantics are never affected (v1 lines skip this path entirely).
+fn split_deadline(inner: &str) -> (Option<Duration>, &str) {
+    let Some(rest) = inner.strip_prefix("DEADLINE") else {
+        return (None, inner);
+    };
+    if !rest.starts_with(|c: char| c.is_ascii_whitespace()) {
+        return (None, inner);
+    }
+    let rest = rest.trim_start();
+    let Some((ms, tail)) = rest.split_once(|c: char| c.is_ascii_whitespace()) else {
+        return (None, inner);
+    };
+    match ms.parse::<u64>() {
+        Ok(ms) => (Some(Duration::from_millis(ms)), tail.trim_start()),
+        Err(_) => (None, inner),
     }
 }
 
@@ -833,6 +858,50 @@ mod tests {
     }
 
     #[test]
+    fn deadline_prefix_parsing() {
+        let (budget, rest) = split_deadline("DEADLINE 40 SCORE 0 1 2");
+        assert_eq!(budget, Some(Duration::from_millis(40)));
+        assert_eq!(rest, "SCORE 0 1 2");
+        // no hint, malformed hint, or a hint with nothing after it: the
+        // line passes through untouched for the normal parser to judge
+        assert_eq!(split_deadline("SCORE 0 1 2"), (None, "SCORE 0 1 2"));
+        assert_eq!(split_deadline("DEADLINE x SCORE 0"), (None, "DEADLINE x SCORE 0"));
+        assert_eq!(split_deadline("DEADLINE 40"), (None, "DEADLINE 40"));
+        assert_eq!(split_deadline("DEADLINES 1 2"), (None, "DEADLINES 1 2"));
+    }
+
+    #[test]
+    fn v2_deadline_hint_serves_in_time_and_sheds_late_items() {
+        let engine = test_engine();
+        let mut server = serve(
+            Arc::clone(&engine),
+            ServerConfig { batch_window: Duration::from_secs(600), ..ServerConfig::default() },
+        )
+        .expect("serve");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        writeln!(stream, "PROTO 2").expect("hello");
+        reader.read_line(&mut line).expect("hello reply");
+        assert_eq!(line.trim_end(), "OK proto=2");
+
+        // with a 600 s batch window only the DEADLINE hint can flush this
+        // item while the test is alive
+        writeln!(stream, "ID 1 DEADLINE 30 SCORE 0 1 2").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        let direct = engine.score(Triple::new(0u32, 1u32, 2u32)).unwrap();
+        assert_eq!(line.trim_end(), format!("ID 1 OK {direct}"));
+
+        // a zero budget expires before the batcher can collect the item
+        writeln!(stream, "ID 2 DEADLINE 0 SCORE 0 1 2").expect("send");
+        line.clear();
+        reader.read_line(&mut line).expect("reply");
+        assert_eq!(line.trim_end(), "ID 2 ERR deadline expired");
+        server.shutdown();
+    }
+
+    #[test]
     fn proto_rejects_unknown_versions_and_v1_still_serves() {
         let engine = test_engine();
         let mut server = serve(Arc::clone(&engine), ServerConfig::default()).expect("serve");
@@ -854,11 +923,9 @@ mod tests {
     #[test]
     fn batching_disabled_still_serves_v1_and_v2() {
         let engine = test_engine();
-        let mut server = serve(
-            Arc::clone(&engine),
-            ServerConfig { batching: false, ..ServerConfig::default() },
-        )
-        .expect("serve");
+        let mut server =
+            serve(Arc::clone(&engine), ServerConfig { batching: false, ..ServerConfig::default() })
+                .expect("serve");
         let direct = engine.score(Triple::new(0u32, 1u32, 2u32)).unwrap();
         assert_eq!(query(server.addr(), "SCORE 0 1 2"), format!("OK {direct}"));
         let mut stream = TcpStream::connect(server.addr()).expect("connect");

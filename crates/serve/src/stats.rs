@@ -130,10 +130,18 @@ impl ServeStats {
 
     /// Render every counter (plus derived means and cache state) as one JSON
     /// object — the `STATS` wire payload, identical in shape to what the
-    /// pre-registry implementation emitted. `cache_hits`/`cache_misses`/
+    /// pre-registry implementation emitted plus the engine's sticky
+    /// `degraded` flag (so fleet monitors scraping `STATS` see degradation
+    /// without a second `HEALTH` round trip). `cache_hits`/`cache_misses`/
     /// `cache_len` come from the engine's cache, which lives behind its own
-    /// lock.
-    pub fn to_json(&self, cache_hits: u64, cache_misses: u64, cache_len: usize) -> String {
+    /// lock; `degraded` from the engine's store-failure state.
+    pub fn to_json(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_len: usize,
+        degraded: bool,
+    ) -> String {
         let score = self.score_latency.summary();
         let rank = self.rank_latency.summary();
         let calls = score.count + rank.count;
@@ -153,6 +161,7 @@ impl ServeStats {
         o.field_u64("reload_failures", self.reload_failures.get());
         o.field_u64("internal_errors", self.internal_errors.get());
         o.field_u64("degraded_rejects", self.degraded_rejects.get());
+        o.field_bool("degraded", degraded);
         o.field_u64("rejected_overlong", self.rejected_overlong.get());
         o.field_u64("idle_closed", self.idle_closed.get());
         o.field_u64("rejected_conn_limit", self.rejected_conn_limit.get());
@@ -196,10 +205,11 @@ mod tests {
     fn json_has_every_field_and_derived_rates() {
         let s = fresh();
         s.record_rank_call(10, Duration::from_micros(200));
-        let json = s.to_json(3, 1, 2);
+        let json = s.to_json(3, 1, 2, false);
         for field in [
             "\"scores\": 10",
             "\"rank_requests\": 1",
+            "\"degraded\": false",
             "\"cache_hits\": 3",
             "\"cache_misses\": 1",
             "\"cache_hit_rate\": 0.7500",
@@ -222,9 +232,15 @@ mod tests {
 
     #[test]
     fn empty_stats_have_zero_rates() {
-        let json = fresh().to_json(0, 0, 0);
+        let json = fresh().to_json(0, 0, 0, false);
         assert!(json.contains("\"cache_hit_rate\": 0.0000"));
         assert!(json.contains("\"latency_us_mean\": 0.0"));
+    }
+
+    #[test]
+    fn degraded_flag_is_surfaced_in_stats_json() {
+        assert!(fresh().to_json(0, 0, 0, true).contains("\"degraded\": true"));
+        assert!(fresh().to_json(0, 0, 0, false).contains("\"degraded\": false"));
     }
 
     #[test]

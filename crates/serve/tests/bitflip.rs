@@ -24,12 +24,10 @@ fn toy_graph() -> KnowledgeGraph {
 fn fresh_bundle_dir() -> PathBuf {
     static CASE: AtomicU64 = AtomicU64::new(0);
     let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let root =
-        std::env::temp_dir().join(format!("rmpi-bdir-flip-{}-{case}", std::process::id()));
+    let root = std::env::temp_dir().join(format!("rmpi-bdir-flip-{}-{case}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
     let store = root.join("world.store");
-    rmpi_store::build_from_graph(&store, rmpi_store::StoreConfig::default(), &toy_graph())
-        .unwrap();
+    rmpi_store::build_from_graph(&store, rmpi_store::StoreConfig::default(), &toy_graph()).unwrap();
     let model = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..RmpiConfig::base() }, 6, 3);
     let bdir = root.join("model.bundled");
     save_bundle_dir(&bdir, &model, &[], Some(&store)).unwrap();
@@ -93,13 +91,12 @@ proptest! {
         std::fs::write(victim, &bytes).unwrap();
 
         for mode in [ReadMode::Resident, ReadMode::Stream { cache_blocks: 2 }] {
-            match load_and_observe(&bdir, mode) {
-                Ok(got) => prop_assert_eq!(
+            if let Ok(got) = load_and_observe(&bdir, mode) {
+                prop_assert_eq!(
                     got, pristine,
                     "flip {:?}[{at}] bit {bit} served silently different results in {mode:?}",
                     victim.file_name().unwrap()
-                ),
-                Err(_) => {}
+                );
             }
         }
 

@@ -52,9 +52,18 @@ fn engine_for_bundle(path: &Path) -> Engine {
 
 /// The two probe triples scored as one batch everywhere below: a batch is
 /// the unit that must never be torn across a reload.
-const PROBES: [Triple; 2] =
-    [Triple { head: rmpi_kg::EntityId(0), relation: rmpi_kg::RelationId(1), tail: rmpi_kg::EntityId(2) },
-     Triple { head: rmpi_kg::EntityId(2), relation: rmpi_kg::RelationId(3), tail: rmpi_kg::EntityId(3) }];
+const PROBES: [Triple; 2] = [
+    Triple {
+        head: rmpi_kg::EntityId(0),
+        relation: rmpi_kg::RelationId(1),
+        tail: rmpi_kg::EntityId(2),
+    },
+    Triple {
+        head: rmpi_kg::EntityId(2),
+        relation: rmpi_kg::RelationId(3),
+        tail: rmpi_kg::EntityId(3),
+    },
+];
 
 #[test]
 fn concurrent_reload_and_score_never_serves_a_torn_model() {
@@ -136,11 +145,12 @@ fn wire_reload_swaps_model_validates_and_counts() {
     let before = query(&mut stream, &mut reader, "SCORE 0 1 2 2 3 3");
     assert!(before.starts_with("OK "), "{before}");
 
-    assert_eq!(query(&mut stream, &mut reader, &format!("RELOAD {}", path_b.display())), "OK reloaded");
+    assert_eq!(
+        query(&mut stream, &mut reader, &format!("RELOAD {}", path_b.display())),
+        "OK reloaded"
+    );
     let after = query(&mut stream, &mut reader, "SCORE 0 1 2 2 3 3");
-    let offline: Vec<f32> = engine_for_bundle(&path_b)
-        .score_batch(&PROBES)
-        .unwrap();
+    let offline: Vec<f32> = engine_for_bundle(&path_b).score_batch(&PROBES).unwrap();
     let served: Vec<f32> = after[3..].split(' ').map(|s| s.parse().unwrap()).collect();
     assert_eq!(served, offline, "post-reload wire scores come from the new bundle");
     assert_ne!(after, before);

@@ -66,7 +66,11 @@ fn tiny_line_server() -> SocketAddr {
 fn pipe_server() -> SocketAddr {
     fuzz_server(
         &PIPE_SERVER,
-        ServerConfig { workers: 4, batch_window: Duration::from_millis(1), ..ServerConfig::default() },
+        ServerConfig {
+            workers: 4,
+            batch_window: Duration::from_millis(1),
+            ..ServerConfig::default()
+        },
     )
 }
 

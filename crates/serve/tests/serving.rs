@@ -7,9 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmpi_core::{train_model, RmpiConfig, RmpiModel, ScoringModel, TrainConfig};
 use rmpi_datasets::{build_benchmark, Scale};
-use rmpi_serve::{
-    load_bundle_file, save_bundle_file, serve, Engine, EngineConfig, ServerConfig,
-};
+use rmpi_serve::{load_bundle_file, save_bundle_file, serve, Engine, EngineConfig, ServerConfig};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -36,8 +34,7 @@ fn bundled_engine_scores_bit_identical_to_offline_model() {
     let test = b.test("TE").expect("TE split");
 
     // round-trip the trained model through a bundle file
-    let path = std::env::temp_dir()
-        .join(format!("rmpi-serve-it-{}.bundle", std::process::id()));
+    let path = std::env::temp_dir().join(format!("rmpi-serve-it-{}.bundle", std::process::id()));
     let names: Vec<String> = (0..b.num_relations()).map(|r| format!("rel_{r}")).collect();
     save_bundle_file(&path, &model, &names).expect("save bundle");
     let bundle = load_bundle_file(&path).expect("load bundle");

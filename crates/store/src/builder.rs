@@ -221,7 +221,8 @@ impl StoreBuilder {
         self.in_deg[ti] += 1;
 
         if self.cur.is_none() {
-            self.cur = Some(SegWriter::create(&self.dir, fwd_name(self.fwd.len()), FWD_BLOCK_BYTES)?);
+            self.cur =
+                Some(SegWriter::create(&self.dir, fwd_name(self.fwd.len()), FWD_BLOCK_BYTES)?);
         }
         let mut rec = [0u8; FWD_RECORD_BYTES];
         encode_fwd(t, &mut rec);
@@ -353,7 +354,11 @@ impl StoreBuilder {
             let mut rec = [0u8; INV_RECORD_BYTES];
             for &(tail, rel, head, fi) in &scratch {
                 if cur.is_none() {
-                    cur = Some(SegWriter::create(&self.dir, inv_name(inv_segs.len()), INV_BLOCK_BYTES)?);
+                    cur = Some(SegWriter::create(
+                        &self.dir,
+                        inv_name(inv_segs.len()),
+                        INV_BLOCK_BYTES,
+                    )?);
                 }
                 encode_inv(
                     rmpi_kg::EntityId(tail),

@@ -52,7 +52,13 @@ pub fn decode_fwd(b: &[u8]) -> Triple {
 /// Encode an inverse record. `fwd_idx` is the global index of the forward
 /// record this edge mirrors (the triple index).
 #[inline]
-pub fn encode_inv(tail: EntityId, rel: RelationId, head: EntityId, fwd_idx: u32, out: &mut [u8; INV_RECORD_BYTES]) {
+pub fn encode_inv(
+    tail: EntityId,
+    rel: RelationId,
+    head: EntityId,
+    fwd_idx: u32,
+    out: &mut [u8; INV_RECORD_BYTES],
+) {
     out[0..4].copy_from_slice(&tail.0.to_le_bytes());
     out[4..8].copy_from_slice(&rel.0.to_le_bytes());
     out[8..12].copy_from_slice(&head.0.to_le_bytes());

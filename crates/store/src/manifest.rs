@@ -128,7 +128,11 @@ impl Manifest {
         let _ = writeln!(s, "seg_records {}", self.seg_records);
         let _ = writeln!(s, "index {INDEX_NAME} {} {:016x}", self.index_bytes, self.index_checksum);
         let seg_line = |s: &mut String, kind: &str, seg: &SegmentMeta| {
-            let _ = writeln!(s, "{kind} {} {} {} {:016x}", seg.file, seg.records, seg.bytes, seg.checksum);
+            let _ = writeln!(
+                s,
+                "{kind} {} {} {} {:016x}",
+                seg.file, seg.records, seg.bytes, seg.checksum
+            );
             if self.version >= 2 && !seg.block_sums.is_empty() {
                 let _ = write!(s, "blocks {}", seg.file);
                 for sum in &seg.block_sums {
@@ -188,9 +192,7 @@ impl Manifest {
                 return Err(bad(lineno, "content between `sum` and `end`".into()));
             }
             let mut next_u64 = |what: &str| -> Result<u64> {
-                let tok = parts
-                    .next()
-                    .ok_or_else(|| bad(lineno, format!("missing {what}")))?;
+                let tok = parts.next().ok_or_else(|| bad(lineno, format!("missing {what}")))?;
                 tok.parse::<u64>().map_err(|_| bad(lineno, format!("bad {what} `{tok}`")))
             };
             match key {
@@ -218,7 +220,8 @@ impl Manifest {
                     let records = parse_u64(parts.next(), lineno, "segment records")?;
                     let bytes = parse_u64(parts.next(), lineno, "segment bytes")?;
                     let checksum = parse_hex(parts.next(), lineno, "segment checksum")?;
-                    let meta = SegmentMeta { file, records, bytes, checksum, block_sums: Vec::new() };
+                    let meta =
+                        SegmentMeta { file, records, bytes, checksum, block_sums: Vec::new() };
                     if key == "fwd" {
                         fwd.push(meta);
                         last_seg = Some((true, fwd.len() - 1));
@@ -234,9 +237,7 @@ impl Manifest {
                     let meta = match last_seg {
                         Some((true, i)) => &mut fwd[i],
                         Some((false, i)) => &mut inv[i],
-                        None => {
-                            return Err(bad(lineno, "`blocks` line before any segment".into()))
-                        }
+                        None => return Err(bad(lineno, "`blocks` line before any segment".into())),
                     };
                     if meta.file != file {
                         return Err(bad(
@@ -248,9 +249,8 @@ impl Manifest {
                         return Err(bad(lineno, format!("duplicate `blocks` line for {file}")));
                     }
                     for tok in parts.by_ref() {
-                        let sum = u64::from_str_radix(tok, 16).map_err(|_| {
-                            bad(lineno, format!("bad block checksum `{tok}`"))
-                        })?;
+                        let sum = u64::from_str_radix(tok, 16)
+                            .map_err(|_| bad(lineno, format!("bad block checksum `{tok}`")))?;
                         meta.block_sums.push(sum);
                     }
                     if meta.block_sums.is_empty() {
@@ -367,13 +367,15 @@ impl Manifest {
 }
 
 fn parse_u64(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
-    let tok = tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
+    let tok =
+        tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
     tok.parse::<u64>()
         .map_err(|_| StoreError::Manifest { line, message: format!("bad {what} `{tok}`") })
 }
 
 fn parse_hex(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
-    let tok = tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
+    let tok =
+        tok.ok_or_else(|| StoreError::Manifest { line, message: format!("missing {what}") })?;
     u64::from_str_radix(tok, 16)
         .map_err(|_| StoreError::Manifest { line, message: format!("bad {what} `{tok}`") })
 }
@@ -392,12 +394,36 @@ mod tests {
             index_bytes: 176,
             index_checksum: 0xdead_beef,
             fwd: vec![
-                SegmentMeta { file: fwd_name(0), records: 4, bytes: 48, checksum: 1, block_sums: vec![] },
-                SegmentMeta { file: fwd_name(1), records: 3, bytes: 36, checksum: 2, block_sums: vec![] },
+                SegmentMeta {
+                    file: fwd_name(0),
+                    records: 4,
+                    bytes: 48,
+                    checksum: 1,
+                    block_sums: vec![],
+                },
+                SegmentMeta {
+                    file: fwd_name(1),
+                    records: 3,
+                    bytes: 36,
+                    checksum: 2,
+                    block_sums: vec![],
+                },
             ],
             inv: vec![
-                SegmentMeta { file: inv_name(0), records: 4, bytes: 64, checksum: 3, block_sums: vec![] },
-                SegmentMeta { file: inv_name(1), records: 3, bytes: 48, checksum: 4, block_sums: vec![] },
+                SegmentMeta {
+                    file: inv_name(0),
+                    records: 4,
+                    bytes: 64,
+                    checksum: 3,
+                    block_sums: vec![],
+                },
+                SegmentMeta {
+                    file: inv_name(1),
+                    records: 3,
+                    bytes: 48,
+                    checksum: 4,
+                    block_sums: vec![],
+                },
             ],
         }
     }
@@ -509,22 +535,19 @@ mod tests {
                 if copy == bytes {
                     continue;
                 }
-                match String::from_utf8(copy) {
-                    Ok(flipped) => {
-                        // Either the parser rejects the damage, or the flip
-                        // was semantically invisible (e.g. whitespace after
-                        // the summed region) and the result is identical —
-                        // never a silently *different* manifest.
-                        if let Ok(parsed) = Manifest::parse(&flipped) {
-                            assert_eq!(
-                                parsed,
-                                sample_v2(),
-                                "flip at byte {pos} bit {bit} silently altered the manifest:\n{flipped}"
-                            );
-                        }
+                // Non-UTF8 bytes cannot even reach the parser. Otherwise:
+                // either the parser rejects the damage, or the flip was
+                // semantically invisible (e.g. whitespace after the summed
+                // region) and the result is identical — never a silently
+                // *different* manifest.
+                if let Ok(flipped) = String::from_utf8(copy) {
+                    if let Ok(parsed) = Manifest::parse(&flipped) {
+                        assert_eq!(
+                            parsed,
+                            sample_v2(),
+                            "flip at byte {pos} bit {bit} silently altered the manifest:\n{flipped}"
+                        );
                     }
-                    // Non-UTF8 bytes cannot even reach the parser.
-                    Err(_) => {}
                 }
             }
         }

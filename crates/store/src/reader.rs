@@ -291,7 +291,11 @@ impl StoreReader {
             return Err(StoreError::Corrupt {
                 file: INDEX_NAME.into(),
                 offset: index_raw.len() as u64,
-                message: format!("expected {} bytes, found {}", manifest.index_bytes, index_raw.len()),
+                message: format!(
+                    "expected {} bytes, found {}",
+                    manifest.index_bytes,
+                    index_raw.len()
+                ),
             });
         }
         let got = crate::format::fnv64(&index_raw);
@@ -311,12 +315,16 @@ impl StoreReader {
             return Err(StoreError::Corrupt {
                 file: INDEX_NAME.into(),
                 offset: index_raw.len() as u64,
-                message: format!("index holds {} bytes, {} entities need {}", index_raw.len(), n, expect_bytes),
+                message: format!(
+                    "index holds {} bytes, {} entities need {}",
+                    index_raw.len(),
+                    n,
+                    expect_bytes
+                ),
             });
         }
-        let word = |i: usize| {
-            u64::from_le_bytes(index_raw[i * 8..i * 8 + 8].try_into().expect("8 bytes"))
-        };
+        let word =
+            |i: usize| u64::from_le_bytes(index_raw[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         let out_off: Vec<u64> = (0..=n).map(word).collect();
         let in_off: Vec<u64> = (n + 1..=2 * n + 1).map(word).collect();
 
@@ -347,7 +355,10 @@ impl StoreReader {
                     return Err(StoreError::Corrupt {
                         file: meta.file.clone(),
                         offset: 0,
-                        message: format!("checksum mismatch: manifest {:016x}, file {got:016x}", meta.checksum),
+                        message: format!(
+                            "checksum mismatch: manifest {:016x}, file {got:016x}",
+                            meta.checksum
+                        ),
                     });
                 }
                 Ok(Arc::new(buf))
@@ -481,7 +492,9 @@ impl StoreReader {
             return Err(StoreError::Corrupt {
                 file: meta.file.clone(),
                 offset: block * block_bytes,
-                message: format!("block {block} is quarantined after a confirmed checksum mismatch"),
+                message: format!(
+                    "block {block} is quarantined after a confirmed checksum mismatch"
+                ),
             });
         }
         let off = block * block_bytes;
@@ -493,7 +506,9 @@ impl StoreReader {
             if attempt > 0 {
                 std::thread::sleep(self.retry.backoff * (1 << (attempt - 1)));
             }
-            match failpoint::io(PREAD_FAILPOINT).and_then(|()| files[seg].read_exact_at(&mut buf, off)) {
+            match failpoint::io(PREAD_FAILPOINT)
+                .and_then(|()| files[seg].read_exact_at(&mut buf, off))
+            {
                 Err(e) if io_error_is_transient(&e) && attempt + 1 < attempts => {
                     self.metrics.read_retries.inc();
                     continue;
@@ -729,7 +744,10 @@ impl StoreReader {
                 return Err(StoreError::Corrupt {
                     file: meta.file.clone(),
                     offset: 0,
-                    message: format!("checksum mismatch: manifest {:016x}, file {got:016x}", meta.checksum),
+                    message: format!(
+                        "checksum mismatch: manifest {:016x}, file {got:016x}",
+                        meta.checksum
+                    ),
                 });
             }
         }

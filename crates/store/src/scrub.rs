@@ -76,7 +76,11 @@ pub fn scrub_store(dir: impl AsRef<Path>) -> Result<ScrubReport> {
     let manifest = match Manifest::parse(&text) {
         Ok(m) => m,
         Err(e) => {
-            report.sections.push(ScrubSection::bad(MANIFEST_NAME, text.len() as u64, e.to_string()));
+            report.sections.push(ScrubSection::bad(
+                MANIFEST_NAME,
+                text.len() as u64,
+                e.to_string(),
+            ));
             return Ok(report);
         }
     };
@@ -112,7 +116,8 @@ pub fn scrub_store(dir: impl AsRef<Path>) -> Result<ScrubReport> {
         }
     }
 
-    for (segs, block_bytes) in [(&manifest.fwd, FWD_BLOCK_BYTES), (&manifest.inv, INV_BLOCK_BYTES)] {
+    for (segs, block_bytes) in [(&manifest.fwd, FWD_BLOCK_BYTES), (&manifest.inv, INV_BLOCK_BYTES)]
+    {
         for meta in segs {
             report.sections.push(scrub_segment(dir, meta, block_bytes));
         }
@@ -173,7 +178,10 @@ fn scrub_segment(dir: &Path, meta: &SegmentMeta, block_bytes: u64) -> ScrubSecti
         return ScrubSection::bad(
             meta.file.clone(),
             meta.bytes,
-            format!("whole-file checksum mismatch: manifest {:016x}, file {got:016x}", meta.checksum),
+            format!(
+                "whole-file checksum mismatch: manifest {:016x}, file {got:016x}",
+                meta.checksum
+            ),
         );
     }
     ScrubSection::ok(meta.file.clone(), meta.bytes, blocks)

@@ -181,7 +181,7 @@ impl GraphAccess for NeighborhoodView<'_> {
     }
 
     fn for_each_triple(&self, f: &mut dyn FnMut(Triple)) {
-        self.reader.for_each_triple(|t| f(t)).expect("store read failed (sweep)")
+        self.reader.for_each_triple(f).expect("store read failed (sweep)")
     }
 
     fn num_entities(&self) -> usize {

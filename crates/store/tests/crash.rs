@@ -33,7 +33,7 @@ fn triples(n: u32) -> Vec<Triple> {
 /// close, index write, publish) is actually reachable.
 fn build(dir: &Path, n: u32) -> Result<(), StoreError> {
     let cfg = StoreConfig { seg_records: 64, ..StoreConfig::default() };
-    build_from_sorted(dir, cfg, triples(n).into_iter()).map(|_| ())
+    build_from_sorted(dir, cfg, triples(n)).map(|_| ())
 }
 
 fn assert_not_a_store(dir: &Path) {
@@ -111,10 +111,9 @@ fn real_process_death_mid_build_leaves_no_store() {
     let _lock = failpoint::exclusive();
     // (failpoint spec, tag): one death just before the manifest publish —
     // the worst case, everything else already durable — and one mid-segment.
-    for (spec, tag) in [
-        ("store::publish=abort", "publish"),
-        ("store::seg_write=abort@100", "segwrite"),
-    ] {
+    for (spec, tag) in
+        [("store::publish=abort", "publish"), ("store::seg_write=abort@100", "segwrite")]
+    {
         let dir = temp_store(&format!("kill-{tag}"));
         build(&dir, 300).unwrap();
 

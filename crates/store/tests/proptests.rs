@@ -15,10 +15,7 @@ use rmpi_subgraph::{disclosing_subgraph, enclosing_subgraph};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn arb_world() -> impl Strategy<Value = (Vec<Triple>, Triple)> {
-    (
-        prop::collection::vec((0u32..24, 0u32..6, 0u32..24), 1..100),
-        (0u32..24, 0u32..6, 0u32..24),
-    )
+    (prop::collection::vec((0u32..24, 0u32..6, 0u32..24), 1..100), (0u32..24, 0u32..6, 0u32..24))
         .prop_map(|(edges, (h, r, t))| {
             let mut triples: Vec<Triple> =
                 edges.into_iter().map(|(a, rel, b)| Triple::new(a, rel, b)).collect();
@@ -31,8 +28,7 @@ fn arb_world() -> impl Strategy<Value = (Vec<Triple>, Triple)> {
 fn store_for(triples: &[Triple]) -> (std::path::PathBuf, StoreReader) {
     static CASE: AtomicU64 = AtomicU64::new(0);
     let case = CASE.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir()
-        .join(format!("rmpi-store-prop-{}-{case}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("rmpi-store-prop-{}-{case}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cfg = StoreConfig { seg_records: 37, transpose_budget_bytes: 1024 };
     build_from_sorted(&dir, cfg, triples.iter().copied()).unwrap();

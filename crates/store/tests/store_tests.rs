@@ -4,9 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rmpi_kg::{CsrGraph, EntityId, Triple};
-use rmpi_store::{
-    build_from_sorted, ReadMode, StoreBuilder, StoreConfig, StoreError, StoreReader,
-};
+use rmpi_store::{build_from_sorted, ReadMode, StoreBuilder, StoreConfig, StoreError, StoreReader};
 use std::path::PathBuf;
 
 fn temp_store(tag: &str) -> PathBuf {
@@ -207,12 +205,7 @@ fn tampered_manifest_rejected_with_line() {
 #[test]
 fn corrupted_index_rejected() {
     let dir = temp_store("badindex");
-    build_from_sorted(
-        &dir,
-        StoreConfig::default(),
-        random_triples(5, 300, 40, 3),
-    )
-    .unwrap();
+    build_from_sorted(&dir, StoreConfig::default(), random_triples(5, 300, 40, 3)).unwrap();
     let path = dir.join("index.bin");
     let mut bytes = std::fs::read(&path).unwrap();
     let mid = bytes.len() / 2;

@@ -307,10 +307,7 @@ pub mod reference {
         target: Triple,
     ) -> Subgraph {
         let dist = |m: &HashMap<EntityId, usize>, e: EntityId| m.get(&e).copied().unwrap_or(k + 1);
-        let dists = entities
-            .iter()
-            .map(|&e| (e, dist(du, e) as u32, dist(dv, e) as u32))
-            .collect();
+        let dists = entities.iter().map(|&e| (e, dist(du, e) as u32, dist(dv, e) as u32)).collect();
         Subgraph { triples, entities, dists, target }
     }
 }

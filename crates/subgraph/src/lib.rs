@@ -30,9 +30,9 @@ pub use extraction::{
     disclosing_subgraph, disclosing_subgraph_into, enclosing_subgraph, enclosing_subgraph_into,
     with_thread_scratch, Subgraph,
 };
-pub use scratch::ExtractScratch;
 pub use labeling::{double_radius_labels, NodeLabel};
 pub use negative::NegativeSampler;
 pub use pruning::PruningSchedule;
 pub use relview::{RelEdgeType, RelNode, RelViewGraph};
+pub use scratch::ExtractScratch;
 pub use viz::{relview_to_dot, subgraph_to_dot};

@@ -50,12 +50,7 @@ impl PruningSchedule {
     pub fn active_nodes(&self, layer: usize) -> Vec<usize> {
         assert!((1..=self.k).contains(&layer), "layer {layer} out of 1..={}", self.k);
         let budget = self.k - layer;
-        self.dist
-            .iter()
-            .enumerate()
-            .filter(|(_, &d)| d <= budget)
-            .map(|(i, _)| i)
-            .collect()
+        self.dist.iter().enumerate().filter(|(_, &d)| d <= budget).map(|(i, _)| i).collect()
     }
 
     /// All nodes that participate in any layer (within `k` hops of target,

@@ -58,7 +58,14 @@ impl RelEdgeType {
 
     /// All six types, index order.
     pub fn all() -> [RelEdgeType; NUM_EDGE_TYPES] {
-        [RelEdgeType::HH, RelEdgeType::HT, RelEdgeType::TH, RelEdgeType::TT, RelEdgeType::Para, RelEdgeType::Loop]
+        [
+            RelEdgeType::HH,
+            RelEdgeType::HT,
+            RelEdgeType::TH,
+            RelEdgeType::TT,
+            RelEdgeType::Para,
+            RelEdgeType::Loop,
+        ]
     }
 
     /// Classify the directed connection `a → b`, or `None` when the edges
@@ -282,8 +289,14 @@ mod tests {
         assert_eq!(RelEdgeType::classify(a, Triple::new(2u32, 1u32, 0u32)), vec![RelEdgeType::HT]);
         assert_eq!(RelEdgeType::classify(a, Triple::new(1u32, 1u32, 2u32)), vec![RelEdgeType::TH]);
         assert_eq!(RelEdgeType::classify(a, Triple::new(2u32, 1u32, 1u32)), vec![RelEdgeType::TT]);
-        assert_eq!(RelEdgeType::classify(a, Triple::new(0u32, 1u32, 1u32)), vec![RelEdgeType::Para]);
-        assert_eq!(RelEdgeType::classify(a, Triple::new(1u32, 1u32, 0u32)), vec![RelEdgeType::Loop]);
+        assert_eq!(
+            RelEdgeType::classify(a, Triple::new(0u32, 1u32, 1u32)),
+            vec![RelEdgeType::Para]
+        );
+        assert_eq!(
+            RelEdgeType::classify(a, Triple::new(1u32, 1u32, 0u32)),
+            vec![RelEdgeType::Loop]
+        );
         assert!(RelEdgeType::classify(a, Triple::new(5u32, 1u32, 6u32)).is_empty());
     }
 
@@ -325,7 +338,8 @@ mod tests {
             for e in rv.incoming(dst) {
                 let a = rv.nodes[e.src].triple;
                 let b = rv.nodes[dst].triple;
-                let shared = a.head == b.head || a.head == b.tail || a.tail == b.head || a.tail == b.tail;
+                let shared =
+                    a.head == b.head || a.head == b.tail || a.tail == b.head || a.tail == b.tail;
                 assert!(shared, "edge without shared entity: {a} -> {b}");
             }
         }

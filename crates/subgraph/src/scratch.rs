@@ -49,7 +49,12 @@ impl ExtractScratch {
 
     /// Grow the dense arrays to cover `g`'s id space plus the (possibly
     /// graph-external) target endpoints, then start a new epoch.
-    pub(crate) fn begin<G: GraphAccess + ?Sized>(&mut self, g: &G, u: EntityId, v: EntityId) -> u32 {
+    pub(crate) fn begin<G: GraphAccess + ?Sized>(
+        &mut self,
+        g: &G,
+        u: EntityId,
+        v: EntityId,
+    ) -> u32 {
         let n = g.num_entities().max(u.index() + 1).max(v.index() + 1);
         if self.stamp_u.len() < n {
             self.stamp_u.resize(n, 0);

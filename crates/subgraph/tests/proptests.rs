@@ -11,10 +11,7 @@ use rmpi_subgraph::{
 use std::collections::HashSet;
 
 fn arb_graph_and_target() -> impl Strategy<Value = (KnowledgeGraph, Triple)> {
-    (
-        prop::collection::vec((0u32..20, 0u32..5, 0u32..20), 1..80),
-        (0u32..20, 5u32..8, 0u32..20),
-    )
+    (prop::collection::vec((0u32..20, 0u32..5, 0u32..20), 1..80), (0u32..20, 5u32..8, 0u32..20))
         .prop_map(|(edges, (h, r, t))| {
             let triples = edges.into_iter().map(|(a, rel, b)| Triple::new(a, rel, b)).collect();
             (KnowledgeGraph::from_triples(triples), Triple::new(h, r, t))

@@ -9,9 +9,7 @@
 //! test in the binary) and the measured section runs on this thread only.
 
 use rmpi_kg::{CsrGraph, KnowledgeGraph, Triple};
-use rmpi_subgraph::{
-    disclosing_subgraph_into, enclosing_subgraph_into, ExtractScratch, Subgraph,
-};
+use rmpi_subgraph::{disclosing_subgraph_into, enclosing_subgraph_into, ExtractScratch, Subgraph};
 use rmpi_testutil::CountingAllocator;
 
 #[global_allocator]
@@ -79,7 +77,8 @@ fn steady_state_extraction_is_allocation_free() {
 
     assert!(checksum > 0, "extractions produced no output — workload degenerate");
     assert_eq!(
-        allocations, 0,
+        allocations,
+        0,
         "steady-state extraction allocated {allocations} times over {} calls",
         ts.len() * 3 * 4
     );

@@ -172,11 +172,18 @@ const POLL: Duration = Duration::from_millis(25);
 
 struct ProxyShared {
     stop: AtomicBool,
+    /// Shard-kill flag: distinct from `stop` (which tears the proxy down
+    /// and joins its threads) — a killed proxy keeps accepting-and-refusing
+    /// so callers observe a dead shard, not a vanished listener.
+    killed: AtomicBool,
     stats: ChaosStats,
     cfg: ChaosConfig,
     upstream: SocketAddr,
     rng: Mutex<SplitMix64>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Live stream halves (client and upstream sides) registered by
+    /// connection handlers so `kill()` can cut them mid-exchange.
+    live: Mutex<Vec<TcpStream>>,
 }
 
 /// A running chaos proxy; owns its threads. Dropping it (or calling
@@ -194,11 +201,13 @@ impl ChaosProxy {
         let addr = listener.local_addr()?;
         let shared = Arc::new(ProxyShared {
             stop: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             stats: ChaosStats::default(),
             cfg,
             upstream,
             rng: Mutex::new(SplitMix64(cfg.seed)),
             conn_threads: Mutex::new(Vec::new()),
+            live: Mutex::new(Vec::new()),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -217,6 +226,28 @@ impl ChaosProxy {
     /// Live fault tallies.
     pub fn stats(&self) -> &ChaosStats {
         &self.shared.stats
+    }
+
+    /// Deterministic **shard kill**: cut every live connection mid-exchange
+    /// and refuse every new one, while the proxy object (and its stats)
+    /// stays alive and queryable. Unlike [`ChaosProxy::shutdown`] the
+    /// accept thread keeps running, so clients observe a dead shard —
+    /// connections accepted then immediately closed — rather than a
+    /// vanished listener. Idempotent; a killed proxy never recovers.
+    pub fn kill(&self) {
+        if self.shared.killed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let streams: Vec<_> =
+            self.shared.live.lock().unwrap_or_else(|p| p.into_inner()).drain(..).collect();
+        for s in streams {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Whether [`ChaosProxy::kill`] has fired.
+    pub fn is_killed(&self) -> bool {
+        self.shared.killed.load(Ordering::SeqCst)
     }
 
     /// Stop proxying: close the listener, cut live connections, join all
@@ -253,6 +284,12 @@ fn accept_loop(shared: &Arc<ProxyShared>, listener: TcpListener) {
             Ok(s) => s,
             Err(_) => continue,
         };
+        if shared.killed.load(Ordering::SeqCst) {
+            // a killed shard: accept (the listener exists) then close
+            // without ever contacting the upstream
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
         shared.stats.connections.fetch_add(1, Ordering::Relaxed);
         let fault = draw_fault(shared);
         if let Some(f) = fault {
@@ -321,6 +358,23 @@ fn handle_proxy_connection(shared: Arc<ProxyShared>, client: TcpStream, fault: O
             return;
         }
     };
+    // register both halves so kill() can cut this exchange mid-flight; the
+    // killed check under the same lock closes the race with a concurrent
+    // kill() drain
+    {
+        let mut live = shared.live.lock().unwrap_or_else(|p| p.into_inner());
+        if shared.killed.load(Ordering::SeqCst) {
+            let _ = client.shutdown(Shutdown::Both);
+            let _ = upstream.shutdown(Shutdown::Both);
+            return;
+        }
+        if let Ok(c) = client.try_clone() {
+            live.push(c);
+        }
+        if let Ok(u) = upstream.try_clone() {
+            live.push(u);
+        }
+    }
     let plan = match fault {
         Some(Fault::TruncateResponse) => {
             ResponsePlan { limit: Some(cfg.truncate_after), ..ResponsePlan::faithful() }
@@ -468,8 +522,7 @@ mod tests {
                             Err(e)
                                 if matches!(
                                     e.kind(),
-                                    std::io::ErrorKind::WouldBlock
-                                        | std::io::ErrorKind::TimedOut
+                                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                                 ) =>
                             {
                                 continue;
@@ -595,6 +648,45 @@ mod tests {
     }
 
     #[test]
+    fn kill_cuts_live_connections_and_refuses_new_ones() {
+        let (addr, stop, handle) = echo_server();
+        let mut proxy =
+            ChaosProxy::spawn(addr, ChaosConfig { fault_rate: 0.0, ..Default::default() }).unwrap();
+        // a healthy exchange first
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        writeln!(stream, "hello").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "OK hello");
+
+        proxy.kill();
+        assert!(proxy.is_killed());
+        // the live connection is cut: a request in flight can only end in
+        // EOF or an error, never a complete reply line
+        let _ = writeln!(stream, "are you there");
+        line.clear();
+        let n = reader.read_line(&mut line).unwrap_or(0);
+        assert!(n == 0 || !line.ends_with('\n'), "killed shard answered: {line:?}");
+
+        // new connections are accepted then closed without a byte served
+        let refused = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = refused.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut refused_writer = refused.try_clone().unwrap();
+        let _ = writeln!(refused_writer, "hello again");
+        line.clear();
+        let n = BufReader::new(refused).read_line(&mut line).unwrap_or(0);
+        assert_eq!(n, 0, "killed shard must not serve new connections: {line:?}");
+
+        // the proxy object survives the kill for post-mortem inspection
+        assert_eq!(proxy.stats().connections(), 1);
+        proxy.kill(); // idempotent
+        proxy.shutdown();
+        stop_echo(addr, &stop, handle);
+    }
+
+    #[test]
     fn pipeline_cut_forwards_exactly_n_complete_lines_then_cuts_on_the_boundary() {
         let (addr, stop, handle) = echo_server();
         // force the PipelineCut path deterministically by driving pump()
@@ -606,11 +698,13 @@ mod tests {
         let (proxy_client, _) = listener.accept().unwrap();
         let shared = Arc::new(ProxyShared {
             stop: AtomicBool::new(false),
+            killed: AtomicBool::new(false),
             stats: ChaosStats::default(),
             cfg: ChaosConfig::default(),
             upstream: addr,
             rng: Mutex::new(SplitMix64(0)),
             conn_threads: Mutex::new(Vec::new()),
+            live: Mutex::new(Vec::new()),
         });
         // client -> upstream faithful, upstream -> client cut after 3 lines
         let c2u = {

@@ -122,7 +122,12 @@ pub struct ChaosFile {
 impl ChaosFile {
     /// Wrap an open file with fault injection.
     pub fn wrap(file: File, cfg: ChaosFileConfig) -> ChaosFile {
-        ChaosFile { file, cfg, calls: AtomicU64::new(0), stats: Arc::new(ChaosFileStats::default()) }
+        ChaosFile {
+            file,
+            cfg,
+            calls: AtomicU64::new(0),
+            stats: Arc::new(ChaosFileStats::default()),
+        }
     }
 
     /// The fault tallies, readable while reads are in flight.

@@ -62,7 +62,10 @@ fn main() {
         schema.domain(rel(&vocab, name), person).range(rel(&vocab, name), person);
     }
     let schema = schema.build();
-    let transe = TransEModel::train(&schema, TransEConfig { dim: 24, epochs: 150, seed: 5, ..Default::default() });
+    let transe = TransEModel::train(
+        &schema,
+        TransEConfig { dim: 24, epochs: 150, seed: 5, ..Default::default() },
+    );
     let mut onto_data = Vec::new();
     for r in 0..num_relations as u32 {
         onto_data.extend_from_slice(transe.kg_relation_vector(&schema, rmpi::kg::RelationId(r)));
@@ -72,9 +75,14 @@ fn main() {
     // 3. Train a schema-enhanced RMPI model on the family facts.
     let cfg = RmpiConfig { dim: 16, ne: true, init: RelationInit::Schema, ..Default::default() };
     let mut model = RmpiModel::with_schema_vectors(cfg, onto, 0);
-    let train_cfg = TrainConfig { epochs: 10, max_samples_per_epoch: 480, patience: 0, ..Default::default() };
+    let train_cfg =
+        TrainConfig { epochs: 10, max_samples_per_epoch: 480, patience: 0, ..Default::default() };
     let report = train_model(&mut model, &train_graph, train_graph.triples(), &[], &train_cfg);
-    println!("trained {}: final epoch loss {:.3}", model.name(), report.epoch_losses.last().unwrap());
+    println!(
+        "trained {}: final epoch loss {:.3}",
+        model.name(),
+        report.epoch_losses.last().unwrap()
+    );
 
     // 4. Testing graph: brand-new families (unseen entities), and we ask the
     //    Fig. 1 question — does (man, spouse_of, woman) hold?
@@ -88,8 +96,14 @@ fn main() {
 
     let candidates = [
         ("(man1005, spouse_of, woman1005)  [true]", Triple { head: h, relation: spouse, tail: w }),
-        ("(man1005, spouse_of, woman1010)  [wrong partner]", Triple { head: h, relation: spouse, tail: other_w }),
-        ("(man1005, spouse_of, boy1005)    [wrong type]", Triple { head: h, relation: spouse, tail: boy }),
+        (
+            "(man1005, spouse_of, woman1010)  [wrong partner]",
+            Triple { head: h, relation: spouse, tail: other_w },
+        ),
+        (
+            "(man1005, spouse_of, boy1005)    [wrong type]",
+            Triple { head: h, relation: spouse, tail: boy },
+        ),
     ];
     println!("\nscoring spouse_of candidates on unseen entities (higher = more plausible):");
     let mut scores = Vec::new();

@@ -17,12 +17,7 @@ fn main() {
     let benchmark = build_benchmark("nell.v1.v3", Scale::Quick);
     let semi = benchmark.test("TE(semi)").expect("semi test set");
     let fully = benchmark.test("TE(fully)").expect("fully test set");
-    let unseen = semi
-        .graph
-        .present_relations()
-        .iter()
-        .filter(|r| benchmark.is_unseen(**r))
-        .count();
+    let unseen = semi.graph.present_relations().iter().filter(|r| benchmark.is_unseen(**r)).count();
     println!(
         "benchmark {}: {} seen relations in training, {} unseen relations in testing",
         benchmark.name,
@@ -31,27 +26,48 @@ fn main() {
     );
 
     let train_cfg = TrainConfig { epochs: 3, max_samples_per_epoch: 400, ..Default::default() };
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 3, ..Default::default() };
+    let eval_cfg =
+        EvalConfig { num_candidates: 24, max_targets: 80, seed: 3, ..Default::default() };
 
     // Random Initialized: unseen relations keep untrained embedding rows;
     // only the message passing over neighbouring seen relations helps.
     let cfg = RmpiConfig { dim: 16, ne: true, ..Default::default() };
     let mut random_model = RmpiModel::new(cfg, benchmark.num_relations(), 0);
-    train_model(&mut random_model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &train_cfg);
+    train_model(
+        &mut random_model,
+        &benchmark.train.graph,
+        &benchmark.train.targets,
+        &benchmark.train.valid,
+        &train_cfg,
+    );
 
     // Schema Enhanced: initial relation features are projections of TransE
     // vectors trained on the ontology, which covers unseen relations too.
     let onto = schema_vectors(&benchmark, 32, 60, 17);
     let cfg_s = RmpiConfig { init: RelationInit::Schema, ..cfg };
     let mut schema_model = RmpiModel::with_schema_vectors(cfg_s, onto, 0);
-    train_model(&mut schema_model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &train_cfg);
+    train_model(
+        &mut schema_model,
+        &benchmark.train.graph,
+        &benchmark.train.targets,
+        &benchmark.train.valid,
+        &train_cfg,
+    );
 
-    for (label, model) in [("Random Initialized", &random_model), ("Schema Enhanced", &schema_model)] {
+    for (label, model) in
+        [("Random Initialized", &random_model), ("Schema Enhanced", &schema_model)]
+    {
         let m_semi = evaluate(model, semi, &eval_cfg);
         let m_fully = evaluate(model, fully, &eval_cfg);
         println!("\n{} ({}):", label, model.name());
-        println!("  TE(semi):  AUC-PR {:6.2}  MRR {:6.2}  Hits@10 {:6.2}", m_semi.auc_pr, m_semi.mrr, m_semi.hits10);
-        println!("  TE(fully): AUC-PR {:6.2}  MRR {:6.2}  Hits@10 {:6.2}", m_fully.auc_pr, m_fully.mrr, m_fully.hits10);
+        println!(
+            "  TE(semi):  AUC-PR {:6.2}  MRR {:6.2}  Hits@10 {:6.2}",
+            m_semi.auc_pr, m_semi.mrr, m_semi.hits10
+        );
+        println!(
+            "  TE(fully): AUC-PR {:6.2}  MRR {:6.2}  Hits@10 {:6.2}",
+            m_fully.auc_pr, m_fully.mrr, m_fully.hits10
+        );
     }
     println!("\nExpected shape (paper Tables II/III): schema enhancement recovers most of the");
     println!("performance lost when every relation in the test subgraph is unseen.");

@@ -18,7 +18,12 @@ fn main() {
         let groups: Vec<usize> = (0..world.groups().len()).collect();
         let triples = world.generate_triples(
             &groups,
-            &GraphGenConfig { num_entities: 400, num_base_triples: 2000, seed: 9, ..Default::default() },
+            &GraphGenConfig {
+                num_entities: 400,
+                num_base_triples: 2000,
+                seed: 9,
+                ..Default::default()
+            },
         );
         let g = KnowledgeGraph::from_triples(triples);
         for k in [2usize, 3] {

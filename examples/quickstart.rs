@@ -22,7 +22,11 @@ fn main() {
     // 2. An RMPI model: relational message passing with the NE module.
     let cfg = RmpiConfig { dim: 16, ne: true, ..Default::default() };
     let mut model = RmpiModel::new(cfg, benchmark.num_relations(), 0);
-    println!("model: {} ({} weights)", ScoringModel::name(&model), model.param_store().num_weights());
+    println!(
+        "model: {} ({} weights)",
+        ScoringModel::name(&model),
+        model.param_store().num_weights()
+    );
 
     // 3. Train with the paper's margin ranking loss and Adam.
     let train_cfg = TrainConfig { epochs: 3, max_samples_per_epoch: 400, ..Default::default() };
@@ -40,7 +44,8 @@ fn main() {
     );
 
     // 4. Evaluate on the unseen-entity testing graph.
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 80, seed: 7, ..Default::default() };
+    let eval_cfg =
+        EvalConfig { num_candidates: 24, max_targets: 80, seed: 7, ..Default::default() };
     let metrics = evaluate(&model, &benchmark.tests[0], &eval_cfg);
     println!(
         "test metrics: AUC-PR {:.2}  MRR {:.2}  Hits@1 {:.2}  Hits@10 {:.2}  ({} targets)",

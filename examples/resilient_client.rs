@@ -69,8 +69,7 @@ fn main() {
     //    steers everything to the surviving replica — no caller-visible
     //    errors.
     let targets: Vec<_> = test.targets.iter().take(20).collect();
-    let reference: Vec<f32> =
-        engine.score_batch(&test.targets[..20].to_vec()).expect("reference scores");
+    let reference: Vec<f32> = engine.score_batch(&test.targets[..20]).expect("reference scores");
     for (i, t) in targets.iter().enumerate() {
         if i == targets.len() / 2 {
             println!("--- killing replica A mid-run ---");

@@ -58,11 +58,7 @@ fn main() {
     for &target in test.targets.iter().take(3) {
         let ranked = engine.rank_tails(target.head, target.relation, 5).expect("rank");
         let names = &bundle.relation_names;
-        println!(
-            "top tails for ({}, {}):",
-            target.head.0,
-            names[target.relation.0 as usize]
-        );
+        println!("top tails for ({}, {}):", target.head.0, names[target.relation.0 as usize]);
         for (rank, (entity, score)) in ranked.iter().enumerate() {
             let marker = if *entity == target.tail { "  <- true tail" } else { "" };
             println!("  #{} entity {:<4} score {:+.4}{marker}", rank + 1, entity.0, score);
@@ -89,7 +85,7 @@ fn main() {
     let burst: Vec<(u32, u32, u32)> =
         test.targets.iter().take(8).map(|t| (t.head.0, t.relation.0, t.tail.0)).collect();
     let scores = session.score_many(&burst).expect("pipelined burst");
-    let reference = engine.score_batch(&test.targets[..8].to_vec()).expect("reference");
+    let reference = engine.score_batch(&test.targets[..8]).expect("reference");
     for (served, direct) in scores.iter().zip(&reference) {
         assert_eq!(served.to_bits(), direct.to_bits(), "wire scores must match the engine");
     }

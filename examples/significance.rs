@@ -15,16 +15,25 @@ fn main() {
     let benchmark = build_benchmark("nell.v2", Scale::Quick);
     let train_cfg = TrainConfig { epochs: 5, max_samples_per_epoch: 600, ..Default::default() };
 
-    let mut base = RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::base() }, benchmark.num_relations(), 0);
-    let mut ne = RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::ne() }, benchmark.num_relations(), 0);
+    let mut base =
+        RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::base() }, benchmark.num_relations(), 0);
+    let mut ne =
+        RmpiModel::new(RmpiConfig { dim: 16, ..RmpiConfig::ne() }, benchmark.num_relations(), 0);
     for (name, model) in [("RMPI-base", &mut base), ("RMPI-NE", &mut ne)] {
         eprintln!("training {name}...");
-        train_model(model, &benchmark.train.graph, &benchmark.train.targets, &benchmark.train.valid, &train_cfg);
+        train_model(
+            model,
+            &benchmark.train.graph,
+            &benchmark.train.targets,
+            &benchmark.train.valid,
+            &train_cfg,
+        );
     }
 
     // per-target reciprocal ranks on identical targets & candidate sets
     let test = benchmark.test("TE").expect("TE");
-    let eval_cfg = EvalConfig { num_candidates: 24, max_targets: 120, seed: 5, ..Default::default() };
+    let eval_cfg =
+        EvalConfig { num_candidates: 24, max_targets: 120, seed: 5, ..Default::default() };
     let rrs = entity_prediction_paired(&[&base, &ne], test, &eval_cfg);
     let (rr_base, rr_ne) = (&rrs[0], &rrs[1]);
 

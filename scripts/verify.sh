@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release =="
 cargo build --release
 
@@ -82,5 +88,11 @@ cargo run --release -q -p rmpi-bench --bin bench_chaos -- --requests 30 --rates 
 
 echo "== disk-fault smoke: retried transients, checksum-caught bit flips, degraded mode =="
 cargo run --release -q -p rmpi-bench --bin bench_diskfault -- --smoke >/dev/null
+
+echo "== router chaos: shard kill mid-rank -> bit-identical partial top-k, hedging, fail policy =="
+cargo test -q -p rmpi-router
+
+echo "== router smoke: availability + rank coverage vs single-shard fault rate, standby rescue =="
+cargo run --release -q -p rmpi-bench --bin bench_router -- --smoke
 
 echo "verify.sh: all checks passed"

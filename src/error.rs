@@ -148,7 +148,7 @@ mod tests {
         assert!(matches!(e, Error::Client(_)), "{e:?}");
         assert!(e.to_string().starts_with("client: "), "{e}");
 
-        let e = take(Err(std::io::Error::new(std::io::ErrorKind::Other, "disk").into()));
+        let e = take(Err(std::io::Error::other("disk").into()));
         assert!(matches!(e, Error::Io(_)), "{e:?}");
     }
 
@@ -169,7 +169,7 @@ mod tests {
             ServeError::UnknownRelation(9).into(),
             rmpi_store::StoreError::NotAStore("/nowhere".into()).into(),
             ClientError::Io(std::io::Error::new(std::io::ErrorKind::TimedOut, "t")).into(),
-            std::io::Error::new(std::io::ErrorKind::Other, "disk").into(),
+            std::io::Error::other("disk").into(),
         ];
         for e in &all {
             assert!(e.source().is_some(), "{e} must preserve its source");

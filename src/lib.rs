@@ -22,6 +22,10 @@
 //!   classified retryable-vs-fatal errors, seeded exponential backoff, retry
 //!   budgets, and multi-replica failover behind per-endpoint circuit
 //!   breakers;
+//! * [`router`] — the scatter-gather fleet router: sharded `RANK` across
+//!   replicas with bit-exact top-k merging, end-to-end deadline budgets,
+//!   hedged requests to a standby, and graceful `partial` degradation when
+//!   a shard is lost mid-rank;
 //! * [`obs`] — the observability layer: process-wide metrics registry
 //!   (counters, gauges, latency histograms with percentiles), scoped timing
 //!   spans, and a manual clock for deterministic tests;
@@ -51,6 +55,7 @@ pub use rmpi_datasets as datasets;
 pub use rmpi_eval as eval;
 pub use rmpi_kg as kg;
 pub use rmpi_obs as obs;
+pub use rmpi_router as router;
 pub use rmpi_runtime as runtime;
 pub use rmpi_schema as schema;
 pub use rmpi_serve as serve;

@@ -56,6 +56,6 @@ pub use rmpi_client::{
 };
 
 // observability
-pub use rmpi_obs::MetricsRegistry;
 /// The process-wide metrics registry (see [`rmpi_obs::global`]).
 pub use rmpi_obs::global as metrics;
+pub use rmpi_obs::MetricsRegistry;

@@ -10,7 +10,12 @@ fn benchmark() -> Benchmark {
     build_benchmark("nell.v1", Scale::Quick)
 }
 
-fn train_epochs<M: ScoringModel + Sync>(model: &mut M, b: &Benchmark, seed: u64, epochs: usize) -> f32 {
+fn train_epochs<M: ScoringModel + Sync>(
+    model: &mut M,
+    b: &Benchmark,
+    seed: u64,
+    epochs: usize,
+) -> f32 {
     let cfg = TrainConfig {
         epochs,
         max_samples_per_epoch: 250,
@@ -45,7 +50,8 @@ fn rmpi_variants_learn_above_chance() {
 #[test]
 fn grail_learns_above_chance() {
     let b = benchmark();
-    let mut model = GrailModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 2);
+    let mut model =
+        GrailModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 2);
     // GraIL's loss falls more slowly than the other baselines on this quick
     // benchmark; give it one extra epoch to clear the above-chance bar.
     let acc = train_epochs(&mut model, &b, 2, 3);
@@ -59,7 +65,8 @@ fn tact_models_learn_above_chance() {
     let acc = quick_train(&mut base, &b, 3);
     assert!(acc > 0.55, "TACT-base validation accuracy {acc}");
 
-    let mut full = TactModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 3);
+    let mut full =
+        TactModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 3);
     let acc = quick_train(&mut full, &b, 3);
     assert!(acc > 0.55, "TACT validation accuracy {acc}");
 }
@@ -67,7 +74,8 @@ fn tact_models_learn_above_chance() {
 #[test]
 fn compile_and_maker_learn_above_chance() {
     let b = benchmark();
-    let mut compile = CompileModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 4);
+    let mut compile =
+        CompileModel::new(BaselineConfig { dim: 12, ..Default::default() }, b.num_relations(), 4);
     let acc = quick_train(&mut compile, &b, 4);
     assert!(acc > 0.55, "CoMPILE validation accuracy {acc}");
 

@@ -21,7 +21,8 @@ fn facade_exposes_all_layers() {
     assert!(sg.entities.len() >= 2);
     // schema
     let schema = SchemaBuilder::new(1, 1).build();
-    let model = TransEModel::train(&schema, TransEConfig { dim: 4, epochs: 1, ..Default::default() });
+    let model =
+        TransEModel::train(&schema, TransEConfig { dim: 4, epochs: 1, ..Default::default() });
     assert_eq!(model.dim(), 4);
     // datasets
     assert!(rmpi::datasets::registry_names().contains(&"nell.v1"));

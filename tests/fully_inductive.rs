@@ -18,7 +18,8 @@ fn schema_enhancement_beats_random_init_on_fully_unseen() {
         patience: 0,
         ..Default::default()
     };
-    let eval_cfg = EvalConfig { num_candidates: 15, max_targets: 60, seed: 4, ..Default::default() };
+    let eval_cfg =
+        EvalConfig { num_candidates: 15, max_targets: 60, seed: 4, ..Default::default() };
     let fully = b.test("TE(fully)").expect("TE(fully)");
 
     let cfg = RmpiConfig { dim: 12, ..RmpiConfig::base() };
@@ -45,7 +46,8 @@ fn unseen_relations_score_without_panicking_across_test_sets() {
     use rand::SeedableRng;
     use rmpi::core::ScoringModel;
     let b = build_benchmark("nell.v2.v3", Scale::Quick);
-    let model = RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..Default::default() }, b.num_relations(), 1);
+    let model =
+        RmpiModel::new(RmpiConfig { dim: 8, ne: true, ..Default::default() }, b.num_relations(), 1);
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     for test in &b.tests {
         for &t in test.targets.iter().take(10) {

@@ -87,7 +87,8 @@ fn target_aware_attention_couples_relation_identity_to_hop2_structure() {
     // K = 3 with TA: the target is re-attended at layer 2 over neighbours
     // whose layer-1 representations already contain the mid relation, so the
     // relation gap must differ between mid=2 and mid=3 contexts.
-    let cfg = RmpiConfig { dim: 12, num_layers: 3, ta: true, edge_dropout: 0.0, ..RmpiConfig::base() };
+    let cfg =
+        RmpiConfig { dim: 12, num_layers: 3, ta: true, edge_dropout: 0.0, ..RmpiConfig::base() };
     let model = RmpiModel::new(cfg, 8, 3);
     let gap_a = relation_gap(&model, &context(2), 4, 5);
     let gap_b = relation_gap(&model, &context(3), 4, 5);
@@ -101,7 +102,8 @@ fn target_aware_attention_couples_relation_identity_to_hop2_structure() {
 fn attention_coupling_already_sees_one_hop_at_k2() {
     // At K = 2, TA coupling reaches one-hop structure: contexts differing in
     // a *one-hop* relation produce different gaps.
-    let cfg = RmpiConfig { dim: 12, num_layers: 2, ta: true, edge_dropout: 0.0, ..RmpiConfig::base() };
+    let cfg =
+        RmpiConfig { dim: 12, num_layers: 2, ta: true, edge_dropout: 0.0, ..RmpiConfig::base() };
     let model = RmpiModel::new(cfg, 8, 3);
     let ctx_one = KnowledgeGraph::from_triples(vec![
         Triple::new(0u32, 0u32, 1u32),

@@ -108,6 +108,9 @@ fn train_and_serve_populate_the_global_registry() {
         assert!(stats.contains(legacy), "STATS lost legacy field {legacy}: {stats}");
     }
     assert!(field_u64(&stats[3..], "scores") >= 2);
+    // engine degraded state rides along in STATS so fleet monitors don't
+    // need a second HEALTH round trip — this healthy engine reports false
+    assert!(stats.contains("\"degraded\": false"), "STATS lost the degraded flag: {stats}");
 
     // METRICS dumps the whole registry: serve, trainer and pool together
     let line = query(&mut stream, &mut reader, "METRICS");
@@ -124,10 +127,8 @@ fn train_and_serve_populate_the_global_registry() {
         assert!(metrics_json.contains(&format!("\"{name}\"")), "METRICS missing {name}: {line}");
     }
     // per-verb latency percentiles are in the dump
-    let wire_score = metrics_json
-        .split("\"serve.wire.score.us\": ")
-        .nth(1)
-        .expect("serve.wire.score.us object");
+    let wire_score =
+        metrics_json.split("\"serve.wire.score.us\": ").nth(1).expect("serve.wire.score.us object");
     for pct in ["\"p50\"", "\"p90\"", "\"p99\""] {
         assert!(wire_score.starts_with('{') && wire_score.contains(pct), "{wire_score}");
     }

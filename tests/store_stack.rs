@@ -78,8 +78,7 @@ fn generate_train_bundle_and_serve_from_disk() {
     let mut triples = Vec::new();
     graph_reader.for_each_triple(|t| triples.push(t)).unwrap();
     let ecfg = EngineConfig { seed: 9, cache_capacity: 64, threads: 1 };
-    let store_engine =
-        Engine::with_store(bundle.model.clone(), Arc::new(graph_reader), ecfg.clone());
+    let store_engine = Engine::with_store(bundle.model.clone(), Arc::new(graph_reader), ecfg);
     let mem_engine = Engine::new(bundle.model, KnowledgeGraph::from_triples(triples), ecfg);
 
     let targets: Vec<Triple> = valid.iter().copied().take(8).collect();

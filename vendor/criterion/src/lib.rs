@@ -121,7 +121,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark an input-free routine inside the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, routine: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        routine: F,
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id.name);
         run_one(&label, self.measurement_time, routine);
         self
@@ -144,7 +148,11 @@ impl Criterion {
 
     /// Open a named group of cases.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), measurement_time: default_measurement_time(), _parent: self }
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: default_measurement_time(),
+            _parent: self,
+        }
     }
 }
 
