@@ -26,7 +26,7 @@ use crate::stats::ClientStats;
 use rmpi_obs::MetricsRegistry;
 use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Failover knobs: the per-attempt client config plus the breaker shape
 /// applied to every endpoint.
@@ -138,14 +138,25 @@ impl FailoverClient {
 
     /// One attempt against endpoint `idx` over its cached session,
     /// (re)connecting first if the cache is empty or dead. Transport-level
-    /// failures invalidate the cache.
-    fn attempt_on(&mut self, idx: usize, line: &str) -> Result<String, ClientError> {
+    /// failures invalidate the cache. With a `wait`, the caller stops
+    /// waiting for this attempt's response after that long (v2 sessions;
+    /// the v1 fallback keeps the socket clock).
+    fn attempt_on(
+        &mut self,
+        idx: usize,
+        line: &str,
+        wait: Option<Duration>,
+    ) -> Result<String, ClientError> {
         if !self.endpoints[idx].session.as_ref().is_some_and(|s| s.is_alive()) {
             let session = Session::connect(self.endpoints[idx].addr, &self.cfg)?;
             self.stats.sessions_opened.inc();
             self.endpoints[idx].session = Some(session);
         }
-        let result = self.endpoints[idx].session.as_ref().expect("just ensured").request(line);
+        let session = self.endpoints[idx].session.as_ref().expect("just ensured");
+        let result = match wait {
+            Some(wait) => session.request_timeout(line, wait),
+            None => session.request(line),
+        };
         if let Err(e) = &result {
             if is_transport_error(e) {
                 self.endpoints[idx].session = None;
@@ -153,14 +164,41 @@ impl FailoverClient {
         }
         result
     }
-}
 
-impl ProtocolClient for FailoverClient {
-    fn request_line(&mut self, line: &str, idempotent: bool) -> Result<String, ClientError> {
+    /// Like [`ProtocolClient::request_line`], but under an absolute
+    /// end-to-end deadline. Every attempt — the first and each failover
+    /// retry — is sent with a fresh `DEADLINE <remaining-ms>` hint computed
+    /// at that forward, so a backend serving a retry is granted only what
+    /// remains of the caller's wait, never the original budget; retry
+    /// sleeps are clamped to the deadline, and a request whose budget is
+    /// spent answers `deadline expired` (transient) exactly like a backend
+    /// shed. `line` must not already carry a `DEADLINE` hint.
+    pub fn request_line_deadline(
+        &mut self,
+        line: &str,
+        idempotent: bool,
+        deadline: Instant,
+    ) -> Result<String, ClientError> {
+        self.run(line, idempotent, Some(deadline))
+    }
+
+    fn run(
+        &mut self,
+        line: &str,
+        idempotent: bool,
+        deadline: Option<Instant>,
+    ) -> Result<String, ClientError> {
         self.stats.requests.inc();
         let t0 = Instant::now();
         let mut attempts: u32 = 0;
         loop {
+            // the remaining budget is re-derived per attempt: this is what a
+            // forwarded DEADLINE hint decays by on each retry
+            let remaining = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+            if remaining.is_some_and(|r| r.is_zero()) {
+                self.stats.errors.inc();
+                return Err(ClientError::from_server_err("deadline expired"));
+            }
             let Some(idx) = self.pick() else {
                 // every breaker is open: rather than fail fast, a retryable
                 // request waits out the *shortest* cooldown (it counts as a
@@ -181,8 +219,13 @@ impl ProtocolClient for FailoverClient {
                 if let Some(until) = wait_until {
                     // each wait is capped at the backoff ceiling so a long
                     // cooldown costs bounded latency per retry and the
-                    // attempt cap stays the real limit
-                    let target = until.min(Instant::now() + self.cfg.backoff.max);
+                    // attempt cap stays the real limit; a deadline caps it
+                    // further (waking at the deadline turns the retry into
+                    // `deadline expired` at the top of the loop)
+                    let mut target = until.min(Instant::now() + self.cfg.backoff.max);
+                    if let Some(d) = deadline {
+                        target = target.min(d);
+                    }
                     // sleep can wake a hair early when the OS clock rounds
                     // down; re-check and sleep the remainder so the retried
                     // pick() meets a genuinely half-open breaker instead of
@@ -201,7 +244,15 @@ impl ProtocolClient for FailoverClient {
             self.last_used = Some(idx);
             self.current = idx;
             attempts += 1;
-            match self.attempt_on(idx, line) {
+            let hinted;
+            let attempt_line = match remaining {
+                Some(rem) => {
+                    hinted = format!("DEADLINE {} {line}", rem.as_millis().max(1));
+                    hinted.as_str()
+                }
+                None => line,
+            };
+            match self.attempt_on(idx, attempt_line, remaining) {
                 Ok(payload) => {
                     self.endpoints[idx].breaker.record_success();
                     self.budget.record_success();
@@ -233,10 +284,22 @@ impl ProtocolClient for FailoverClient {
                         });
                     }
                     self.stats.retries.inc();
-                    std::thread::sleep(self.backoff.next_delay());
+                    let mut delay = self.backoff.next_delay();
+                    if let Some(d) = deadline {
+                        // never sleep past the deadline: the next iteration
+                        // converts an exhausted budget into the typed error
+                        delay = delay.min(d.saturating_duration_since(Instant::now()));
+                    }
+                    std::thread::sleep(delay);
                 }
             }
         }
+    }
+}
+
+impl ProtocolClient for FailoverClient {
+    fn request_line(&mut self, line: &str, idempotent: bool) -> Result<String, ClientError> {
+        self.run(line, idempotent, None)
     }
 }
 
@@ -384,6 +447,87 @@ mod tests {
         std::thread::sleep(cooldown + Duration::from_millis(10));
         c.ping().expect("probe should readmit the recovered replica");
         assert_eq!(c.breaker_states()[0], BreakerState::Closed);
+    }
+
+    /// Regression: a forwarded `DEADLINE` hint must decay across failover
+    /// retries. Re-sending the original budget would let a backend score a
+    /// retry with the caller's *full* wait re-granted, long after the
+    /// caller has given up.
+    #[test]
+    fn deadline_hints_decay_across_failover_retries() {
+        let lines = Arc::new(std::sync::Mutex::new(Vec::<String>::new()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server_lines = Arc::clone(&lines);
+        let server = std::thread::spawn(move || {
+            let mut served = 0usize;
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                let mut conn = conn;
+                let mut line = String::new();
+                // answer the PROTO probe with a non-v2 frame: v1 fallback
+                if reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true) {
+                    continue;
+                }
+                if writeln!(conn, "OK v1").is_err() {
+                    continue;
+                }
+                line.clear();
+                if reader.read_line(&mut line).map(|n| n == 0).unwrap_or(true) {
+                    continue;
+                }
+                server_lines.lock().unwrap().push(line.trim_end().to_owned());
+                served += 1;
+                if served <= 2 {
+                    // burn some budget, then cut the connection so the
+                    // client retries the (idempotent) request
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue; // conn drops here
+                }
+                writeln!(conn, "OK pong").unwrap();
+                return;
+            }
+        });
+        // trip_after above the cut count: every retry reaches the wire
+        let cfg = FailoverConfig {
+            breaker: BreakerConfig { trip_after: 10, cooldown: Duration::from_millis(60) },
+            ..fast_cfg()
+        };
+        let mut c = client(vec![addr], cfg);
+        let budget = Duration::from_millis(500);
+        let payload = c
+            .request_line_deadline("PING", true, Instant::now() + budget)
+            .expect("third attempt is served");
+        assert_eq!(payload, "pong");
+        server.join().unwrap();
+        let lines = lines.lock().unwrap();
+        assert_eq!(lines.len(), 3, "two cuts then a success: {lines:?}");
+        let hints: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let mut parts = l.split_whitespace();
+                assert_eq!(parts.next(), Some("DEADLINE"), "hint on every attempt: {l}");
+                let ms = parts.next().unwrap().parse().unwrap();
+                assert_eq!(parts.next(), Some("PING"));
+                ms
+            })
+            .collect();
+        assert!(hints[0] <= budget.as_millis() as u64, "first hint within budget: {hints:?}");
+        assert!(hints[1] < hints[0] && hints[2] < hints[1], "hints must shrink: {hints:?}");
+    }
+
+    #[test]
+    fn an_exhausted_deadline_answers_a_transient_deadline_expired() {
+        let live = FakeReplica::spawn();
+        let mut c = client(vec![live.addr], fast_cfg());
+        let err = c.request_line_deadline("PING", true, Instant::now()).unwrap_err();
+        assert!(
+            matches!(&err, ClientError::Server { message, transient: true }
+                if message == "deadline expired"),
+            "{err}"
+        );
+        assert_eq!(c.stats().errors.get(), 1);
     }
 
     #[test]

@@ -36,13 +36,14 @@ pub fn shard_slices(candidates: &[u32], n: usize) -> Vec<&[u32]> {
 
 /// Order `(entity, score)` pairs best-first and truncate to `k`, with the
 /// exact comparator of the serving engine's `RANK`: descending score,
-/// ties broken toward the smaller entity id. `NaN` scores compare equal
-/// (the engine never serves them, but the merge must not panic on a
-/// damaged shard reply either).
+/// ties broken toward the smaller entity id. `NaN` scores are dropped
+/// before sorting: the engine never serves them, so a `NaN` can only be a
+/// damaged shard reply — and it must be *removed* rather than compared,
+/// because no placement of `NaN` yields a total order under the engine's
+/// comparator, and an inconsistent comparator can panic `sort_by`.
 pub fn merge_ranked(mut entries: Vec<(u32, f32)>, k: usize) -> Vec<(u32, f32)> {
-    entries.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
-    });
+    entries.retain(|&(_, score)| !score.is_nan());
+    entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN filtered above").then(a.0.cmp(&b.0)));
     entries.truncate(k);
     entries
 }
@@ -78,6 +79,25 @@ mod tests {
         // truncation only ever drops the tail of the full ordering
         let full = merge_ranked(entries, usize::MAX);
         assert_eq!(full[..4], merged[..]);
+    }
+
+    /// Regression: `sort_by` on Rust >= 1.81 may panic when the comparator
+    /// is not a total order, which NaN-compares-Equal is not (NaN ties by
+    /// id while numbers order by score — transitivity breaks). Damaged
+    /// replies must be dropped, never sorted.
+    #[test]
+    fn nan_scores_from_a_damaged_reply_are_dropped_without_panicking() {
+        let entries = vec![
+            (0u32, f32::NAN),
+            (1, 1.5f32),
+            (2, f32::NAN),
+            (3, -0.5),
+            (4, 1.5),
+            (5, f32::NAN),
+            (6, f32::NEG_INFINITY),
+        ];
+        let merged = merge_ranked(entries, usize::MAX);
+        assert_eq!(merged, vec![(1, 1.5), (4, 1.5), (3, -0.5), (6, f32::NEG_INFINITY)]);
     }
 
     #[test]

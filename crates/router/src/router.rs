@@ -43,6 +43,7 @@ use rmpi_client::{
 use rmpi_obs::json::JsonObject;
 use rmpi_obs::{Counter, Histogram, MetricsRegistry};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -83,6 +84,11 @@ pub struct RouterConfig {
     /// token, each primary success deposits, so a flapping shard cannot
     /// double the standby's traffic indefinitely.
     pub budget: BudgetConfig,
+    /// Cap on concurrent in-flight calls per shard (each holds one detached
+    /// worker thread until it resolves or its deadline lapses). A call
+    /// arriving at a saturated shard is routed straight to the standby, so
+    /// a wedged shard under load cannot grow threads without bound.
+    pub max_shard_inflight: usize,
 }
 
 impl RouterConfig {
@@ -101,6 +107,7 @@ impl RouterConfig {
             client: ClientConfig::default(),
             breaker: BreakerConfig::default(),
             budget: BudgetConfig::default(),
+            max_shard_inflight: 32,
         }
     }
 
@@ -190,12 +197,34 @@ struct ShardControl {
     budget: RetryBudget,
 }
 
+/// RAII reservation of one in-flight call slot on a shard; freed on drop
+/// (in the dispatch path when the call never goes on the wire, otherwise by
+/// the worker thread when the call resolves).
+struct InflightSlot(Arc<AtomicUsize>);
+
+impl InflightSlot {
+    fn try_reserve(counter: &Arc<AtomicUsize>, cap: usize) -> Option<InflightSlot> {
+        counter
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| (n < cap).then_some(n + 1))
+            .ok()
+            .map(|_| InflightSlot(Arc::clone(counter)))
+    }
+}
+
+impl Drop for InflightSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// One backend endpoint: cached session, breaker/budget, latency histogram.
 struct Shard {
     addr: SocketAddr,
     session: Mutex<Option<Arc<Session>>>,
     control: Mutex<ShardControl>,
     latency: Histogram,
+    /// Concurrent in-flight calls, bounded by `max_shard_inflight`.
+    inflight: Arc<AtomicUsize>,
 }
 
 impl Shard {
@@ -208,6 +237,7 @@ impl Shard {
                 budget: RetryBudget::new(cfg.budget.clone()),
             }),
             latency,
+            inflight: Arc::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -374,18 +404,31 @@ impl Router {
     ) -> Result<Vec<f32>, String> {
         let shard = &self.shards[idx];
         let now = Instant::now();
-        if !shard.control.lock().expect("shard control").breaker.allows(now) {
-            // open breaker: the shard is known-bad, skip the wire entirely
-            return self.rescue(idx, triples, deadline, "circuit breaker open".into());
-        }
+        // both cheap rejections come BEFORE the breaker check: `allows()` can
+        // consume the single half-open probe slot, and a probe admitted but
+        // never resolved with an outcome would wedge the breaker HalfOpen
+        // forever (every later call rejected until restart)
         let remaining = deadline.saturating_duration_since(now);
         if remaining.is_zero() {
             return Err("deadline expired before dispatch".into());
+        }
+        let Some(slot) = InflightSlot::try_reserve(&shard.inflight, self.cfg.max_shard_inflight)
+        else {
+            // saturated: nothing was attempted, so the breaker is untouched
+            // (the deadline failures of whatever wedged the shard trip it);
+            // the standby may still cover the slice
+            return self.rescue(idx, triples, deadline, "shard at in-flight cap".into());
+        };
+        if !shard.control.lock().expect("shard control").breaker.allows(now) {
+            // open breaker: the shard is known-bad, skip the wire entirely
+            drop(slot);
+            return self.rescue(idx, triples, deadline, "circuit breaker open".into());
         }
         let session = match self.session_for(shard) {
             Ok(s) => s,
             Err(e) => {
                 self.note_shard_failure(shard);
+                drop(slot);
                 return self.rescue(idx, triples, deadline, format!("connect: {e}"));
             }
         };
@@ -393,6 +436,10 @@ impl Router {
         let (tx, rx) = mpsc::channel();
         let owned = triples.to_vec();
         std::thread::spawn(move || {
+            // the slot rides with the worker: it frees when the call resolves
+            // (or its late reply is dropped), bounding detached threads per
+            // shard even when the shard is wedged and callers keep arriving
+            let _slot = slot;
             let _ = tx.send(session.score_batch_deadline(&owned, remaining));
         });
         let hedge_wait = self.hedge_threshold(shard).min(remaining);
@@ -577,6 +624,53 @@ mod tests {
         let e = RouterError::ShardsLost { lost: 1, total: 3, last: "connect: refused".into() };
         assert!(e.to_string().contains("1/3"), "{e}");
         assert!(RouterError::BadRequest("nope".into()).to_string().starts_with("bad request:"));
+    }
+
+    #[test]
+    fn inflight_slots_are_bounded_and_released_on_drop() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let a = InflightSlot::try_reserve(&counter, 2).expect("slot 1");
+        let b = InflightSlot::try_reserve(&counter, 2).expect("slot 2");
+        assert!(InflightSlot::try_reserve(&counter, 2).is_none(), "cap enforced");
+        drop(a);
+        let c = InflightSlot::try_reserve(&counter, 2).expect("freed slot reusable");
+        drop(b);
+        drop(c);
+        assert_eq!(counter.load(Ordering::Acquire), 0, "all slots returned");
+    }
+
+    /// Regression: a rank whose budget is already spent must fail *before*
+    /// touching the breaker. `allows()` on an Open breaker whose cooldown
+    /// has elapsed consumes the single half-open probe slot; bailing out
+    /// afterwards without recording an outcome would wedge the breaker
+    /// HalfOpen forever and leave the shard permanently dark.
+    #[test]
+    fn an_expired_deadline_never_consumes_the_half_open_probe() {
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut cfg = RouterConfig::new(vec![dead], (0..4).collect())
+            .with_deadline(Duration::from_millis(300));
+        cfg.breaker = BreakerConfig { trip_after: 1, cooldown: Duration::from_millis(20) };
+        let router = Router::with_registry(cfg, Arc::clone(&registry));
+        // one refused connect trips the breaker open
+        router.rank(0, 0, 2).unwrap_err();
+        assert_eq!(router.shard_breaker_states()[0], BreakerState::Open);
+        // cooldown elapses; a zero-budget rank arrives exactly when the
+        // probe slot opens up
+        std::thread::sleep(Duration::from_millis(30));
+        let err = router.rank_deadline(0, 0, 2, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, RouterError::NoCoverage), "{err}");
+        // the probe must still be available: the next rank reaches the wire
+        // (counted as a shard error) instead of being breaker-rejected
+        let errors_before = registry.counter("router.shard_errors.count").get();
+        router.rank(0, 0, 2).unwrap_err();
+        assert!(
+            registry.counter("router.shard_errors.count").get() > errors_before,
+            "breaker wedged HalfOpen: the probe was consumed and never resolved"
+        );
     }
 
     #[test]

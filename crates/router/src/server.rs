@@ -18,18 +18,21 @@
 //!
 //! In v2, requests carry `ID <n>` tags (echoed on responses) and may prefix
 //! the inner request with `DEADLINE <ms>`: on `RANK` the hint caps the
-//! router's end-to-end budget; on `SCORE` it is forwarded verbatim so the
-//! backend batcher sheds late work. The front end answers a connection's
+//! router's end-to-end budget; on `SCORE` it anchors an absolute deadline
+//! at arrival, and each upstream forward (failover retries included)
+//! carries only the *remaining* budget so the backend batcher sheds late
+//! work on the caller's clock. The front end answers a connection's
 //! requests in order — in-order delivery is a valid v2 implementation, and
 //! pipelined clients still keep many requests in flight.
 
 use crate::router::{RankOutcome, Router};
 use rmpi_client::{BreakerState, ClientError, FailoverClient, FailoverConfig, ProtocolClient};
+use rmpi_obs::MetricsRegistry;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A running router front end; shuts down on [`RouterHandle::shutdown`] or
 /// drop.
@@ -65,17 +68,36 @@ impl Drop for RouterHandle {
     }
 }
 
+/// Recipe for a connection's private `SCORE` pass-through client: endpoints
+/// and tuning, instantiated per connection so one stalled upstream exchange
+/// never serializes other connections' `SCORE`s (metrics still aggregate in
+/// the shared registry).
+struct PassthroughSpec {
+    endpoints: Vec<SocketAddr>,
+    cfg: FailoverConfig,
+    registry: Arc<MetricsRegistry>,
+}
+
+impl PassthroughSpec {
+    fn build(&self) -> FailoverClient {
+        FailoverClient::with_registry(
+            self.endpoints.clone(),
+            self.cfg.clone(),
+            Arc::clone(&self.registry),
+        )
+    }
+}
+
 /// Serve `router` on an ephemeral localhost port. The `SCORE` pass-through
-/// rides a [`FailoverClient`] over the shards (standby last), recording into
-/// the router's registry.
+/// rides a per-connection [`FailoverClient`] over the shards (standby
+/// last), recording into the router's registry.
 pub fn serve_router(router: Arc<Router>) -> io::Result<RouterHandle> {
     let cfg = router.config();
-    let endpoints: Vec<SocketAddr> = cfg.shards.iter().copied().chain(cfg.standby).collect();
-    let passthrough = Arc::new(Mutex::new(FailoverClient::with_registry(
-        endpoints,
-        FailoverConfig { client: cfg.client.clone(), breaker: cfg.breaker.clone() },
-        Arc::clone(router.registry()),
-    )));
+    let spec = Arc::new(PassthroughSpec {
+        endpoints: cfg.shards.iter().copied().chain(cfg.standby).collect(),
+        cfg: FailoverConfig { client: cfg.client.clone(), breaker: cfg.breaker.clone() },
+        registry: Arc::clone(router.registry()),
+    });
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -88,17 +110,18 @@ pub fn serve_router(router: Arc<Router>) -> io::Result<RouterHandle> {
                 }
                 let Ok(stream) = conn else { continue };
                 let router = Arc::clone(&router);
-                let passthrough = Arc::clone(&passthrough);
-                std::thread::spawn(move || handle_conn(router, passthrough, stream));
+                let spec = Arc::clone(&spec);
+                std::thread::spawn(move || handle_conn(router, &spec, stream));
             }
         })?;
     Ok(RouterHandle { addr, stop, accept: Some(accept) })
 }
 
-fn handle_conn(router: Arc<Router>, passthrough: Arc<Mutex<FailoverClient>>, stream: TcpStream) {
+fn handle_conn(router: Arc<Router>, spec: &PassthroughSpec, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut out = stream;
+    let mut passthrough = spec.build();
     let mut v2 = false;
     let mut line = String::new();
     loop {
@@ -107,14 +130,17 @@ fn handle_conn(router: Arc<Router>, passthrough: Arc<Mutex<FailoverClient>>, str
             Ok(0) | Err(_) => return,
             Ok(_) => {}
         }
+        // a DEADLINE hint's budget is spent from the moment the request
+        // arrived, not from when an upstream forward happens to go out
+        let arrival = Instant::now();
         let trimmed = line.trim();
         let response = if v2 {
-            handle_v2_line(&router, &passthrough, trimmed)
+            handle_v2_line(&router, &mut passthrough, trimmed, arrival)
         } else if trimmed == "PROTO 2" {
             v2 = true;
             "OK proto=2".to_owned()
         } else {
-            dispatch(&router, &passthrough, trimmed, None)
+            dispatch(&router, &mut passthrough, trimmed, None)
         };
         if writeln!(out, "{response}").is_err() {
             return;
@@ -156,10 +182,15 @@ fn split_deadline(inner: &str) -> (Option<Duration>, &str) {
     }
 }
 
-fn handle_v2_line(router: &Router, passthrough: &Mutex<FailoverClient>, line: &str) -> String {
+fn handle_v2_line(
+    router: &Router,
+    passthrough: &mut FailoverClient,
+    line: &str,
+    arrival: Instant,
+) -> String {
     match split_tag(line) {
         Some((tag, inner)) => {
-            let response = dispatch_with_deadline(router, passthrough, inner);
+            let response = dispatch_with_deadline(router, passthrough, inner, arrival);
             format!("ID {tag} {response}")
         }
         // untagged: not attributable, answered bare exactly like a backend
@@ -167,26 +198,33 @@ fn handle_v2_line(router: &Router, passthrough: &Mutex<FailoverClient>, line: &s
     }
 }
 
-/// Strip a `DEADLINE` hint and dispatch. `SCORE` keeps the hint in the
-/// forwarded line so the backend batcher sees it; `RANK` converts it into
-/// the router's end-to-end budget.
+/// Strip a `DEADLINE` hint and dispatch. A hinted `SCORE` becomes an
+/// absolute deadline anchored at the request's arrival: the pass-through
+/// re-derives the *remaining* budget at every upstream forward (failover
+/// retries included), so a backend serving a retry is never re-granted the
+/// caller's original budget. `RANK` converts the hint into the router's
+/// end-to-end budget.
 fn dispatch_with_deadline(
     router: &Router,
-    passthrough: &Mutex<FailoverClient>,
+    passthrough: &mut FailoverClient,
     inner: &str,
+    arrival: Instant,
 ) -> String {
     let (budget, stripped) = split_deadline(inner);
     if stripped.split_whitespace().next() == Some("SCORE") {
-        // forward with the hint intact (the pass-through sessions speak v2
-        // upstream, where the backends honor DEADLINE)
-        return handle_score(passthrough, inner);
+        return match budget {
+            Some(budget) => {
+                score_response(passthrough.request_line_deadline(stripped, true, arrival + budget))
+            }
+            None => handle_score(passthrough, stripped),
+        };
     }
     dispatch(router, passthrough, stripped, budget)
 }
 
 fn dispatch(
     router: &Router,
-    passthrough: &Mutex<FailoverClient>,
+    passthrough: &mut FailoverClient,
     line: &str,
     budget: Option<Duration>,
 ) -> String {
@@ -214,8 +252,12 @@ fn dispatch(
     }
 }
 
-fn handle_score(passthrough: &Mutex<FailoverClient>, line: &str) -> String {
-    match passthrough.lock().expect("passthrough client").request_line(line, true) {
+fn handle_score(passthrough: &mut FailoverClient, line: &str) -> String {
+    score_response(passthrough.request_line(line, true))
+}
+
+fn score_response(result: Result<String, ClientError>) -> String {
+    match result {
         Ok(payload) if payload.is_empty() => "OK".to_owned(),
         Ok(payload) => format!("OK {payload}"),
         // a definitive backend rejection passes through verbatim
